@@ -1,0 +1,54 @@
+//! Criterion bench: the LP baseline vs the combinatorial algorithm — the
+//! quantitative form of the paper's "LP complexity too high" positioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_core::power::Polynomial;
+use mpss_offline::lp_baseline::lp_baseline;
+use mpss_offline::optimal_schedule;
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn bench_lp_vs_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_vs_combinatorial");
+    group.sample_size(10);
+    let p = Polynomial::new(2.0);
+    for n in [4usize, 6, 8] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 2,
+            horizon: 2 * n as u64,
+            seed: 1,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::new("flow", n), &instance, |b, ins| {
+            b.iter(|| optimal_schedule(std::hint::black_box(ins)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("lp_k12", n), &instance, |b, ins| {
+            b.iter(|| lp_baseline(std::hint::black_box(ins), &p, 12).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_by_menu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_menu_size");
+    group.sample_size(10);
+    let p = Polynomial::new(2.0);
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 6,
+        m: 2,
+        horizon: 12,
+        seed: 9,
+    }
+    .generate();
+    for k in [6usize, 12, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| lp_baseline(std::hint::black_box(&instance), &p, k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_vs_flow, bench_lp_by_menu);
+criterion_main!(benches);

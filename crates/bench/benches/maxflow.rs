@@ -1,0 +1,102 @@
+//! Criterion bench: the two max-flow engines on scheduling-shaped and
+//! random networks (the `maxflow-ablation` experiment's statistical
+//! counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_core::Intervals;
+use mpss_maxflow::{max_flow_dinic, max_flow_push_relabel, FlowNetwork};
+use mpss_offline::flow_model::FlowModel;
+use mpss_workloads::{Family, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scheduling_network(n: usize) -> FlowNetwork<f64> {
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n,
+        m: 4,
+        horizon: 2 * n as u64,
+        seed: 7,
+    }
+    .generate();
+    let intervals = Intervals::from_instance(&instance);
+    let candidate: Vec<usize> = (0..n).collect();
+    let m_j: Vec<usize> = (0..intervals.len())
+        .map(|j| {
+            candidate
+                .iter()
+                .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
+                .count()
+                .min(instance.m)
+        })
+        .collect();
+    let w: f64 = instance.jobs.iter().map(|j| j.volume).sum();
+    let p: f64 = m_j
+        .iter()
+        .enumerate()
+        .map(|(j, &mj)| mj as f64 * intervals.length(j))
+        .sum();
+    FlowModel::build(&instance, &intervals, &candidate, &m_j, w / p).net
+}
+
+fn random_network(nodes: usize) -> FlowNetwork<f64> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut net: FlowNetwork<f64> = FlowNetwork::new(nodes);
+    for u in 0..nodes {
+        for v in 0..nodes {
+            if u != v && rng.gen_bool(0.3) {
+                net.add_edge(u, v, rng.gen_range(0..=50u32) as f64);
+            }
+        }
+    }
+    net
+}
+
+fn bench_engines_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/scheduling");
+    for n in [40usize, 80, 160] {
+        let net = scheduling_network(n);
+        let sink = net.num_nodes() - 1;
+        group.bench_with_input(BenchmarkId::new("dinic", n), &net, |b, net| {
+            b.iter_batched(
+                || net.clone(),
+                |mut net| max_flow_dinic(&mut net, 0, sink),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("push_relabel", n), &net, |b, net| {
+            b.iter_batched(
+                || net.clone(),
+                |mut net| max_flow_push_relabel(&mut net, 0, sink),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/random");
+    group.sample_size(20);
+    for nodes in [100usize, 200] {
+        let net = random_network(nodes);
+        group.bench_with_input(BenchmarkId::new("dinic", nodes), &net, |b, net| {
+            b.iter_batched(
+                || net.clone(),
+                |mut net| max_flow_dinic(&mut net, 0, nodes - 1),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("push_relabel", nodes), &net, |b, net| {
+            b.iter_batched(
+                || net.clone(),
+                |mut net| max_flow_push_relabel(&mut net, 0, nodes - 1),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines_scheduling, bench_engines_random);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the hot substrate pieces: rational arithmetic (the
+//! exact mode's cost), the schedule validator, and schedule normalization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_core::validate::validate_schedule;
+use mpss_numeric::Rational;
+use mpss_offline::optimal_schedule;
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn bench_rational_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/rational");
+    // Denominators from a small set (as in real instances, where they are
+    // divisors of a few interval lengths) so the running lcm stays bounded.
+    let xs: Vec<Rational> = (1..200i128)
+        .map(|i| Rational::new(i, 1 + (i % 16)))
+        .collect();
+    group.bench_function("sum_200", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ZERO;
+            for &x in std::hint::black_box(&xs) {
+                acc += x;
+            }
+            acc
+        })
+    });
+    group.bench_function("mul_chain_200", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ONE;
+            for &x in std::hint::black_box(&xs) {
+                acc = (acc * x / (x + Rational::ONE)).max(Rational::new(1, 720720));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_validator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/validator");
+    for n in [50usize, 200] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 3,
+        }
+        .generate();
+        let sched = optimal_schedule(&instance).unwrap().schedule;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(instance, sched),
+            |b, (i, s)| {
+                b.iter(|| {
+                    validate_schedule(std::hint::black_box(i), std::hint::black_box(s), 1e-9)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/normalize");
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 200,
+        m: 4,
+        horizon: 400,
+        seed: 3,
+    }
+    .generate();
+    let sched = optimal_schedule(&instance).unwrap().schedule;
+    group.bench_function("normalize_200_jobs", |b| {
+        b.iter_batched(
+            || sched.clone(),
+            |mut s| {
+                s.normalize();
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rational_ops,
+    bench_validator,
+    bench_normalize
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion bench: offline optimal algorithm scaling in n and m
+//! (the `thm1-runtime` experiment's statistical counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_offline::optimal_schedule;
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn bench_offline_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/by_n");
+    group.sample_size(10);
+    for n in [25usize, 50, 100, 200] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 3,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, ins| {
+            b.iter(|| optimal_schedule(std::hint::black_box(ins)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_by_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/by_m");
+    group.sample_size(10);
+    for m in [1usize, 2, 4, 8, 16] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n: 100,
+            m,
+            horizon: 200,
+            seed: 3,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &instance, |b, ins| {
+            b.iter(|| optimal_schedule(std::hint::black_box(ins)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_by_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/by_family");
+    group.sample_size(10);
+    for family in Family::ALL {
+        let instance = WorkloadSpec {
+            family,
+            n: 80,
+            m: 4,
+            horizon: 160,
+            seed: 3,
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &instance,
+            |b, ins| {
+                b.iter(|| optimal_schedule(std::hint::black_box(ins)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/numeric_mode");
+    group.sample_size(10);
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 40,
+        m: 2,
+        horizon: 80,
+        seed: 3,
+    }
+    .generate();
+    group.bench_function("f64", |b| {
+        b.iter(|| optimal_schedule(std::hint::black_box(&instance)).unwrap());
+    });
+    let exact = instance.to_rational();
+    group.bench_function("rational", |b| {
+        b.iter(|| optimal_schedule(std::hint::black_box(&exact)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_offline_by_n,
+    bench_offline_by_m,
+    bench_offline_by_family,
+    bench_exact_vs_float
+);
+criterion_main!(benches);

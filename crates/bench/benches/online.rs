@@ -1,0 +1,73 @@
+//! Criterion bench: the online algorithms — OA(m)'s replanning cost vs
+//! AVR(m)'s per-interval balancing (Theorems 2–3's algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_online::{avr_schedule, oa_schedule};
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn bench_oa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/oa");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let instance = WorkloadSpec {
+            family: Family::Bursty,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 5,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, ins| {
+            b.iter(|| oa_schedule(std::hint::black_box(ins)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_avr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/avr");
+    for n in [20usize, 40, 80, 160] {
+        let instance = WorkloadSpec {
+            family: Family::Bursty,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 5,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, ins| {
+            b.iter(|| avr_schedule(std::hint::black_box(ins)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/exact_vs_float");
+    group.sample_size(10);
+    let instance = WorkloadSpec {
+        family: Family::Bursty,
+        n: 16,
+        m: 2,
+        horizon: 32,
+        seed: 5,
+    }
+    .generate();
+    group.bench_function("avr_f64", |b| {
+        b.iter(|| avr_schedule(std::hint::black_box(&instance)));
+    });
+    let exact = instance.to_rational();
+    group.bench_function("avr_rational", |b| {
+        b.iter(|| avr_schedule(std::hint::black_box(&exact)));
+    });
+    group.bench_function("oa_f64", |b| {
+        b.iter(|| oa_schedule(std::hint::black_box(&instance)).unwrap());
+    });
+    group.bench_function("oa_rational", |b| {
+        b.iter(|| oa_schedule(std::hint::black_box(&exact)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oa, bench_avr, bench_exact_mode);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `bkp-extension`: the paper's conclusion notes that BKP (Bansal–Kimbrel–
+//! Pruhs) beats Optimal Available for large α on one processor and poses
+//! its multi-processor extension as an open problem. This experiment
+//! compares the three online strategies at m = 1 across α.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_bkp_extension`
+
+use mpss_bench::{parallel_map, stats, Table};
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::Polynomial;
+use mpss_offline::optimal_schedule;
+use mpss_online::{avr_schedule, bkp_schedule, oa_schedule};
+use mpss_workloads::{Family, WorkloadSpec};
+
+const SEEDS: u64 = 5;
+
+fn main() {
+    println!("Online strategies at m = 1 (BKP is single-processor; its m > 1 extension");
+    println!("is the paper's open problem). n = 8, families × {SEEDS} seeds per cell.\n");
+
+    let mut t = Table::new(&[
+        "alpha",
+        "OA/OPT (mean)",
+        "AVR/OPT (mean)",
+        "BKP/OPT (mean)",
+        "OA bound",
+        "AVR bound",
+        "BKP bound",
+    ]);
+    for alpha in [1.5f64, 2.0, 2.5, 3.0] {
+        let p = Polynomial::new(alpha);
+        let cases: Vec<(Family, u64)> = [Family::Uniform, Family::Bursty, Family::Laminar]
+            .iter()
+            .flat_map(|&f| (0..SEEDS).map(move |s| (f, s)))
+            .collect();
+        let results = parallel_map(cases, |(family, seed)| {
+            let instance = WorkloadSpec {
+                family,
+                n: 8,
+                m: 1,
+                horizon: 20,
+                seed,
+            }
+            .generate();
+            let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+            let e_oa = schedule_energy(&oa_schedule(&instance).unwrap().schedule, &p);
+            let e_avr = schedule_energy(&avr_schedule(&instance), &p);
+            let e_bkp = schedule_energy(&bkp_schedule(&instance, 96).schedule, &p);
+            (e_oa / e_opt, e_avr / e_opt, e_bkp / e_opt)
+        });
+        let oa = stats(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let avr = stats(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let bkp = stats(&results.iter().map(|r| r.2).collect::<Vec<_>>());
+        let bkp_bound = 2.0 * (alpha / (alpha - 1.0)).powf(alpha) * std::f64::consts::E.powf(alpha);
+        t.row(vec![
+            format!("{alpha}"),
+            format!("{:.4}", oa.mean),
+            format!("{:.4}", avr.mean),
+            format!("{:.4}", bkp.mean),
+            format!("{:.2}", p.oa_bound()),
+            format!("{:.2}", p.avr_bound()),
+            format!("{:.2}", bkp_bound),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape check: on typical loads OA tracks OPT closest (it *replans optimally*),\n\
+         BKP pays its deliberate e-factor speed padding, AVR sits between — consistent\n\
+         with the guarantees' ordering at small α (α^α < 2(α/(α−1))^α e^α there); BKP's\n\
+         advantage over OA is asymptotic in α and adversarial, not average-case."
+    );
+}

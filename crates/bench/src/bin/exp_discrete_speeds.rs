@@ -1,0 +1,68 @@
+//! `discrete-speeds`: the discrete-frequency extension (the Li–Yao /
+//! Ishihara–Yasuura setting referenced by the paper). Converts the
+//! continuous optimum onto finite speed menus and measures the
+//! discretization penalty, certifying the result against the independent
+//! LP optimum on the same menu.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_discrete_speeds`
+
+use mpss_bench::Table;
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::Polynomial;
+use mpss_core::validate::validate_schedule;
+use mpss_offline::discrete::discretize_speeds;
+use mpss_offline::lp_baseline::lp_baseline;
+use mpss_offline::{optimal_schedule, yds_schedule};
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn main() {
+    let alpha = 3.0;
+    let p = Polynomial::new(alpha);
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 6,
+        m: 2,
+        horizon: 12,
+        seed: 13,
+    }
+    .generate();
+    let cont = optimal_schedule(&instance).unwrap().schedule;
+    let e_cont = schedule_energy(&cont, &p);
+    let s_max = yds_schedule(&instance).speeds[0];
+
+    println!("Discrete speed menus (α = {alpha}, n = 6, m = 2, continuous OPT = {e_cont:.4})\n");
+    let mut t = Table::new(&[
+        "menu size K",
+        "discretized energy",
+        "penalty vs continuous",
+        "LP on same menu",
+        "disc = LP",
+    ]);
+    for k in [2usize, 4, 8, 16, 32] {
+        let menu: Vec<f64> = (1..=k).map(|q| s_max * q as f64 / k as f64).collect();
+        let disc = discretize_speeds(&cont, &menu).unwrap();
+        assert!(validate_schedule(&instance, &disc, 1e-9).is_ok());
+        let e_disc = schedule_energy(&disc, &p);
+        let e_lp = lp_baseline(&instance, &p, k).unwrap().energy;
+        let agree = (e_disc - e_lp).abs() <= 1e-6 * e_lp.max(1.0);
+        t.row(vec![
+            k.to_string(),
+            format!("{e_disc:.4}"),
+            format!("{:+.3}%", 100.0 * (e_disc - e_cont) / e_cont),
+            format!("{e_lp:.4}"),
+            if agree { "✓".into() } else { "✗".into() },
+        ]);
+        assert!(
+            agree,
+            "two-speed mixture must equal the LP optimum on the menu"
+        );
+        assert!(e_disc >= e_cont - 1e-9);
+    }
+    t.print();
+    println!(
+        "\nshape check: the penalty decays roughly quadratically in the menu spacing\n\
+         (convexity: mixing adjacent speeds costs the secant, a second-order excess),\n\
+         and the two-speed mixture of the continuous optimum is *exactly* the optimal\n\
+         menu-restricted schedule — it matches the independently-solved LP every time."
+    );
+}

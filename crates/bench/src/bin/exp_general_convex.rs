@@ -1,0 +1,75 @@
+//! `general-convex`: Theorem 1's "any convex non-decreasing power function"
+//! claim. The combinatorial algorithm never reads `P`, so one schedule must
+//! simultaneously beat the (P-specific) LP baseline under qualitatively
+//! different convex power functions.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_general_convex`
+
+use mpss_bench::Table;
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::{
+    check_convex_nondecreasing, AffinePolynomial, Exponential, PiecewiseLinear, Polynomial,
+    PowerFunction,
+};
+use mpss_offline::lp_baseline::lp_baseline;
+use mpss_offline::optimal_schedule;
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn main() {
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 6,
+        m: 2,
+        horizon: 12,
+        seed: 21,
+    }
+    .generate();
+    let schedule = optimal_schedule(&instance).unwrap().schedule;
+
+    let powers: Vec<Box<dyn PowerFunction + Sync>> = vec![
+        Box::new(Polynomial::new(2.0)),
+        Box::new(Polynomial::new(3.0)),
+        Box::new(AffinePolynomial::new(1.0, 2.0, 4.0, 0.0)),
+        Box::new(Exponential),
+        Box::new(PiecewiseLinear::new(vec![
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (2.0, 2.0),
+            (4.0, 10.0),
+            (16.0, 200.0),
+        ])),
+    ];
+
+    println!("Universal optimality: one schedule, many power functions (n = 6, m = 2)\n");
+    let mut t = Table::new(&[
+        "power function",
+        "convex✓",
+        "schedule energy",
+        "LP(K=32) energy",
+        "schedule ≤ LP",
+    ]);
+    for p in &powers {
+        let convex = check_convex_nondecreasing(p, 16.0, 257).is_none();
+        let mine = schedule_energy(&schedule, p);
+        let lp = lp_baseline(&instance, p, 32).unwrap().energy;
+        let ok = mine <= lp * (1.0 + 1e-6);
+        t.row(vec![
+            p.describe(),
+            if convex { "✓".into() } else { "✗".into() },
+            format!("{mine:.4}"),
+            format!("{lp:.4}"),
+            if ok {
+                "✓".into()
+            } else {
+                "✗ VIOLATION".into()
+            },
+        ]);
+        assert!(convex && ok, "{} violated universality", p.describe());
+    }
+    t.print();
+    println!(
+        "\nshape check: the algorithm consumed no power function, yet its single schedule\n\
+         is at or below the P-specific LP optimum for every convex non-decreasing P —\n\
+         the universal-optimality content of Theorem 1."
+    );
+}

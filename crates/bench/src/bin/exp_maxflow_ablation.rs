@@ -1,0 +1,111 @@
+//! `maxflow-ablation`: design-choice ablation for the offline solver's
+//! inner engine — Dinic vs highest-label push–relabel, on the real
+//! job × interval networks produced by the algorithm and on random dense
+//! networks. Both must agree on every value; Dinic is the production
+//! default because the scheduling networks are shallow and unit-like.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_maxflow_ablation`
+
+use mpss_bench::{timed, Table};
+use mpss_core::Intervals;
+use mpss_maxflow::{max_flow_dinic, max_flow_push_relabel, FlowNetwork};
+use mpss_offline::flow_model::FlowModel;
+use mpss_workloads::{Family, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("(a) real scheduling networks G(J, m⃗, s) — all jobs as candidate set\n");
+    let mut t = Table::new(&[
+        "n",
+        "nodes",
+        "edges",
+        "dinic (ms)",
+        "push-relabel (ms)",
+        "values agree",
+    ]);
+    for n in [20usize, 40, 80, 160] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 7,
+        }
+        .generate();
+        let intervals = Intervals::from_instance(&instance);
+        let candidate: Vec<usize> = (0..n).collect();
+        let m_j: Vec<usize> = (0..intervals.len())
+            .map(|j| {
+                candidate
+                    .iter()
+                    .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
+                    .count()
+                    .min(instance.m)
+            })
+            .collect();
+        let w: f64 = instance.jobs.iter().map(|j| j.volume).sum();
+        let p: f64 = m_j
+            .iter()
+            .enumerate()
+            .map(|(j, &mj)| mj as f64 * intervals.length(j))
+            .sum();
+        let fm = FlowModel::build(&instance, &intervals, &candidate, &m_j, w / p);
+
+        let mut net1 = fm.net.clone();
+        let (f1, t1) = timed(|| max_flow_dinic(&mut net1, fm.source, fm.sink));
+        let mut net2 = fm.net.clone();
+        let (f2, t2) = timed(|| max_flow_push_relabel(&mut net2, fm.source, fm.sink));
+        let agree = (f1 - f2).abs() <= 1e-9 * f1.max(1.0);
+        t.row(vec![
+            n.to_string(),
+            fm.net.num_nodes().to_string(),
+            fm.net.num_edges().to_string(),
+            format!("{t1:.3}"),
+            format!("{t2:.3}"),
+            if agree { "✓".into() } else { "✗".into() },
+        ]);
+        assert!(agree);
+    }
+    t.print();
+
+    println!("\n(b) random dense networks (density 0.3, integer capacities)\n");
+    let mut t2 = Table::new(&[
+        "nodes",
+        "edges",
+        "dinic (ms)",
+        "push-relabel (ms)",
+        "values agree",
+    ]);
+    for nodes in [50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(nodes);
+        for u in 0..nodes {
+            for v in 0..nodes {
+                if u != v && rng.gen_bool(0.3) {
+                    net.add_edge(u, v, rng.gen_range(0..=50u32) as f64);
+                }
+            }
+        }
+        let edges = net.num_edges();
+        let mut n1 = net.clone();
+        let (f1, t1) = timed(|| max_flow_dinic(&mut n1, 0, nodes - 1));
+        let mut n2 = net.clone();
+        let (f2, t2r) = timed(|| max_flow_push_relabel(&mut n2, 0, nodes - 1));
+        let agree = (f1 - f2).abs() <= 1e-9 * f1.max(1.0);
+        t2.row(vec![
+            nodes.to_string(),
+            edges.to_string(),
+            format!("{t1:.3}"),
+            format!("{t2r:.3}"),
+            if agree { "✓".into() } else { "✗".into() },
+        ]);
+        assert!(agree);
+    }
+    t2.print();
+    println!(
+        "\nshape check: on the shallow bipartite scheduling networks Dinic behaves like\n\
+         Hopcroft–Karp and is the faster engine; push–relabel narrows the gap (or wins)\n\
+         on dense random graphs. Values always agree — the engines certify each other."
+    );
+}

@@ -1,0 +1,69 @@
+//! `potential-audit`: Theorem 2's proof replayed numerically. Along real
+//! OA(m) runs, evaluates the paper's potential function Φ(t) and checks the
+//! integrated drift inequality
+//!
+//! ```text
+//! E_OA(0..t) − α^α·E_OPT(0..t) + Φ(t) ≤ 0   for all t
+//! ```
+//!
+//! on a dense grid, per workload family.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_potential_audit`
+
+use mpss_bench::{parallel_map, Table};
+use mpss_online::audit_oa_potential;
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn main() {
+    println!("Potential-function audit of Theorem 2's proof (n = 8, m = 2, 128 samples)\n");
+    let mut t = Table::new(&[
+        "family",
+        "alpha",
+        "max drift (must be ≤ 0)",
+        "min drift",
+        "holds",
+    ]);
+    let mut all_ok = true;
+    for family in Family::ALL {
+        let rows = parallel_map(vec![2.0f64, 3.0], |alpha| {
+            let horizon = if family == Family::AvrAdversarial {
+                1024
+            } else {
+                20
+            };
+            let instance = WorkloadSpec {
+                family,
+                n: 8,
+                m: 2,
+                horizon,
+                seed: 12,
+            }
+            .generate();
+            let audit = audit_oa_potential(&instance, alpha, 128);
+            let min = audit.drift.iter().copied().fold(f64::INFINITY, f64::min);
+            (alpha, audit.max_violation, min, audit.holds(1e-6))
+        });
+        for (alpha, max_v, min_d, ok) in rows {
+            all_ok &= ok;
+            t.row(vec![
+                family.name().to_string(),
+                format!("{alpha}"),
+                format!("{:.3e}", max_v),
+                format!("{min_d:.3}"),
+                if ok { "✓".into() } else { "✗".into() },
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nshape check: the drift stays non-positive along every run — the potential\n\
+         banks exactly enough headroom before each arrival to pay for OA's later\n\
+         regret, which is the mechanism of the α^α proof. {}",
+        if all_ok {
+            "ALL AUDITS PASS ✓"
+        } else {
+            "AUDIT FAILURES ✗"
+        }
+    );
+    assert!(all_ok);
+}

@@ -1,0 +1,97 @@
+//! `sleep-states`: the power-down extension the paper's conclusion poses
+//! as future work (Irani–Shukla–Gupta model: static power while awake,
+//! wake-up energy per sleep→on transition). Sweeps the wake cost and shows
+//! the crossover between never-sleeping and threshold sleeping on an
+//! optimal multi-processor schedule.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_sleep_states`
+
+use mpss_bench::Table;
+use mpss_core::power::Polynomial;
+use mpss_offline::optimal_schedule;
+use mpss_offline::sleep::{sleep_energy, IdlePolicy};
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn main() {
+    let alpha = 3.0;
+    let p = Polynomial::new(alpha);
+    let instance = WorkloadSpec {
+        family: Family::Bursty,
+        n: 16,
+        m: 4,
+        horizon: 48,
+        seed: 4,
+    }
+    .generate();
+    let schedule = optimal_schedule(&instance).unwrap().schedule;
+    let horizon = 48.0;
+    let static_power = 0.5;
+
+    println!(
+        "Sleep-state layer on an optimal schedule (n = 16, m = 4, static power {static_power},\n\
+         α = {alpha}; energies include dynamic + static + wake-up):\n"
+    );
+    let mut t = Table::new(&[
+        "wake cost γ",
+        "threshold γ/σ",
+        "never-sleep",
+        "always-sleep",
+        "threshold",
+        "wakeups",
+        "best",
+    ]);
+    for wake in [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let never = sleep_energy(
+            &schedule,
+            &p,
+            static_power,
+            wake,
+            0.0,
+            horizon,
+            IdlePolicy::NeverSleep,
+        );
+        let always = sleep_energy(
+            &schedule,
+            &p,
+            static_power,
+            wake,
+            0.0,
+            horizon,
+            IdlePolicy::AlwaysSleep,
+        );
+        let thr = sleep_energy(
+            &schedule,
+            &p,
+            static_power,
+            wake,
+            0.0,
+            horizon,
+            IdlePolicy::Threshold,
+        );
+        let best = never.total().min(always.total());
+        assert!(thr.total() <= best + 1e-9, "threshold policy must dominate");
+        let winner = if (thr.total() - never.total()).abs() < 1e-9 {
+            "≈never"
+        } else if (thr.total() - always.total()).abs() < 1e-9 {
+            "≈always"
+        } else {
+            "threshold"
+        };
+        t.row(vec![
+            format!("{wake}"),
+            format!("{:.1}", wake / static_power),
+            format!("{:.3}", never.total()),
+            format!("{:.3}", always.total()),
+            format!("{:.3}", thr.total()),
+            thr.num_wakeups.to_string(),
+            winner.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape check: cheap wake-ups ⇒ threshold ≈ always-sleep; expensive wake-ups ⇒\n\
+         threshold ≈ never-sleep; in between it strictly beats both (per-gap ski rental).\n\
+         This is the combined speed-scaling + power-down regime the paper's conclusion\n\
+         flags as the open multiprocessor question."
+    );
+}

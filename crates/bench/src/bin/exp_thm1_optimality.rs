@@ -1,0 +1,136 @@
+//! `thm1-optimality`: Theorem 1 as a measured table. For a sweep of
+//! workload families and machine sizes, the combinatorial algorithm's
+//! energy is sandwiched by independent oracles:
+//!
+//! ```text
+//! max(lower bounds)  ≤  OPT(flow)  ≤  LP baseline  ≤  non-migratory
+//! ```
+//!
+//! plus bit-exactness against the rational pipeline and equality with YDS
+//! at m = 1.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_thm1_optimality`
+
+use mpss_bench::{parallel_map, Table};
+use mpss_core::energy::{schedule_energy, schedule_energy_exact, schedule_energy_poly};
+use mpss_core::power::Polynomial;
+use mpss_core::validate::validate_schedule;
+use mpss_offline::lower_bounds::best_lower_bound;
+use mpss_offline::lp_baseline::lp_baseline;
+use mpss_offline::non_migratory::{non_migratory_schedule, AssignPolicy};
+use mpss_offline::{optimal_schedule, yds_schedule};
+use mpss_workloads::{Family, WorkloadSpec};
+
+struct Row {
+    family: &'static str,
+    m: usize,
+    lb: f64,
+    opt: f64,
+    lp: f64,
+    nm: f64,
+    exact_dev: f64,
+    ok: bool,
+}
+
+fn main() {
+    let alpha = 2.0;
+    let p = Polynomial::new(alpha);
+    let mut cases = Vec::new();
+    for family in Family::ALL {
+        for m in [1usize, 2, 4] {
+            cases.push((family, m));
+        }
+    }
+
+    let rows = parallel_map(cases, |(family, m)| {
+        let spec = WorkloadSpec {
+            family,
+            n: 8,
+            m,
+            horizon: 16,
+            seed: 42,
+        };
+        let instance = spec.generate();
+        let res = optimal_schedule(&instance).expect("optimal");
+        let feasible = validate_schedule(&instance, &res.schedule, 1e-9).is_ok();
+        let opt = schedule_energy(&res.schedule, &p);
+        let lb = best_lower_bound(&instance, alpha);
+        let lp = lp_baseline(&instance, &p, 24).expect("lp").energy;
+        let nm = schedule_energy(
+            &non_migratory_schedule(&instance, alpha, AssignPolicy::GreedyEnergy).schedule,
+            &p,
+        );
+        // Exact-pipeline agreement.
+        let exact = optimal_schedule(&instance.to_rational()).expect("exact");
+        let exact_e = schedule_energy_exact(&exact.schedule, 2).to_f64();
+        let float_e = schedule_energy_poly(&res.schedule, 2);
+        let exact_dev = (exact_e - float_e).abs() / exact_e.max(1.0);
+        // m = 1 cross-check against YDS.
+        let yds_ok = if m == 1 {
+            let e_yds = schedule_energy(&yds_schedule(&instance).schedule, &p);
+            (e_yds - opt).abs() <= 1e-6 * opt.max(1.0)
+        } else {
+            true
+        };
+        let ok = feasible
+            && yds_ok
+            && lb <= opt * (1.0 + 1e-6)
+            && opt <= lp * (1.0 + 1e-6)
+            && opt <= nm * (1.0 + 1e-6)
+            && exact_dev < 1e-6;
+        Row {
+            family: family.name(),
+            m,
+            lb,
+            opt,
+            lp,
+            nm,
+            exact_dev,
+            ok,
+        }
+    });
+
+    println!("Theorem 1 — optimality sandwich, α = {alpha}, n = 8, seed 42\n");
+    let mut t = Table::new(&[
+        "family",
+        "m",
+        "lower bnd",
+        "OPT(flow)",
+        "LP(K=24)",
+        "non-migr",
+        "exact dev",
+        "verdict",
+    ]);
+    let mut all_ok = true;
+    for r in rows {
+        all_ok &= r.ok;
+        t.row(vec![
+            r.family.to_string(),
+            r.m.to_string(),
+            format!("{:.3}", r.lb),
+            format!("{:.3}", r.opt),
+            format!("{:.3}", r.lp),
+            format!("{:.3}", r.nm),
+            format!("{:.1e}", r.exact_dev),
+            if r.ok {
+                "✓".into()
+            } else {
+                "✗ VIOLATION".into()
+            },
+        ]);
+    }
+    t.print();
+    println!(
+        "\ninvariants checked per row: feasibility; LB ≤ OPT ≤ LP ≤/≈ non-migratory;\n\
+         float-vs-rational deviation; YDS equality at m = 1."
+    );
+    println!(
+        "\noverall: {}",
+        if all_ok {
+            "ALL ROWS PASS ✓"
+        } else {
+            "VIOLATIONS FOUND ✗"
+        }
+    );
+    assert!(all_ok);
+}

@@ -1,0 +1,75 @@
+//! `thm2-oa-ratio`: Theorem 2 as a measured table. Sweeps α × m × workload
+//! family × seeds and reports the worst and mean measured competitive ratio
+//! of OA(m) next to the theorem's bound `α^α`.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_thm2_oa_ratio`
+
+use mpss_bench::{parallel_map, stats, Table};
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::Polynomial;
+use mpss_offline::optimal_schedule;
+use mpss_online::oa_schedule;
+use mpss_workloads::{Family, WorkloadSpec};
+
+const SEEDS: u64 = 5;
+
+fn main() {
+    let alphas = [1.5, 2.0, 2.5, 3.0];
+    let ms = [1usize, 2, 4, 8];
+
+    println!("Theorem 2 — OA(m) competitive ratio vs bound α^α");
+    println!(
+        "sweep: {} families × {SEEDS} seeds per cell, n = 10, horizon 24\n",
+        Family::ALL.len()
+    );
+
+    let mut t = Table::new(&[
+        "alpha",
+        "m",
+        "mean ratio",
+        "max ratio",
+        "bound α^α",
+        "within",
+    ]);
+    let mut worst_overall: f64 = 0.0;
+    for &alpha in &alphas {
+        let p = Polynomial::new(alpha);
+        for &m in &ms {
+            let cases: Vec<(Family, u64)> = Family::ALL
+                .iter()
+                .flat_map(|&f| (0..SEEDS).map(move |s| (f, s)))
+                .collect();
+            let ratios = parallel_map(cases, |(family, seed)| {
+                let instance = WorkloadSpec {
+                    family,
+                    n: 10,
+                    m,
+                    horizon: 24,
+                    seed,
+                }
+                .generate();
+                let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+                let e_oa = schedule_energy(&oa_schedule(&instance).unwrap().schedule, &p);
+                e_oa / e_opt
+            });
+            let s = stats(&ratios);
+            worst_overall = worst_overall.max(s.max);
+            let within = s.max <= p.oa_bound() * (1.0 + 1e-9);
+            t.row(vec![
+                format!("{alpha}"),
+                format!("{m}"),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", s.max),
+                format!("{:.3}", p.oa_bound()),
+                if within { "✓".into() } else { "✗".into() },
+            ]);
+            assert!(within, "α = {alpha}, m = {m}: ratio {} > α^α", s.max);
+        }
+    }
+    t.print();
+    println!(
+        "\nshape check (matches the theory): every measured ratio ≤ α^α; the bound is\n\
+         loose on random workloads — the worst measured ratio across the sweep is {worst_overall:.4}.\n\
+         ALL CELLS WITHIN BOUND ✓"
+    );
+}

@@ -1,0 +1,80 @@
+//! `workload-atlas`: structural characterization of every workload family —
+//! documents what each family actually stresses (load, density peaks,
+//! overlap structure) next to how each algorithm fares on it.
+//!
+//! Run: `cargo run -p mpss-bench --release --bin exp_workload_atlas`
+
+use mpss_bench::{parallel_map, stats, Table};
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::Polynomial;
+use mpss_offline::optimal_schedule;
+use mpss_online::{avr_schedule, oa_schedule};
+use mpss_workloads::stats::instance_stats;
+use mpss_workloads::{Family, WorkloadSpec};
+
+const SEEDS: u64 = 4;
+
+fn main() {
+    let alpha = 3.0;
+    let p = Polynomial::new(alpha);
+    println!("Workload atlas (n = 16, m = 4, {SEEDS} seeds per family, α = {alpha})\n");
+    let mut t = Table::new(&[
+        "family", "load", "max δ", "peak Δ", "mean act", "cross%", "OA/OPT", "AVR/OPT",
+    ]);
+    for family in Family::ALL {
+        let horizon = if family == Family::AvrAdversarial {
+            4096
+        } else {
+            48
+        };
+        let rows = parallel_map((0..SEEDS).collect::<Vec<_>>(), |seed| {
+            let instance = WorkloadSpec {
+                family,
+                n: 16,
+                m: 4,
+                horizon,
+                seed,
+            }
+            .generate();
+            let st = instance_stats(&instance);
+            let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+            let oa = schedule_energy(&oa_schedule(&instance).unwrap().schedule, &p) / e_opt;
+            let avr = schedule_energy(&avr_schedule(&instance), &p) / e_opt;
+            (st, oa, avr)
+        });
+        let load = stats(&rows.iter().map(|r| r.0.load_factor).collect::<Vec<_>>());
+        let maxd = stats(&rows.iter().map(|r| r.0.max_density).collect::<Vec<_>>());
+        let peak = stats(
+            &rows
+                .iter()
+                .map(|r| r.0.peak_total_density)
+                .collect::<Vec<_>>(),
+        );
+        let act = stats(&rows.iter().map(|r| r.0.mean_active).collect::<Vec<_>>());
+        let cross = stats(
+            &rows
+                .iter()
+                .map(|r| r.0.crossing_fraction)
+                .collect::<Vec<_>>(),
+        );
+        let oa = stats(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let avr = stats(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        t.row(vec![
+            family.name().to_string(),
+            format!("{:.2}", load.mean),
+            format!("{:.2}", maxd.mean),
+            format!("{:.2}", peak.mean),
+            format!("{:.1}", act.mean),
+            format!("{:.0}%", 100.0 * cross.mean),
+            format!("{:.3}", oa.mean),
+            format!("{:.3}", avr.mean),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nreading guide: load = volume / (m·horizon); max δ bounds any schedule's peak\n\
+         speed from below; peak Δ is AVR's worst instant; cross% = windows that\n\
+         properly overlap (0 for laminar). Online ratios worsen with load and with\n\
+         bursty/adversarial arrival structure, not with size — matching §3's analysis."
+    );
+}

@@ -1,0 +1,191 @@
+//! Shared utilities for the experiment binaries.
+//!
+//! The paper is an extended abstract without an empirical section: its
+//! figures are the flow network (Fig. 1) and two pseudocode listings
+//! (Figs. 2–3), and its quantitative content is Theorems 1–3. Each
+//! `exp_*` binary in `src/bin/` regenerates one of those artifacts —
+//! structurally for the figures, as a measured table (with the theorem's
+//! bound printed beside the measurement) for the theorems. EXPERIMENTS.md
+//! records the outputs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A fixed-width text table that prints like the tables in EXPERIMENTS.md.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for c in 0..ncols {
+                let _ = write!(out, "{:>w$}  ", cells[c], w = widths[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Wall-clock time of `f`, in milliseconds, together with its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Maps `f` over `items` on scoped worker threads (the harness's
+/// parameter sweeps are embarrassingly parallel; `rayon` is not available
+/// offline, so this is a minimal work-queue fan-out). Output order matches
+/// input order.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = crossbeam::queue::SegQueue::new();
+    for item in items.into_iter().enumerate() {
+        queue.push(item);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, O)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(|| {
+                let tx = tx; // move the clone into this worker
+                while let Some((idx, item)) = queue.pop() {
+                    let _ = tx.send((idx, f(item)));
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (idx, out) in rx {
+        slots[idx] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Simple summary statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+}
+
+/// Computes [`Stats`] over a slice (zeros for empty input).
+pub fn stats(xs: &[f64]) -> Stats {
+    if xs.is_empty() {
+        return Stats::default();
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let max = xs.iter().fold(f64::MIN, |a, &b| a.max(b));
+    let min = xs.iter().fold(f64::MAX, |a, &b| a.min(b));
+    Stats { mean, max, min }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "2".into()]);
+        t.row(vec!["x".into(), "123456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].trim_end().ends_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert!(parallel_map(Vec::<i32>::new(), |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(stats(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn timed_reports_nonnegative() {
+        let (v, ms) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fluent construction of instances.
+//!
+//! [`InstanceBuilder`] is the ergonomic front door for hand-written
+//! instances (tests, examples, user code): push jobs in several notations,
+//! validate once at the end.
+//!
+//! ```
+//! use mpss_core::builder::InstanceBuilder;
+//!
+//! let instance = InstanceBuilder::new(2)
+//!     .job(0.0, 4.0, 2.0)              // (release, deadline, volume)
+//!     .window(1.0, 3.0).volume(2.0)    // split notation
+//!     .periodic(0.0, 2.0, 3, 1.0)      // 3 jobs, period 2, volume 1 each
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(instance.n(), 5);
+//! ```
+
+use crate::{Instance, Job, ModelError};
+
+/// Builder for [`Instance<f64>`].
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder {
+    m: usize,
+    jobs: Vec<Job<f64>>,
+    pending_window: Option<(f64, f64)>,
+}
+
+impl InstanceBuilder {
+    /// Starts an instance on `m` processors.
+    pub fn new(m: usize) -> InstanceBuilder {
+        InstanceBuilder {
+            m,
+            jobs: Vec::new(),
+            pending_window: None,
+        }
+    }
+
+    /// Adds a job in one call.
+    pub fn job(mut self, release: f64, deadline: f64, volume: f64) -> Self {
+        self.jobs.push(Job::new(release, deadline, volume));
+        self
+    }
+
+    /// Stages a window; follow with [`volume`](InstanceBuilder::volume).
+    pub fn window(mut self, release: f64, deadline: f64) -> Self {
+        self.pending_window = Some((release, deadline));
+        self
+    }
+
+    /// Completes a staged [`window`](InstanceBuilder::window) with its
+    /// volume.
+    ///
+    /// # Panics
+    /// Panics if no window is staged.
+    pub fn volume(mut self, volume: f64) -> Self {
+        let (r, d) = self
+            .pending_window
+            .take()
+            .expect("volume() without a preceding window()");
+        self.jobs.push(Job::new(r, d, volume));
+        self
+    }
+
+    /// Adds `count` implicit-deadline periodic jobs: releases at
+    /// `start + i·period`, deadline one period later, `volume` each.
+    pub fn periodic(mut self, start: f64, period: f64, count: usize, volume: f64) -> Self {
+        for i in 0..count {
+            let r = start + i as f64 * period;
+            self.jobs.push(Job::new(r, r + period, volume));
+        }
+        self
+    }
+
+    /// Adds `count` copies of the same job.
+    pub fn copies(mut self, release: f64, deadline: f64, volume: f64, count: usize) -> Self {
+        for _ in 0..count {
+            self.jobs.push(Job::new(release, deadline, volume));
+        }
+        self
+    }
+
+    /// Number of jobs added so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` iff no jobs were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Validates and finishes the instance.
+    ///
+    /// # Panics
+    /// Panics if a staged window was never completed with a volume.
+    pub fn build(self) -> Result<Instance<f64>, ModelError> {
+        assert!(
+            self.pending_window.is_none(),
+            "window() staged without a matching volume()"
+        );
+        Instance::new(self.m, self.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_combinations() {
+        let ins = InstanceBuilder::new(3)
+            .job(0.0, 2.0, 1.0)
+            .copies(1.0, 4.0, 2.0, 2)
+            .periodic(0.0, 3.0, 2, 1.5)
+            .build()
+            .unwrap();
+        assert_eq!(ins.m, 3);
+        assert_eq!(ins.n(), 5);
+        assert_eq!(ins.jobs[1], ins.jobs[2]);
+        assert_eq!(ins.jobs[4].release, 3.0);
+        assert_eq!(ins.jobs[4].deadline, 6.0);
+    }
+
+    #[test]
+    fn window_volume_pairing() {
+        let ins = InstanceBuilder::new(1)
+            .window(1.0, 5.0)
+            .volume(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(ins.jobs[0].window(), 4.0);
+        assert_eq!(ins.jobs[0].volume, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding window")]
+    fn volume_without_window_panics() {
+        let _ = InstanceBuilder::new(1).volume(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching volume")]
+    fn dangling_window_panics() {
+        let _ = InstanceBuilder::new(1).window(0.0, 1.0).build();
+    }
+
+    #[test]
+    fn invalid_jobs_surface_at_build() {
+        let err = InstanceBuilder::new(1)
+            .job(2.0, 2.0, 1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::EmptyWindow { job: 0 });
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let b = InstanceBuilder::new(1);
+        assert!(b.is_empty());
+        let b = b.job(0.0, 1.0, 1.0);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Energy accounting.
+//!
+//! Energy is power integrated over time; for a piecewise-constant-speed
+//! [`Schedule`] it is the finite sum `Σ P(speed_k) · duration_k` over
+//! segments. Idle processors draw `P(0)` — for the classical `P(s) = s^α`
+//! that is zero, but for power functions with static power (`P(0) > 0`) the
+//! idle term matters, so [`schedule_energy_with_idle`] accounts it over an
+//! explicit horizon.
+
+use crate::{PowerFunction, Schedule};
+use mpss_numeric::{FlowNum, KahanSum, Rational};
+
+/// Energy of `schedule` under power function `p`, ignoring idle power
+/// (exact for `P(0) = 0`, e.g. `P(s) = s^α`). Uses compensated summation.
+pub fn schedule_energy(schedule: &Schedule<f64>, p: &impl PowerFunction) -> f64 {
+    let mut sum = KahanSum::new();
+    for s in &schedule.segments {
+        sum.add(p.power(s.speed) * s.duration());
+    }
+    sum.value()
+}
+
+/// Energy of `schedule` under `p`, charging every processor `P(0)` while
+/// idle within `[t0, t1)`.
+pub fn schedule_energy_with_idle(
+    schedule: &Schedule<f64>,
+    p: &impl PowerFunction,
+    t0: f64,
+    t1: f64,
+) -> f64 {
+    let idle_power = p.power(0.0);
+    let mut sum = KahanSum::new();
+    let mut busy = KahanSum::new();
+    for s in &schedule.segments {
+        sum.add(p.power(s.speed) * s.duration());
+        busy.add(s.duration());
+    }
+    let total_proc_time = (t1 - t0) * schedule.m as f64;
+    sum.add(idle_power * (total_proc_time - busy.value()).max(0.0));
+    sum.value()
+}
+
+/// Exact energy of a rational schedule under `P(s) = s^α` for integer `α`.
+pub fn schedule_energy_exact(schedule: &Schedule<Rational>, alpha: u32) -> Rational {
+    let mut total = Rational::ZERO;
+    for s in &schedule.segments {
+        total += s.speed.pow(alpha) * s.duration();
+    }
+    total
+}
+
+/// Generic energy under `P(s) = s^α` for integer `α`, usable with both
+/// numeric modes (integer powers only).
+pub fn schedule_energy_poly<T: FlowNum>(schedule: &Schedule<T>, alpha: u32) -> T {
+    let mut total = T::zero();
+    for s in &schedule.segments {
+        let mut p = T::one();
+        for _ in 0..alpha {
+            p = p * s.speed;
+        }
+        total += p * s.duration();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{AffinePolynomial, Polynomial};
+    use crate::Segment;
+    use mpss_numeric::rational::rat;
+
+    fn simple_schedule() -> Schedule<f64> {
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 3.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 1,
+            start: 0.0,
+            end: 1.0,
+            speed: 2.0,
+        });
+        s
+    }
+
+    #[test]
+    fn energy_under_square_law() {
+        // 9·2 + 4·1 = 22
+        assert_eq!(
+            schedule_energy(&simple_schedule(), &Polynomial::new(2.0)),
+            22.0
+        );
+    }
+
+    #[test]
+    fn energy_with_static_idle_power() {
+        // P(s) = s² + 1: busy 22 + busy-time static (2+1) and idle (2·4 − 3) = 5 idle units.
+        let p = AffinePolynomial::new(1.0, 2.0, 0.0, 1.0);
+        let e = schedule_energy_with_idle(&simple_schedule(), &p, 0.0, 4.0);
+        // Busy energy: (9+1)*2 + (4+1)*1 = 25; idle: 5 * 1 = 5.
+        assert!((e - 30.0).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn exact_energy_matches_float() {
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: rat(0, 1),
+            end: rat(3, 2),
+            speed: rat(4, 3),
+        });
+        let exact = schedule_energy_exact(&s, 3);
+        // (4/3)³ · 3/2 = 64/27 · 3/2 = 32/9
+        assert_eq!(exact, rat(32, 9));
+        assert!(
+            (exact.to_f64() - schedule_energy(&s.to_f64(), &Polynomial::new(3.0))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn generic_poly_energy_agrees_with_both_paths() {
+        let s = simple_schedule();
+        let g = schedule_energy_poly(&s, 2);
+        assert_eq!(g, 22.0);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_energy() {
+        let s: Schedule<f64> = Schedule::new(4);
+        assert_eq!(schedule_energy(&s, &Polynomial::cube()), 0.0);
+    }
+}

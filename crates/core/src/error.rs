@@ -1,0 +1,59 @@
+//! Error types for the problem model.
+
+use std::fmt;
+
+/// Structural problems with an instance or schedule request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An instance needs at least one processor.
+    NoProcessors,
+    /// A job's deadline is not strictly after its release.
+    EmptyWindow { job: usize },
+    /// A job has non-positive volume.
+    NonPositiveVolume { job: usize },
+    /// A time coordinate is not finite (f64 path only).
+    NonFiniteTime { job: usize },
+    /// The requested operation needs a non-empty instance.
+    EmptyInstance,
+    /// The algorithm could not reserve any processing time for a job set —
+    /// unreachable for valid instances, surfaced defensively.
+    NoReservableTime,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoProcessors => write!(f, "instance must have m ≥ 1 processors"),
+            ModelError::EmptyWindow { job } => {
+                write!(f, "job {job}: deadline must be strictly after release")
+            }
+            ModelError::NonPositiveVolume { job } => {
+                write!(f, "job {job}: processing volume must be positive")
+            }
+            ModelError::NonFiniteTime { job } => {
+                write!(f, "job {job}: non-finite time coordinate")
+            }
+            ModelError::EmptyInstance => write!(f, "operation requires a non-empty instance"),
+            ModelError::NoReservableTime => {
+                write!(f, "no processing time reservable for a remaining job set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_job() {
+        assert!(ModelError::EmptyWindow { job: 3 }
+            .to_string()
+            .contains("job 3"));
+        assert!(ModelError::NonPositiveVolume { job: 7 }
+            .to_string()
+            .contains("job 7"));
+    }
+}

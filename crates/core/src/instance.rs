@@ -1,0 +1,194 @@
+//! Instances: a job set plus the machine environment.
+
+use crate::job::{Job, JobId};
+use crate::ModelError;
+use mpss_numeric::{FlowNum, Rational};
+use serde::{Deserialize, Serialize};
+
+/// A scheduling instance: `n` jobs to run on `m` parallel variable-speed
+/// processors with migration allowed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instance<T> {
+    /// Number of parallel processors.
+    pub m: usize,
+    /// The jobs, identified by their index ([`JobId`]).
+    pub jobs: Vec<Job<T>>,
+}
+
+impl<T: FlowNum> Instance<T> {
+    /// Builds and validates an instance: `m ≥ 1` and, for every job,
+    /// `release < deadline` and `volume > 0`.
+    pub fn new(m: usize, jobs: Vec<Job<T>>) -> Result<Instance<T>, ModelError> {
+        if m == 0 {
+            return Err(ModelError::NoProcessors);
+        }
+        for (i, j) in jobs.iter().enumerate() {
+            if !(j.release < j.deadline) {
+                return Err(ModelError::EmptyWindow { job: i });
+            }
+            if !j.volume.is_strictly_positive() {
+                return Err(ModelError::NonPositiveVolume { job: i });
+            }
+            if !j.release.to_f64().is_finite()
+                || !j.deadline.to_f64().is_finite()
+                || !j.volume.to_f64().is_finite()
+            {
+                return Err(ModelError::NonFiniteTime { job: i });
+            }
+        }
+        Ok(Instance { m, jobs })
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` iff there are no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total processing volume `Σ w_i`.
+    pub fn total_volume(&self) -> T {
+        let mut total = T::zero();
+        for j in &self.jobs {
+            total += j.volume;
+        }
+        total
+    }
+
+    /// Earliest release time (`None` for empty instances).
+    pub fn min_release(&self) -> Option<T> {
+        self.jobs.iter().map(|j| j.release).reduce(|a, b| a.min2(b))
+    }
+
+    /// Latest deadline (`None` for empty instances).
+    pub fn max_deadline(&self) -> Option<T> {
+        self.jobs
+            .iter()
+            .map(|j| j.deadline)
+            .reduce(|a, b| a.max2(b))
+    }
+
+    /// Jobs (by id) whose window contains `[start, end)`.
+    pub fn active_jobs(&self, start: T, end: T) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.active_in(start, end))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The same instance restricted to a subset of jobs, returning the
+    /// id-mapping `sub_id -> original_id`.
+    pub fn restrict(&self, keep: &[JobId]) -> (Instance<T>, Vec<JobId>) {
+        let jobs = keep.iter().map(|&i| self.jobs[i]).collect();
+        (Instance { m: self.m, jobs }, keep.to_vec())
+    }
+
+    /// Converts coordinates to `f64`.
+    pub fn to_f64(&self) -> Instance<f64> {
+        Instance {
+            m: self.m,
+            jobs: self.jobs.iter().map(Job::to_f64).collect(),
+        }
+    }
+}
+
+impl Instance<f64> {
+    /// Converts small-decimal `f64` coordinates to exact rationals.
+    pub fn to_rational(&self) -> Instance<Rational> {
+        Instance {
+            m: self.m,
+            jobs: self.jobs.iter().map(Job::to_rational).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::job;
+
+    fn sample() -> Instance<f64> {
+        Instance::new(
+            2,
+            vec![job(0.0, 4.0, 2.0), job(1.0, 3.0, 4.0), job(2.0, 8.0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_instances() {
+        assert_eq!(
+            Instance::<f64>::new(0, vec![]),
+            Err(ModelError::NoProcessors)
+        );
+        assert_eq!(
+            Instance::new(1, vec![job(2.0, 2.0, 1.0)]),
+            Err(ModelError::EmptyWindow { job: 0 })
+        );
+        assert_eq!(
+            Instance::new(1, vec![job(0.0, 1.0, 0.0)]),
+            Err(ModelError::NonPositiveVolume { job: 0 })
+        );
+        assert_eq!(
+            Instance::new(1, vec![job(0.0, f64::INFINITY, 1.0)]),
+            Err(ModelError::NonFiniteTime { job: 0 })
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let ins = sample();
+        assert_eq!(ins.n(), 3);
+        assert_eq!(ins.total_volume(), 7.0);
+        assert_eq!(ins.min_release(), Some(0.0));
+        assert_eq!(ins.max_deadline(), Some(8.0));
+        assert!(!ins.is_empty());
+    }
+
+    #[test]
+    fn active_jobs_in_subinterval() {
+        let ins = sample();
+        assert_eq!(ins.active_jobs(2.0, 3.0), vec![0, 1, 2]);
+        assert_eq!(ins.active_jobs(0.0, 1.0), vec![0]);
+        assert_eq!(ins.active_jobs(4.0, 8.0), vec![2]);
+    }
+
+    #[test]
+    fn restrict_keeps_mapping() {
+        let ins = sample();
+        let (sub, map) = ins.restrict(&[2, 0]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.jobs[0], ins.jobs[2]);
+        assert_eq!(map, vec![2, 0]);
+    }
+
+    #[test]
+    fn empty_instance_aggregates() {
+        let ins: Instance<f64> = Instance::new(1, vec![]).unwrap();
+        assert!(ins.is_empty());
+        assert_eq!(ins.min_release(), None);
+        assert_eq!(ins.max_deadline(), None);
+        assert_eq!(ins.total_volume(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ins = sample();
+        let s = serde_json::to_string(&ins).unwrap();
+        let back: Instance<f64> = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, ins);
+    }
+
+    #[test]
+    fn rational_conversion_is_exact_for_decimals() {
+        let ins = sample().to_rational();
+        assert_eq!(ins.total_volume(), mpss_numeric::Rational::from_int(7));
+    }
+}

@@ -1,0 +1,188 @@
+//! The canonical interval partition `I_1, …, I_{|𝓘|−1}`.
+//!
+//! Following Section 2 of the paper, the time horizon is split at the sorted
+//! distinct release times and deadlines `τ_1 < … < τ_{|𝓘|}`; interval
+//! `I_j = [τ_j, τ_{j+1})`. A job is *active* in `I_j` iff
+//! `I_j ⊆ [r_k, d_k)`. Because interval endpoints are copies of job
+//! coordinates, activity tests are exact comparisons even in `f64`.
+
+use crate::{Instance, JobId};
+use mpss_numeric::FlowNum;
+
+/// The event-time partition of an instance's scheduling horizon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Intervals<T> {
+    /// Sorted distinct event times `τ_1 < … < τ_{|𝓘|}`.
+    pub times: Vec<T>,
+}
+
+impl<T: FlowNum> Intervals<T> {
+    /// Builds the partition from all release times and deadlines.
+    pub fn from_instance(instance: &Instance<T>) -> Intervals<T> {
+        let mut times: Vec<T> = Vec::with_capacity(2 * instance.n());
+        for j in &instance.jobs {
+            times.push(j.release);
+            times.push(j.deadline);
+        }
+        Intervals::from_times(times)
+    }
+
+    /// Builds the partition from an arbitrary list of event times
+    /// (duplicates are removed; order is normalized).
+    pub fn from_times(mut times: Vec<T>) -> Intervals<T> {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("event times must be comparable"));
+        times.dedup_by(|a, b| a == b);
+        Intervals { times }
+    }
+
+    /// Number of intervals (`|𝓘| − 1`; zero for degenerate inputs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len().saturating_sub(1)
+    }
+
+    /// `true` iff there are no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interval `I_j = [τ_j, τ_{j+1})` (0-indexed).
+    #[inline]
+    pub fn bounds(&self, j: usize) -> (T, T) {
+        (self.times[j], self.times[j + 1])
+    }
+
+    /// Length `|I_j|`.
+    #[inline]
+    pub fn length(&self, j: usize) -> T {
+        self.times[j + 1] - self.times[j]
+    }
+
+    /// Total horizon length `τ_{|𝓘|} − τ_1`.
+    pub fn horizon(&self) -> T {
+        if self.times.is_empty() {
+            T::zero()
+        } else {
+            *self.times.last().unwrap() - self.times[0]
+        }
+    }
+
+    /// `true` iff job `job` is active in interval `j`.
+    #[inline]
+    pub fn job_active(&self, job: &crate::Job<T>, j: usize) -> bool {
+        let (s, e) = self.bounds(j);
+        job.active_in(s, e)
+    }
+
+    /// For each interval, the ids of active jobs — the adjacency structure
+    /// of the paper's Fig. 1 network.
+    pub fn active_sets(&self, instance: &Instance<T>) -> Vec<Vec<JobId>> {
+        (0..self.len())
+            .map(|j| {
+                let (s, e) = self.bounds(j);
+                instance.active_jobs(s, e)
+            })
+            .collect()
+    }
+
+    /// Index of the interval containing time `t`, if any
+    /// (`τ_j ≤ t < τ_{j+1}`).
+    pub fn interval_of(&self, t: T) -> Option<usize> {
+        if self.times.is_empty() || t < self.times[0] || !(t < *self.times.last().unwrap()) {
+            return None;
+        }
+        // Binary search on the partition points.
+        let mut lo = 0usize;
+        let mut hi = self.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if !(t < self.times[mid]) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::job;
+    use mpss_numeric::rational::rat;
+    use mpss_numeric::Rational;
+
+    fn sample() -> Instance<f64> {
+        Instance::new(
+            2,
+            vec![job(0.0, 4.0, 2.0), job(1.0, 3.0, 4.0), job(2.0, 8.0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_is_sorted_and_distinct() {
+        let iv = Intervals::from_instance(&sample());
+        assert_eq!(iv.times, vec![0.0, 1.0, 2.0, 3.0, 4.0, 8.0]);
+        assert_eq!(iv.len(), 5);
+        assert_eq!(iv.bounds(0), (0.0, 1.0));
+        assert_eq!(iv.bounds(4), (4.0, 8.0));
+        assert_eq!(iv.length(4), 4.0);
+        assert_eq!(iv.horizon(), 8.0);
+    }
+
+    #[test]
+    fn duplicate_event_times_are_merged() {
+        let iv = Intervals::from_times(vec![3.0, 1.0, 3.0, 1.0, 2.0]);
+        assert_eq!(iv.times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(iv.len(), 2);
+    }
+
+    #[test]
+    fn active_sets_match_windows() {
+        let ins = sample();
+        let iv = Intervals::from_instance(&ins);
+        let sets = iv.active_sets(&ins);
+        assert_eq!(sets[0], vec![0]); // [0,1): only job 0
+        assert_eq!(sets[1], vec![0, 1]); // [1,2)
+        assert_eq!(sets[2], vec![0, 1, 2]); // [2,3)
+        assert_eq!(sets[3], vec![0, 2]); // [3,4)
+        assert_eq!(sets[4], vec![2]); // [4,8)
+    }
+
+    #[test]
+    fn interval_of_locates_times() {
+        let iv = Intervals::from_instance(&sample());
+        assert_eq!(iv.interval_of(0.0), Some(0));
+        assert_eq!(iv.interval_of(0.5), Some(0));
+        assert_eq!(iv.interval_of(1.0), Some(1));
+        assert_eq!(iv.interval_of(7.9), Some(4));
+        assert_eq!(iv.interval_of(8.0), None);
+        assert_eq!(iv.interval_of(-0.1), None);
+    }
+
+    #[test]
+    fn exact_rational_partition() {
+        let ins: Instance<Rational> = Instance::new(
+            1,
+            vec![
+                job(rat(0, 1), rat(1, 3), rat(1, 1)),
+                job(rat(1, 6), rat(1, 2), rat(1, 1)),
+            ],
+        )
+        .unwrap();
+        let iv = Intervals::from_instance(&ins);
+        assert_eq!(iv.times, vec![rat(0, 1), rat(1, 6), rat(1, 3), rat(1, 2)]);
+        assert_eq!(iv.length(1), rat(1, 6));
+    }
+
+    #[test]
+    fn empty_instance_has_no_intervals() {
+        let ins: Instance<f64> = Instance::new(1, vec![]).unwrap();
+        let iv = Intervals::from_instance(&ins);
+        assert!(iv.is_empty());
+        assert_eq!(iv.horizon(), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Jobs: the atomic unit of work.
+
+use mpss_numeric::{FlowNum, Rational};
+use serde::{Deserialize, Serialize};
+
+/// Index of a job within its [`Instance`](crate::Instance).
+pub type JobId = usize;
+
+/// A job in the deadline-based speed-scaling model: `volume` units of work
+/// that must be executed entirely within `[release, deadline)`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job<T> {
+    /// Release time `r_i`: the job cannot run earlier.
+    pub release: T,
+    /// Deadline `d_i`: the job must be finished strictly by this time.
+    pub deadline: T,
+    /// Processing volume `w_i` (CPU cycles); at speed `s` the job needs
+    /// `w_i / s` time units.
+    pub volume: T,
+}
+
+impl<T: FlowNum> Job<T> {
+    /// Creates a job. Invariants (`release < deadline`, `volume > 0`) are
+    /// enforced by [`Instance::new`](crate::Instance::new), not here, so
+    /// that deliberately invalid jobs can be built in tests.
+    pub fn new(release: T, deadline: T, volume: T) -> Job<T> {
+        Job {
+            release,
+            deadline,
+            volume,
+        }
+    }
+
+    /// Window length `d_i − r_i`.
+    #[inline]
+    pub fn window(&self) -> T {
+        self.deadline - self.release
+    }
+
+    /// Density `δ_i = w_i / (d_i − r_i)`: the minimum average speed needed
+    /// if the job is spread over its whole window. Central to `AVR(m)`.
+    #[inline]
+    pub fn density(&self) -> T {
+        self.volume / self.window()
+    }
+
+    /// `true` iff the job may run throughout `[start, end)`,
+    /// i.e. `[start, end) ⊆ [r_i, d_i)`.
+    #[inline]
+    pub fn active_in(&self, start: T, end: T) -> bool {
+        !(start < self.release) && !(self.deadline < end)
+    }
+
+    /// Converts the job to `f64` coordinates.
+    pub fn to_f64(&self) -> Job<f64> {
+        Job {
+            release: self.release.to_f64(),
+            deadline: self.deadline.to_f64(),
+            volume: self.volume.to_f64(),
+        }
+    }
+}
+
+impl Job<f64> {
+    /// Converts an `f64` job with small-decimal coordinates to exact
+    /// rational coordinates (see [`Rational::approx_from_f64`]).
+    pub fn to_rational(&self) -> Job<Rational> {
+        Job {
+            release: Rational::approx_from_f64(self.release),
+            deadline: Rational::approx_from_f64(self.deadline),
+            volume: Rational::approx_from_f64(self.volume),
+        }
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples:
+/// `job(0.0, 10.0, 5.0)` releases at 0, is due at 10, and carries 5 units.
+#[inline]
+pub fn job<T: FlowNum>(release: T, deadline: T, volume: T) -> Job<T> {
+    Job::new(release, deadline, volume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_numeric::rational::rat;
+
+    #[test]
+    fn window_and_density() {
+        let j = job(2.0, 10.0, 4.0);
+        assert_eq!(j.window(), 8.0);
+        assert_eq!(j.density(), 0.5);
+    }
+
+    #[test]
+    fn density_is_exact_in_rationals() {
+        let j = job(rat(0, 1), rat(3, 1), rat(1, 1));
+        assert_eq!(j.density(), rat(1, 3));
+    }
+
+    #[test]
+    fn active_in_respects_window_boundaries() {
+        let j = job(2.0, 10.0, 4.0);
+        assert!(j.active_in(2.0, 10.0));
+        assert!(j.active_in(3.0, 5.0));
+        assert!(!j.active_in(1.0, 5.0));
+        assert!(!j.active_in(3.0, 11.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let j = job(0.5, 2.25, 1.0);
+        let r = j.to_rational();
+        assert_eq!(r.release, rat(1, 2));
+        assert_eq!(r.deadline, rat(9, 4));
+        assert_eq!(r.to_f64(), j);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = job(1.0, 4.0, 2.0);
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job<f64> = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, j);
+    }
+}

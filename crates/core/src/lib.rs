@@ -1,0 +1,72 @@
+//! Problem model for multi-processor speed scaling with migration.
+//!
+//! This crate defines the shared vocabulary of the `mpss` workspace,
+//! following the model of Yao–Demers–Shenker (FOCS 1995) as extended to `m`
+//! parallel processors by Albers–Antoniadis–Greiner (SPAA 2011):
+//!
+//! * [`Job`] — release time `r`, deadline `d`, processing volume `w`;
+//! * [`Instance`] — a job set plus the processor count `m`;
+//! * [`Intervals`] — the canonical partition of the time horizon at job
+//!   release times and deadlines (the `I_j` of the paper);
+//! * [`PowerFunction`] — convex non-decreasing `P(s)`, with the classical
+//!   `P(s) = s^α` as [`power::Polynomial`];
+//! * [`Schedule`] — a set of constant-speed execution [`Segment`]s on
+//!   identified processors;
+//! * [`validate::validate_schedule`] — the independent feasibility checker
+//!   every algorithm's output is run through;
+//! * [`energy`] — energy accounting, in `f64` for arbitrary power functions
+//!   and exactly (rational) for integer `α`.
+//!
+//! Everything time-valued is generic over [`FlowNum`](mpss_numeric::FlowNum)
+//! so the whole pipeline runs in guarded `f64` or exact rationals.
+//!
+//! ```
+//! use mpss_core::job::job;
+//! use mpss_core::energy::schedule_energy;
+//! use mpss_core::power::Polynomial;
+//! use mpss_core::validate::validate_schedule;
+//! use mpss_core::{Instance, Intervals, Schedule, Segment};
+//!
+//! let instance = Instance::new(2, vec![
+//!     job(0.0, 4.0, 2.0),   // (release, deadline, volume): density 1/2
+//!     job(1.0, 3.0, 4.0),   // density 2
+//! ]).unwrap();
+//!
+//! // The event partition splits the horizon at releases and deadlines.
+//! let iv = Intervals::from_instance(&instance);
+//! assert_eq!(iv.times, vec![0.0, 1.0, 3.0, 4.0]);
+//!
+//! // Build a schedule by hand and validate + price it.
+//! let mut s = Schedule::new(2);
+//! s.push(Segment { job: 0, proc: 0, start: 0.0, end: 4.0, speed: 0.5 });
+//! s.push(Segment { job: 1, proc: 1, start: 1.0, end: 3.0, speed: 2.0 });
+//! assert!(validate_schedule(&instance, &s, 1e-9).is_ok());
+//! let e = schedule_energy(&s, &Polynomial::new(2.0)); // 0.25·4 + 4·2
+//! assert!((e - 9.0).abs() < 1e-12);
+//! ```
+
+// `!(a < b)` on our FlowNum types deliberately reads as "b ≤ a, treating
+// incomparable (impossible for validated inputs) as false"; rewriting via
+// partial_cmp would obscure the tolerance-free intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod builder;
+pub mod energy;
+pub mod error;
+pub mod instance;
+pub mod intervals;
+pub mod job;
+pub mod power;
+pub mod schedule;
+pub mod transform;
+pub mod validate;
+
+pub use error::ModelError;
+pub use instance::Instance;
+pub use intervals::Intervals;
+pub use job::{Job, JobId};
+pub use power::PowerFunction;
+pub use schedule::{Schedule, Segment};
+
+#[cfg(test)]
+mod proptests;

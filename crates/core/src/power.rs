@@ -1,0 +1,315 @@
+//! Power functions `P(s)`: convex, non-decreasing maps from processor speed
+//! to power draw.
+//!
+//! The paper's offline algorithm is *universally* optimal: the schedule it
+//! constructs does not depend on `P` and minimizes energy simultaneously
+//! for every convex non-decreasing power function. The power function only
+//! enters when *evaluating* a schedule's energy, and in the competitive
+//! ratios of the online algorithms (which are stated for `P(s) = s^α`).
+
+use serde::{Deserialize, Serialize};
+
+/// A convex non-decreasing power function.
+pub trait PowerFunction {
+    /// Power drawn at speed `s ≥ 0`.
+    fn power(&self, s: f64) -> f64;
+
+    /// Human-readable description.
+    fn describe(&self) -> String;
+}
+
+impl<P: PowerFunction + ?Sized> PowerFunction for &P {
+    #[inline]
+    fn power(&self, s: f64) -> f64 {
+        (**self).power(s)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<P: PowerFunction + ?Sized> PowerFunction for Box<P> {
+    #[inline]
+    fn power(&self, s: f64) -> f64 {
+        (**self).power(s)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// The classical polynomial model `P(s) = s^α`, `α > 1` (the cube-root rule
+/// for CMOS corresponds to `α = 3`).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    /// Exponent `α > 1`.
+    pub alpha: f64,
+}
+
+impl Polynomial {
+    /// `P(s) = s^α`.
+    pub fn new(alpha: f64) -> Polynomial {
+        assert!(alpha > 1.0, "polynomial power functions require α > 1");
+        Polynomial { alpha }
+    }
+
+    /// The cube-root-rule exponent `α = 3`.
+    pub fn cube() -> Polynomial {
+        Polynomial { alpha: 3.0 }
+    }
+
+    /// Competitive ratio of `OA(m)` under this power function: `α^α`
+    /// (Theorem 2 of the paper).
+    pub fn oa_bound(&self) -> f64 {
+        self.alpha.powf(self.alpha)
+    }
+
+    /// Competitive ratio of `AVR(m)` under this power function:
+    /// `(2α)^α / 2 + 1` (Theorem 3 of the paper).
+    pub fn avr_bound(&self) -> f64 {
+        (2.0 * self.alpha).powf(self.alpha) / 2.0 + 1.0
+    }
+}
+
+impl PowerFunction for Polynomial {
+    #[inline]
+    fn power(&self, s: f64) -> f64 {
+        s.powf(self.alpha)
+    }
+    fn describe(&self) -> String {
+        format!("s^{}", self.alpha)
+    }
+}
+
+/// `P(s) = a·s^α + b·s + c` with `a, b, c ≥ 0`, `α > 1` — a convex
+/// non-decreasing family covering dynamic power plus a linear leakage term
+/// plus constant static power.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AffinePolynomial {
+    /// Dynamic coefficient `a ≥ 0`.
+    pub a: f64,
+    /// Exponent `α > 1`.
+    pub alpha: f64,
+    /// Linear (leakage) coefficient `b ≥ 0`.
+    pub b: f64,
+    /// Static power `c ≥ 0`.
+    pub c: f64,
+}
+
+impl AffinePolynomial {
+    /// Builds `a·s^α + b·s + c`.
+    pub fn new(a: f64, alpha: f64, b: f64, c: f64) -> AffinePolynomial {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && alpha > 1.0);
+        AffinePolynomial { a, alpha, b, c }
+    }
+}
+
+impl PowerFunction for AffinePolynomial {
+    #[inline]
+    fn power(&self, s: f64) -> f64 {
+        self.a * s.powf(self.alpha) + self.b * s + self.c
+    }
+    fn describe(&self) -> String {
+        format!("{}·s^{} + {}·s + {}", self.a, self.alpha, self.b, self.c)
+    }
+}
+
+/// `P(s) = e^s − 1`: a convex non-decreasing function that is *not* a
+/// polynomial, exercising the "general convex P" claim of Theorem 1.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Exponential;
+
+impl PowerFunction for Exponential {
+    #[inline]
+    fn power(&self, s: f64) -> f64 {
+        s.exp() - 1.0
+    }
+    fn describe(&self) -> String {
+        "e^s - 1".to_string()
+    }
+}
+
+/// A convex piecewise-linear power function given by its breakpoints —
+/// the shape used to approximate arbitrary convex `P` inside the LP
+/// baseline, and a valid power function in its own right.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    /// Breakpoints `(s, P(s))`, sorted by `s`, convex and non-decreasing.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds from breakpoints, validating sortedness, monotonicity, and
+    /// convexity (non-decreasing slopes).
+    pub fn new(points: Vec<(f64, f64)>) -> PiecewiseLinear {
+        assert!(points.len() >= 2, "need at least two breakpoints");
+        let mut prev_slope = f64::NEG_INFINITY;
+        for w in points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            assert!(s1 > s0, "breakpoints must be strictly increasing in s");
+            assert!(p1 >= p0, "power must be non-decreasing");
+            let slope = (p1 - p0) / (s1 - s0);
+            assert!(slope >= prev_slope - 1e-12, "breakpoints must be convex");
+            prev_slope = slope;
+        }
+        PiecewiseLinear { points }
+    }
+
+    /// Samples a convex `P` at `k + 1` equally spaced speeds in `[0, smax]`.
+    pub fn sample(p: &impl PowerFunction, smax: f64, k: usize) -> PiecewiseLinear {
+        assert!(k >= 1 && smax > 0.0);
+        let pts = (0..=k)
+            .map(|i| {
+                let s = smax * i as f64 / k as f64;
+                (s, p.power(s))
+            })
+            .collect();
+        PiecewiseLinear::new(pts)
+    }
+}
+
+impl PowerFunction for PiecewiseLinear {
+    fn power(&self, s: f64) -> f64 {
+        let pts = &self.points;
+        if s <= pts[0].0 {
+            // Extend the first piece leftwards.
+            let (s0, p0) = pts[0];
+            let (s1, p1) = pts[1];
+            return p0 + (s - s0) * (p1 - p0) / (s1 - s0);
+        }
+        for w in pts.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if s <= s1 {
+                return p0 + (s - s0) * (p1 - p0) / (s1 - s0);
+            }
+        }
+        // Extend the last piece rightwards.
+        let (s0, p0) = pts[pts.len() - 2];
+        let (s1, p1) = pts[pts.len() - 1];
+        p1 + (s - s1) * (p1 - p0) / (s1 - s0)
+    }
+    fn describe(&self) -> String {
+        format!("piecewise-linear({} pts)", self.points.len())
+    }
+}
+
+/// Numerically checks that `p` is convex and non-decreasing on `[0, smax]`
+/// by sampling `samples` points. Returns the first offending speed, if any.
+pub fn check_convex_nondecreasing(
+    p: &impl PowerFunction,
+    smax: f64,
+    samples: usize,
+) -> Option<f64> {
+    assert!(samples >= 3);
+    let h = smax / (samples - 1) as f64;
+    let at = |i: usize| p.power(i as f64 * h);
+    for i in 1..samples {
+        if at(i) < at(i - 1) - 1e-9 * at(i - 1).abs().max(1.0) {
+            return Some(i as f64 * h); // decreasing
+        }
+    }
+    for i in 1..samples - 1 {
+        let mid2 = 2.0 * at(i);
+        let sum = at(i - 1) + at(i + 1);
+        if sum < mid2 - 1e-7 * mid2.abs().max(1.0) {
+            return Some(i as f64 * h); // concave kink
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_basics() {
+        let p = Polynomial::new(2.0);
+        assert_eq!(p.power(3.0), 9.0);
+        assert_eq!(Polynomial::cube().power(2.0), 8.0);
+        assert!(p.describe().contains("s^2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn polynomial_rejects_alpha_le_1() {
+        Polynomial::new(1.0);
+    }
+
+    #[test]
+    fn theoretical_bounds_match_the_theorems() {
+        let p = Polynomial::new(2.0);
+        assert_eq!(p.oa_bound(), 4.0); // α^α = 2² = 4
+        assert_eq!(p.avr_bound(), 9.0); // (2α)^α/2 + 1 = 16/2 + 1 = 9
+        let c = Polynomial::cube();
+        assert_eq!(c.oa_bound(), 27.0);
+        assert_eq!(c.avr_bound(), 109.0); // 6³/2 + 1
+    }
+
+    #[test]
+    fn affine_polynomial_evaluates() {
+        let p = AffinePolynomial::new(1.0, 2.0, 5.0, 1.0);
+        assert_eq!(p.power(2.0), 4.0 + 10.0 + 1.0);
+    }
+
+    #[test]
+    fn exponential_is_zero_at_rest() {
+        assert_eq!(Exponential.power(0.0), 0.0);
+        assert!(Exponential.power(1.0) > 1.0);
+    }
+
+    #[test]
+    fn piecewise_linear_interpolates_and_extends() {
+        let p = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        assert_eq!(p.power(0.5), 0.5);
+        assert_eq!(p.power(1.5), 2.5);
+        assert_eq!(p.power(3.0), 7.0); // extended with last slope 3
+    }
+
+    #[test]
+    #[should_panic(expected = "convex")]
+    fn piecewise_linear_rejects_concave() {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn sampling_a_polynomial_upper_bounds_it() {
+        // Secant approximation of a convex function lies above it.
+        let poly = Polynomial::new(3.0);
+        let pl = PiecewiseLinear::sample(&poly, 4.0, 16);
+        for i in 0..=100 {
+            let s = 4.0 * i as f64 / 100.0;
+            assert!(pl.power(s) >= poly.power(s) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn convexity_checker_accepts_all_builtins() {
+        assert_eq!(
+            check_convex_nondecreasing(&Polynomial::new(2.5), 10.0, 101),
+            None
+        );
+        assert_eq!(
+            check_convex_nondecreasing(&AffinePolynomial::new(0.5, 3.0, 1.0, 2.0), 10.0, 101),
+            None
+        );
+        assert_eq!(check_convex_nondecreasing(&Exponential, 5.0, 101), None);
+    }
+
+    struct Bad;
+    impl PowerFunction for Bad {
+        fn power(&self, s: f64) -> f64 {
+            s.sqrt() // concave
+        }
+        fn describe(&self) -> String {
+            "sqrt".into()
+        }
+    }
+
+    #[test]
+    fn convexity_checker_rejects_concave() {
+        assert!(check_convex_nondecreasing(&Bad, 4.0, 101).is_some());
+    }
+}

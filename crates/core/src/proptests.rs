@@ -1,0 +1,114 @@
+//! Property-based tests for the model types: schedule algebra (normalize,
+//! restrict), interval partitions, and validator consistency.
+
+use crate::job::job;
+use crate::validate::validate_schedule;
+use crate::{Instance, Intervals, Schedule, Segment};
+use proptest::prelude::*;
+
+/// Strategy: a random (possibly infeasible) schedule on `m` processors.
+fn arb_schedule(m: usize) -> impl Strategy<Value = Schedule<f64>> {
+    proptest::collection::vec((0usize..6, 0usize..m, 0u32..20, 1u32..8, 1u32..5), 0..12).prop_map(
+        move |raw| {
+            let mut s = Schedule::new(m);
+            for (jobid, proc, start, dur, speed) in raw {
+                s.push(Segment {
+                    job: jobid,
+                    proc,
+                    start: start as f64,
+                    end: (start + dur) as f64,
+                    speed: speed as f64,
+                });
+            }
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// normalize() preserves every observable quantity.
+    #[test]
+    fn normalize_preserves_work_and_speeds(s in arb_schedule(3)) {
+        let mut n = s.clone();
+        n.normalize();
+        prop_assert!((n.total_work() - s.total_work()).abs() <= 1e-9 * s.total_work().max(1.0));
+        for k in 0..6 {
+            prop_assert!((n.work_of(k) - s.work_of(k)).abs() <= 1e-9);
+        }
+        prop_assert!(n.len() <= s.len());
+        // Idempotent.
+        let snap = n.clone();
+        n.normalize();
+        prop_assert_eq!(n, snap);
+    }
+
+    /// restrict() composes: restricting twice equals restricting to the
+    /// intersection.
+    #[test]
+    fn restrict_composes(s in arb_schedule(3), a in 0u32..15, len1 in 1u32..10, b in 0u32..15, len2 in 1u32..10) {
+        let (a, b) = (a as f64, b as f64);
+        let (e1, e2) = (a + len1 as f64, b + len2 as f64);
+        let mut lhs = s.restrict(a, e1).restrict(b, e2);
+        let lo = a.max(b);
+        let hi = e1.min(e2);
+        let mut rhs = if lo < hi { s.restrict(lo, hi) } else { Schedule::new(3) };
+        lhs.normalize();
+        rhs.normalize();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// restrict() never creates work out of thin air.
+    #[test]
+    fn restrict_is_monotone_in_work(s in arb_schedule(2), a in 0u32..10, len in 1u32..10) {
+        let r = s.restrict(a as f64, (a + len) as f64);
+        prop_assert!(r.total_work() <= s.total_work() + 1e-9);
+        prop_assert!(r.len() <= s.len());
+    }
+
+    /// Interval partitions are sorted, distinct, and cover the horizon.
+    #[test]
+    fn intervals_partition_the_horizon(raw in proptest::collection::vec((0u32..30, 1u32..10, 1u32..5), 1..8)) {
+        let jobs: Vec<_> = raw
+            .iter()
+            .map(|&(r, d, w)| job(r as f64, (r + d) as f64, w as f64))
+            .collect();
+        let ins = Instance::new(2, jobs).unwrap();
+        let iv = Intervals::from_instance(&ins);
+        for w in iv.times.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly sorted");
+        }
+        let total: f64 = (0..iv.len()).map(|j| iv.length(j)).sum();
+        prop_assert!((total - iv.horizon()).abs() < 1e-12);
+        // Every job's window is a union of whole intervals.
+        for job in &ins.jobs {
+            prop_assert!(iv.times.contains(&job.release));
+            prop_assert!(iv.times.contains(&job.deadline));
+        }
+        // interval_of() inverts bounds().
+        for j in 0..iv.len() {
+            let (s, e) = iv.bounds(j);
+            prop_assert_eq!(iv.interval_of(0.5 * (s + e)), Some(j));
+        }
+    }
+
+    /// The validator is invariant under normalize(): a schedule and its
+    /// normal form are accepted/rejected together.
+    #[test]
+    fn validator_agrees_with_normalized_form(s in arb_schedule(2), raw in proptest::collection::vec((0u32..10, 1u32..10, 1u32..40), 1..6)) {
+        let jobs: Vec<_> = raw
+            .iter()
+            .map(|&(r, d, w)| job(r as f64, (r + d) as f64, w as f64))
+            .collect();
+        let ins = Instance::new(2, jobs).unwrap();
+        // Keep only segments referencing real jobs to avoid trivial rejections.
+        let mut s = s;
+        s.segments.retain(|seg| seg.job < ins.n());
+        let mut n = s.clone();
+        n.normalize();
+        let v1 = validate_schedule(&ins, &s, 1e-9).is_ok();
+        let v2 = validate_schedule(&ins, &n, 1e-9).is_ok();
+        prop_assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Schedules: constant-speed execution segments on identified processors.
+//!
+//! By Lemma 1 of the paper, optimal schedules can always be normalized so
+//! that every job runs at one constant speed; by Lemma 2 every processor
+//! runs one constant speed per interval. The [`Segment`] representation
+//! captures exactly that normal form: a maximal stretch of one job on one
+//! processor at one speed.
+
+use crate::JobId;
+use mpss_numeric::FlowNum;
+use serde::{Deserialize, Serialize};
+
+/// One constant-speed execution stretch: `job` runs on processor `proc`
+/// during `[start, end)` at `speed`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment<T> {
+    /// The job being executed.
+    pub job: JobId,
+    /// Processor index in `0..m`.
+    pub proc: usize,
+    /// Segment start time (inclusive).
+    pub start: T,
+    /// Segment end time (exclusive).
+    pub end: T,
+    /// Execution speed (> 0).
+    pub speed: T,
+}
+
+impl<T: FlowNum> Segment<T> {
+    /// Segment duration `end − start`.
+    #[inline]
+    pub fn duration(&self) -> T {
+        self.end - self.start
+    }
+
+    /// Work completed in this segment (`speed · duration`).
+    #[inline]
+    pub fn work(&self) -> T {
+        self.speed * self.duration()
+    }
+}
+
+/// A complete schedule on `m` processors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Schedule<T> {
+    /// Number of processors.
+    pub m: usize,
+    /// Execution segments, in no particular order unless
+    /// [`normalize`](Schedule::normalize) has been called.
+    pub segments: Vec<Segment<T>>,
+}
+
+impl<T: FlowNum> Schedule<T> {
+    /// An empty schedule on `m` processors.
+    pub fn new(m: usize) -> Schedule<T> {
+        Schedule {
+            m,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends a segment, dropping zero-duration or zero-speed stretches
+    /// (they carry no work and would only clutter validation).
+    pub fn push(&mut self, seg: Segment<T>) {
+        if seg.duration().is_strictly_positive() && seg.speed.is_strictly_positive() {
+            self.segments.push(seg);
+        }
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` iff the schedule has no segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total work completed for `job`.
+    pub fn work_of(&self, job: JobId) -> T {
+        let mut total = T::zero();
+        for s in self.segments.iter().filter(|s| s.job == job) {
+            total += s.work();
+        }
+        total
+    }
+
+    /// Total work across all jobs.
+    pub fn total_work(&self) -> T {
+        let mut total = T::zero();
+        for s in &self.segments {
+            total += s.work();
+        }
+        total
+    }
+
+    /// Speed of processor `proc` at time `t` (0 when idle).
+    pub fn speed_at(&self, proc: usize, t: T) -> T {
+        for s in &self.segments {
+            if s.proc == proc && !(t < s.start) && t < s.end {
+                return s.speed;
+            }
+        }
+        T::zero()
+    }
+
+    /// Job running on `proc` at time `t`, if any.
+    pub fn job_at(&self, proc: usize, t: T) -> Option<JobId> {
+        self.segments
+            .iter()
+            .find(|s| s.proc == proc && !(t < s.start) && t < s.end)
+            .map(|s| s.job)
+    }
+
+    /// Sorts segments canonically (by processor, then start time) and merges
+    /// adjacent segments of the same job at the same speed on the same
+    /// processor. Idempotent.
+    pub fn normalize(&mut self) {
+        self.segments.sort_by(|a, b| {
+            a.proc
+                .cmp(&b.proc)
+                .then(a.start.partial_cmp(&b.start).expect("comparable times"))
+        });
+        let mut merged: Vec<Segment<T>> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if last.proc == seg.proc
+                    && last.job == seg.job
+                    && last.speed == seg.speed
+                    && last.end == seg.start
+                {
+                    last.end = seg.end;
+                    continue;
+                }
+            }
+            merged.push(seg);
+        }
+        self.segments = merged;
+    }
+
+    /// Restriction of the schedule to the time window `[from, to)`,
+    /// clipping segments that straddle the boundaries.
+    pub fn restrict(&self, from: T, to: T) -> Schedule<T> {
+        let mut out = Schedule::new(self.m);
+        for s in &self.segments {
+            let start = s.start.max2(from);
+            let end = s.end.min2(to);
+            if start < end {
+                out.push(Segment { start, end, ..*s });
+            }
+        }
+        out
+    }
+
+    /// Number of migrations: for each job, the number of processor changes
+    /// between time-consecutive segments.
+    pub fn migrations(&self) -> usize {
+        let mut per_job: Vec<(JobId, T, usize)> = self
+            .segments
+            .iter()
+            .map(|s| (s.job, s.start, s.proc))
+            .collect();
+        per_job.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).expect("comparable times"))
+        });
+        per_job
+            .windows(2)
+            .filter(|w| w[0].0 == w[1].0 && w[0].2 != w[1].2)
+            .count()
+    }
+
+    /// Number of preemptions: time-consecutive segments of the same job
+    /// that are not contiguous in time (the job was paused and resumed).
+    pub fn preemptions(&self) -> usize {
+        let mut per_job: Vec<(JobId, T, T)> = self
+            .segments
+            .iter()
+            .map(|s| (s.job, s.start, s.end))
+            .collect();
+        per_job.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).expect("comparable times"))
+        });
+        per_job
+            .windows(2)
+            .filter(|w| w[0].0 == w[1].0 && w[0].2 < w[1].1)
+            .count()
+    }
+
+    /// Maximum speed used anywhere in the schedule.
+    pub fn max_speed(&self) -> T {
+        self.segments
+            .iter()
+            .map(|s| s.speed)
+            .fold(T::zero(), |a, b| a.max2(b))
+    }
+
+    /// The set of distinct speeds, sorted descending — the `s_1 > s_2 > …`
+    /// ladder of the paper (with tolerance-free exact grouping; use on the
+    /// rational path or on freshly constructed schedules).
+    pub fn speed_levels(&self) -> Vec<T> {
+        let mut speeds: Vec<T> = self.segments.iter().map(|s| s.speed).collect();
+        speeds.sort_by(|a, b| b.partial_cmp(a).expect("comparable speeds"));
+        speeds.dedup_by(|a, b| a == b);
+        speeds
+    }
+
+    /// Converts to `f64` coordinates.
+    pub fn to_f64(&self) -> Schedule<f64> {
+        Schedule {
+            m: self.m,
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    job: s.job,
+                    proc: s.proc,
+                    start: s.start.to_f64(),
+                    end: s.end.to_f64(),
+                    speed: s.speed.to_f64(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(job: JobId, proc: usize, start: f64, end: f64, speed: f64) -> Segment<f64> {
+        Segment {
+            job,
+            proc,
+            start,
+            end,
+            speed,
+        }
+    }
+
+    #[test]
+    fn push_drops_degenerate_segments() {
+        let mut s = Schedule::new(1);
+        s.push(seg(0, 0, 1.0, 1.0, 2.0)); // zero duration
+        s.push(seg(0, 0, 1.0, 2.0, 0.0)); // zero speed
+        s.push(seg(0, 0, 1.0, 2.0, 2.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn work_accounting() {
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 2.0, 1.5));
+        s.push(seg(0, 1, 3.0, 4.0, 1.0));
+        s.push(seg(1, 1, 0.0, 1.0, 2.0));
+        assert_eq!(s.work_of(0), 4.0);
+        assert_eq!(s.work_of(1), 2.0);
+        assert_eq!(s.total_work(), 6.0);
+    }
+
+    #[test]
+    fn speed_and_job_lookup() {
+        let mut s = Schedule::new(2);
+        s.push(seg(7, 1, 1.0, 2.0, 3.0));
+        assert_eq!(s.speed_at(1, 1.5), 3.0);
+        assert_eq!(s.speed_at(1, 2.0), 0.0); // end-exclusive
+        assert_eq!(s.speed_at(0, 1.5), 0.0);
+        assert_eq!(s.job_at(1, 1.0), Some(7));
+        assert_eq!(s.job_at(0, 1.0), None);
+    }
+
+    #[test]
+    fn normalize_merges_contiguous_equal_speed_runs() {
+        let mut s = Schedule::new(1);
+        s.push(seg(0, 0, 1.0, 2.0, 1.0));
+        s.push(seg(0, 0, 0.0, 1.0, 1.0));
+        s.push(seg(1, 0, 2.0, 3.0, 1.0));
+        s.normalize();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.segments[0], seg(0, 0, 0.0, 2.0, 1.0));
+        // Idempotent.
+        let snap = s.clone();
+        s.normalize();
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn restrict_clips_segments() {
+        let mut s = Schedule::new(1);
+        s.push(seg(0, 0, 0.0, 4.0, 2.0));
+        s.push(seg(1, 0, 5.0, 6.0, 1.0));
+        let r = s.restrict(1.0, 5.5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.segments[0], seg(0, 0, 1.0, 4.0, 2.0));
+        assert_eq!(r.segments[1], seg(1, 0, 5.0, 5.5, 1.0));
+        assert!(s.restrict(10.0, 11.0).is_empty());
+    }
+
+    #[test]
+    fn migration_and_preemption_counts() {
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 1.0, 1.0));
+        s.push(seg(0, 1, 1.0, 2.0, 1.0)); // migration, no gap
+        s.push(seg(0, 1, 3.0, 4.0, 1.0)); // preemption (gap), same proc
+        s.push(seg(1, 0, 1.0, 2.0, 1.0));
+        assert_eq!(s.migrations(), 1);
+        assert_eq!(s.preemptions(), 1);
+    }
+
+    #[test]
+    fn speed_levels_sorted_descending() {
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 1.0, 1.0));
+        s.push(seg(1, 1, 0.0, 1.0, 3.0));
+        s.push(seg(2, 0, 1.0, 2.0, 3.0));
+        assert_eq!(s.speed_levels(), vec![3.0, 1.0]);
+        assert_eq!(s.max_speed(), 3.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Schedule::new(1);
+        s.push(seg(0, 0, 0.0, 1.0, 2.0));
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Schedule<f64> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

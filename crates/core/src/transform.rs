@@ -1,0 +1,174 @@
+//! Instance transformations.
+//!
+//! Speed scaling has clean functional symmetries — `P(s) = s^α` is
+//! homogeneous, so time dilation, volume scaling and time translation act
+//! on optimal energy by known factors. These transforms are used by the
+//! fuzz-suite (the symmetries are strong whole-pipeline invariants) and by
+//! users normalizing traces (e.g. rebasing a trace to start at 0, or
+//! rescaling volumes to a common unit).
+
+use crate::{Instance, Job};
+use mpss_numeric::FlowNum;
+
+/// Translates all times by `delta` (release and deadline).
+///
+/// Optimal energy is invariant under translation.
+pub fn shift_time<T: FlowNum>(instance: &Instance<T>, delta: T) -> Instance<T> {
+    Instance {
+        m: instance.m,
+        jobs: instance
+            .jobs
+            .iter()
+            .map(|j| Job::new(j.release + delta, j.deadline + delta, j.volume))
+            .collect(),
+    }
+}
+
+/// Dilates time by `c > 0` (releases and deadlines multiply by `c`).
+///
+/// Under `P(s) = s^α`, optimal energy scales by `c^{1−α}` (speeds divide by
+/// `c`, durations multiply by `c`).
+pub fn dilate_time<T: FlowNum>(instance: &Instance<T>, c: T) -> Instance<T> {
+    assert!(c.is_strictly_positive(), "dilation factor must be positive");
+    Instance {
+        m: instance.m,
+        jobs: instance
+            .jobs
+            .iter()
+            .map(|j| Job::new(j.release * c, j.deadline * c, j.volume))
+            .collect(),
+    }
+}
+
+/// Scales all volumes by `c > 0`.
+///
+/// Under `P(s) = s^α`, optimal energy scales by `c^α`.
+pub fn scale_volumes<T: FlowNum>(instance: &Instance<T>, c: T) -> Instance<T> {
+    assert!(c.is_strictly_positive(), "volume factor must be positive");
+    Instance {
+        m: instance.m,
+        jobs: instance
+            .jobs
+            .iter()
+            .map(|j| Job::new(j.release, j.deadline, j.volume * c))
+            .collect(),
+    }
+}
+
+/// Reverses time around the horizon: job `(r, d, w)` becomes
+/// `(T_max − d, T_max − r, w)` where `T_max` is the latest deadline.
+///
+/// Optimal *offline* energy is invariant under reversal (the constraint
+/// structure is symmetric); online algorithms are not — which is exactly
+/// why the fuzz-suite uses this transform on the offline path only.
+pub fn reverse_time<T: FlowNum>(instance: &Instance<T>) -> Instance<T> {
+    let t_max = instance.max_deadline().unwrap_or_else(T::zero);
+    Instance {
+        m: instance.m,
+        jobs: instance
+            .jobs
+            .iter()
+            .map(|j| Job::new(t_max - j.deadline, t_max - j.release, j.volume))
+            .collect(),
+    }
+}
+
+/// Rebases the instance to start at time zero (shift by `−min release`).
+pub fn rebase_to_zero<T: FlowNum>(instance: &Instance<T>) -> Instance<T> {
+    match instance.min_release() {
+        Some(r0) => shift_time(instance, T::zero() - r0),
+        None => instance.clone(),
+    }
+}
+
+/// Merges two instances on the same machine count into one (job ids of
+/// `b` are offset by `a.n()` in the result).
+///
+/// # Panics
+/// Panics if the machine counts differ.
+pub fn concat<T: FlowNum>(a: &Instance<T>, b: &Instance<T>) -> Instance<T> {
+    assert_eq!(a.m, b.m, "cannot merge instances with different m");
+    let mut jobs = a.jobs.clone();
+    jobs.extend(b.jobs.iter().copied());
+    Instance { m: a.m, jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::job;
+
+    fn sample() -> Instance<f64> {
+        Instance::new(2, vec![job(1.0, 4.0, 2.0), job(2.0, 6.0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn shift_moves_windows_rigidly() {
+        let shifted = shift_time(&sample(), 10.0);
+        assert_eq!(shifted.jobs[0].release, 11.0);
+        assert_eq!(shifted.jobs[0].deadline, 14.0);
+        assert_eq!(shifted.jobs[0].volume, 2.0);
+        assert_eq!(shifted.jobs[0].window(), sample().jobs[0].window());
+    }
+
+    #[test]
+    fn rebase_starts_at_zero() {
+        let rebased = rebase_to_zero(&sample());
+        assert_eq!(rebased.min_release(), Some(0.0));
+        assert_eq!(rebased.jobs[1].release, 1.0);
+    }
+
+    #[test]
+    fn dilate_scales_windows() {
+        let dilated = dilate_time(&sample(), 2.0);
+        assert_eq!(dilated.jobs[0].release, 2.0);
+        assert_eq!(dilated.jobs[0].deadline, 8.0);
+        assert_eq!(dilated.jobs[0].density(), 2.0 / 6.0);
+    }
+
+    #[test]
+    fn reverse_is_an_involution() {
+        let ins = sample();
+        let back = rebase_to_zero(&reverse_time(&reverse_time(&ins)));
+        // Reversal twice returns the same windows (after rebasing; the
+        // sample already starts at 1.0, so compare rebased forms).
+        let orig = rebase_to_zero(&ins);
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn reverse_swaps_release_and_deadline_roles() {
+        let rev = reverse_time(&sample()); // t_max = 6
+        assert_eq!(rev.jobs[0].release, 2.0); // 6 − 4
+        assert_eq!(rev.jobs[0].deadline, 5.0); // 6 − 1
+    }
+
+    #[test]
+    fn concat_appends_jobs() {
+        let merged = concat(&sample(), &sample());
+        assert_eq!(merged.n(), 4);
+        assert_eq!(merged.jobs[2], merged.jobs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different m")]
+    fn concat_rejects_mismatched_machines() {
+        let a = sample();
+        let b = Instance::new(3, a.jobs.clone()).unwrap();
+        concat(&a, &b);
+    }
+
+    #[test]
+    fn transformed_instances_remain_valid() {
+        let ins = sample();
+        for t in [
+            shift_time(&ins, 5.0),
+            dilate_time(&ins, 3.0),
+            scale_volumes(&ins, 0.5),
+            reverse_time(&ins),
+        ] {
+            // Re-validate through the constructor.
+            Instance::new(t.m, t.jobs).expect("transform must preserve validity");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Independent feasibility validation of schedules.
+//!
+//! Every algorithm's output in this workspace is run through this checker,
+//! which knows nothing about how the schedule was built. A feasible
+//! schedule must:
+//!
+//! 1. reference only processors `0..m` and have well-formed segments;
+//! 2. never run two things on one processor at once;
+//! 3. never run one job on two processors at once (the paper's model
+//!    forbids parallel execution of a single job);
+//! 4. execute every job entirely within `[r_i, d_i)`;
+//! 5. complete every job's volume exactly.
+
+use crate::{Instance, JobId, Schedule};
+use mpss_numeric::FlowNum;
+
+/// A feasibility violation, with enough context to debug the offending
+/// algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleViolation {
+    /// A segment references a processor ≥ m.
+    BadProcessor {
+        seg_index: usize,
+        proc: usize,
+        m: usize,
+    },
+    /// A segment references an unknown job.
+    BadJob { seg_index: usize, job: JobId },
+    /// A segment has `end ≤ start` or non-positive speed.
+    MalformedSegment { seg_index: usize },
+    /// Two segments overlap on one processor.
+    ProcessorOverlap { proc: usize, t: f64 },
+    /// One job runs on two processors simultaneously.
+    ParallelExecution { job: JobId, t: f64 },
+    /// A job runs outside its `[release, deadline)` window.
+    OutsideWindow { job: JobId, t: f64 },
+    /// A job's completed work differs from its volume.
+    WrongVolume { job: JobId, done: f64, volume: f64 },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use ScheduleViolation::*;
+        match self {
+            BadProcessor { seg_index, proc, m } => {
+                write!(
+                    f,
+                    "segment #{seg_index}: processor {proc} out of range (m = {m})"
+                )
+            }
+            BadJob { seg_index, job } => write!(f, "segment #{seg_index}: unknown job {job}"),
+            MalformedSegment { seg_index } => write!(f, "segment #{seg_index}: malformed"),
+            ProcessorOverlap { proc, t } => {
+                write!(f, "processor {proc}: overlapping segments around t = {t}")
+            }
+            ParallelExecution { job, t } => {
+                write!(f, "job {job}: runs on two processors around t = {t}")
+            }
+            OutsideWindow { job, t } => write!(f, "job {job}: executed outside window at t = {t}"),
+            WrongVolume { job, done, volume } => {
+                write!(f, "job {job}: completed {done} of {volume} units")
+            }
+        }
+    }
+}
+
+/// Validates `schedule` against `instance`, collecting all violations.
+///
+/// `eps` is the relative tolerance applied on the `f64` path (exact types
+/// ignore it). The scale for time comparisons is the scheduling horizon;
+/// the scale for volume comparisons is each job's volume.
+pub fn validate_schedule<T: FlowNum>(
+    instance: &Instance<T>,
+    schedule: &Schedule<T>,
+    eps: f64,
+) -> Result<(), Vec<ScheduleViolation>> {
+    let mut violations = Vec::new();
+    let horizon = instance
+        .max_deadline()
+        .unwrap_or_else(T::zero)
+        .max2(T::one());
+
+    // 1. Segment sanity.
+    for (k, s) in schedule.segments.iter().enumerate() {
+        if s.proc >= schedule.m {
+            violations.push(ScheduleViolation::BadProcessor {
+                seg_index: k,
+                proc: s.proc,
+                m: schedule.m,
+            });
+        }
+        if s.job >= instance.n() {
+            violations.push(ScheduleViolation::BadJob {
+                seg_index: k,
+                job: s.job,
+            });
+        }
+        if !(s.start < s.end) || !s.speed.is_strictly_positive() {
+            violations.push(ScheduleViolation::MalformedSegment { seg_index: k });
+        }
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+
+    // 2. Per-processor non-overlap.
+    let mut by_proc: Vec<(usize, T, T)> = schedule
+        .segments
+        .iter()
+        .map(|s| (s.proc, s.start, s.end))
+        .collect();
+    by_proc.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("comparable times"))
+    });
+    for w in by_proc.windows(2) {
+        let (p0, _, e0) = w[0];
+        let (p1, s1, _) = w[1];
+        if p0 == p1 && T::definitely_lt(s1, e0, horizon, eps) {
+            violations.push(ScheduleViolation::ProcessorOverlap {
+                proc: p0,
+                t: s1.to_f64(),
+            });
+        }
+    }
+
+    // 3. Per-job non-parallelism (across all processors).
+    let mut by_job: Vec<(JobId, T, T)> = schedule
+        .segments
+        .iter()
+        .map(|s| (s.job, s.start, s.end))
+        .collect();
+    by_job.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("comparable times"))
+    });
+    for w in by_job.windows(2) {
+        let (j0, _, e0) = w[0];
+        let (j1, s1, _) = w[1];
+        if j0 == j1 && T::definitely_lt(s1, e0, horizon, eps) {
+            violations.push(ScheduleViolation::ParallelExecution {
+                job: j0,
+                t: s1.to_f64(),
+            });
+        }
+    }
+
+    // 4. Window containment.
+    for s in &schedule.segments {
+        let job = &instance.jobs[s.job];
+        if T::definitely_lt(s.start, job.release, horizon, eps)
+            || T::definitely_lt(job.deadline, s.end, horizon, eps)
+        {
+            violations.push(ScheduleViolation::OutsideWindow {
+                job: s.job,
+                t: s.start.to_f64(),
+            });
+        }
+    }
+
+    // 5. Volume completion.
+    for (id, job) in instance.jobs.iter().enumerate() {
+        let done = schedule.work_of(id);
+        if !T::close(done, job.volume, job.volume, eps) {
+            violations.push(ScheduleViolation::WrongVolume {
+                job: id,
+                done: done.to_f64(),
+                volume: job.volume.to_f64(),
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Panicking wrapper used by tests: validates and formats all violations.
+pub fn assert_feasible<T: FlowNum>(instance: &Instance<T>, schedule: &Schedule<T>, eps: f64) {
+    if let Err(vs) = validate_schedule(instance, schedule, eps) {
+        let mut msg = String::from("infeasible schedule:\n");
+        for v in vs {
+            msg.push_str(&format!("  - {v}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::job;
+    use crate::Segment;
+
+    fn instance() -> Instance<f64> {
+        Instance::new(2, vec![job(0.0, 4.0, 4.0), job(1.0, 3.0, 2.0)]).unwrap()
+    }
+
+    fn seg(job: JobId, proc: usize, start: f64, end: f64, speed: f64) -> Segment<f64> {
+        Segment {
+            job,
+            proc,
+            start,
+            end,
+            speed,
+        }
+    }
+
+    #[test]
+    fn accepts_a_feasible_schedule() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 4.0, 1.0));
+        s.push(seg(1, 1, 1.0, 3.0, 1.0));
+        assert!(validate_schedule(&ins, &s, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn accepts_migration_without_overlap() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 2.0, 1.0));
+        s.push(seg(0, 1, 2.0, 4.0, 1.0)); // migrates at t = 2
+        s.push(seg(1, 1, 1.0, 2.0, 2.0));
+        assert!(validate_schedule(&ins, &s, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn detects_processor_overlap() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 4.0, 1.0));
+        s.push(seg(1, 0, 1.0, 3.0, 1.0));
+        let errs = validate_schedule(&ins, &s, 1e-9).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::ProcessorOverlap { proc: 0, .. })));
+    }
+
+    #[test]
+    fn detects_parallel_execution_of_one_job() {
+        let ins = Instance::new(2, vec![job(0.0, 4.0, 8.0)]).unwrap();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 4.0, 1.0));
+        s.push(seg(0, 1, 0.0, 4.0, 1.0));
+        let errs = validate_schedule(&ins, &s, 1e-9).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::ParallelExecution { job: 0, .. })));
+    }
+
+    #[test]
+    fn detects_window_violation() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(1, 0, 0.5, 2.5, 1.0)); // job 1 releases at 1.0
+        s.push(seg(0, 1, 0.0, 4.0, 1.0));
+        let errs = validate_schedule(&ins, &s, 1e-9).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::OutsideWindow { job: 1, .. })));
+    }
+
+    #[test]
+    fn detects_incomplete_volume() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 4.0, 1.0));
+        s.push(seg(1, 1, 1.0, 2.0, 1.0)); // only 1 of 2 units
+        let errs = validate_schedule(&ins, &s, 1e-9).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::WrongVolume { job: 1, .. })));
+    }
+
+    #[test]
+    fn detects_bad_processor_and_job() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.segments.push(seg(5, 3, 0.0, 1.0, 1.0));
+        let errs = validate_schedule(&ins, &s, 1e-9).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::BadProcessor { proc: 3, .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::BadJob { job: 5, .. })));
+    }
+
+    #[test]
+    fn tolerates_float_noise_within_eps() {
+        let ins = instance();
+        let mut s = Schedule::new(2);
+        s.push(seg(0, 0, 0.0, 4.0, 1.0 + 1e-12));
+        s.push(seg(1, 1, 1.0, 3.0, 1.0 - 1e-12));
+        assert!(validate_schedule(&ins, &s, 1e-9).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible schedule")]
+    fn assert_feasible_panics_with_context() {
+        let ins = instance();
+        let s = Schedule::new(2); // nothing scheduled
+        assert_feasible(&ins, &s, 1e-9);
+    }
+}

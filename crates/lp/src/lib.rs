@@ -1,0 +1,40 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Built as the substrate for the Bingham–Greenstreet LP baseline
+//! (`mpss-offline::lp_baseline`): the paper positions its combinatorial
+//! algorithm against an LP formulation whose "complexity is too high for
+//! most practical applications", and reproducing that comparison honestly
+//! requires actually solving the LP. The solver handles
+//!
+//! ```text
+//! min / max  c·x
+//! s.t.       a_i·x {≤, =, ≥} b_i    for every constraint i
+//!            x ≥ 0
+//! ```
+//!
+//! via the textbook two-phase tableau method: phase 1 minimizes the sum of
+//! artificial variables to find a basic feasible solution, phase 2 optimizes
+//! the true objective. Dantzig pricing with a Bland's-rule fallback after a
+//! run of degenerate pivots guarantees termination.
+//!
+//! ```
+//! use mpss_lp::{solve, Constraint, LinearProgram};
+//!
+//! // max 3x + 5y  s.t.  x ≤ 4,  2y ≤ 12,  3x + 2y ≤ 18,  x, y ≥ 0.
+//! let lp = LinearProgram::maximize(vec![3.0, 5.0])
+//!     .subject_to(Constraint::le(vec![1.0, 0.0], 4.0))
+//!     .subject_to(Constraint::le(vec![0.0, 2.0], 12.0))
+//!     .subject_to(Constraint::le(vec![3.0, 2.0], 18.0));
+//! let sol = solve(&lp).unwrap().expect_optimal("bounded and feasible");
+//! assert!((sol.objective - 36.0).abs() < 1e-9);
+//! assert!((sol.x[0] - 2.0).abs() < 1e-9 && (sol.x[1] - 6.0).abs() < 1e-9);
+//! ```
+
+mod simplex;
+mod types;
+
+pub use simplex::solve;
+pub use types::{Constraint, LinearProgram, LpError, LpOutcome, Relation, Solution};
+
+#[cfg(test)]
+mod tests;

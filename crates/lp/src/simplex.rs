@@ -1,0 +1,315 @@
+//! Two-phase dense tableau simplex.
+
+use crate::types::{Constraint, LinearProgram, LpError, LpOutcome, Relation, Solution};
+
+const EPS: f64 = 1e-9;
+
+/// The dense tableau: `rows × cols`, last column is the RHS, one extra row
+/// (the last) is the objective row in reduced-cost form.
+struct Tableau {
+    rows: usize,
+    cols: usize, // includes RHS column
+    a: Vec<f64>, // row-major
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.cols + c]
+    }
+
+    /// Gauss pivot on (`pr`, `pc`).
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let cols = self.cols;
+        let pivot = self.at(pr, pc);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for c in 0..cols {
+            *self.at_mut(pr, c) *= inv;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            // Row operation: split the row-major buffer so the pivot row can
+            // be read while the target row is written.
+            let (pr_off, r_off) = (pr * cols, r * cols);
+            for c in 0..cols {
+                let pv = self.a[pr_off + c];
+                self.a[r_off + c] -= factor * pv;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// One simplex iteration on the objective row `obj_row`, restricted to
+    /// columns `0..num_cols` and constraint rows `0..m_rows`. Returns:
+    /// `Ok(true)` optimal, `Ok(false)` pivoted, `Err(())` unbounded.
+    fn step(
+        &mut self,
+        obj_row: usize,
+        m_rows: usize,
+        num_cols: usize,
+        bland: bool,
+    ) -> Result<bool, ()> {
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut pc: Option<usize> = None;
+        let mut best = -EPS;
+        for c in 0..num_cols {
+            let rc = self.at(obj_row, c);
+            if rc < best {
+                pc = Some(c);
+                if bland {
+                    break;
+                }
+                best = rc;
+            }
+        }
+        let Some(pc) = pc else { return Ok(true) };
+
+        // Leaving row: minimum ratio test (Bland tie-break on basis index).
+        let rhs_col = self.cols - 1;
+        let mut pr: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m_rows {
+            let a = self.at(r, pc);
+            if a > EPS {
+                let ratio = self.at(r, rhs_col) / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pr.is_none_or(|p| self.basis[r] < self.basis[p]));
+                if better {
+                    best_ratio = ratio;
+                    pr = Some(r);
+                }
+            }
+        }
+        let Some(pr) = pr else { return Err(()) };
+        self.pivot(pr, pc);
+        Ok(false)
+    }
+}
+
+/// Solves `lp`. See crate docs for the accepted form (`x ≥ 0` implicit).
+pub fn solve(lp: &LinearProgram) -> Result<LpOutcome, LpError> {
+    let n = lp.num_vars();
+    // Validation.
+    if lp.objective.iter().any(|v| !v.is_finite()) {
+        return Err(LpError::NonFinite);
+    }
+    for (i, c) in lp.constraints.iter().enumerate() {
+        if c.coeffs.len() != n {
+            return Err(LpError::DimensionMismatch {
+                constraint: i,
+                expected: n,
+                got: c.coeffs.len(),
+            });
+        }
+        if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
+            return Err(LpError::NonFinite);
+        }
+    }
+
+    let m = lp.constraints.len();
+    // Normalize rows to non-negative RHS.
+    let rows: Vec<Constraint> = lp
+        .constraints
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                let rel = match c.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                Constraint {
+                    coeffs: c.coeffs.iter().map(|v| -v).collect(),
+                    rel,
+                    rhs: -c.rhs,
+                }
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+
+    // Column layout: [structural | slack/surplus | artificial | RHS].
+    let num_slack = rows
+        .iter()
+        .filter(|c| matches!(c.rel, Relation::Le | Relation::Ge))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|c| matches!(c.rel, Relation::Ge | Relation::Eq))
+        .count();
+    let slack0 = n;
+    let art0 = n + num_slack;
+    let total = n + num_slack + num_art;
+    let cols = total + 1;
+    // Two objective rows: phase-2 objective then phase-1 objective (last).
+    let tab_rows = m + 2;
+
+    let mut t = Tableau {
+        rows: tab_rows,
+        cols,
+        a: vec![0.0; tab_rows * cols],
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut next_slack = slack0;
+    let mut next_art = art0;
+    // For dual extraction: per row, the column whose constraint-matrix
+    // column is ±e_row, plus that sign (slack +1, surplus −1, artificial +1).
+    let mut dual_col: Vec<(usize, f64)> = Vec::with_capacity(m);
+    for (r, c) in rows.iter().enumerate() {
+        for (j, &v) in c.coeffs.iter().enumerate() {
+            *t.at_mut(r, j) = v;
+        }
+        *t.at_mut(r, cols - 1) = c.rhs;
+        match c.rel {
+            Relation::Le => {
+                *t.at_mut(r, next_slack) = 1.0;
+                t.basis[r] = next_slack;
+                dual_col.push((next_slack, 1.0));
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                *t.at_mut(r, next_slack) = -1.0;
+                dual_col.push((next_slack, -1.0));
+                next_slack += 1;
+                *t.at_mut(r, next_art) = 1.0;
+                t.basis[r] = next_art;
+                next_art += 1;
+            }
+            Relation::Eq => {
+                *t.at_mut(r, next_art) = 1.0;
+                t.basis[r] = next_art;
+                dual_col.push((next_art, 1.0));
+                next_art += 1;
+            }
+        }
+    }
+
+    // Phase-2 objective row (row m): minimize c·x (negate for max).
+    let sign = if lp.minimize { 1.0 } else { -1.0 };
+    for j in 0..n {
+        *t.at_mut(m, j) = sign * lp.objective[j];
+    }
+    // Phase-1 objective row (row m+1): minimize Σ artificials. Express in
+    // terms of non-basic variables by subtracting the artificial rows.
+    for j in art0..total {
+        *t.at_mut(m + 1, j) = 1.0;
+    }
+    for r in 0..m {
+        if t.basis[r] >= art0 {
+            let (r_off, o_off) = (r * cols, (m + 1) * cols);
+            for cc in 0..cols {
+                let v = t.a[r_off + cc];
+                t.a[o_off + cc] -= v;
+            }
+        }
+    }
+
+    let iter_limit = 50 * (m + total + 10);
+
+    // Phase 1.
+    if num_art > 0 {
+        run(&mut t, m + 1, m, total, iter_limit)?.map_err(|_| LpError::IterationLimit)?;
+        let phase1 = -t.at(m + 1, cols - 1);
+        if phase1 > 1e-7 {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if t.basis[r] >= art0 {
+                if let Some(pc) = (0..art0).find(|&c| t.at(r, c).abs() > EPS) {
+                    t.pivot(r, pc);
+                }
+                // Otherwise the row is redundant (all-zero); leave it.
+            }
+        }
+    }
+
+    // Phase 2 — forbid artificials from re-entering by restricting pricing
+    // to structural + slack columns.
+    match run(&mut t, m, m, art0, iter_limit)? {
+        Ok(()) => {}
+        Err(()) => return Ok(LpOutcome::Unbounded),
+    }
+
+    // Read the solution.
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = t.at(r, cols - 1);
+        }
+    }
+    let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    // Duals: the phase-2 objective row holds reduced costs r_j = c_j − y·A_j
+    // for the internal minimization. A row's auxiliary column has c_j = 0
+    // and A_j = ±e_i, so y_i = ∓r_j; the rows that had a negative original
+    // rhs were negated on entry, which flips the dual's sign back; and a
+    // maximization negated c, flipping once more.
+    let duals: Vec<f64> = (0..m)
+        .map(|r| {
+            let (col, aux_sign) = dual_col[r];
+            let rhs_sign = if lp.constraints[r].rhs < 0.0 {
+                -1.0
+            } else {
+                1.0
+            };
+            -t.at(m, col) * aux_sign * sign * rhs_sign
+        })
+        .collect();
+    Ok(LpOutcome::Optimal(Solution {
+        objective,
+        x,
+        duals,
+    }))
+}
+
+/// Runs the pivot loop on objective row `obj_row`, pricing columns
+/// `0..num_cols` with ratio tests over constraint rows `0..m_rows`.
+/// Outer `Err` = structural error (iteration limit), inner `Err(())` =
+/// unbounded.
+#[allow(clippy::type_complexity)]
+fn run(
+    t: &mut Tableau,
+    obj_row: usize,
+    m_rows: usize,
+    num_cols: usize,
+    iter_limit: usize,
+) -> Result<Result<(), ()>, LpError> {
+    let mut degenerate_run = 0usize;
+    let mut last_obj = f64::INFINITY;
+    for _ in 0..iter_limit {
+        // Switch to Bland's rule after a stretch of degenerate pivots to
+        // break cycles.
+        let bland = degenerate_run > 20;
+        match t.step(obj_row, m_rows, num_cols, bland) {
+            Ok(true) => return Ok(Ok(())),
+            Ok(false) => {
+                let obj = t.at(obj_row, t.cols - 1);
+                if (obj - last_obj).abs() <= EPS {
+                    degenerate_run += 1;
+                } else {
+                    degenerate_run = 0;
+                }
+                last_obj = obj;
+            }
+            Err(()) => return Ok(Err(())),
+        }
+    }
+    Err(LpError::IterationLimit)
+}

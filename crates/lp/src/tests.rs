@@ -1,0 +1,286 @@
+//! Solver tests: textbook LPs, edge cases, degeneracy, and randomized
+//! feasibility/optimality checks.
+
+use crate::{solve, Constraint, LinearProgram, LpError, LpOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn opt(lp: &LinearProgram) -> crate::Solution {
+    solve(lp)
+        .expect("well-formed LP")
+        .expect_optimal("expected optimum")
+}
+
+/// Checks a solution is feasible for `lp` within `tol`.
+fn assert_feasible_point(lp: &LinearProgram, x: &[f64], tol: f64) {
+    for (i, c) in lp.constraints.iter().enumerate() {
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        let ok = match c.rel {
+            crate::Relation::Le => lhs <= c.rhs + tol,
+            crate::Relation::Ge => lhs >= c.rhs - tol,
+            crate::Relation::Eq => (lhs - c.rhs).abs() <= tol,
+        };
+        assert!(ok, "constraint {i} violated: lhs = {lhs}, rhs = {}", c.rhs);
+    }
+    for (j, &v) in x.iter().enumerate() {
+        assert!(v >= -tol, "x[{j}] = {v} negative");
+    }
+}
+
+#[test]
+fn textbook_maximization() {
+    // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+    let lp = LinearProgram::maximize(vec![3.0, 5.0])
+        .subject_to(Constraint::le(vec![1.0, 0.0], 4.0))
+        .subject_to(Constraint::le(vec![0.0, 2.0], 12.0))
+        .subject_to(Constraint::le(vec![3.0, 2.0], 18.0));
+    let s = opt(&lp);
+    assert!((s.objective - 36.0).abs() < 1e-9);
+    assert!((s.x[0] - 2.0).abs() < 1e-9);
+    assert!((s.x[1] - 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn minimization_with_ge_rows_uses_phase_one() {
+    // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3 → x = 7, y = 3, obj 23.
+    let lp = LinearProgram::minimize(vec![2.0, 3.0])
+        .subject_to(Constraint::ge(vec![1.0, 1.0], 10.0))
+        .subject_to(Constraint::ge(vec![1.0, 0.0], 2.0))
+        .subject_to(Constraint::ge(vec![0.0, 1.0], 3.0));
+    let s = opt(&lp);
+    assert!((s.objective - 23.0).abs() < 1e-9, "obj = {}", s.objective);
+    assert_feasible_point(&lp, &s.x, 1e-9);
+}
+
+#[test]
+fn equality_constraints() {
+    // min x + 2y s.t. x + y = 4, x − y = 0 → x = y = 2, obj 6.
+    let lp = LinearProgram::minimize(vec![1.0, 2.0])
+        .subject_to(Constraint::eq(vec![1.0, 1.0], 4.0))
+        .subject_to(Constraint::eq(vec![1.0, -1.0], 0.0));
+    let s = opt(&lp);
+    assert!((s.objective - 6.0).abs() < 1e-9);
+    assert!((s.x[0] - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn detects_infeasible() {
+    let lp = LinearProgram::minimize(vec![1.0])
+        .subject_to(Constraint::le(vec![1.0], 1.0))
+        .subject_to(Constraint::ge(vec![1.0], 2.0));
+    assert!(matches!(solve(&lp).unwrap(), LpOutcome::Infeasible));
+}
+
+#[test]
+fn detects_unbounded() {
+    let lp =
+        LinearProgram::maximize(vec![1.0, 0.0]).subject_to(Constraint::ge(vec![1.0, 0.0], 1.0));
+    assert!(matches!(solve(&lp).unwrap(), LpOutcome::Unbounded));
+}
+
+#[test]
+fn negative_rhs_rows_are_normalized() {
+    // x ≤ 5 written as −x ≥ −5.
+    let lp = LinearProgram::maximize(vec![1.0]).subject_to(Constraint::ge(vec![-1.0], -5.0));
+    let s = opt(&lp);
+    assert!((s.objective - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn degenerate_lp_terminates() {
+    // Classic degenerate vertex: multiple constraints through the origin.
+    let lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0])
+        .subject_to(Constraint::le(vec![0.25, -60.0, -0.04, 9.0], 0.0))
+        .subject_to(Constraint::le(vec![0.5, -90.0, -0.02, 3.0], 0.0))
+        .subject_to(Constraint::le(vec![0.0, 0.0, 1.0, 0.0], 1.0));
+    // Beale's cycling example: Bland fallback must terminate at obj 1/20.
+    let s = opt(&lp);
+    assert!((s.objective - 0.05).abs() < 1e-9, "obj = {}", s.objective);
+}
+
+#[test]
+fn rejects_dimension_mismatch() {
+    let lp = LinearProgram::minimize(vec![1.0, 2.0]).subject_to(Constraint::le(vec![1.0], 1.0));
+    assert_eq!(
+        solve(&lp).unwrap_err(),
+        LpError::DimensionMismatch {
+            constraint: 0,
+            expected: 2,
+            got: 1
+        }
+    );
+}
+
+#[test]
+fn rejects_non_finite() {
+    let lp = LinearProgram::minimize(vec![f64::NAN]);
+    assert_eq!(solve(&lp).unwrap_err(), LpError::NonFinite);
+}
+
+#[test]
+fn zero_constraint_lp_is_trivial() {
+    // min over x ≥ 0 of c·x with c ≥ 0: optimum 0 at the origin.
+    let lp = LinearProgram::minimize(vec![3.0, 1.0]);
+    let s = opt(&lp);
+    assert_eq!(s.objective, 0.0);
+}
+
+#[test]
+fn transportation_problem() {
+    // 2 supplies (10, 20), 2 demands (15, 15); costs [[1,3],[2,1]].
+    // Optimal: x11=10, x21=5, x22=15 → 10 + 10 + 15 = 35.
+    let lp = LinearProgram::minimize(vec![1.0, 3.0, 2.0, 1.0])
+        .subject_to(Constraint::eq(vec![1.0, 1.0, 0.0, 0.0], 10.0))
+        .subject_to(Constraint::eq(vec![0.0, 0.0, 1.0, 1.0], 20.0))
+        .subject_to(Constraint::eq(vec![1.0, 0.0, 1.0, 0.0], 15.0))
+        .subject_to(Constraint::eq(vec![0.0, 1.0, 0.0, 1.0], 15.0));
+    let s = opt(&lp);
+    assert!((s.objective - 35.0).abs() < 1e-9, "obj = {}", s.objective);
+    assert_feasible_point(&lp, &s.x, 1e-9);
+}
+
+#[test]
+fn random_box_lps_have_known_optimum() {
+    // min c·x over 0 ≤ x_i ≤ u_i plus a redundant sum constraint: optimum
+    // puts x_i = u_i where c_i < 0 and 0 elsewhere.
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..25 {
+        let n = rng.gen_range(2..6);
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let mut lp = LinearProgram::minimize(c.clone());
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp = lp.subject_to(Constraint::le(row, u[i]));
+        }
+        lp = lp.subject_to(Constraint::le(vec![1.0; n], u.iter().sum::<f64>() + 1.0));
+        let s = opt(&lp);
+        let expected: f64 = c
+            .iter()
+            .zip(&u)
+            .map(|(&ci, &ui)| if ci < 0.0 { ci * ui } else { 0.0 })
+            .sum();
+        assert!(
+            (s.objective - expected).abs() < 1e-7,
+            "obj {} expected {expected}",
+            s.objective
+        );
+        assert_feasible_point(&lp, &s.x, 1e-7);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random LPs with a guaranteed feasible point, the solver either
+    /// returns a feasible optimum no worse than that point, or reports
+    /// Unbounded.
+    #[test]
+    fn prop_optimal_dominates_known_feasible_point(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..5);
+        let m = rng.gen_range(1..5);
+        // Known feasible point.
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut lp = LinearProgram::minimize(c.clone());
+        for _ in 0..m {
+            let row: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let lhs: f64 = row.iter().zip(&x0).map(|(a, v)| a * v).sum();
+            // Constraint satisfied at x0 with slack.
+            lp = lp.subject_to(Constraint::le(row, lhs + rng.gen_range(0.0..1.0)));
+        }
+        let x0_obj: f64 = c.iter().zip(&x0).map(|(a, v)| a * v).sum();
+        match solve(&lp).expect("well-formed") {
+            LpOutcome::Optimal(s) => {
+                assert_feasible_point(&lp, &s.x, 1e-6);
+                prop_assert!(s.objective <= x0_obj + 1e-6,
+                    "optimum {} worse than feasible point {}", s.objective, x0_obj);
+            }
+            LpOutcome::Unbounded => {} // possible with negative costs
+            LpOutcome::Infeasible => prop_assert!(false, "x0 is feasible by construction"),
+        }
+    }
+}
+
+mod duality {
+    use super::*;
+
+    fn dual_objective(lp: &LinearProgram, duals: &[f64]) -> f64 {
+        lp.constraints
+            .iter()
+            .zip(duals)
+            .map(|(c, y)| c.rhs * y)
+            .sum()
+    }
+
+    #[test]
+    fn strong_duality_on_the_textbook_max() {
+        let lp = LinearProgram::maximize(vec![3.0, 5.0])
+            .subject_to(Constraint::le(vec![1.0, 0.0], 4.0))
+            .subject_to(Constraint::le(vec![0.0, 2.0], 12.0))
+            .subject_to(Constraint::le(vec![3.0, 2.0], 18.0));
+        let s = opt(&lp);
+        assert!(
+            (dual_objective(&lp, &s.duals) - s.objective).abs() < 1e-9,
+            "duals {:?} give {} ≠ {}",
+            s.duals,
+            dual_objective(&lp, &s.duals),
+            s.objective
+        );
+        // Complementary slackness: constraint 1 (x ≤ 4) is slack at the
+        // optimum (x = 2), so its dual is 0.
+        assert!(s.duals[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_duality_with_ge_and_eq_rows() {
+        let lp = LinearProgram::minimize(vec![2.0, 3.0])
+            .subject_to(Constraint::ge(vec![1.0, 1.0], 10.0))
+            .subject_to(Constraint::ge(vec![1.0, 0.0], 2.0))
+            .subject_to(Constraint::ge(vec![0.0, 1.0], 3.0));
+        let s = opt(&lp);
+        assert!(
+            (dual_objective(&lp, &s.duals) - s.objective).abs() < 1e-9,
+            "duals {:?}",
+            s.duals
+        );
+
+        let lp2 = LinearProgram::minimize(vec![1.0, 2.0])
+            .subject_to(Constraint::eq(vec![1.0, 1.0], 4.0))
+            .subject_to(Constraint::eq(vec![1.0, -1.0], 0.0));
+        let s2 = opt(&lp2);
+        assert!(
+            (dual_objective(&lp2, &s2.duals) - s2.objective).abs() < 1e-9,
+            "duals {:?}",
+            s2.duals
+        );
+    }
+
+    #[test]
+    fn strong_duality_on_random_box_lps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..5);
+            let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+            let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+            // max c·x over the box 0 ≤ x ≤ u: optimum Σ c_i u_i, duals c_i.
+            let mut lp = LinearProgram::maximize(c.clone());
+            for i in 0..n {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                lp = lp.subject_to(Constraint::le(row, u[i]));
+            }
+            let s = opt(&lp);
+            assert!((dual_objective(&lp, &s.duals) - s.objective).abs() < 1e-7);
+            #[allow(clippy::needless_range_loop)] // i indexes c and duals together
+            for i in 0..n {
+                assert!((s.duals[i] - c[i]).abs() < 1e-7, "dual {i}: {:?}", s.duals);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Problem and result types for the simplex solver.
+
+/// Relation of a linear constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `coeffs · x  rel  rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Dense coefficient row (length = number of variables).
+    pub coeffs: Vec<f64>,
+    /// The relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// `coeffs · x ≤ rhs`.
+    pub fn le(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint {
+            coeffs,
+            rel: Relation::Le,
+            rhs,
+        }
+    }
+    /// `coeffs · x = rhs`.
+    pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint {
+            coeffs,
+            rel: Relation::Eq,
+            rhs,
+        }
+    }
+    /// `coeffs · x ≥ rhs`.
+    pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint {
+            coeffs,
+            rel: Relation::Ge,
+            rhs,
+        }
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    /// Objective coefficients `c`.
+    pub objective: Vec<f64>,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+    /// `true` to minimize `c·x`, `false` to maximize.
+    pub minimize: bool,
+}
+
+impl LinearProgram {
+    /// A minimization problem.
+    pub fn minimize(objective: Vec<f64>) -> LinearProgram {
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+            minimize: true,
+        }
+    }
+    /// A maximization problem.
+    pub fn maximize(objective: Vec<f64>) -> LinearProgram {
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+            minimize: false,
+        }
+    }
+    /// Adds a constraint (builder style).
+    pub fn subject_to(mut self, c: Constraint) -> LinearProgram {
+        self.constraints.push(c);
+        self
+    }
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal objective value (of the *original* objective).
+    pub objective: f64,
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Dual values (shadow prices), one per constraint, signed so that
+    /// strong duality holds against the *original* objective:
+    /// `Σ_i duals[i] · rhs[i] = objective`. A constraint's dual is the
+    /// marginal change of the optimum per unit of its right-hand side.
+    pub duals: Vec<f64>,
+}
+
+/// Outcome of a solve.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Optimum found.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution, panicking otherwise.
+    pub fn expect_optimal(self, msg: &str) -> Solution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("{msg}: got {other:?}"),
+        }
+    }
+}
+
+/// Structural errors (malformed input).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// A constraint row has a different arity than the objective.
+    DimensionMismatch {
+        constraint: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A coefficient or rhs is NaN/infinite.
+    NonFinite,
+    /// The pivot loop exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::DimensionMismatch {
+                constraint,
+                expected,
+                got,
+            } => write!(
+                f,
+                "constraint {constraint}: expected {expected} coefficients, got {got}"
+            ),
+            LpError::NonFinite => write!(f, "non-finite coefficient in LP"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export of a flow network.
+//!
+//! Used by the `exp_fig1_network` harness binary to regenerate the paper's
+//! Fig. 1 (the structure of the job × interval network `G(J, m⃗, s)`).
+
+use crate::network::{FlowNetwork, NodeId};
+use mpss_numeric::FlowNum;
+use std::fmt::Write as _;
+
+/// Renders `net` as a DOT digraph. `label` names nodes; edges are annotated
+/// `flow/cap`. Nodes may be assigned a `rank` group ("source", "jobs",
+/// "intervals", "sink") via the `group` callback to reproduce the paper's
+/// left-to-right layered layout; return `None` for ungrouped nodes.
+pub fn to_dot<T: FlowNum>(
+    net: &FlowNetwork<T>,
+    label: impl Fn(NodeId) -> String,
+    group: impl Fn(NodeId) -> Option<&'static str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("digraph flow {\n  rankdir=LR;\n  node [shape=circle];\n");
+    // Collect rank groups.
+    let mut groups: Vec<(&'static str, Vec<NodeId>)> = Vec::new();
+    for v in 0..net.num_nodes() {
+        if let Some(g) = group(v) {
+            match groups.iter_mut().find(|(name, _)| *name == g) {
+                Some((_, members)) => members.push(v),
+                None => groups.push((g, vec![v])),
+            }
+        }
+    }
+    for (name, members) in &groups {
+        let _ = write!(
+            out,
+            "  subgraph cluster_{name} {{ label=\"{name}\"; rank=same;"
+        );
+        for v in members {
+            let _ = write!(out, " n{v};");
+        }
+        out.push_str(" }\n");
+    }
+    for v in 0..net.num_nodes() {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", label(v));
+    }
+    for (_, from, to, cap, flow) in net.iter_edges() {
+        let _ = writeln!(
+            out,
+            "  n{from} -> n{to} [label=\"{:.3}/{:.3}\"];",
+            flow.to_f64(),
+            cap.to_f64()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_groups() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 1.0);
+        let dot = to_dot(
+            &net,
+            |v| format!("v{v}"),
+            |v| if v == 0 { Some("source") } else { None },
+        );
+        assert!(dot.starts_with("digraph flow"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("cluster_source"));
+        assert!(dot.contains("label=\"v2\""));
+        assert!(dot.ends_with("}\n"));
+    }
+}

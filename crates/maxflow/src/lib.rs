@@ -1,0 +1,81 @@
+//! Maximum-flow substrate for the `mpss` workspace.
+//!
+//! The offline algorithm of Albers–Antoniadis–Greiner (SPAA 2011) reduces
+//! each phase of the optimal multi-processor speed-scaling computation to a
+//! maximum-flow problem on the bipartite job × interval network of the
+//! paper's Fig. 1. This crate provides that substrate from scratch:
+//!
+//! * [`FlowNetwork`] — a residual-edge-paired network representation,
+//!   generic over [`FlowNum`](mpss_numeric::FlowNum) so it runs in both
+//!   guarded `f64` and exact rational arithmetic;
+//! * [`dinic::Dinic`] — Dinic's blocking-flow algorithm (`O(V²E)`
+//!   augmentations independent of capacity values, hence safe for real
+//!   capacities);
+//! * [`push_relabel::PushRelabel`] — highest-label push–relabel with the gap
+//!   heuristic, as an independent second engine used to cross-validate;
+//! * [`validate`] — an engine-agnostic checker for capacity constraints and
+//!   flow conservation;
+//! * [`dot`] — Graphviz export used to regenerate the paper's Fig. 1.
+//!
+//! ```
+//! use mpss_maxflow::{FlowNetwork, max_flow_dinic, max_flow_push_relabel};
+//! use mpss_maxflow::validate::validate_flow;
+//!
+//! // A diamond network: 0 → {1, 2} → 3.
+//! let mut net: FlowNetwork<f64> = FlowNetwork::new(4);
+//! net.add_edge(0, 1, 3.0);
+//! net.add_edge(1, 3, 2.0);
+//! net.add_edge(0, 2, 1.0);
+//! net.add_edge(2, 3, 4.0);
+//!
+//! let mut other = net.clone();
+//! let f = max_flow_dinic(&mut net, 0, 3);
+//! assert_eq!(f, 3.0);                                   // 2 over the top + 1 below
+//! assert_eq!(max_flow_push_relabel(&mut other, 0, 3), f); // engines agree
+//! validate_flow(&net, 0, 3, 1e-9).unwrap();             // conservation holds
+//! ```
+
+// `!(a < b)` on our FlowNum types deliberately reads as "b ≤ a, treating
+// incomparable (impossible for validated inputs) as false"; rewriting via
+// partial_cmp would obscure the tolerance-free intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod decompose;
+pub mod dinic;
+pub mod dot;
+pub mod network;
+pub mod push_relabel;
+pub mod validate;
+
+pub use decompose::{decompose_flow, FlowPath};
+pub use dinic::Dinic;
+pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use push_relabel::PushRelabel;
+
+use mpss_numeric::FlowNum;
+
+/// A maximum-flow engine over a [`FlowNetwork`].
+///
+/// Engines mutate the network's flow values in place and return the value of
+/// the computed maximum flow (total net flow out of `source`).
+pub trait MaxFlow<T: FlowNum> {
+    /// Computes a maximum `source` → `sink` flow, leaving the per-edge flow
+    /// assignment inside `net`.
+    fn max_flow(&mut self, net: &mut FlowNetwork<T>, source: NodeId, sink: NodeId) -> T;
+
+    /// Name for logs and bench labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience: run Dinic's algorithm on `net`.
+pub fn max_flow_dinic<T: FlowNum>(net: &mut FlowNetwork<T>, s: NodeId, t: NodeId) -> T {
+    Dinic::default().max_flow(net, s, t)
+}
+
+/// Convenience: run push–relabel on `net`.
+pub fn max_flow_push_relabel<T: FlowNum>(net: &mut FlowNetwork<T>, s: NodeId, t: NodeId) -> T {
+    PushRelabel::default().max_flow(net, s, t)
+}
+
+#[cfg(test)]
+mod tests;

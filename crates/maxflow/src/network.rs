@@ -1,0 +1,261 @@
+//! Residual flow-network representation.
+//!
+//! Edges are stored in an arena with the classic pairing trick: the edge
+//! with index `2k` is the forward edge, `2k + 1` its residual twin, so
+//! `id ^ 1` flips between them without any lookup. Adjacency lists hold edge
+//! indices. All capacities/flows are a [`FlowNum`] instantiation.
+
+use mpss_numeric::FlowNum;
+
+/// Index of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Opaque identifier of a *forward* edge, as returned by
+/// [`FlowNetwork::add_edge`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Edge<T> {
+    pub to: u32,
+    /// Remaining residual capacity (original capacity minus flow for forward
+    /// edges; current flow for residual twins).
+    pub residual: T,
+}
+
+/// A directed flow network with paired residual edges.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork<T: FlowNum> {
+    pub(crate) edges: Vec<Edge<T>>,
+    /// Original capacity of every *forward* edge, indexed by `EdgeId.0 / 2`.
+    pub(crate) caps: Vec<T>,
+    pub(crate) adj: Vec<Vec<u32>>,
+}
+
+impl<T: FlowNum> FlowNetwork<T> {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> FlowNetwork<T> {
+        FlowNetwork {
+            edges: Vec::new(),
+            caps: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a network with `n` nodes, reserving space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> FlowNetwork<T> {
+        FlowNetwork {
+            edges: Vec::with_capacity(2 * m),
+            caps: Vec::with_capacity(m),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Appends a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, on a self-loop, or on a
+    /// negative capacity.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: T) -> EdgeId {
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        assert!(from != to, "self-loops are not allowed in a flow network");
+        assert!(!(cap < T::zero()), "negative capacity");
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge {
+            to: to as u32,
+            residual: cap,
+        });
+        self.edges.push(Edge {
+            to: from as u32,
+            residual: T::zero(),
+        });
+        self.caps.push(cap);
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Original capacity of a forward edge.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> T {
+        self.caps[(e.0 / 2) as usize]
+    }
+
+    /// Current flow on a forward edge (the residual of its twin).
+    #[inline]
+    pub fn flow(&self, e: EdgeId) -> T {
+        self.edges[(e.0 ^ 1) as usize].residual
+    }
+
+    /// Remaining residual capacity of a forward edge.
+    #[inline]
+    pub fn residual(&self, e: EdgeId) -> T {
+        self.edges[e.0 as usize].residual
+    }
+
+    /// Endpoints `(from, to)` of a forward edge.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let to = self.edges[e.0 as usize].to as NodeId;
+        let from = self.edges[(e.0 ^ 1) as usize].to as NodeId;
+        (from, to)
+    }
+
+    /// Resets all flows to zero, keeping the topology and capacities.
+    pub fn reset_flows(&mut self) {
+        for (k, cap) in self.caps.iter().enumerate() {
+            self.edges[2 * k].residual = *cap;
+            self.edges[2 * k + 1].residual = T::zero();
+        }
+    }
+
+    /// Net flow out of `node` (flow on outgoing forward edges minus flow on
+    /// incoming forward edges). For the source this equals the flow value.
+    pub fn net_out_flow(&self, node: NodeId) -> T {
+        let mut total = T::zero();
+        for &eid in &self.adj[node] {
+            if eid % 2 == 0 {
+                // Forward edge leaving `node`.
+                total += self.flow(EdgeId(eid));
+            } else {
+                // Residual twin stored at `node` ⇒ forward edge enters `node`.
+                total -= self.flow(EdgeId(eid ^ 1));
+            }
+        }
+        total
+    }
+
+    /// Iterates over all forward edges as `(EdgeId, from, to, cap, flow)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, T, T)> + '_ {
+        (0..self.caps.len()).map(move |k| {
+            let id = EdgeId((2 * k) as u32);
+            let (from, to) = self.endpoints(id);
+            (id, from, to, self.caps[k], self.flow(id))
+        })
+    }
+
+    /// Nodes reachable from `from` in the residual graph (strictly positive
+    /// residual capacity). After a max-flow run from the source this is the
+    /// source side of a minimum cut.
+    pub fn residual_reachable(&self, from: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid as usize];
+                let v = e.to as usize;
+                if !seen[v] && e.residual.is_strictly_positive() {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_numeric::rational::rat;
+    use mpss_numeric::Rational;
+
+    #[test]
+    fn add_edge_and_inspect() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 5.0);
+        let f = net.add_edge(1, 2, 3.0);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(net.capacity(e), 5.0);
+        assert_eq!(net.capacity(f), 3.0);
+        assert_eq!(net.flow(e), 0.0);
+        assert_eq!(net.residual(e), 5.0);
+        assert_eq!(net.endpoints(e), (0, 1));
+        assert_eq!(net.endpoints(f), (1, 2));
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(1);
+        let v = net.add_node();
+        assert_eq!(v, 1);
+        assert_eq!(net.num_nodes(), 2);
+        net.add_edge(0, v, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(2);
+        net.add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(2);
+        net.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    fn reset_flows_restores_capacities() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 4.0);
+        crate::max_flow_dinic(&mut net, 0, 1);
+        assert_eq!(net.flow(e), 4.0);
+        net.reset_flows();
+        assert_eq!(net.flow(e), 0.0);
+        assert_eq!(net.residual(e), 4.0);
+    }
+
+    #[test]
+    fn works_with_rationals() {
+        let mut net: FlowNetwork<Rational> = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, rat(7, 3));
+        assert_eq!(net.capacity(e), rat(7, 3));
+        assert_eq!(net.flow(e), Rational::ZERO);
+    }
+
+    #[test]
+    fn iter_edges_lists_all() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 2.0);
+        let edges: Vec<_> = net.iter_edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].1, 0);
+        assert_eq!(edges[1].3, 2.0);
+    }
+
+    #[test]
+    fn net_out_flow_zero_before_any_flow() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 2.0);
+        assert_eq!(net.net_out_flow(0), 0.0);
+        assert_eq!(net.net_out_flow(1), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Highest-label push–relabel maximum flow with the gap heuristic.
+//!
+//! This is an independent second engine: the offline scheduler runs Dinic in
+//! production, and the test suite cross-validates both engines against each
+//! other on random networks and on real job × interval networks. The
+//! generic push–relabel bound (`O(V²E)` non-saturating pushes) does not
+//! depend on capacity values, so the engine is equally safe for `f64` and
+//! exact rationals.
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::MaxFlow;
+use mpss_numeric::FlowNum;
+
+/// Highest-label push–relabel engine.
+#[derive(Default)]
+pub struct PushRelabel {
+    height: Vec<u32>,
+    /// Nodes with positive excess, bucketed by height (highest first).
+    buckets: Vec<Vec<u32>>,
+    /// Number of nodes at each height (for the gap heuristic).
+    height_count: Vec<u32>,
+    cur_arc: Vec<u32>,
+    in_bucket: Vec<bool>,
+}
+
+impl PushRelabel {
+    /// Creates a fresh engine.
+    pub fn new() -> PushRelabel {
+        PushRelabel::default()
+    }
+
+    fn enqueue<T: FlowNum>(&mut self, v: usize, excess: &[T], s: NodeId, t: NodeId) {
+        if v != s && v != t && !self.in_bucket[v] && excess[v].is_strictly_positive() {
+            self.in_bucket[v] = true;
+            let h = self.height[v] as usize;
+            if h < self.buckets.len() {
+                self.buckets[h].push(v as u32);
+            }
+        }
+    }
+}
+
+impl<T: FlowNum> MaxFlow<T> for PushRelabel {
+    fn max_flow(&mut self, net: &mut FlowNetwork<T>, s: NodeId, t: NodeId) -> T {
+        assert!(s != t, "source and sink must differ");
+        let n = net.num_nodes();
+        self.height.clear();
+        self.height.resize(n, 0);
+        self.height[s] = n as u32;
+        self.cur_arc.clear();
+        self.cur_arc.resize(n, 0);
+        self.in_bucket.clear();
+        self.in_bucket.resize(n, false);
+        self.buckets.clear();
+        self.buckets.resize(2 * n + 1, Vec::new());
+        self.height_count.clear();
+        self.height_count.resize(2 * n + 1, 0);
+        self.height_count[0] = (n - 1) as u32;
+        self.height_count[n] = 1;
+
+        let mut excess: Vec<T> = vec![T::zero(); n];
+
+        // Saturate all source-adjacent edges.
+        for k in 0..net.adj[s].len() {
+            let eid = net.adj[s][k] as usize;
+            let cap = net.edges[eid].residual;
+            if cap.is_strictly_positive() {
+                let v = net.edges[eid].to as usize;
+                net.edges[eid].residual -= cap;
+                net.edges[eid ^ 1].residual += cap;
+                excess[v] += cap;
+                excess[s] -= cap;
+                self.enqueue(v, &excess, s, t);
+            }
+        }
+
+        // Highest-label selection.
+        let mut hi = 2 * n;
+        loop {
+            while hi > 0 && self.buckets[hi].is_empty() {
+                hi -= 1;
+            }
+            if hi == 0 && self.buckets[0].is_empty() {
+                break;
+            }
+            let u = match self.buckets[hi].pop() {
+                Some(u) => u as usize,
+                None => break,
+            };
+            self.in_bucket[u] = false;
+            if !excess[u].is_strictly_positive() {
+                continue;
+            }
+
+            // Discharge u.
+            while excess[u].is_strictly_positive() {
+                if (self.cur_arc[u] as usize) >= net.adj[u].len() {
+                    // Relabel.
+                    let old_h = self.height[u] as usize;
+                    let mut min_h = u32::MAX;
+                    for &eid in &net.adj[u] {
+                        let e = &net.edges[eid as usize];
+                        if e.residual.is_strictly_positive() {
+                            min_h = min_h.min(self.height[e.to as usize] + 1);
+                        }
+                    }
+                    if min_h == u32::MAX || min_h as usize > 2 * n {
+                        // No admissible arc will ever appear; excess is stuck
+                        // (flows back implicitly via final heights > 2n).
+                        self.height[u] = (2 * n) as u32 + 1;
+                        break;
+                    }
+                    self.height_count[old_h] -= 1;
+                    // Gap heuristic: nobody left at old_h ⇒ everything
+                    // between old_h and n is unreachable from t.
+                    if self.height_count[old_h] == 0 && old_h < n {
+                        for v in 0..n {
+                            let hv = self.height[v] as usize;
+                            if hv > old_h && hv <= n && v != s {
+                                self.height_count[hv] -= 1;
+                                self.height[v] = (n + 1) as u32;
+                                self.height_count[n + 1] += 1;
+                            }
+                        }
+                    }
+                    self.height[u] = min_h;
+                    if (min_h as usize) <= 2 * n {
+                        self.height_count[min_h as usize] += 1;
+                    }
+                    self.cur_arc[u] = 0;
+                    continue;
+                }
+                let eid = net.adj[u][self.cur_arc[u] as usize] as usize;
+                let e = net.edges[eid];
+                let v = e.to as usize;
+                if e.residual.is_strictly_positive() && self.height[u] == self.height[v] + 1 {
+                    // Push.
+                    let delta = excess[u].min2(e.residual);
+                    net.edges[eid].residual -= delta;
+                    net.edges[eid ^ 1].residual += delta;
+                    excess[u] -= delta;
+                    excess[v] += delta;
+                    self.enqueue(v, &excess, s, t);
+                } else {
+                    self.cur_arc[u] += 1;
+                }
+            }
+            if excess[u].is_strictly_positive() {
+                // Stuck node (height > 2n) — drop it; its excess drains back
+                // towards the source conceptually and does not reach t.
+                continue;
+            }
+            hi = 2 * n;
+        }
+
+        // With stuck nodes possible, the flow on edges into the sink is the
+        // reliable max-flow value; but excess trapped at intermediate nodes
+        // would violate conservation. Cancel trapped excess by returning it
+        // to the source along reverse residual paths (standard second
+        // phase).
+        cancel_trapped_excess(net, &mut excess, s, t);
+
+        excess[t]
+    }
+
+    fn name(&self) -> &'static str {
+        "push-relabel"
+    }
+}
+
+/// Second phase: route any excess trapped at intermediate nodes back to the
+/// source so the final edge assignment satisfies flow conservation.
+///
+/// Follows incoming-flow edges backwards (decomposition style): repeatedly
+/// pick a node with positive excess and walk flow-carrying edges back
+/// towards the source, reducing flow along the walk by the trapped amount.
+fn cancel_trapped_excess<T: FlowNum>(
+    net: &mut FlowNetwork<T>,
+    excess: &mut [T],
+    s: NodeId,
+    t: NodeId,
+) {
+    let n = net.num_nodes();
+    for u in 0..n {
+        if u == s || u == t {
+            continue;
+        }
+        while excess[u].is_strictly_positive() {
+            // Find a cycle-free walk u → s along edges currently carrying
+            // flow *into* each walk node, via DFS with visitation marks.
+            let mut mark = vec![false; n];
+            let mut path: Vec<usize> = Vec::new(); // edge ids (forward edges carrying flow)
+            let mut cur = u;
+            mark[u] = true;
+            let mut bottleneck = excess[u];
+            'walk: loop {
+                if cur == s {
+                    break 'walk;
+                }
+                let mut advanced = false;
+                for &eid in &net.adj[cur] {
+                    // A residual twin at `cur` with positive residual means
+                    // the forward edge (into `cur`) carries flow.
+                    if eid % 2 == 1 {
+                        let fwd = (eid ^ 1) as usize;
+                        let from = net.edges[eid as usize].to as usize;
+                        let carried = net.edges[eid as usize].residual;
+                        if carried.is_strictly_positive() && !mark[from] {
+                            bottleneck = bottleneck.min2(carried);
+                            path.push(fwd);
+                            mark[from] = true;
+                            cur = from;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                }
+                if !advanced {
+                    // Trapped excess must be routable back to s by flow
+                    // decomposition; walking into a dead end means the walk
+                    // entered a flow cycle. Cancel the cycle by zeroing the
+                    // last edge and retry.
+                    let eid = match path.pop() {
+                        Some(e) => e,
+                        None => return, // defensive: nothing to cancel
+                    };
+                    let carried = net.edges[eid ^ 1].residual;
+                    net.edges[eid].residual += carried;
+                    net.edges[eid ^ 1].residual -= carried;
+                    // Restart the walk from scratch.
+                    path.clear();
+                    mark.iter_mut().for_each(|m| *m = false);
+                    mark[u] = true;
+                    cur = u;
+                    bottleneck = excess[u];
+                    continue 'walk;
+                }
+            }
+            // Reduce flow along the walk by the bottleneck.
+            for &eid in &path {
+                net.edges[eid].residual += bottleneck;
+                net.edges[eid ^ 1].residual -= bottleneck;
+            }
+            excess[u] -= bottleneck;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_flow;
+    use mpss_numeric::rational::rat;
+    use mpss_numeric::Rational;
+
+    fn pr<T: FlowNum>(net: &mut FlowNetwork<T>, s: usize, t: usize) -> T {
+        PushRelabel::new().max_flow(net, s, t)
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3.5);
+        assert_eq!(pr(&mut net, 0, 1), 3.5);
+    }
+
+    #[test]
+    fn classic_clrs_network() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        assert_eq!(pr(&mut net, 0, 5), 23.0);
+        validate_flow(&net, 0, 5, 1e-9).expect("conservation after PR");
+    }
+
+    #[test]
+    fn bottleneck_forces_trapped_excess() {
+        // Source saturates 0→1 with 10, but only 1 unit can continue; the
+        // second phase must cancel the other 9 to keep conservation.
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        let e01 = net.add_edge(0, 1, 10.0);
+        net.add_edge(1, 2, 1.0);
+        assert_eq!(pr(&mut net, 0, 2), 1.0);
+        validate_flow(&net, 0, 2, 1e-9).expect("conservation");
+        assert_eq!(net.flow(e01), 1.0);
+    }
+
+    #[test]
+    fn exact_rational() {
+        let mut net: FlowNetwork<Rational> = FlowNetwork::new(4);
+        net.add_edge(0, 1, rat(2, 3));
+        net.add_edge(0, 2, rat(1, 3));
+        net.add_edge(1, 3, rat(1, 2));
+        net.add_edge(2, 3, rat(1, 2));
+        let f = pr(&mut net, 0, 3);
+        assert_eq!(f, rat(5, 6));
+        validate_flow(&net, 0, 3, 0.0).expect("conservation");
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(2, 3, 5.0);
+        assert_eq!(pr(&mut net, 0, 3), 0.0);
+        validate_flow(&net, 0, 3, 1e-9).expect("conservation");
+    }
+
+    #[test]
+    fn zigzag_network() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 1.0);
+        assert_eq!(pr(&mut net, 0, 3), 2.0);
+        validate_flow(&net, 0, 3, 1e-9).expect("conservation");
+    }
+}

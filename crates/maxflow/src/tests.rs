@@ -1,0 +1,142 @@
+//! Cross-engine tests: Dinic vs push–relabel on random networks, min-cut
+//! certification, and exact-vs-float agreement.
+
+use crate::validate::{cut_capacity, validate_flow};
+use crate::{max_flow_dinic, max_flow_push_relabel, FlowNetwork};
+use mpss_numeric::{FlowNum, Rational};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random network on `n` nodes with integer capacities (as T) so
+/// that the float and exact paths see identical inputs.
+fn random_network<T: FlowNum>(n: usize, density: f64, seed: u64) -> FlowNetwork<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = FlowNetwork::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(density) {
+                let cap = rng.gen_range(0..=20u32) as usize;
+                net.add_edge(u, v, T::from_usize(cap));
+            }
+        }
+    }
+    net
+}
+
+#[test]
+fn engines_agree_on_random_networks() {
+    for seed in 0..30u64 {
+        let n = 8 + (seed as usize % 8);
+        let mut a: FlowNetwork<f64> = random_network(n, 0.3, seed);
+        let mut b = a.clone();
+        let fd = max_flow_dinic(&mut a, 0, n - 1);
+        let fp = max_flow_push_relabel(&mut b, 0, n - 1);
+        assert!(
+            (fd - fp).abs() <= 1e-9 * fd.abs().max(1.0),
+            "seed {seed}: dinic {fd} vs push-relabel {fp}"
+        );
+        validate_flow(&a, 0, n - 1, 1e-9).expect("dinic conservation");
+        validate_flow(&b, 0, n - 1, 1e-9).expect("push-relabel conservation");
+    }
+}
+
+#[test]
+fn float_and_exact_agree_on_integer_instances() {
+    for seed in 0..15u64 {
+        let n = 10;
+        let mut f: FlowNetwork<f64> = random_network(n, 0.25, 1000 + seed);
+        let mut r: FlowNetwork<Rational> = random_network(n, 0.25, 1000 + seed);
+        let ff = max_flow_dinic(&mut f, 0, n - 1);
+        let fr = max_flow_dinic(&mut r, 0, n - 1);
+        assert!(
+            (ff - fr.to_f64()).abs() < 1e-9,
+            "seed {seed}: float {ff} vs exact {fr:?}"
+        );
+        assert!(
+            fr.is_integer(),
+            "integer capacities must give integer max flow"
+        );
+    }
+}
+
+#[test]
+fn min_cut_certificate_on_random_networks() {
+    for seed in 0..20u64 {
+        let n = 12;
+        let mut net: FlowNetwork<f64> = random_network(n, 0.3, 2000 + seed);
+        let f = max_flow_dinic(&mut net, 0, n - 1);
+        let reach = net.residual_reachable(0);
+        assert!(!reach[n - 1], "sink reachable after max flow (seed {seed})");
+        let cut = cut_capacity(&net, &reach);
+        assert!(
+            (f - cut).abs() <= 1e-9 * f.abs().max(1.0),
+            "seed {seed}: flow {f} ≠ cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn layered_scheduling_shape_fractional_caps() {
+    // A miniature job×interval network with fractional capacities, checked
+    // exactly: 3 jobs needing 3/2 each; 2 intervals of length 2 with 2 and 1
+    // reserved processors. Total demand 9/2, supply 4·... = 2·2 + 1·2 = 6.
+    // Per-job-per-interval cap 2 ⇒ all demand routable: max flow = 9/2.
+    let mut net: FlowNetwork<Rational> = FlowNetwork::new(7);
+    let (s, t) = (0usize, 6usize);
+    let half3 = Rational::new(3, 2);
+    let two = Rational::from_int(2);
+    for j in 1..=3 {
+        net.add_edge(s, j, half3);
+    }
+    for (iv, procs) in [(4usize, 2i64), (5usize, 1i64)] {
+        net.add_edge(iv, t, Rational::from_int(procs) * two);
+    }
+    for j in 1..=3 {
+        for iv in 4..=5 {
+            net.add_edge(j, iv, two);
+        }
+    }
+    let f = max_flow_dinic(&mut net, s, t);
+    assert_eq!(f, Rational::new(9, 2));
+    validate_flow(&net, s, t, 0.0).expect("exact conservation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Engines agree and both satisfy conservation on arbitrary small
+    /// networks drawn by proptest.
+    #[test]
+    fn prop_engines_agree(seed in 0u64..10_000, n in 4usize..12, density in 0.1f64..0.6) {
+        let mut a: FlowNetwork<f64> = random_network(n, density, seed);
+        let mut b = a.clone();
+        let fd = max_flow_dinic(&mut a, 0, n - 1);
+        let fp = max_flow_push_relabel(&mut b, 0, n - 1);
+        prop_assert!((fd - fp).abs() <= 1e-9 * fd.abs().max(1.0));
+        prop_assert!(validate_flow(&a, 0, n - 1, 1e-9).is_ok());
+        prop_assert!(validate_flow(&b, 0, n - 1, 1e-9).is_ok());
+    }
+
+    /// Max-flow value is monotone in capacities: doubling every capacity at
+    /// least preserves (in fact doubles) the value.
+    #[test]
+    fn prop_flow_scales_linearly(seed in 0u64..10_000, n in 4usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net1: FlowNetwork<f64> = FlowNetwork::new(n);
+        let mut net2: FlowNetwork<f64> = FlowNetwork::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(0.35) {
+                    let c = rng.gen_range(0..=10u32) as f64;
+                    net1.add_edge(u, v, c);
+                    net2.add_edge(u, v, 2.0 * c);
+                }
+            }
+        }
+        let f1 = max_flow_dinic(&mut net1, 0, n - 1);
+        let f2 = max_flow_dinic(&mut net2, 0, n - 1);
+        prop_assert!((f2 - 2.0 * f1).abs() <= 1e-9 * f2.abs().max(1.0),
+            "f1 {f1} f2 {f2}");
+    }
+}

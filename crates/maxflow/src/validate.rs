@@ -1,0 +1,161 @@
+//! Engine-agnostic validation of a computed flow assignment.
+
+use crate::network::{FlowNetwork, NodeId};
+use mpss_numeric::FlowNum;
+
+/// A violation found by [`validate_flow`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowViolation {
+    /// An edge carries negative flow or more than its capacity.
+    Capacity {
+        edge_index: usize,
+        flow: f64,
+        cap: f64,
+    },
+    /// A non-terminal node has non-zero net flow.
+    Conservation { node: NodeId, net: f64 },
+    /// Source and sink imbalances disagree.
+    Imbalance { out_of_source: f64, into_sink: f64 },
+}
+
+impl std::fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowViolation::Capacity {
+                edge_index,
+                flow,
+                cap,
+            } => {
+                write!(f, "edge #{edge_index}: flow {flow} outside [0, {cap}]")
+            }
+            FlowViolation::Conservation { node, net } => {
+                write!(f, "node {node}: net flow {net} ≠ 0")
+            }
+            FlowViolation::Imbalance {
+                out_of_source,
+                into_sink,
+            } => {
+                write!(
+                    f,
+                    "source outflow {out_of_source} ≠ sink inflow {into_sink}"
+                )
+            }
+        }
+    }
+}
+
+/// Checks that the flow stored in `net` satisfies capacity constraints on
+/// every edge and conservation at every node other than `s`/`t`, and that
+/// the source's outflow matches the sink's inflow.
+///
+/// `eps` is the relative tolerance for the `f64` instantiation (ignored by
+/// exact types).
+pub fn validate_flow<T: FlowNum>(
+    net: &FlowNetwork<T>,
+    s: NodeId,
+    t: NodeId,
+    eps: f64,
+) -> Result<(), FlowViolation> {
+    for (k, (id, _, _, cap, flow)) in net.iter_edges().enumerate() {
+        let _ = id;
+        let ok_lower = T::leq(T::zero(), flow, cap, eps);
+        let ok_upper = T::leq(flow, cap, cap, eps);
+        if !ok_lower || !ok_upper {
+            return Err(FlowViolation::Capacity {
+                edge_index: k,
+                flow: flow.to_f64(),
+                cap: cap.to_f64(),
+            });
+        }
+    }
+    let scale = net
+        .iter_edges()
+        .fold(T::zero(), |acc, (_, _, _, cap, _)| acc.max2(cap));
+    for v in 0..net.num_nodes() {
+        if v == s || v == t {
+            continue;
+        }
+        let nf = net.net_out_flow(v);
+        if !T::close(nf, T::zero(), scale, eps) {
+            return Err(FlowViolation::Conservation {
+                node: v,
+                net: nf.to_f64(),
+            });
+        }
+    }
+    let out = net.net_out_flow(s);
+    let inn = -net.net_out_flow(t);
+    if !T::close(out, inn, out.max2(inn), eps) {
+        return Err(FlowViolation::Imbalance {
+            out_of_source: out.to_f64(),
+            into_sink: inn.to_f64(),
+        });
+    }
+    Ok(())
+}
+
+/// Computes the capacity of the cut induced by `reachable` (the source side
+/// of a residual-reachability cut), i.e. the total capacity of forward edges
+/// crossing from reachable to unreachable nodes.
+///
+/// By max-flow/min-cut this equals the max-flow value when `reachable` comes
+/// from [`FlowNetwork::residual_reachable`] after a max-flow run — an
+/// independent certificate of optimality that the test-suite checks for both
+/// engines.
+pub fn cut_capacity<T: FlowNum>(net: &FlowNetwork<T>, reachable: &[bool]) -> T {
+    let mut total = T::zero();
+    for (_, from, to, cap, _) in net.iter_edges() {
+        if reachable[from] && !reachable[to] {
+            total += cap;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_flow_dinic;
+
+    #[test]
+    fn valid_flow_passes() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        max_flow_dinic(&mut net, 0, 2);
+        assert_eq!(validate_flow(&net, 0, 2, 1e-9), Ok(()));
+    }
+
+    #[test]
+    fn zero_flow_is_valid() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        assert_eq!(validate_flow(&net, 0, 2, 1e-9), Ok(()));
+    }
+
+    #[test]
+    fn min_cut_certifies_max_flow() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        let f = max_flow_dinic(&mut net, 0, 5);
+        let reach = net.residual_reachable(0);
+        assert!(!reach[5], "sink must be unreachable after max flow");
+        assert_eq!(cut_capacity(&net, &reach), f);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = FlowViolation::Conservation { node: 3, net: 0.5 };
+        assert!(format!("{v}").contains("node 3"));
+    }
+}

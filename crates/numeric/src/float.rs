@@ -1,0 +1,194 @@
+//! Tolerance-aware floating-point comparisons.
+//!
+//! The offline algorithm compares a computed maximum-flow value against a
+//! target and tests individual edges for saturation. In `f64` those values
+//! are sums of hundreds of terms, so "equal" must mean "equal up to a
+//! relative epsilon scaled by the magnitude of the problem". [`FloatTol`]
+//! centralizes that policy so every call site uses the same semantics.
+
+/// Relative/absolute tolerance used across the `f64` pipeline.
+///
+/// Two values `a`, `b` are *close under scale `s`* when
+/// `|a − b| ≤ eps · max(1, |s|)`. The scale is chosen by the caller as the
+/// natural magnitude of the comparison (e.g. the flow target `F_G`), which
+/// makes the test robust for both tiny and huge instances.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FloatTol {
+    /// Relative epsilon. The default (`1e-9`) leaves ~6 decimal digits of
+    /// headroom over `f64`'s ~15–16 digits for accumulated summation error.
+    pub eps: f64,
+}
+
+impl Default for FloatTol {
+    #[inline]
+    fn default() -> Self {
+        FloatTol { eps: 1e-9 }
+    }
+}
+
+impl FloatTol {
+    /// A tolerance with the given relative epsilon.
+    #[inline]
+    pub const fn new(eps: f64) -> FloatTol {
+        FloatTol { eps }
+    }
+
+    /// Absolute slack at magnitude `scale`.
+    #[inline]
+    pub fn slack(self, scale: f64) -> f64 {
+        self.eps * scale.abs().max(1.0)
+    }
+
+    /// `a ≈ b` at magnitude `scale`.
+    #[inline]
+    pub fn close(self, a: f64, b: f64, scale: f64) -> bool {
+        (a - b).abs() <= self.slack(scale)
+    }
+
+    /// `a < b` by more than the slack at magnitude `scale` (a *definite*
+    /// strict inequality that cannot be a rounding artifact).
+    #[inline]
+    pub fn definitely_lt(self, a: f64, b: f64, scale: f64) -> bool {
+        a < b - self.slack(scale)
+    }
+
+    /// `a > b` by more than the slack at magnitude `scale`.
+    #[inline]
+    pub fn definitely_gt(self, a: f64, b: f64, scale: f64) -> bool {
+        a > b + self.slack(scale)
+    }
+
+    /// `a ≤ b` up to slack (i.e. not definitely greater).
+    #[inline]
+    pub fn leq(self, a: f64, b: f64, scale: f64) -> bool {
+        !self.definitely_gt(a, b, scale)
+    }
+
+    /// `a ≥ b` up to slack (i.e. not definitely smaller).
+    #[inline]
+    pub fn geq(self, a: f64, b: f64, scale: f64) -> bool {
+        !self.definitely_lt(a, b, scale)
+    }
+
+    /// `a ≈ 0` at magnitude `scale`.
+    #[inline]
+    pub fn is_zero(self, a: f64, scale: f64) -> bool {
+        self.close(a, 0.0, scale)
+    }
+}
+
+/// Kahan–Babuška compensated summation.
+///
+/// The energy and flow-value accumulations sum thousands of terms of mixed
+/// magnitude; compensated summation keeps the error independent of the term
+/// count, which in turn lets [`FloatTol`]'s epsilon stay tight.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// An empty sum.
+    #[inline]
+    pub fn new() -> KahanSum {
+        KahanSum::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = KahanSum::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_uses_relative_scale() {
+        let tol = FloatTol::default();
+        // At scale 1e6 a difference of 1e-4 is within 1e-9 * 1e6 = 1e-3.
+        assert!(tol.close(1_000_000.0, 1_000_000.000_1, 1_000_000.0));
+        // At scale 1 the same absolute difference is not close.
+        assert!(!tol.close(0.0, 0.0001, 1.0));
+    }
+
+    #[test]
+    fn definite_inequalities_exclude_rounding_noise() {
+        let tol = FloatTol::default();
+        assert!(!tol.definitely_lt(1.0, 1.0 + 1e-12, 1.0));
+        assert!(tol.definitely_lt(1.0, 1.1, 1.0));
+        assert!(!tol.definitely_gt(1.0 + 1e-12, 1.0, 1.0));
+        assert!(tol.definitely_gt(1.1, 1.0, 1.0));
+    }
+
+    #[test]
+    fn leq_geq_are_complements_of_definite() {
+        let tol = FloatTol::default();
+        assert!(tol.leq(1.0 + 1e-12, 1.0, 1.0));
+        assert!(!tol.leq(1.1, 1.0, 1.0));
+        assert!(tol.geq(1.0 - 1e-12, 1.0, 1.0));
+        assert!(!tol.geq(0.9, 1.0, 1.0));
+    }
+
+    #[test]
+    fn slack_has_absolute_floor_of_eps() {
+        let tol = FloatTol::new(1e-9);
+        assert_eq!(tol.slack(0.0), 1e-9);
+        assert_eq!(tol.slack(0.5), 1e-9);
+        assert_eq!(tol.slack(-2.0), 2e-9);
+    }
+
+    #[test]
+    fn kahan_beats_naive_summation() {
+        // Sum 1.0 followed by 1e8 copies of 1e-8: exact answer 2.0.
+        let mut k = KahanSum::new();
+        let mut naive = 0.0f64;
+        k.add(1.0);
+        naive += 1.0;
+        for _ in 0..100_000_000_usize {
+            k.add(1e-8);
+            naive += 1e-8;
+        }
+        assert!((k.value() - 2.0).abs() < 1e-12, "kahan = {}", k.value());
+        // The naive sum drifts noticeably more.
+        assert!((naive - 2.0).abs() > (k.value() - 2.0).abs());
+    }
+
+    #[test]
+    fn kahan_from_iterator() {
+        let s: KahanSum = [0.1f64; 10].into_iter().collect();
+        assert!((s.value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn is_zero_at_scale() {
+        let tol = FloatTol::default();
+        assert!(tol.is_zero(1e-6, 1e4));
+        assert!(!tol.is_zero(1e-6, 1.0));
+    }
+}

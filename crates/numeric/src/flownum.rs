@@ -1,0 +1,221 @@
+//! The [`FlowNum`] abstraction: a numeric type usable as flow/time/volume
+//! throughout the max-flow engines and the offline scheduling algorithm.
+//!
+//! Two implementations ship with the workspace:
+//! `f64` (tolerance-aware, production path) and [`Rational`](crate::Rational)
+//! (exact, ground-truth path). The trait deliberately bundles *comparison
+//! policy* (`close`, `definitely_lt`) with arithmetic so algorithms written
+//! against it are correct under both semantics: the exact type ignores the
+//! epsilon argument, the float type applies it relative to a caller-provided
+//! scale.
+
+use crate::{FloatTol, Rational};
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Numbers that can serve as capacities, flows, times and volumes.
+pub trait FlowNum:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Human-readable name of the numeric mode (used in logs/benches).
+    const NAME: &'static str;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a small non-negative integer.
+    fn from_usize(n: usize) -> Self;
+    /// Nearest `f64` (for reporting; exact types may round).
+    fn to_f64(self) -> f64;
+
+    /// Exact strict positivity (`> 0`), used for residual-edge traversal.
+    fn is_strictly_positive(self) -> bool;
+    /// Smaller of two values.
+    fn min2(self, other: Self) -> Self;
+    /// Larger of two values.
+    fn max2(self, other: Self) -> Self;
+
+    /// `a ≈ b` at magnitude `scale` with relative epsilon `eps`
+    /// (exact types ignore `eps` and test equality).
+    fn close(a: Self, b: Self, scale: Self, eps: f64) -> bool;
+    /// `a < b` definitely (beyond rounding noise at magnitude `scale`).
+    fn definitely_lt(a: Self, b: Self, scale: Self, eps: f64) -> bool;
+
+    /// `a ≤ b` up to tolerance (not definitely greater).
+    #[inline]
+    fn leq(a: Self, b: Self, scale: Self, eps: f64) -> bool {
+        !Self::definitely_lt(b, a, scale, eps)
+    }
+}
+
+impl FlowNum for f64 {
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn zero() -> f64 {
+        0.0
+    }
+    #[inline]
+    fn one() -> f64 {
+        1.0
+    }
+    #[inline]
+    fn from_usize(n: usize) -> f64 {
+        n as f64
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn is_strictly_positive(self) -> bool {
+        self > 0.0
+    }
+    #[inline]
+    fn min2(self, other: f64) -> f64 {
+        self.min(other)
+    }
+    #[inline]
+    fn max2(self, other: f64) -> f64 {
+        self.max(other)
+    }
+    #[inline]
+    fn close(a: f64, b: f64, scale: f64, eps: f64) -> bool {
+        FloatTol::new(eps).close(a, b, scale)
+    }
+    #[inline]
+    fn definitely_lt(a: f64, b: f64, scale: f64, eps: f64) -> bool {
+        FloatTol::new(eps).definitely_lt(a, b, scale)
+    }
+}
+
+impl FlowNum for Rational {
+    const NAME: &'static str = "rational";
+
+    #[inline]
+    fn zero() -> Rational {
+        Rational::ZERO
+    }
+    #[inline]
+    fn one() -> Rational {
+        Rational::ONE
+    }
+    #[inline]
+    fn from_usize(n: usize) -> Rational {
+        Rational::from_int(n as i64)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Rational::to_f64(self)
+    }
+    #[inline]
+    fn is_strictly_positive(self) -> bool {
+        self.is_positive()
+    }
+    #[inline]
+    fn min2(self, other: Rational) -> Rational {
+        Rational::min(self, other)
+    }
+    #[inline]
+    fn max2(self, other: Rational) -> Rational {
+        Rational::max(self, other)
+    }
+    #[inline]
+    fn close(a: Rational, b: Rational, _scale: Rational, _eps: f64) -> bool {
+        a == b
+    }
+    #[inline]
+    fn definitely_lt(a: Rational, b: Rational, _scale: Rational, _eps: f64) -> bool {
+        a < b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    /// The generic code paths must behave identically for both numeric
+    /// modes on exact inputs; this exercises the trait surface generically.
+    fn sum_three<T: FlowNum>(a: T, b: T, c: T) -> T {
+        let mut s = T::zero();
+        s += a;
+        s += b;
+        s += c;
+        s
+    }
+
+    #[test]
+    fn generic_arithmetic_agrees_between_modes() {
+        let f = sum_three(0.5f64, 0.25, 0.25);
+        let r = sum_three(rat(1, 2), rat(1, 4), rat(1, 4));
+        assert_eq!(f, 1.0);
+        assert_eq!(r, Rational::ONE);
+        assert_eq!(r.to_f64(), f);
+    }
+
+    #[test]
+    fn rational_close_is_exact() {
+        assert!(Rational::close(rat(1, 3), rat(2, 6), Rational::ONE, 1e-3));
+        assert!(!Rational::close(
+            rat(1, 3),
+            rat(333_333, 1_000_000),
+            Rational::ONE,
+            1.0 // huge eps is still ignored
+        ));
+    }
+
+    #[test]
+    fn float_close_respects_eps_and_scale() {
+        assert!(f64::close(100.0, 100.0 + 5e-8, 100.0, 1e-9));
+        assert!(!f64::close(1.0, 1.0 + 5e-8, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn definitely_lt_semantics() {
+        assert!(f64::definitely_lt(1.0, 2.0, 1.0, 1e-9));
+        assert!(!f64::definitely_lt(1.0, 1.0 + 1e-12, 1.0, 1e-9));
+        assert!(Rational::definitely_lt(
+            rat(1, 3),
+            rat(1, 2),
+            Rational::ONE,
+            1e-9
+        ));
+        assert!(!Rational::definitely_lt(
+            rat(1, 2),
+            rat(1, 2),
+            Rational::ONE,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn leq_default_impl() {
+        assert!(f64::leq(1.0 + 1e-12, 1.0, 1.0, 1e-9));
+        assert!(!f64::leq(1.1, 1.0, 1.0, 1e-9));
+        assert!(Rational::leq(rat(1, 2), rat(1, 2), Rational::ONE, 0.0));
+        assert!(!Rational::leq(rat(2, 3), rat(1, 2), Rational::ONE, 0.0));
+    }
+
+    #[test]
+    fn min_max_and_embeddings() {
+        assert_eq!(f64::from_usize(7), 7.0);
+        assert_eq!(Rational::from_usize(7), rat(7, 1));
+        assert_eq!(3.0f64.min2(2.0), 2.0);
+        assert_eq!(rat(3, 1).max2(rat(2, 1)), rat(3, 1));
+    }
+}

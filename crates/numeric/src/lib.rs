@@ -1,0 +1,49 @@
+//! Numeric substrate for the `mpss` workspace.
+//!
+//! The offline algorithm of Albers–Antoniadis–Greiner decides whether a
+//! maximum flow saturates a target value `F_G = W/s`. Doing that decision in
+//! floating point requires careful tolerances; doing it in exact rational
+//! arithmetic requires a rational type whose denominators stay small. This
+//! crate provides both, unified under the [`FlowNum`] trait so the max-flow
+//! engines and the offline solver can be instantiated with either:
+//!
+//! * [`Rational`] — an exact `i128`-backed rational with aggressive
+//!   normalization and overflow-checked arithmetic. On instances with
+//!   integer (or rational) release times, deadlines and volumes, the whole
+//!   offline pipeline is bit-exact.
+//! * `f64` — the production path, with comparisons routed through
+//!   [`FloatTol`] so "is the flow equal to the target" is a relative-epsilon
+//!   decision rather than bitwise equality.
+//!
+//! ```
+//! use mpss_numeric::{FlowNum, FloatTol, Rational};
+//!
+//! // Exact arithmetic: a third plus a sixth is exactly a half.
+//! let r = Rational::new(1, 3) + Rational::new(1, 6);
+//! assert_eq!(r, Rational::new(1, 2));
+//!
+//! // The float path answers the same question through a tolerance.
+//! let f = 1.0_f64 / 3.0 + 1.0 / 6.0;
+//! assert!(FloatTol::default().close(f, 0.5, 1.0));
+//!
+//! // Generic code sees one interface:
+//! fn halve<T: FlowNum>(x: T) -> T { x / (T::one() + T::one()) }
+//! assert_eq!(halve(Rational::new(1, 2)), Rational::new(1, 4));
+//! assert_eq!(halve(0.5_f64), 0.25);
+//! ```
+
+// `!(a < b)` on our FlowNum types deliberately reads as "b ≤ a, treating
+// incomparable (impossible for validated inputs) as false"; rewriting via
+// partial_cmp would obscure the tolerance-free intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod float;
+pub mod flownum;
+pub mod rational;
+
+pub use float::{FloatTol, KahanSum};
+pub use flownum::FlowNum;
+pub use rational::Rational;
+
+#[cfg(test)]
+mod proptests;

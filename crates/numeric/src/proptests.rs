@@ -1,0 +1,87 @@
+//! Property-based tests for the numeric substrate.
+
+use crate::rational::rat;
+use crate::Rational;
+use proptest::prelude::*;
+
+/// Strategy producing rationals with moderate numerators/denominators, so
+/// that chains of operations stay far away from `i128` overflow.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| rat(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn normalized_invariant(a in small_rational(), b in small_rational()) {
+        for r in [a + b, a - b, a * b] {
+            prop_assert!(r.denom() > 0);
+            let g = {
+                let (mut x, mut y) = (r.numer().unsigned_abs(), r.denom().unsigned_abs());
+                while y != 0 { let t = x % y; x = y; y = t; }
+                x
+            };
+            prop_assert!(r.numer() == 0 || g == 1, "not reduced: {:?}", r);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in small_rational(), b in small_rational()) {
+        // For small rationals f64 conversion is exact enough to agree with
+        // the exact order whenever the values differ meaningfully.
+        if (a.to_f64() - b.to_f64()).abs() > 1e-9 {
+            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rational::from_int(f as i64) <= a);
+        prop_assert!(a <= Rational::from_int(c as i64));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() { prop_assert_eq!(f, c); }
+    }
+
+    #[test]
+    fn pow_agrees_with_f64(a in small_rational(), e in 0u32..5) {
+        let exact = a.pow(e).to_f64();
+        let approx = a.to_f64().powi(e as i32);
+        let scale = approx.abs().max(1.0);
+        prop_assert!((exact - approx).abs() <= 1e-9 * scale,
+            "pow mismatch: {:?}^{} exact {} approx {}", a, e, exact, approx);
+    }
+
+    #[test]
+    fn abs_and_neg(a in small_rational()) {
+        prop_assert!(a.abs() >= Rational::ZERO);
+        prop_assert_eq!(a.abs(), (-a).abs());
+        prop_assert_eq!(-(-a), a);
+    }
+}

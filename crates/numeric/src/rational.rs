@@ -1,0 +1,507 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! Values are kept normalized (`den > 0`, `gcd(|num|, den) == 1`) after every
+//! operation, which keeps denominators as small as mathematically possible.
+//! All arithmetic is overflow-checked; an overflow aborts with a clear panic
+//! message rather than wrapping silently. For the instance sizes used in
+//! this workspace (integer inputs up to ~10^6, a few thousand additions with
+//! shared denominators), `i128` headroom is ample.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An exact rational number `num/den` with `den > 0` and the fraction in
+/// lowest terms.
+#[derive(Copy, Clone, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers (binary-free
+/// Euclidean version; inputs small enough that this is never hot).
+#[inline]
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cold]
+#[inline(never)]
+fn overflow(op: &str) -> ! {
+    panic!("mpss-numeric: i128 overflow in Rational::{op}; inputs too large for exact arithmetic")
+}
+
+impl Rational {
+    /// The rational 0/1.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1/1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num/den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// ```
+    /// use mpss_numeric::Rational;
+    /// let r = Rational::new(6, -8);
+    /// assert_eq!((r.numer(), r.denom()), (-3, 4));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational::new: zero denominator");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs() as i128, den);
+        if g <= 1 {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: num / g,
+                den: den / g,
+            }
+        }
+    }
+
+    /// The integer `n` as a rational.
+    #[inline]
+    pub const fn from_int(n: i64) -> Rational {
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator of the normalized fraction (sign-carrying).
+    #[inline]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the normalized fraction (always positive).
+    #[inline]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is an integer.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Nearest `f64` (exact when numerator/denominator fit in 53 bits).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "Rational::recip of zero");
+        if self.num < 0 {
+            Rational {
+                num: -self.den,
+                den: -self.num,
+            }
+        } else {
+            Rational {
+                num: self.den,
+                den: self.num,
+            }
+        }
+    }
+
+    /// Integer power (exponent ≥ 0). Used for exact energy `s^α · t` with
+    /// integer `α`.
+    pub fn pow(self, mut e: u32) -> Rational {
+        let mut base = self;
+        let mut acc = Rational::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base * base;
+            }
+        }
+        acc
+    }
+
+    /// Largest integer `k` with `k ≤ self` (floor).
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            // Round toward negative infinity.
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer `k` with `k ≥ self` (ceil).
+    pub fn ceil(self) -> i128 {
+        -((-self).floor())
+    }
+
+    /// Smaller of two rationals.
+    #[inline]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two rationals.
+    #[inline]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Builds a rational from an `f64` that is known to be a small decimal
+    /// (e.g. test fixtures like `2.5`). Uses a denominator of at most
+    /// `10^9`; panics on NaN/inf.
+    pub fn approx_from_f64(x: f64) -> Rational {
+        assert!(x.is_finite(), "Rational::approx_from_f64: non-finite input");
+        const DEN: i128 = 1_000_000_000;
+        let scaled = (x * DEN as f64).round();
+        assert!(
+            scaled.abs() < (i128::MAX / 2) as f64,
+            "Rational::approx_from_f64: input out of range"
+        );
+        Rational::new(scaled as i128, DEN)
+    }
+}
+
+impl Default for Rational {
+    #[inline]
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    #[inline]
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<u32> for Rational {
+    #[inline]
+    fn from(n: u32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l  with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let lb = rhs.den / g; // l / self.den
+        let ld = self.den / g; // l / rhs.den
+        let num = self
+            .num
+            .checked_mul(lb)
+            .and_then(|x| rhs.num.checked_mul(ld).and_then(|y| x.checked_add(y)))
+            .unwrap_or_else(|| overflow("add"));
+        let den = self.den.checked_mul(lb).unwrap_or_else(|| overflow("add"));
+        Rational::new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    #[inline]
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    #[inline]
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
+        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .unwrap_or_else(|| overflow("mul"));
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .unwrap_or_else(|| overflow("mul"));
+        Rational { num, den }
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl AddAssign for Rational {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    #[inline]
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialEq for Rational {
+    #[inline]
+    fn eq(&self, other: &Rational) -> bool {
+        // Normalized representation is canonical.
+        self.num == other.num && self.den == other.den
+    }
+}
+impl Eq for Rational {}
+
+impl PartialOrd for Rational {
+    #[inline]
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d via a·d' vs c·b' with cross-reduction.
+        let g = gcd(self.den, other.den);
+        let lhs = self
+            .num
+            .checked_mul(other.den / g)
+            .unwrap_or_else(|| overflow("cmp"));
+        let rhs = other
+            .num
+            .checked_mul(self.den / g)
+            .unwrap_or_else(|| overflow("cmp"));
+        lhs.cmp(&rhs)
+    }
+}
+
+impl core::hash::Hash for Rational {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Convenience constructor: `rat(3, 4)` is `3/4`.
+#[inline]
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_fixes_sign() {
+        let r = Rational::new(6, -8);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 4);
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+        assert_eq!(Rational::new(-4, -2), Rational::from_int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = rat(1, 3);
+        let b = rat(1, 6);
+        assert_eq!(a + b, rat(1, 2));
+        assert_eq!(a - b, rat(1, 6));
+        assert_eq!(a * b, rat(1, 18));
+        assert_eq!(a / b, rat(2, 1));
+        assert_eq!(-a, rat(-1, 3));
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut x = rat(3, 7);
+        x += rat(2, 7);
+        assert_eq!(x, rat(5, 7));
+        x -= rat(1, 7);
+        assert_eq!(x, rat(4, 7));
+        x *= rat(7, 2);
+        assert_eq!(x, rat(2, 1));
+        x /= rat(4, 1);
+        assert_eq!(x, rat(1, 2));
+    }
+
+    #[test]
+    fn ordering_is_total_and_correct() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == Rational::ONE);
+        assert_eq!(rat(2, 4).cmp(&rat(1, 2)), Ordering::Equal);
+        assert!(rat(10, 3) > rat(3, 1));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(rat(7, 2).floor(), 3);
+        assert_eq!(rat(7, 2).ceil(), 4);
+        assert_eq!(rat(-7, 2).floor(), -4);
+        assert_eq!(rat(-7, 2).ceil(), -3);
+        assert_eq!(rat(6, 2).floor(), 3);
+        assert_eq!(rat(6, 2).ceil(), 3);
+        assert_eq!(Rational::ZERO.floor(), 0);
+        assert_eq!(Rational::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = rat(3, 2);
+        assert_eq!(x.pow(0), Rational::ONE);
+        assert_eq!(x.pow(1), x);
+        assert_eq!(x.pow(3), rat(27, 8));
+        assert_eq!(rat(-2, 1).pow(3), rat(-8, 1));
+        assert_eq!(rat(-2, 1).pow(2), rat(4, 1));
+    }
+
+    #[test]
+    fn recip_and_signs() {
+        assert_eq!(rat(-3, 5).recip(), rat(-5, 3));
+        assert_eq!(rat(3, 5).recip(), rat(5, 3));
+        assert!(rat(-3, 5).recip().denom() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recip of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn to_f64_is_accurate_for_small_values() {
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(rat(5, 1).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn approx_from_f64_roundtrips_small_decimals() {
+        assert_eq!(Rational::approx_from_f64(2.5), rat(5, 2));
+        assert_eq!(Rational::approx_from_f64(-0.125), rat(-1, 8));
+        assert_eq!(Rational::approx_from_f64(0.0), Rational::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(rat(1, 2).min(rat(1, 3)), rat(1, 3));
+        assert_eq!(rat(1, 2).max(rat(1, 3)), rat(1, 2));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(rat(0, 3).is_zero());
+        assert!(rat(1, 3).is_positive());
+        assert!(rat(-1, 3).is_negative());
+        assert!(rat(4, 2).is_integer());
+        assert!(!rat(3, 2).is_integer());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", rat(3, 4)), "3/4");
+        assert_eq!(format!("{}", rat(8, 2)), "4");
+        assert_eq!(format!("{:?}", rat(-1, 2)), "-1/2");
+    }
+}

@@ -1,0 +1,251 @@
+//! Certificate checking for offline results — the *certifying algorithm*
+//! pattern: [`optimal_schedule`](crate::optimal_schedule) returns not just
+//! a schedule but its phase structure, and this module re-verifies that the
+//! two are consistent with the paper's optimality characterization without
+//! re-running the algorithm:
+//!
+//! 1. the schedule is feasible (independent validator);
+//! 2. every job runs at its phase's constant speed (Lemma 1 form);
+//! 3. phase speeds are strictly decreasing (`s_1 > … > s_p`);
+//! 4. processor reservations follow Lemma 3's formula
+//!    `m_ij = min(n_ij, m − Σ_{l<i} m_lj)`;
+//! 5. in every interval, each phase's jobs exactly fill its reserved
+//!    processors (`Σ_k t_kj = m_ij·|I_j|`) with per-job times ≤ `|I_j|` —
+//!    i.e. the schedule realizes a saturating flow of the phase's Fig. 1
+//!    network.
+//!
+//! Conditions 1–5 are exactly the structure the paper's Lemmas 2–5 prove
+//! an optimal schedule to have and which the algorithm constructs; a result
+//! that passes cannot have been silently mangled between computation and
+//! use (serialization, transformation, hand edits).
+
+use crate::optimal::OptimalResult;
+use mpss_core::validate::validate_schedule;
+use mpss_core::Instance;
+use mpss_numeric::FlowNum;
+
+/// Why a certificate was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateError {
+    /// The schedule itself is infeasible.
+    Infeasible(String),
+    /// A job's executed speed differs from its phase's speed.
+    WrongJobSpeed { job: usize, expected: f64, got: f64 },
+    /// A job appears in no phase (or in two).
+    BrokenPartition { job: usize },
+    /// Phase speeds are not strictly decreasing.
+    SpeedsNotDecreasing { phase: usize },
+    /// Lemma 3's reservation formula is violated.
+    BadReservation {
+        phase: usize,
+        interval: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A phase's reserved processors are not exactly filled in an interval.
+    NotSaturated { phase: usize, interval: usize },
+    /// A job exceeds `|I_j|` execution time within one interval.
+    OverfullInterval { job: usize, interval: usize },
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Verifies the structural certificate of an offline result. `eps` is the
+/// `f64` tolerance (pass 0 semantics via the exact type).
+pub fn verify_certificate<T: FlowNum>(
+    instance: &Instance<T>,
+    result: &OptimalResult<T>,
+    eps: f64,
+) -> Result<(), CertificateError> {
+    // 1. Feasibility.
+    if let Err(v) = validate_schedule(instance, &result.schedule, eps) {
+        return Err(CertificateError::Infeasible(format!(
+            "{} violations",
+            v.len()
+        )));
+    }
+
+    // 2. Partition + per-job speeds match phase speeds.
+    let mut phase_of = vec![usize::MAX; instance.n()];
+    for (i, phase) in result.phases.iter().enumerate() {
+        for &k in &phase.jobs {
+            if phase_of[k] != usize::MAX {
+                return Err(CertificateError::BrokenPartition { job: k });
+            }
+            phase_of[k] = i;
+        }
+    }
+    if let Some(job) = phase_of.iter().position(|&p| p == usize::MAX) {
+        return Err(CertificateError::BrokenPartition { job });
+    }
+    for seg in &result.schedule.segments {
+        let expected = result.phases[phase_of[seg.job]].speed;
+        if !T::close(seg.speed, expected, expected, eps) {
+            return Err(CertificateError::WrongJobSpeed {
+                job: seg.job,
+                expected: expected.to_f64(),
+                got: seg.speed.to_f64(),
+            });
+        }
+    }
+
+    // 3. Strictly decreasing ladder.
+    for (i, w) in result.phases.windows(2).enumerate() {
+        if !T::definitely_lt(w[1].speed, w[0].speed, w[0].speed, eps) {
+            return Err(CertificateError::SpeedsNotDecreasing { phase: i + 1 });
+        }
+    }
+
+    // 4 + 5. Reservations and saturation per interval.
+    let iv = &result.intervals;
+    let mut used = vec![0usize; iv.len()];
+    for (i, phase) in result.phases.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // j indexes used[], bounds(), procs[] together
+        for j in 0..iv.len() {
+            let n_ij = phase
+                .jobs
+                .iter()
+                .filter(|&&k| iv.job_active(&instance.jobs[k], j))
+                .count();
+            let expected = n_ij.min(instance.m - used[j]);
+            if phase.procs[j] != expected {
+                return Err(CertificateError::BadReservation {
+                    phase: i,
+                    interval: j,
+                    expected,
+                    got: phase.procs[j],
+                });
+            }
+            // Saturation: total time of this phase's jobs inside I_j.
+            let (a, b) = iv.bounds(j);
+            let len = iv.length(j);
+            let mut total = T::zero();
+            for seg in &result.schedule.segments {
+                if phase_of[seg.job] != i {
+                    continue;
+                }
+                let lo = seg.start.max2(a);
+                let hi = seg.end.min2(b);
+                if lo < hi {
+                    total += hi - lo;
+                }
+            }
+            let target = T::from_usize(phase.procs[j]) * len;
+            if !T::close(total, target, target.max2(T::one()), eps.max(1e-9)) {
+                return Err(CertificateError::NotSaturated {
+                    phase: i,
+                    interval: j,
+                });
+            }
+            // Per-job cap within the interval.
+            for &k in &phase.jobs {
+                let mut t_k = T::zero();
+                for seg in result.schedule.segments.iter().filter(|s| s.job == k) {
+                    let lo = seg.start.max2(a);
+                    let hi = seg.end.min2(b);
+                    if lo < hi {
+                        t_k += hi - lo;
+                    }
+                }
+                if T::definitely_lt(len, t_k, len, eps.max(1e-9)) {
+                    return Err(CertificateError::OverfullInterval {
+                        job: k,
+                        interval: j,
+                    });
+                }
+            }
+            used[j] += phase.procs[j];
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal_schedule;
+    use mpss_core::job::job;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, m: usize, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..n)
+            .map(|_| {
+                let r = rng.gen_range(0..10) as f64;
+                let span = rng.gen_range(1..=6) as f64;
+                job(r, r + span, rng.gen_range(1..=8) as f64)
+            })
+            .collect();
+        Instance::new(m, jobs).unwrap()
+    }
+
+    #[test]
+    fn genuine_results_pass() {
+        for seed in 0..20u64 {
+            let ins = random_instance(3 + (seed as usize % 7), 1 + (seed as usize % 4), seed);
+            let res = optimal_schedule(&ins).unwrap();
+            verify_certificate(&ins, &res, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: genuine certificate rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn exact_results_pass_at_zero_tolerance() {
+        let ins = random_instance(6, 2, 7).to_rational();
+        let res = optimal_schedule(&ins).unwrap();
+        verify_certificate(&ins, &res, 0.0).unwrap();
+    }
+
+    #[test]
+    fn tampered_speed_is_rejected() {
+        let ins = random_instance(5, 2, 3);
+        let mut res = optimal_schedule(&ins).unwrap();
+        res.schedule.segments[0].speed *= 1.5;
+        assert!(verify_certificate(&ins, &res, 1e-9).is_err());
+    }
+
+    #[test]
+    fn tampered_phase_membership_is_rejected() {
+        let ins = random_instance(5, 2, 4);
+        let mut res = optimal_schedule(&ins).unwrap();
+        if res.phases.len() >= 2 {
+            let moved = res.phases[1].jobs.pop();
+            if let Some(k) = moved {
+                res.phases[0].jobs.push(k);
+            }
+            assert!(verify_certificate(&ins, &res, 1e-9).is_err());
+        }
+    }
+
+    #[test]
+    fn tampered_reservation_is_rejected() {
+        let ins = random_instance(5, 2, 5);
+        let mut res = optimal_schedule(&ins).unwrap();
+        if let Some(j) = res.phases[0].procs.iter().position(|&x| x > 0) {
+            res.phases[0].procs[j] += 1;
+            let err = verify_certificate(&ins, &res, 1e-9).unwrap_err();
+            assert!(matches!(
+                err,
+                CertificateError::BadReservation { .. } | CertificateError::NotSaturated { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn dropped_segment_is_rejected_as_infeasible() {
+        let ins = random_instance(5, 2, 6);
+        let mut res = optimal_schedule(&ins).unwrap();
+        res.schedule.segments.pop();
+        assert!(matches!(
+            verify_certificate(&ins, &res, 1e-9).unwrap_err(),
+            CertificateError::Infeasible(_)
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! Discrete speed levels.
+//!
+//! Real processors expose a finite menu of frequencies (the setting of
+//! Li–Yao and Ishihara–Yasuura, cited by the paper as the discrete-speed
+//! line of work). The classical two-speed theorem says: a job that would
+//! ideally run at speed `s` runs optimally at the two *adjacent* menu
+//! speeds `σ_lo ≤ s ≤ σ_hi`, time-mixed to preserve its work. Applying the
+//! mixture segment-by-segment to our continuous optimum yields a
+//! menu-feasible schedule whose energy equals the continuous schedule's
+//! energy under the piecewise-linear interpolation of `P` on the menu —
+//! and since that interpolation is itself convex non-decreasing, the
+//! universal optimality of Theorem 1 makes the result *optimal among all
+//! menu-restricted migratory schedules* (the test-suite certifies this by
+//! matching the discretized energy against the independent LP optimum on
+//! the same menu).
+
+use mpss_core::{Schedule, Segment};
+
+/// Errors from menu discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscretizeError {
+    /// The menu is empty or not strictly increasing/positive.
+    BadMenu,
+    /// A segment needs a speed above the top menu speed.
+    SpeedAboveMenu { required: f64, top: f64 },
+}
+
+impl std::fmt::Display for DiscretizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscretizeError::BadMenu => write!(f, "menu must be strictly increasing and positive"),
+            DiscretizeError::SpeedAboveMenu { required, top } => {
+                write!(f, "required speed {required} exceeds top menu speed {top}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscretizeError {}
+
+/// Converts a continuous-speed schedule to one using only `menu` speeds
+/// (strictly increasing, positive), via the per-segment two-speed mixture.
+///
+/// ```
+/// use mpss_core::{Schedule, Segment};
+/// use mpss_offline::discrete::discretize_speeds;
+///
+/// let mut s = Schedule::new(1);
+/// s.push(Segment { job: 0, proc: 0, start: 0.0, end: 2.0, speed: 1.5 });
+/// let d = discretize_speeds(&s, &[1.0, 2.0]).unwrap();
+/// // 1.5 = half time at 2.0 + half at 1.0 (work preserved: 3.0).
+/// assert_eq!(d.segments.len(), 2);
+/// assert_eq!(d.total_work(), 3.0);
+/// ```
+///
+/// Each segment `[a, b)` at speed `s` becomes at most two segments inside
+/// the same window on the same processor: the `σ_hi` part first, then the
+/// `σ_lo` part, with `t_hi·σ_hi + t_lo·σ_lo = s·(b − a)`. Below the lowest
+/// menu speed, the job runs at `σ_1` for `s(b−a)/σ_1 ≤ b − a` time and the
+/// processor idles the rest — feasibility is preserved in every case.
+pub fn discretize_speeds(
+    schedule: &Schedule<f64>,
+    menu: &[f64],
+) -> Result<Schedule<f64>, DiscretizeError> {
+    if menu.is_empty() || menu[0] <= 0.0 || menu.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(DiscretizeError::BadMenu);
+    }
+    let top = *menu.last().unwrap();
+    let mut out = Schedule::new(schedule.m);
+    for seg in &schedule.segments {
+        let s = seg.speed;
+        let dur = seg.duration();
+        if s > top * (1.0 + 1e-12) {
+            return Err(DiscretizeError::SpeedAboveMenu { required: s, top });
+        }
+        // Exact menu hit (or top-speed clamp within tolerance).
+        if let Some(&hit) = menu.iter().find(|&&q| (q - s).abs() <= 1e-12 * q.max(1.0)) {
+            out.push(Segment { speed: hit, ..*seg });
+            continue;
+        }
+        if s < menu[0] {
+            // Run at the lowest speed for the work-preserving prefix.
+            let t = s * dur / menu[0];
+            out.push(Segment {
+                speed: menu[0],
+                end: seg.start + t,
+                ..*seg
+            });
+            continue;
+        }
+        // Adjacent pair straddling s.
+        let hi_idx = menu.partition_point(|&q| q < s);
+        let (lo, hi) = (menu[hi_idx - 1], menu[hi_idx]);
+        // t_hi·hi + (dur − t_hi)·lo = s·dur
+        let t_hi = dur * (s - lo) / (hi - lo);
+        out.push(Segment {
+            speed: hi,
+            end: seg.start + t_hi,
+            ..*seg
+        });
+        out.push(Segment {
+            speed: lo,
+            start: seg.start + t_hi,
+            ..*seg
+        });
+    }
+    out.normalize();
+    Ok(out)
+}
+
+/// Energy of a continuous schedule under the piecewise-linear interpolation
+/// of `P` on `menu` — by construction exactly the energy of
+/// [`discretize_speeds`]' output under the true `P`.
+pub fn interpolated_energy(
+    schedule: &Schedule<f64>,
+    power: &impl mpss_core::PowerFunction,
+    menu: &[f64],
+) -> f64 {
+    let pl = mpss_core::power::PiecewiseLinear::new(
+        std::iter::once((0.0, power.power(0.0) * 0.0))
+            .chain(menu.iter().map(|&q| (q, power.power(q))))
+            .collect(),
+    );
+    mpss_core::energy::schedule_energy(schedule, &pl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_baseline::lp_baseline;
+    use crate::optimal_schedule;
+    use crate::yds::yds_schedule;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+    use mpss_core::Instance;
+
+    fn menu_for(instance: &Instance<f64>, k: usize) -> Vec<f64> {
+        let s_max = yds_schedule(instance)
+            .speeds
+            .first()
+            .copied()
+            .unwrap_or(1.0);
+        (1..=k).map(|q| s_max * q as f64 / k as f64).collect()
+    }
+
+    #[test]
+    fn discretized_schedule_is_feasible_and_work_preserving() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 3.0, 4.0), job(0.0, 2.0, 3.0), job(1.0, 4.0, 2.0)],
+        )
+        .unwrap();
+        let cont = optimal_schedule(&ins).unwrap().schedule;
+        let menu = menu_for(&ins, 7);
+        let disc = discretize_speeds(&cont, &menu).unwrap();
+        assert_feasible(&ins, &disc, 1e-9);
+        // Only menu speeds appear.
+        for seg in &disc.segments {
+            assert!(
+                menu.iter().any(|&q| (q - seg.speed).abs() < 1e-9),
+                "off-menu speed {}",
+                seg.speed
+            );
+        }
+    }
+
+    #[test]
+    fn energy_equals_piecewise_linear_interpolation() {
+        let ins = Instance::new(2, vec![job(0.0, 4.0, 5.0), job(1.0, 3.0, 3.0)]).unwrap();
+        let cont = optimal_schedule(&ins).unwrap().schedule;
+        let p = Polynomial::new(2.5);
+        let menu = menu_for(&ins, 9);
+        let disc = discretize_speeds(&cont, &menu).unwrap();
+        let e_disc = schedule_energy(&disc, &p);
+        let e_interp = interpolated_energy(&cont, &p, &menu);
+        assert!(
+            (e_disc - e_interp).abs() <= 1e-9 * e_disc.max(1.0),
+            "discretized {e_disc} vs interpolated {e_interp}"
+        );
+        // And convexity makes discretization a (weak) penalty.
+        let e_cont = schedule_energy(&cont, &p);
+        assert!(e_disc >= e_cont - 1e-9);
+    }
+
+    #[test]
+    fn discretized_optimum_matches_the_lp_on_the_same_menu() {
+        // The theorem-grade identity: two-speed mixing of the continuous
+        // optimum = optimal menu-restricted schedule = LP optimum.
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 2.0, 2.0), job(0.0, 2.0, 1.0), job(1.0, 3.0, 1.0)],
+        )
+        .unwrap();
+        let p = Polynomial::new(2.0);
+        let k = 12;
+        let cont = optimal_schedule(&ins).unwrap().schedule;
+        let menu = menu_for(&ins, k);
+        let disc = discretize_speeds(&cont, &menu).unwrap();
+        let e_disc = schedule_energy(&disc, &p);
+        let e_lp = lp_baseline(&ins, &p, k).unwrap().energy; // same menu construction
+        assert!(
+            (e_disc - e_lp).abs() <= 1e-6 * e_lp.max(1.0),
+            "discretized {e_disc} vs LP {e_lp}"
+        );
+    }
+
+    #[test]
+    fn below_menu_speeds_idle_the_remainder() {
+        let mut cont = Schedule::new(1);
+        cont.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 4.0,
+            speed: 0.25,
+        });
+        let disc = discretize_speeds(&cont, &[1.0, 2.0]).unwrap();
+        assert_eq!(disc.len(), 1);
+        assert_eq!(disc.segments[0].speed, 1.0);
+        assert!((disc.segments[0].end - 1.0).abs() < 1e-12); // 0.25·4 / 1.0
+    }
+
+    #[test]
+    fn rejects_bad_menus_and_too_slow_menus() {
+        let mut cont = Schedule::new(1);
+        cont.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 1.0,
+            speed: 5.0,
+        });
+        assert_eq!(
+            discretize_speeds(&cont, &[]).unwrap_err(),
+            DiscretizeError::BadMenu
+        );
+        assert_eq!(
+            discretize_speeds(&cont, &[2.0, 1.0]).unwrap_err(),
+            DiscretizeError::BadMenu
+        );
+        assert!(matches!(
+            discretize_speeds(&cont, &[1.0, 2.0]).unwrap_err(),
+            DiscretizeError::SpeedAboveMenu { .. }
+        ));
+    }
+}

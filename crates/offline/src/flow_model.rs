@@ -1,0 +1,203 @@
+//! Construction of the paper's Fig. 1 network `G(J, m⃗, s)`.
+//!
+//! For a candidate job set `J`, reserved processor counts `m⃗ = (m_j)` and
+//! uniform speed `s`, the network has
+//!
+//! * a source `u_0` with an edge to each job vertex `u_k` of capacity
+//!   `w_k / s` (the processing time `J_k` needs at speed `s`),
+//! * an edge `u_k → v_j` of capacity `|I_j|` for every interval `I_j` in
+//!   which `J_k` is active and `m_j > 0` (a job can occupy at most the whole
+//!   interval),
+//! * an edge `v_j → v_0` (sink) of capacity `m_j · |I_j|` (total reserved
+//!   processing time in `I_j`).
+//!
+//! `J` can be feasibly scheduled at speed `s` on the reserved processors iff
+//! the maximum flow saturates every source edge, i.e. has value
+//! `F_G = Σ w_k / s = Σ m_j |I_j|`.
+
+use mpss_core::{Instance, Intervals, JobId};
+use mpss_maxflow::{EdgeId, FlowNetwork, NodeId};
+use mpss_numeric::FlowNum;
+
+/// The Fig. 1 network plus the bookkeeping needed to read flows back.
+pub struct FlowModel<T: FlowNum> {
+    /// The underlying flow network.
+    pub net: FlowNetwork<T>,
+    /// Source vertex `u_0`.
+    pub source: NodeId,
+    /// Sink vertex `v_0`.
+    pub sink: NodeId,
+    /// The candidate job ids, in vertex order (`jobs[k]` ↔ vertex `u_k`).
+    pub jobs: Vec<JobId>,
+    /// Interval indices with `m_j > 0`, in vertex order.
+    pub intervals_used: Vec<usize>,
+    /// `job_edges[k]` = `(interval_index, edge)` pairs for job `k`'s
+    /// outgoing edges.
+    pub job_edges: Vec<Vec<(usize, EdgeId)>>,
+    /// `source_edges[k]` = edge `u_0 → u_k`.
+    pub source_edges: Vec<EdgeId>,
+    /// `sink_edges[x]` = edge `v_{intervals_used[x]} → v_0`.
+    pub sink_edges: Vec<EdgeId>,
+    /// The flow target `F_G = Σ m_j |I_j|`.
+    pub target: T,
+}
+
+impl<T: FlowNum> FlowModel<T> {
+    /// Builds `G(J, m⃗, s)`.
+    ///
+    /// * `candidate` — the job ids of the current estimate `J`;
+    /// * `m_j` — reserved processors per interval (0 ⇒ no vertex);
+    /// * `speed` — the uniform speed `s = W/P`.
+    pub fn build(
+        instance: &Instance<T>,
+        intervals: &Intervals<T>,
+        candidate: &[JobId],
+        m_j: &[usize],
+        speed: T,
+    ) -> FlowModel<T> {
+        debug_assert_eq!(m_j.len(), intervals.len());
+        let intervals_used: Vec<usize> = (0..intervals.len()).filter(|&j| m_j[j] > 0).collect();
+        let n = candidate.len();
+        let num_nodes = 2 + n + intervals_used.len();
+        // Vertex layout: 0 = source, 1..=n jobs, then intervals, last = sink.
+        let mut net: FlowNetwork<T> =
+            FlowNetwork::with_capacity(num_nodes, n + intervals_used.len() + n * 4);
+        let source = 0;
+        let sink = num_nodes - 1;
+        let interval_vertex = |x: usize| 1 + n + x;
+
+        let mut source_edges = Vec::with_capacity(n);
+        let mut job_edges: Vec<Vec<(usize, EdgeId)>> = Vec::with_capacity(n);
+        let mut target = T::zero();
+
+        for (k, &job_id) in candidate.iter().enumerate() {
+            let job = &instance.jobs[job_id];
+            source_edges.push(net.add_edge(source, 1 + k, job.volume / speed));
+            let mut edges = Vec::new();
+            for (x, &j) in intervals_used.iter().enumerate() {
+                if intervals.job_active(job, j) {
+                    edges.push((
+                        j,
+                        net.add_edge(1 + k, interval_vertex(x), intervals.length(j)),
+                    ));
+                }
+            }
+            job_edges.push(edges);
+        }
+        let mut sink_edges = Vec::with_capacity(intervals_used.len());
+        for (x, &j) in intervals_used.iter().enumerate() {
+            let cap = T::from_usize(m_j[j]) * intervals.length(j);
+            target += cap;
+            sink_edges.push(net.add_edge(interval_vertex(x), sink, cap));
+        }
+
+        FlowModel {
+            net,
+            source,
+            sink,
+            jobs: candidate.to_vec(),
+            intervals_used,
+            job_edges,
+            source_edges,
+            sink_edges,
+            target,
+        }
+    }
+
+    /// After a max-flow run: the flow on `u_k → v_j`, i.e. the time job
+    /// `candidate[k]` is scheduled in interval `j` (0 when no edge exists).
+    pub fn time_in_interval(&self, k: usize, j: usize) -> T {
+        self.job_edges[k]
+            .iter()
+            .find(|(jj, _)| *jj == j)
+            .map(|(_, e)| self.net.flow(*e))
+            .unwrap_or_else(T::zero)
+    }
+
+    /// All `(job_vertex_index, time)` pairs with positive flow into
+    /// interval `j`.
+    pub fn interval_assignments(&self, j: usize) -> Vec<(usize, T)> {
+        let mut out = Vec::new();
+        for (k, edges) in self.job_edges.iter().enumerate() {
+            for (jj, e) in edges {
+                if *jj == j {
+                    let t = self.net.flow(*e);
+                    if t.is_strictly_positive() {
+                        out.push((k, t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_maxflow::max_flow_dinic;
+
+    fn instance() -> Instance<f64> {
+        // Two jobs on one processor, disjoint halves of [0, 2).
+        Instance::new(1, vec![job(0.0, 1.0, 2.0), job(1.0, 2.0, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn network_shape_matches_fig1() {
+        let ins = instance();
+        let iv = Intervals::from_instance(&ins);
+        let fm = FlowModel::build(&ins, &iv, &[0, 1], &[1, 1], 2.0);
+        // source + 2 jobs + 2 intervals + sink
+        assert_eq!(fm.net.num_nodes(), 6);
+        // 2 source edges + 2 job-interval edges + 2 sink edges
+        assert_eq!(fm.net.num_edges(), 6);
+        assert_eq!(fm.target, 2.0);
+        assert_eq!(fm.jobs, vec![0, 1]);
+        assert_eq!(fm.intervals_used, vec![0, 1]);
+    }
+
+    #[test]
+    fn saturating_flow_exists_iff_feasible() {
+        let ins = instance();
+        let iv = Intervals::from_instance(&ins);
+        let mut fm = FlowModel::build(&ins, &iv, &[0, 1], &[1, 1], 2.0);
+        let f = max_flow_dinic(&mut fm.net, fm.source, fm.sink);
+        assert!((f - fm.target).abs() < 1e-12);
+        assert!((fm.time_in_interval(0, 0) - 1.0).abs() < 1e-12);
+        assert!((fm.time_in_interval(1, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(fm.time_in_interval(0, 1), 0.0); // job 0 inactive in I_1
+    }
+
+    #[test]
+    fn infeasible_speed_leaves_deficit() {
+        let ins = instance();
+        let iv = Intervals::from_instance(&ins);
+        // Speed 1 cannot finish 2 units within each 1-length window alone,
+        // and the capacities w/s = 2 > |I_j| = 1 also exceed interval edges.
+        let mut fm = FlowModel::build(&ins, &iv, &[0, 1], &[1, 1], 1.0);
+        let f = max_flow_dinic(&mut fm.net, fm.source, fm.sink);
+        assert!(f < 4.0 - 1e-9); // F_G would be Σ w/s = 4
+    }
+
+    #[test]
+    fn zero_reservation_intervals_get_no_vertex() {
+        let ins = Instance::new(1, vec![job(0.0, 2.0, 1.0), job(1.0, 2.0, 1.0)]).unwrap();
+        let iv = Intervals::from_instance(&ins);
+        let fm = FlowModel::build(&ins, &iv, &[0, 1], &[0, 1], 1.0);
+        assert_eq!(fm.intervals_used, vec![1]);
+        // Job 0 active in both intervals but only interval 1 has a vertex.
+        assert_eq!(fm.job_edges[0].len(), 1);
+    }
+
+    #[test]
+    fn interval_assignments_report_positive_flows() {
+        let ins = instance();
+        let iv = Intervals::from_instance(&ins);
+        let mut fm = FlowModel::build(&ins, &iv, &[0, 1], &[1, 1], 2.0);
+        max_flow_dinic(&mut fm.net, fm.source, fm.sink);
+        let a0 = fm.interval_assignments(0);
+        assert_eq!(a0.len(), 1);
+        assert_eq!(a0[0].0, 0);
+    }
+}

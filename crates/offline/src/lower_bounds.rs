@@ -1,0 +1,89 @@
+//! Instance lower bounds on optimal energy.
+//!
+//! Used by the experiment harness to sanity-check optimality (OPT must lie
+//! between every lower bound and every baseline's energy) and inside the
+//! competitive-ratio reports.
+
+use crate::yds::yds_schedule;
+use mpss_core::energy::schedule_energy;
+use mpss_core::{Instance, PowerFunction};
+use mpss_numeric::KahanSum;
+
+/// Per-job lower bound: each job in isolation costs at least
+/// `P(δ_i) · (d_i − r_i)` — running `w_i` spread over its entire window at
+/// constant density is the cheapest possible treatment of that job, and
+/// energy is additive over jobs.
+///
+/// Valid for convex non-decreasing `P` with `P(0) = 0` (for `P(0) > 0`,
+/// compressing a job *saves* idle power and the bound breaks).
+pub fn per_job_lower_bound(instance: &Instance<f64>, p: &impl PowerFunction) -> f64 {
+    debug_assert!(
+        p.power(0.0).abs() < 1e-12,
+        "per-job bound requires P(0) = 0"
+    );
+    let mut sum = KahanSum::new();
+    for j in &instance.jobs {
+        sum.add(p.power(j.density()) * j.window());
+    }
+    sum.value()
+}
+
+/// The `m^{1−α} · E¹_OPT` lower bound from the proof of Theorem 3: an
+/// optimal `m`-processor schedule, flattened onto a single processor
+/// running the per-instant speed sum, costs at most `m^{α−1}` times more,
+/// so `E_OPT(σ) ≥ m^{1−α} E¹_OPT(σ)`.
+///
+/// `E¹_OPT` is computed exactly by YDS. Only valid for `P(s) = s^α`.
+pub fn single_processor_scaled_lower_bound(instance: &Instance<f64>, alpha: f64) -> f64 {
+    assert!(alpha > 1.0);
+    let single = yds_schedule(instance);
+    let e1 = schedule_energy(&single.schedule, &mpss_core::power::Polynomial::new(alpha));
+    (instance.m as f64).powf(1.0 - alpha) * e1
+}
+
+/// The larger (tighter) of the two bounds for `P(s) = s^α`.
+pub fn best_lower_bound(instance: &Instance<f64>, alpha: f64) -> f64 {
+    let p = mpss_core::power::Polynomial::new(alpha);
+    per_job_lower_bound(instance, &p).max(single_processor_scaled_lower_bound(instance, alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+
+    #[test]
+    fn per_job_bound_is_tight_for_isolated_jobs() {
+        // One job alone: the bound *is* the optimum.
+        let ins = Instance::new(1, vec![job(0.0, 4.0, 2.0)]).unwrap();
+        let p = Polynomial::new(3.0);
+        let lb = per_job_lower_bound(&ins, &p);
+        assert!((lb - 0.125 * 4.0).abs() < 1e-12); // (0.5)³·4
+    }
+
+    #[test]
+    fn scaled_single_proc_bound_is_tight_for_full_parallel_load() {
+        // m identical fully-stretched jobs: OPT = m · δ^α · T while
+        // E¹_OPT = (mδ)^α · T, so the scaled bound is exactly OPT.
+        let m = 4;
+        let ins = Instance::new(m, vec![job(0.0, 2.0, 2.0); m]).unwrap();
+        let alpha = 2.0;
+        let lb = single_processor_scaled_lower_bound(&ins, alpha);
+        let opt = m as f64 * 1.0f64.powf(alpha) * 2.0;
+        assert!((lb - opt).abs() < 1e-9, "lb = {lb}, opt = {opt}");
+    }
+
+    #[test]
+    fn bounds_are_positive_and_ordered_sanely() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 1.0, 2.0), job(0.0, 3.0, 1.0), job(1.0, 4.0, 2.0)],
+        )
+        .unwrap();
+        let lb = best_lower_bound(&ins, 2.5);
+        assert!(lb > 0.0);
+        let p = Polynomial::new(2.5);
+        assert!(lb >= per_job_lower_bound(&ins, &p) - 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Bingham–Greenstreet-style LP baseline.
+//!
+//! Bingham & Greenstreet (ISPA 2008) showed the migratory offline problem
+//! solvable by linear programming for general convex power functions; the
+//! paper's stated motivation for its combinatorial algorithm is that the LP
+//! route is "too high \[in complexity\] for most practical applications".
+//! This module reproduces the LP route so the comparison can be measured:
+//!
+//! * pick a finite speed menu `σ_1 < … < σ_K` (the convex `P` is evaluated
+//!   only at menu speeds — a piecewise-linear over-approximation);
+//! * variables `t_{k,j,q} ≥ 0`: time job `k` runs at speed `σ_q` inside
+//!   interval `I_j` (only for `k` active in `I_j`);
+//! * constraints: per-job work completion (equality), per-job-per-interval
+//!   time ≤ `|I_j|` (no self-parallelism), per-interval total time
+//!   ≤ `m·|I_j|` (machine capacity);
+//! * objective: `min Σ P(σ_q) · t_{k,j,q}`.
+//!
+//! Any feasible LP point packs into a feasible schedule by McNaughton
+//! wrap-around (same argument as the flow algorithm), so `LP_opt ≥ OPT`;
+//! with a menu fine enough to straddle every optimal speed,
+//! `LP_opt → OPT` from above as `K → ∞` (convexity makes the two-point
+//! mixture of adjacent menu speeds cost exactly the secant).
+
+use crate::yds::yds_schedule;
+use mpss_core::{Instance, Intervals, PowerFunction, Schedule, Segment};
+use mpss_lp::{Constraint, LinearProgram, LpOutcome, Solution};
+
+/// Result of the LP baseline.
+#[derive(Clone, Debug)]
+pub struct LpBaselineResult {
+    /// Optimal LP objective (an upper bound on OPT's energy, tight as K→∞).
+    pub energy: f64,
+    /// A feasible schedule realizing `energy` (wrap-around packing).
+    pub schedule: Schedule<f64>,
+    /// LP size, for the complexity comparison.
+    pub num_vars: usize,
+    /// LP row count.
+    pub num_constraints: usize,
+}
+
+/// Errors from the baseline.
+#[derive(Debug)]
+pub enum LpBaselineError {
+    /// The inner solver failed structurally.
+    Solver(mpss_lp::LpError),
+    /// The LP was infeasible/unbounded (cannot happen with a menu whose top
+    /// speed is ≥ the YDS peak; surfaced defensively).
+    NoOptimum,
+}
+
+impl From<mpss_lp::LpError> for LpBaselineError {
+    fn from(e: mpss_lp::LpError) -> Self {
+        LpBaselineError::Solver(e)
+    }
+}
+
+/// Solves the instance by the LP route with a `k_speeds`-point linear menu.
+///
+/// The menu top is the single-processor YDS peak speed (an upper bound on
+/// any speed an optimal migratory schedule uses, since speeds only drop as
+/// `m` grows).
+pub fn lp_baseline(
+    instance: &Instance<f64>,
+    power: &impl PowerFunction,
+    k_speeds: usize,
+) -> Result<LpBaselineResult, LpBaselineError> {
+    assert!(k_speeds >= 2, "need at least two menu speeds");
+    if instance.is_empty() {
+        return Ok(LpBaselineResult {
+            energy: 0.0,
+            schedule: Schedule::new(instance.m),
+            num_vars: 0,
+            num_constraints: 0,
+        });
+    }
+    let intervals = Intervals::from_instance(instance);
+    let nj = intervals.len();
+    let n = instance.n();
+
+    // Menu: linear grid (σ_1 > 0) topped by the YDS peak. The peak itself
+    // is always in the menu so tight single-interval jobs stay feasible.
+    let s_max = yds_schedule(instance)
+        .speeds
+        .first()
+        .copied()
+        .unwrap_or(1.0)
+        .max(1e-9);
+    let menu: Vec<f64> = (1..=k_speeds)
+        .map(|q| s_max * q as f64 / k_speeds as f64)
+        .collect();
+
+    // Variable layout: (job, interval, menu index).
+    let mut vars: Vec<(usize, usize, usize)> = Vec::new();
+    for (k, job) in instance.jobs.iter().enumerate() {
+        for j in 0..nj {
+            if intervals.job_active(job, j) {
+                for q in 0..menu.len() {
+                    vars.push((k, j, q));
+                }
+            }
+        }
+    }
+    let nv = vars.len();
+
+    let objective: Vec<f64> = vars.iter().map(|&(_, _, q)| power.power(menu[q])).collect();
+    let mut lp = LinearProgram::minimize(objective);
+
+    // Work completion per job.
+    for k in 0..n {
+        let mut row = vec![0.0; nv];
+        for (i, &(vk, _, q)) in vars.iter().enumerate() {
+            if vk == k {
+                row[i] = menu[q];
+            }
+        }
+        lp = lp.subject_to(Constraint::eq(row, instance.jobs[k].volume));
+    }
+    // Per-job per-interval time cap (no self-parallelism).
+    for k in 0..n {
+        for j in 0..nj {
+            if !intervals.job_active(&instance.jobs[k], j) {
+                continue;
+            }
+            let mut row = vec![0.0; nv];
+            let mut any = false;
+            for (i, &(vk, vj, _)) in vars.iter().enumerate() {
+                if vk == k && vj == j {
+                    row[i] = 1.0;
+                    any = true;
+                }
+            }
+            if any {
+                lp = lp.subject_to(Constraint::le(row, intervals.length(j)));
+            }
+        }
+    }
+    // Machine capacity per interval.
+    for j in 0..nj {
+        let mut row = vec![0.0; nv];
+        let mut any = false;
+        for (i, &(_, vj, _)) in vars.iter().enumerate() {
+            if vj == j {
+                row[i] = 1.0;
+                any = true;
+            }
+        }
+        if any {
+            lp = lp.subject_to(Constraint::le(row, instance.m as f64 * intervals.length(j)));
+        }
+    }
+
+    let num_constraints = lp.constraints.len();
+    let sol = match mpss_lp::solve(&lp)? {
+        LpOutcome::Optimal(s) => s,
+        _ => return Err(LpBaselineError::NoOptimum),
+    };
+
+    let schedule = pack_solution(instance, &intervals, &sol, &vars, &menu);
+    Ok(LpBaselineResult {
+        energy: sol.objective,
+        schedule,
+        num_vars: nv,
+        num_constraints,
+    })
+}
+
+/// Packs an LP solution into a schedule: per interval, gather every job's
+/// (speed, time) chunks — total per job ≤ `|I_j|` by the LP constraints —
+/// and wrap them across the `m` processors job-contiguously.
+fn pack_solution(
+    instance: &Instance<f64>,
+    intervals: &Intervals<f64>,
+    sol: &Solution,
+    vars: &[(usize, usize, usize)],
+    menu: &[f64],
+) -> Schedule<f64> {
+    const TINY: f64 = 1e-11;
+    let mut schedule = Schedule::new(instance.m);
+    for j in 0..intervals.len() {
+        let (iv_start, _) = intervals.bounds(j);
+        let len = intervals.length(j);
+        // Chunks per job, job-contiguous ordering.
+        let mut chunks: Vec<(usize, f64, f64)> = Vec::new(); // (job, time, speed)
+        for (i, &(k, jj, q)) in vars.iter().enumerate() {
+            if jj == j && sol.x[i] > TINY {
+                chunks.push((k, sol.x[i].min(len), menu[q]));
+            }
+        }
+        chunks.sort_by(|a, b| a.0.cmp(&b.0).then(b.2.partial_cmp(&a.2).unwrap()));
+        // Wrap-around packing.
+        let mut proc = 0usize;
+        let mut cap = len;
+        for (job, mut t, speed) in chunks {
+            while t > TINY {
+                if proc >= instance.m {
+                    break; // float dust beyond capacity
+                }
+                if cap <= TINY {
+                    proc += 1;
+                    cap = len;
+                    continue;
+                }
+                let chunk = t.min(cap);
+                let seg_start = iv_start + (len - cap);
+                schedule.push(Segment {
+                    job,
+                    proc,
+                    start: seg_start,
+                    end: seg_start + chunk,
+                    speed,
+                });
+                t -= chunk;
+                cap -= chunk;
+            }
+        }
+    }
+    schedule.normalize();
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+
+    #[test]
+    fn single_job_lp_matches_analytic_optimum_when_menu_hits_density() {
+        // Density 0.5; menu with K=4 over s_max=0.5 contains 0.5 exactly.
+        let ins = Instance::new(1, vec![job(0.0, 4.0, 2.0)]).unwrap();
+        let p = Polynomial::new(2.0);
+        let res = lp_baseline(&ins, &p, 4).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-7);
+        assert!((res.energy - 1.0).abs() < 1e-7, "E = {}", res.energy); // 0.25·4
+    }
+
+    #[test]
+    fn lp_upper_bounds_tighten_with_finer_menus() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 2.0, 2.0), job(0.0, 3.0, 1.5), job(1.0, 4.0, 2.0)],
+        )
+        .unwrap();
+        let p = Polynomial::new(3.0);
+        let coarse = lp_baseline(&ins, &p, 3).unwrap().energy;
+        let medium = lp_baseline(&ins, &p, 9).unwrap().energy;
+        let fine = lp_baseline(&ins, &p, 27).unwrap().energy;
+        assert!(coarse >= medium - 1e-9, "coarse {coarse} < medium {medium}");
+        assert!(medium >= fine - 1e-9, "medium {medium} < fine {fine}");
+    }
+
+    #[test]
+    fn packed_schedule_is_feasible_and_matches_lp_energy() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 2.0, 2.0), job(0.0, 2.0, 1.0), job(1.0, 3.0, 1.0)],
+        )
+        .unwrap();
+        let p = Polynomial::new(2.0);
+        let res = lp_baseline(&ins, &p, 12).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-6);
+        let packed_energy = schedule_energy(&res.schedule, &p);
+        assert!(
+            (packed_energy - res.energy).abs() <= 1e-6 * res.energy.max(1.0),
+            "packed {packed_energy} vs LP {}",
+            res.energy
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        let ins: Instance<f64> = Instance::new(2, vec![]).unwrap();
+        let res = lp_baseline(&ins, &Polynomial::new(2.0), 4).unwrap();
+        assert_eq!(res.energy, 0.0);
+        assert_eq!(res.num_vars, 0);
+    }
+
+    #[test]
+    fn lp_size_grows_with_menu_as_claimed() {
+        let ins = Instance::new(2, vec![job(0.0, 2.0, 1.0), job(1.0, 3.0, 1.0)]).unwrap();
+        let small = lp_baseline(&ins, &Polynomial::new(2.0), 4).unwrap();
+        let large = lp_baseline(&ins, &Polynomial::new(2.0), 16).unwrap();
+        assert_eq!(large.num_vars, 4 * small.num_vars);
+    }
+}

@@ -1,0 +1,312 @@
+//! Non-migratory baseline: assign every job to one processor, then run YDS
+//! per processor.
+//!
+//! Without migration the offline problem is NP-hard (Albers–Müller–
+//! Schmelzer), so this is a heuristic upper bound, not an optimum. It
+//! quantifies the paper's motivation: migration lets the optimal schedule
+//! smooth load across processors, and the gap between this baseline and
+//! [`optimal_schedule`](crate::optimal_schedule) is the measured value of
+//! migration (the `migration-ablation` experiment).
+
+use crate::yds::yds_schedule;
+use mpss_core::energy::schedule_energy;
+use mpss_core::power::Polynomial;
+use mpss_core::{Instance, Schedule};
+
+/// Job-to-processor assignment policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AssignPolicy {
+    /// Jobs (sorted by density, descending) go to the processor whose YDS
+    /// energy increases the least — the strongest constructive heuristic.
+    GreedyEnergy,
+    /// Jobs go to the processor with the least assigned volume so far.
+    LeastLoaded,
+    /// Round-robin in input order — the weakest baseline.
+    RoundRobin,
+    /// [`GreedyEnergy`](AssignPolicy::GreedyEnergy) followed by
+    /// single-job-move local search to a local optimum — the strongest
+    /// non-migratory baseline in the migration ablation.
+    GreedyWithLocalSearch,
+}
+
+/// Result of the non-migratory heuristic.
+#[derive(Clone, Debug)]
+pub struct NonMigratoryResult {
+    /// The combined schedule (jobs stay on their assigned processor).
+    pub schedule: Schedule<f64>,
+    /// `assignment[i]` = processor of job `i`.
+    pub assignment: Vec<usize>,
+}
+
+/// Builds a feasible non-migratory schedule under `P(s) = s^α`.
+pub fn non_migratory_schedule(
+    instance: &Instance<f64>,
+    alpha: f64,
+    policy: AssignPolicy,
+) -> NonMigratoryResult {
+    let m = instance.m;
+    let n = instance.n();
+    let power = Polynomial::new(alpha);
+    let mut assignment = vec![usize::MAX; n];
+    // Per-processor job id lists.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); m];
+
+    match policy {
+        AssignPolicy::GreedyWithLocalSearch => {
+            // Start from the greedy assignment, then move single jobs
+            // between processors while total energy strictly improves.
+            let greedy = non_migratory_schedule(instance, alpha, AssignPolicy::GreedyEnergy);
+            assignment = greedy.assignment;
+            buckets = vec![Vec::new(); m];
+            for (i, &p) in assignment.iter().enumerate() {
+                buckets[p].push(i);
+            }
+            let bucket_energy = |bucket: &[usize]| -> f64 {
+                if bucket.is_empty() {
+                    return 0.0;
+                }
+                let jobs: Vec<_> = bucket.iter().map(|&k| instance.jobs[k]).collect();
+                let sub = Instance::new(1, jobs).expect("valid sub-instance");
+                schedule_energy(&yds_schedule(&sub).schedule, &power)
+            };
+            let mut energies: Vec<f64> = buckets.iter().map(|b| bucket_energy(b)).collect();
+            let mut improved = true;
+            let mut rounds = 0usize;
+            while improved && rounds < 8 * n.max(1) {
+                improved = false;
+                rounds += 1;
+                #[allow(clippy::needless_range_loop)] // i indexes assignment[] and buckets together
+                for i in 0..n {
+                    let from = assignment[i];
+                    for to in 0..m {
+                        if to == from {
+                            continue;
+                        }
+                        let mut b_from = buckets[from].clone();
+                        b_from.retain(|&k| k != i);
+                        let mut b_to = buckets[to].clone();
+                        b_to.push(i);
+                        let new_from = bucket_energy(&b_from);
+                        let new_to = bucket_energy(&b_to);
+                        let delta = (new_from + new_to) - (energies[from] + energies[to]);
+                        if delta < -1e-9 {
+                            buckets[from] = b_from;
+                            buckets[to] = b_to;
+                            energies[from] = new_from;
+                            energies[to] = new_to;
+                            assignment[i] = to;
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        AssignPolicy::RoundRobin => {
+            for i in 0..n {
+                assignment[i] = i % m;
+                buckets[i % m].push(i);
+            }
+        }
+        AssignPolicy::LeastLoaded => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                instance.jobs[b]
+                    .volume
+                    .partial_cmp(&instance.jobs[a].volume)
+                    .unwrap()
+            });
+            let mut load = vec![0.0f64; m];
+            for i in order {
+                let p = (0..m)
+                    .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                    .unwrap();
+                assignment[i] = p;
+                load[p] += instance.jobs[i].volume;
+                buckets[p].push(i);
+            }
+        }
+        AssignPolicy::GreedyEnergy => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                instance.jobs[b]
+                    .density()
+                    .partial_cmp(&instance.jobs[a].density())
+                    .unwrap()
+            });
+            let mut energies = vec![0.0f64; m];
+            for i in order {
+                let mut best = (0usize, f64::INFINITY);
+                for p in 0..m {
+                    let mut jobs: Vec<_> = buckets[p].iter().map(|&k| instance.jobs[k]).collect();
+                    jobs.push(instance.jobs[i]);
+                    let sub = Instance::new(1, jobs).expect("valid sub-instance");
+                    let e = schedule_energy(&yds_schedule(&sub).schedule, &power);
+                    let delta = e - energies[p];
+                    if delta < best.1 {
+                        best = (p, delta);
+                    }
+                }
+                assignment[i] = best.0;
+                energies[best.0] += best.1;
+                buckets[best.0].push(i);
+            }
+        }
+    }
+
+    // Per-processor YDS, remapped onto the global processor index and the
+    // original job ids.
+    let mut schedule = Schedule::new(m);
+    for (p, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let jobs: Vec<_> = bucket.iter().map(|&k| instance.jobs[k]).collect();
+        let sub = Instance::new(1, jobs).expect("valid sub-instance");
+        let res = yds_schedule(&sub);
+        for seg in res.schedule.segments {
+            schedule.push(mpss_core::Segment {
+                job: bucket[seg.job],
+                proc: p,
+                start: seg.start,
+                end: seg.end,
+                speed: seg.speed,
+            });
+        }
+    }
+    schedule.normalize();
+    NonMigratoryResult {
+        schedule,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_core::validate::assert_feasible;
+
+    fn sample() -> Instance<f64> {
+        Instance::new(
+            2,
+            vec![
+                job(0.0, 2.0, 2.0),
+                job(0.0, 2.0, 2.0),
+                job(1.0, 3.0, 1.0),
+                job(2.0, 4.0, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_policies_produce_feasible_schedules() {
+        let ins = sample();
+        for policy in [
+            AssignPolicy::GreedyEnergy,
+            AssignPolicy::LeastLoaded,
+            AssignPolicy::RoundRobin,
+        ] {
+            let res = non_migratory_schedule(&ins, 2.0, policy);
+            assert_feasible(&ins, &res.schedule, 1e-9);
+            assert!(res.assignment.iter().all(|&p| p < 2));
+        }
+    }
+
+    #[test]
+    fn schedule_never_migrates() {
+        let ins = sample();
+        let res = non_migratory_schedule(&ins, 3.0, AssignPolicy::GreedyEnergy);
+        assert_eq!(res.schedule.migrations(), 0);
+        for seg in &res.schedule.segments {
+            assert_eq!(seg.proc, res.assignment[seg.job]);
+        }
+    }
+
+    #[test]
+    fn greedy_energy_beats_or_ties_round_robin_on_skewed_load() {
+        // Heavily skewed: two tight heavy jobs + two light ones. Round-robin
+        // may stack the heavies; greedy should not do worse.
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 1.0, 4.0),
+                job(0.0, 1.0, 4.0),
+                job(0.0, 4.0, 1.0),
+                job(0.0, 4.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let p = Polynomial::new(2.0);
+        let greedy = schedule_energy(
+            &non_migratory_schedule(&ins, 2.0, AssignPolicy::GreedyEnergy).schedule,
+            &p,
+        );
+        let rr = schedule_energy(
+            &non_migratory_schedule(&ins, 2.0, AssignPolicy::RoundRobin).schedule,
+            &p,
+        );
+        assert!(greedy <= rr + 1e-9, "greedy {greedy} > round-robin {rr}");
+    }
+}
+
+#[cfg(test)]
+mod local_search_tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_core::validate::assert_feasible;
+
+    #[test]
+    fn local_search_never_does_worse_than_greedy() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let p = Polynomial::new(2.0);
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(4..10);
+            let m = rng.gen_range(2..4);
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    let r = rng.gen_range(0..8) as f64;
+                    let span = rng.gen_range(1..=5) as f64;
+                    job(r, r + span, rng.gen_range(1..=6) as f64)
+                })
+                .collect();
+            let ins = Instance::new(m, jobs).unwrap();
+            let greedy = non_migratory_schedule(&ins, 2.0, AssignPolicy::GreedyEnergy);
+            let ls = non_migratory_schedule(&ins, 2.0, AssignPolicy::GreedyWithLocalSearch);
+            assert_feasible(&ins, &ls.schedule, 1e-9);
+            assert_eq!(ls.schedule.migrations(), 0);
+            let eg = schedule_energy(&greedy.schedule, &p);
+            let el = schedule_energy(&ls.schedule, &p);
+            assert!(
+                el <= eg + 1e-9 * eg,
+                "seed {seed}: LS {el} worse than greedy {eg}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_fixes_a_bad_greedy_start() {
+        // Two heavy same-window jobs plus two light ones on two processors:
+        // the local optimum pairs heavy+light. Whatever greedy does, local
+        // search must land at or below the paired configuration's energy.
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 2.0, 4.0),
+                job(0.0, 2.0, 4.0),
+                job(2.0, 4.0, 1.0),
+                job(2.0, 4.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let p = Polynomial::new(2.0);
+        let ls = non_migratory_schedule(&ins, 2.0, AssignPolicy::GreedyWithLocalSearch);
+        let e = schedule_energy(&ls.schedule, &p);
+        // Paired optimum: each proc runs one heavy (speed 2, E 8) and one
+        // light (speed 0.5, E 0.5): total 17.
+        assert!(e <= 17.0 + 1e-9, "local search stuck at {e}");
+    }
+}

@@ -1,0 +1,565 @@
+//! The combinatorial optimal offline algorithm (paper Fig. 2, Theorem 1).
+//!
+//! The algorithm constructs an optimal schedule in *phases*. Phase `i`
+//! identifies the set `J_i` of jobs that an optimal schedule runs at the
+//! `i`-th highest speed `s_i`:
+//!
+//! 1. start with the estimate `J` = all jobs not yet placed in earlier
+//!    phases (invariant of Lemma 4: `J_i ⊆ J` always);
+//! 2. reserve `m_j = min{n_j, m − Σ_{l<i} m_lj}` processors in every
+//!    interval `I_j` (Lemma 3), where `n_j` counts jobs of `J` active in
+//!    `I_j`;
+//! 3. conjecture the uniform speed `s = W/P` with `W = Σ_{J} w_k` and
+//!    `P = Σ_j m_j |I_j|`;
+//! 4. build the Fig. 1 network `G(J, m⃗, s)` and compute a maximum flow. If
+//!    it saturates the target `F_G = P`, the estimate is correct: `J_i = J`,
+//!    and the flow *is* a feasible assignment of per-interval execution
+//!    times. Otherwise some interval vertex is deficient; a job edge into it
+//!    carrying less than `|I_j|` flow identifies a job that provably does
+//!    not belong to `J_i` (Lemma 4) — remove it and repeat.
+//!
+//! Within each interval the per-job times are packed onto the reserved
+//! processors with McNaughton's wrap-around rule, which is feasible because
+//! every `t_kj ≤ |I_j|` (Lemma 2's normal form).
+//!
+//! The schedule produced is optimal for **every** convex non-decreasing
+//! power function simultaneously; `P(s)` never enters the computation.
+
+use crate::flow_model::FlowModel;
+use mpss_core::{Instance, Intervals, JobId, ModelError, Schedule, Segment};
+use mpss_maxflow::{Dinic, MaxFlow, PushRelabel};
+use mpss_numeric::FlowNum;
+
+/// Which max-flow engine the offline algorithm runs internally.
+///
+/// Dinic is the production default (the scheduling networks are shallow
+/// and unit-like, where blocking flows shine); push–relabel is provided for
+/// the end-to-end engine ablation (`exp_maxflow_ablation`) and as a
+/// correctness cross-check — both must produce schedules of identical
+/// energy.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FlowEngine {
+    /// Dinic's blocking-flow algorithm (default).
+    #[default]
+    Dinic,
+    /// Highest-label push–relabel with the gap heuristic.
+    PushRelabel,
+}
+
+/// Tuning knobs for [`optimal_schedule_with`].
+#[derive(Clone, Debug)]
+pub struct OfflineOptions {
+    /// Relative tolerance for the `f64` path (ignored by exact arithmetic).
+    pub eps: f64,
+    /// Record a per-round trace (used by the Fig. 2 experiment binary).
+    pub record_trace: bool,
+    /// The max-flow engine to run internally.
+    pub engine: FlowEngine,
+}
+
+impl Default for OfflineOptions {
+    fn default() -> Self {
+        OfflineOptions {
+            eps: 1e-9,
+            record_trace: false,
+            engine: FlowEngine::Dinic,
+        }
+    }
+}
+
+/// One phase of the algorithm: the job set `J_i`, its uniform speed `s_i`,
+/// and the processors it occupies per interval (`m_ij` of Lemma 3).
+#[derive(Clone, Debug)]
+pub struct PhaseInfo<T> {
+    /// Uniform speed `s_i` of this phase.
+    pub speed: T,
+    /// Jobs executed at `s_i` (original instance ids).
+    pub jobs: Vec<JobId>,
+    /// `m_ij`: processors reserved in each interval.
+    pub procs: Vec<usize>,
+    /// Number of max-flow rounds this phase needed.
+    pub rounds: usize,
+}
+
+/// One round of one phase, for the Fig. 2 execution trace.
+#[derive(Clone, Debug)]
+pub struct RoundTrace {
+    /// Phase index (1-based, as in the paper).
+    pub phase: usize,
+    /// Size of the candidate set `J` at the start of the round.
+    pub candidate_size: usize,
+    /// Conjectured uniform speed `s = W/P`.
+    pub speed: f64,
+    /// Computed max-flow value `F`.
+    pub flow: f64,
+    /// Saturation target `F_G`.
+    pub target: f64,
+    /// Job removed at the end of the round (`None` when the round accepted).
+    pub removed: Option<JobId>,
+}
+
+/// Result of the offline algorithm.
+#[derive(Clone, Debug)]
+pub struct OptimalResult<T: FlowNum> {
+    /// The optimal schedule.
+    pub schedule: Schedule<T>,
+    /// The speed-level partition `J_1, …, J_p` with `s_1 > … > s_p`.
+    pub phases: Vec<PhaseInfo<T>>,
+    /// The interval partition used.
+    pub intervals: Intervals<T>,
+    /// Total number of max-flow computations performed.
+    pub flow_computations: usize,
+    /// Per-round trace (empty unless requested).
+    pub trace: Vec<RoundTrace>,
+}
+
+impl<T: FlowNum> OptimalResult<T> {
+    /// The speed assigned to `job`, if it was scheduled.
+    pub fn speed_of(&self, job: JobId) -> Option<T> {
+        self.phases
+            .iter()
+            .find(|p| p.jobs.contains(&job))
+            .map(|p| p.speed)
+    }
+}
+
+/// Computes an optimal schedule with default options.
+///
+/// ```
+/// use mpss_core::{job::job, Instance};
+/// use mpss_offline::optimal_schedule;
+///
+/// let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+/// let res = optimal_schedule(&ins).unwrap();
+/// // Two speed levels: the tight job at 3, the relaxed one at 1.
+/// let speeds: Vec<f64> = res.phases.iter().map(|p| p.speed).collect();
+/// assert_eq!(speeds, vec![3.0, 1.0]);
+/// ```
+pub fn optimal_schedule<T: FlowNum>(
+    instance: &Instance<T>,
+) -> Result<OptimalResult<T>, ModelError> {
+    optimal_schedule_with(instance, &OfflineOptions::default())
+}
+
+/// Computes an optimal schedule (paper Fig. 2). See the module docs for the
+/// algorithm; returns [`ModelError::NoReservableTime`] only on inputs that
+/// violate the instance invariants (defensive, unreachable for instances
+/// built via [`Instance::new`]).
+pub fn optimal_schedule_with<T: FlowNum>(
+    instance: &Instance<T>,
+    opts: &OfflineOptions,
+) -> Result<OptimalResult<T>, ModelError> {
+    let intervals = Intervals::from_instance(instance);
+    let nj = intervals.len();
+    let mut used = vec![0usize; nj];
+    let mut remaining: Vec<JobId> = (0..instance.n()).collect();
+    let mut schedule = Schedule::new(instance.m);
+    let mut phases: Vec<PhaseInfo<T>> = Vec::new();
+    let mut trace = Vec::new();
+    let mut flow_computations = 0usize;
+    let mut dinic = Dinic::new();
+    let mut push_relabel = PushRelabel::new();
+
+    while !remaining.is_empty() {
+        let phase_index = phases.len() + 1;
+        let mut cur = remaining.clone();
+        let mut rounds = 0usize;
+
+        let (m_j, speed, fm) = loop {
+            rounds += 1;
+            // Lemma 3 reservation.
+            let mut m_j = vec![0usize; nj];
+            for (j, mj) in m_j.iter_mut().enumerate() {
+                let avail = instance.m - used[j];
+                if avail == 0 {
+                    continue;
+                }
+                let n_active = cur
+                    .iter()
+                    .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
+                    .count();
+                *mj = n_active.min(avail);
+            }
+            // Conjectured uniform speed s = W / P.
+            let mut w_total = T::zero();
+            for &k in &cur {
+                w_total += instance.jobs[k].volume;
+            }
+            let mut p_total = T::zero();
+            for (j, &mj) in m_j.iter().enumerate() {
+                if mj > 0 {
+                    p_total += T::from_usize(mj) * intervals.length(j);
+                }
+            }
+            if !p_total.is_strictly_positive() {
+                return Err(ModelError::NoReservableTime);
+            }
+            let speed = w_total / p_total;
+
+            let mut fm = FlowModel::build(instance, &intervals, &cur, &m_j, speed);
+            let flow = match opts.engine {
+                FlowEngine::Dinic => dinic.max_flow(&mut fm.net, fm.source, fm.sink),
+                FlowEngine::PushRelabel => push_relabel.max_flow(&mut fm.net, fm.source, fm.sink),
+            };
+            flow_computations += 1;
+
+            if T::close(flow, fm.target, fm.target, opts.eps) {
+                if opts.record_trace {
+                    trace.push(RoundTrace {
+                        phase: phase_index,
+                        candidate_size: cur.len(),
+                        speed: speed.to_f64(),
+                        flow: flow.to_f64(),
+                        target: fm.target.to_f64(),
+                        removed: None,
+                    });
+                }
+                break (m_j, speed, fm);
+            }
+
+            // Deficient round: drop the job of Lemma 4's removal rule.
+            let removed = select_removal(&fm, &intervals);
+            if opts.record_trace {
+                trace.push(RoundTrace {
+                    phase: phase_index,
+                    candidate_size: cur.len(),
+                    speed: speed.to_f64(),
+                    flow: flow.to_f64(),
+                    target: fm.target.to_f64(),
+                    removed: Some(removed),
+                });
+            }
+            let pos = cur
+                .iter()
+                .position(|&k| k == removed)
+                .expect("removal candidate must be in the current set");
+            cur.remove(pos);
+            debug_assert!(
+                !cur.is_empty(),
+                "candidate set exhausted without saturation"
+            );
+            if cur.is_empty() {
+                return Err(ModelError::NoReservableTime);
+            }
+        };
+
+        // Phase accepted: the flow is a feasible time assignment. Pack every
+        // reserved interval with McNaughton's wrap-around rule.
+        for &j in &fm.intervals_used {
+            let mut assignments: Vec<(JobId, T)> = fm
+                .interval_assignments(j)
+                .into_iter()
+                .map(|(k, t)| (fm.jobs[k], t))
+                .collect();
+            // Longest-first ordering (the paper's Lemma 2 normal form).
+            assignments.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("comparable times")
+                    .then(a.0.cmp(&b.0))
+            });
+            let (start, _) = intervals.bounds(j);
+            pack_interval(
+                &mut schedule,
+                &assignments,
+                used[j],
+                m_j[j],
+                start,
+                intervals.length(j),
+                speed,
+                opts.eps,
+            );
+        }
+
+        // Bookkeeping: processors consumed, jobs placed.
+        for (j, &mj) in m_j.iter().enumerate() {
+            used[j] += mj;
+        }
+        remaining.retain(|k| !cur.contains(k));
+
+        if let Some(prev) = phases.last() {
+            debug_assert!(
+                T::leq(speed, prev.speed, prev.speed, opts.eps),
+                "phase speeds must be non-increasing: {:?} then {:?}",
+                prev.speed,
+                speed
+            );
+        }
+        phases.push(PhaseInfo {
+            speed,
+            jobs: cur,
+            procs: m_j,
+            rounds,
+        });
+    }
+
+    schedule.normalize();
+    Ok(OptimalResult {
+        schedule,
+        phases,
+        intervals,
+        flow_computations,
+        trace,
+    })
+}
+
+/// Lemma 4's removal rule: find the interval vertex with the largest sink
+/// deficit, then the active job whose edge into it carries the least flow.
+fn select_removal<T: FlowNum>(fm: &FlowModel<T>, intervals: &Intervals<T>) -> JobId {
+    let _ = intervals;
+    // Largest-deficit sink edge.
+    let mut best_x = 0usize;
+    let mut best_deficit: Option<T> = None;
+    for (x, &e) in fm.sink_edges.iter().enumerate() {
+        let deficit = fm.net.capacity(e) - fm.net.flow(e);
+        if best_deficit.is_none_or(|d| deficit > d) {
+            best_deficit = Some(deficit);
+            best_x = x;
+        }
+    }
+    let j_star = fm.intervals_used[best_x];
+
+    // Least-flow job edge into the deficient interval.
+    let mut best_job: Option<(JobId, T)> = None;
+    for (k, edges) in fm.job_edges.iter().enumerate() {
+        if let Some((_, e)) = edges.iter().find(|(jj, _)| *jj == j_star) {
+            let fl = fm.net.flow(*e);
+            if best_job.is_none_or(|(_, bf)| fl < bf) {
+                best_job = Some((fm.jobs[k], fl));
+            }
+        }
+    }
+    best_job
+        .expect("a deficient interval has at least one active job (n_j ≥ m_j > 0)")
+        .0
+}
+
+/// McNaughton wrap-around packing of `assignments` (job, time) onto
+/// processors `base_proc .. base_proc + m_j` within the interval
+/// `[start, start + len)` at uniform `speed`.
+///
+/// Legal because every per-job time is ≤ `len` (edge capacities), so a job
+/// split across the processor boundary occupies the *end* of the interval
+/// on one processor and the *start* on the next — disjoint in real time.
+#[allow(clippy::too_many_arguments)]
+fn pack_interval<T: FlowNum>(
+    schedule: &mut Schedule<T>,
+    assignments: &[(JobId, T)],
+    base_proc: usize,
+    m_j: usize,
+    start: T,
+    len: T,
+    speed: T,
+    eps: f64,
+) {
+    let mut proc = 0usize;
+    let mut cap = len; // remaining capacity on the current processor
+    for &(job, t) in assignments {
+        // Clamp float dust above |I_j|.
+        let mut rt = t.min2(len);
+        while T::definitely_lt(T::zero(), rt, len, eps) {
+            if proc >= m_j {
+                // Tolerance overflow on the f64 path: the residue is below
+                // eps·len per construction; drop it (validator slack covers it).
+                break;
+            }
+            if !T::definitely_lt(T::zero(), cap, len, eps) {
+                proc += 1;
+                cap = len;
+                continue;
+            }
+            let chunk = rt.min2(cap);
+            let seg_start = start + (len - cap);
+            schedule.push(Segment {
+                job,
+                proc: base_proc + proc,
+                start: seg_start,
+                end: seg_start + chunk,
+                speed,
+            });
+            rt -= chunk;
+            cap -= chunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::{schedule_energy, schedule_energy_exact};
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+    use mpss_core::PowerFunction;
+    use mpss_numeric::rational::rat;
+    use mpss_numeric::Rational;
+
+    #[test]
+    fn single_job_runs_at_density_over_full_window() {
+        let ins = Instance::new(1, vec![job(0.0, 4.0, 2.0)]).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.phases.len(), 1);
+        assert!((res.phases[0].speed - 0.5).abs() < 1e-12);
+        assert_eq!(res.schedule.len(), 1);
+        let seg = res.schedule.segments[0];
+        assert_eq!((seg.start, seg.end), (0.0, 4.0));
+    }
+
+    #[test]
+    fn two_speed_levels_match_yds_structure() {
+        // m = 1: job 0 is tight (speed 3 in [0,1)), job 1 relaxed (speed 1).
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.phases.len(), 2);
+        assert!((res.phases[0].speed - 3.0).abs() < 1e-12);
+        assert!((res.phases[1].speed - 1.0).abs() < 1e-12);
+        assert_eq!(res.phases[0].jobs, vec![0]);
+        assert_eq!(res.phases[1].jobs, vec![1]);
+        let e = schedule_energy(&res.schedule, &Polynomial::new(2.0));
+        assert!((e - 10.0).abs() < 1e-9, "E = {e}"); // 9·1 + 1·1
+    }
+
+    #[test]
+    fn plenty_of_processors_gives_every_job_its_density() {
+        // m ≥ n ⇒ each job runs alone at density over its whole window;
+        // energy equals the per-job lower bound.
+        let ins = Instance::new(
+            4,
+            vec![job(0.0, 2.0, 3.0), job(1.0, 4.0, 6.0), job(0.0, 8.0, 2.0)],
+        )
+        .unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        let alpha = Polynomial::new(3.0);
+        let e = schedule_energy(&res.schedule, &alpha);
+        let lb: f64 = ins
+            .jobs
+            .iter()
+            .map(|j| alpha.power(j.density()) * j.window())
+            .sum();
+        assert!((e - lb).abs() < 1e-9, "E = {e}, LB = {lb}");
+    }
+
+    #[test]
+    fn parallel_jobs_share_uniform_speed() {
+        // 3 identical unit jobs, m = 3: all at speed 1/2 over [0, 2).
+        let jobs = vec![job(0.0, 2.0, 1.0); 3];
+        let ins = Instance::new(3, jobs).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.phases.len(), 1);
+        assert!((res.phases[0].speed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_is_exploited_when_m_less_than_n() {
+        // 3 identical jobs [0,3,w=3] on 2 processors: total work 9 over
+        // 2 procs × 3 time = 6 proc-time ⇒ uniform speed 3/2, each job runs
+        // 2 time units. Wrap-around forces at least one migration.
+        let ins = Instance::new(2, vec![job(0.0, 3.0, 3.0); 3]).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.phases.len(), 1);
+        assert!((res.phases[0].speed - 1.5).abs() < 1e-12);
+        assert!(res.schedule.migrations() >= 1);
+        let e = schedule_energy(&res.schedule, &Polynomial::new(2.0));
+        assert!((e - 13.5).abs() < 1e-9); // (3/2)² · 6
+    }
+
+    #[test]
+    fn exact_rational_pipeline_is_bit_exact() {
+        let ins: Instance<Rational> = Instance::new(
+            2,
+            vec![
+                job(rat(0, 1), rat(3, 1), rat(3, 1)),
+                job(rat(0, 1), rat(3, 1), rat(3, 1)),
+                job(rat(0, 1), rat(3, 1), rat(3, 1)),
+            ],
+        )
+        .unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 0.0);
+        assert_eq!(res.phases[0].speed, rat(3, 2));
+        assert_eq!(schedule_energy_exact(&res.schedule, 2), rat(27, 2));
+    }
+
+    #[test]
+    fn speed_levels_are_strictly_decreasing() {
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 1.0, 4.0),
+                job(0.0, 1.0, 4.0),
+                job(0.0, 4.0, 2.0),
+                job(2.0, 6.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        for w in res.phases.windows(2) {
+            assert!(
+                w[0].speed > w[1].speed + 1e-12,
+                "speeds not strictly decreasing: {:?}",
+                res.phases.iter().map(|p| p.speed).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_rounds() {
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+        let opts = OfflineOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let res = optimal_schedule_with(&ins, &opts).unwrap();
+        assert!(!res.trace.is_empty());
+        // The last round of each phase accepts (removed = None).
+        assert!(res.trace.iter().any(|r| r.removed.is_none()));
+        // Some round must have removed the relaxed job from phase 1.
+        assert!(res.trace.iter().any(|r| r.removed == Some(1)));
+        assert_eq!(res.flow_computations, res.trace.len());
+    }
+
+    #[test]
+    fn speed_of_reports_phase_speeds() {
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert!((res.speed_of(0).unwrap() - 3.0).abs() < 1e-12);
+        assert!((res.speed_of(1).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(res.speed_of(99), None);
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_schedule() {
+        let ins: Instance<f64> = Instance::new(2, vec![]).unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert!(res.schedule.is_empty());
+        assert!(res.phases.is_empty());
+        assert_eq!(res.flow_computations, 0);
+    }
+
+    #[test]
+    fn staircase_instance_produces_expected_levels() {
+        // Jobs with nested windows and decreasing urgency on m = 2.
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 1.0, 5.0), // density 5, must run fast
+                job(0.0, 2.0, 2.0),
+                job(0.0, 4.0, 1.0),
+                job(0.0, 8.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        let speeds: Vec<f64> = res.phases.iter().map(|p| p.speed).collect();
+        assert!(speeds[0] >= 5.0 - 1e-9);
+        for w in speeds.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

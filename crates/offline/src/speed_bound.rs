@@ -1,0 +1,169 @@
+//! Peak-speed minimization and bounded-speed feasibility.
+//!
+//! The paper's model allows unbounded speeds; the bounded-speed line of
+//! work it cites (Chan et al., Lam et al.) asks when a cap `c` on every
+//! processor's speed still admits a feasible schedule. With migration the
+//! question reduces to a flow feasibility test on the Fig. 1 network:
+//! at cap `c` every job needs at least `w_k/c` time, at most `|I_j|` of it
+//! per interval, against `min(n_j, m)·|I_j|` capacity per interval.
+//!
+//! A pleasant consequence of the phase structure: the *minimum achievable
+//! peak speed* equals `s_1`, the first-phase speed of the optimal schedule
+//! (energy optimality and peak-speed optimality coincide at the top level —
+//! certified against the independent binary-search implementation in the
+//! tests).
+
+use crate::flow_model::FlowModel;
+use mpss_core::{Instance, Intervals};
+use mpss_maxflow::max_flow_dinic;
+
+/// `true` iff the instance is schedulable on `instance.m` migratory
+/// processors with every speed ≤ `cap`.
+pub fn feasible_at_cap(instance: &Instance<f64>, cap: f64) -> bool {
+    if instance.is_empty() {
+        return true;
+    }
+    if cap <= 0.0 {
+        return false;
+    }
+    let intervals = Intervals::from_instance(instance);
+    let candidate: Vec<usize> = (0..instance.n()).collect();
+    let m_j: Vec<usize> = (0..intervals.len())
+        .map(|j| {
+            candidate
+                .iter()
+                .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
+                .count()
+                .min(instance.m)
+        })
+        .collect();
+    // At cap c, job k must receive ≥ w_k/c processing time; the network's
+    // source edges carry exactly that demand.
+    let mut fm = FlowModel::build(instance, &intervals, &candidate, &m_j, cap);
+    let flow = max_flow_dinic(&mut fm.net, fm.source, fm.sink);
+    let demand: f64 = instance.jobs.iter().map(|j| j.volume / cap).sum();
+    flow >= demand * (1.0 - 1e-9) - 1e-12
+}
+
+/// Minimum peak speed over all feasible migratory schedules, by binary
+/// search over [`feasible_at_cap`] to relative precision `rel_eps`.
+pub fn minimum_peak_speed_search(instance: &Instance<f64>, rel_eps: f64) -> f64 {
+    if instance.is_empty() {
+        return 0.0;
+    }
+    // Bracket: the max density is a lower bound; n × max density is enough
+    // capacity everywhere, hence an upper bound.
+    let max_density = instance
+        .jobs
+        .iter()
+        .map(|j| j.density())
+        .fold(0.0f64, f64::max);
+    let mut lo = max_density / instance.m as f64;
+    let mut hi = max_density * instance.n() as f64;
+    debug_assert!(feasible_at_cap(instance, hi * (1.0 + 1e-6)));
+    while hi - lo > rel_eps * hi.max(1e-12) {
+        let mid = 0.5 * (lo + hi);
+        if feasible_at_cap(instance, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Minimum peak speed via the phase structure: `s_1` of the optimal
+/// schedule (exact, no search).
+///
+/// ```
+/// use mpss_core::{job::job, Instance};
+/// use mpss_offline::speed_bound::{feasible_at_cap, minimum_peak_speed};
+///
+/// // 3 tight jobs on 2 processors: peak 3/2 suffices (and is necessary).
+/// let ins = Instance::new(2, vec![job(0.0, 3.0, 3.0); 3]).unwrap();
+/// let peak = minimum_peak_speed(&ins);
+/// assert!((peak - 1.5).abs() < 1e-9);
+/// assert!(feasible_at_cap(&ins, 1.5));
+/// assert!(!feasible_at_cap(&ins, 1.4));
+/// ```
+pub fn minimum_peak_speed(instance: &Instance<f64>) -> f64 {
+    if instance.is_empty() {
+        return 0.0;
+    }
+    crate::optimal_schedule(instance)
+        .expect("valid instance")
+        .phases
+        .first()
+        .map(|p| p.speed)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_job_peak_is_its_density() {
+        let ins = Instance::new(1, vec![job(0.0, 4.0, 2.0)]).unwrap();
+        assert!((minimum_peak_speed(&ins) - 0.5).abs() < 1e-12);
+        assert!(feasible_at_cap(&ins, 0.5));
+        assert!(!feasible_at_cap(&ins, 0.49));
+    }
+
+    #[test]
+    fn parallel_sharing_lowers_the_required_peak() {
+        // 3 tight jobs on 2 procs: uniform speed 3/2 is both energy- and
+        // peak-optimal; a single processor would need 3.
+        let jobs = vec![job(0.0, 3.0, 3.0); 3];
+        let two = Instance::new(2, jobs.clone()).unwrap();
+        let one = Instance::new(1, jobs).unwrap();
+        assert!((minimum_peak_speed(&two) - 1.5).abs() < 1e-9);
+        assert!((minimum_peak_speed(&one) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_speed_matches_binary_search_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..9);
+            let m = rng.gen_range(1..4);
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    let r = rng.gen_range(0..10) as f64;
+                    let span = rng.gen_range(1..=6) as f64;
+                    job(r, r + span, rng.gen_range(1..=8) as f64)
+                })
+                .collect();
+            let ins = Instance::new(m, jobs).unwrap();
+            let exact = minimum_peak_speed(&ins);
+            let searched = minimum_peak_speed_search(&ins, 1e-9);
+            assert!(
+                (exact - searched).abs() <= 1e-6 * exact.max(1.0),
+                "phase s₁ {exact} vs search {searched}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_the_cap() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 2.0, 3.0), job(0.0, 4.0, 2.0), job(1.0, 3.0, 2.0)],
+        )
+        .unwrap();
+        let peak = minimum_peak_speed(&ins);
+        assert!(!feasible_at_cap(&ins, peak * 0.95));
+        assert!(feasible_at_cap(&ins, peak * 1.0 + 1e-9));
+        assert!(feasible_at_cap(&ins, peak * 2.0));
+    }
+
+    #[test]
+    fn empty_instance_needs_no_speed() {
+        let ins: Instance<f64> = Instance::new(2, vec![]).unwrap();
+        assert_eq!(minimum_peak_speed(&ins), 0.0);
+        assert!(feasible_at_cap(&ins, 0.1));
+    }
+}

@@ -1,0 +1,354 @@
+//! The Yao–Demers–Shenker (YDS) optimal single-processor algorithm
+//! (FOCS 1995), implemented independently of the multi-processor flow
+//! algorithm so the two can cross-validate each other at `m = 1`.
+//!
+//! Classic critical-interval peeling: repeatedly find the interval
+//! `[t1, t2]` maximizing the intensity `g = W(t1, t2) / avail(t1, t2)`,
+//! schedule its jobs at speed `g` with EDF, then freeze that time region and
+//! recurse on the rest. Instead of re-mapping job coordinates after each
+//! peel (the textbook presentation), this implementation keeps a list of
+//! remaining *free* time intervals and measures availability through it —
+//! the two views are equivalent (the free-time measure `φ` *is* the
+//! textbook's time transformation), but this one emits segments directly in
+//! original coordinates.
+
+use mpss_core::{Instance, JobId, Schedule, Segment};
+use mpss_numeric::FlowNum;
+
+/// Result of YDS: a single-processor schedule (all segments on processor 0)
+/// plus the critical speeds in discovery order (non-increasing).
+#[derive(Clone, Debug)]
+pub struct YdsResult<T: FlowNum> {
+    /// The optimal single-processor schedule.
+    pub schedule: Schedule<T>,
+    /// Critical-interval speeds, in peel order (non-increasing).
+    pub speeds: Vec<T>,
+}
+
+/// Free time of `free` lying inside `[a, b]`.
+fn measure<T: FlowNum>(free: &[(T, T)], a: T, b: T) -> T {
+    let mut total = T::zero();
+    for &(s, e) in free {
+        let lo = s.max2(a);
+        let hi = e.min2(b);
+        if lo < hi {
+            total += hi - lo;
+        }
+    }
+    total
+}
+
+/// Removes `[a, b]` from the free list.
+fn block<T: FlowNum>(free: &mut Vec<(T, T)>, a: T, b: T) {
+    let mut out = Vec::with_capacity(free.len() + 1);
+    for &(s, e) in free.iter() {
+        if e <= a || !(s < b) {
+            out.push((s, e));
+            continue;
+        }
+        if s < a {
+            out.push((s, a));
+        }
+        if b < e {
+            out.push((b, e));
+        }
+    }
+    *free = out;
+}
+
+/// Computes the optimal single-processor schedule for `instance`'s job set.
+///
+/// ```
+/// use mpss_core::{job::job, Instance};
+/// use mpss_offline::yds_schedule;
+///
+/// let ins = Instance::new(1, vec![job(2.0, 3.0, 5.0), job(0.0, 5.0, 2.0)]).unwrap();
+/// let res = yds_schedule(&ins);
+/// // The tight inner job forms the first critical interval at speed 5.
+/// assert_eq!(res.speeds[0], 5.0);
+/// assert_eq!(res.speeds[1], 0.5); // outer job over the remaining 4 units
+/// ```
+///
+/// `instance.m` is ignored: this is the `E¹_OPT` oracle used both as the
+/// `m = 1` ground truth and inside the `m^{1−α} E¹_OPT` lower bound of
+/// Theorem 3's proof. All segments land on processor 0 of a 1-processor
+/// schedule.
+pub fn yds_schedule<T: FlowNum>(instance: &Instance<T>) -> YdsResult<T> {
+    let jobs = &instance.jobs;
+    let mut schedule = Schedule::new(1);
+    let mut speeds = Vec::new();
+    if jobs.is_empty() {
+        return YdsResult { schedule, speeds };
+    }
+
+    let t_min = instance.min_release().unwrap();
+    let t_max = instance.max_deadline().unwrap();
+    let mut free: Vec<(T, T)> = vec![(t_min, t_max)];
+    let mut unscheduled: Vec<JobId> = (0..jobs.len()).collect();
+
+    while !unscheduled.is_empty() {
+        // Find the critical interval among (release, deadline) pairs, using
+        // φ-containment: job k counts for [t1, t2] iff its free time outside
+        // the candidate is zero on both sides (equivalently, the textbook's
+        // transformed window is contained in the transformed candidate).
+        // φ values are precomputed per event to keep each phase O(n³).
+        let phi_r: Vec<T> = unscheduled
+            .iter()
+            .map(|&k| measure(&free, t_min, jobs[k].release))
+            .collect();
+        let phi_d: Vec<T> = unscheduled
+            .iter()
+            .map(|&k| measure(&free, t_min, jobs[k].deadline))
+            .collect();
+
+        let mut best: Option<(T, T, T, Vec<JobId>)> = None; // (g, t1, t2, set)
+        for (a, &ka) in unscheduled.iter().enumerate() {
+            let t1 = jobs[ka].release;
+            let phi1 = phi_r[a];
+            for (b, &kb) in unscheduled.iter().enumerate() {
+                let t2 = jobs[kb].deadline;
+                let phi2 = phi_d[b];
+                if !(phi1 < phi2) {
+                    continue; // zero available time (covers t1 ≥ t2 too)
+                }
+                let avail = phi2 - phi1;
+                let mut w = T::zero();
+                let mut set = Vec::new();
+                for (c, &kc) in unscheduled.iter().enumerate() {
+                    // φ-containment of [r, d] in [t1, t2].
+                    if !(phi_r[c] < phi1) && !(phi2 < phi_d[c]) {
+                        w += jobs[kc].volume;
+                        set.push(kc);
+                    }
+                }
+                if set.is_empty() {
+                    continue;
+                }
+                let g = w / avail;
+                if best.as_ref().is_none_or(|(bg, ..)| *bg < g) {
+                    best = Some((g, t1, t2, set));
+                }
+            }
+        }
+        let (g, t1, t2, set) = best
+            .expect("YDS invariant: every unscheduled job admits a positive-availability window");
+        speeds.push(g);
+
+        // EDF-schedule `set` at speed g inside free ∩ [t1, t2].
+        let mut segments: Vec<(T, T)> = free
+            .iter()
+            .filter_map(|&(s, e)| {
+                let lo = s.max2(t1);
+                let hi = e.min2(t2);
+                (lo < hi).then_some((lo, hi))
+            })
+            .collect();
+        segments.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("comparable times"));
+        edf_schedule(&mut schedule, jobs, &set, &segments, g, t_max - t_min);
+
+        block(&mut free, t1, t2);
+        unscheduled.retain(|k| !set.contains(k));
+    }
+
+    schedule.normalize();
+    YdsResult { schedule, speeds }
+}
+
+/// Preemptive EDF over the chronological free `segments` at constant
+/// `speed`; exactly feasible by the criticality of the chosen interval.
+///
+/// `scale` is the magnitude used by the tolerance tests on the `f64` path:
+/// a remaining execution time below `eps · scale` counts as *finished*
+/// (otherwise sub-ULP residues get picked, advance time by zero, and stall
+/// the simulation).
+fn edf_schedule<T: FlowNum>(
+    schedule: &mut Schedule<T>,
+    jobs: &[mpss_core::Job<T>],
+    set: &[JobId],
+    segments: &[(T, T)],
+    speed: T,
+    scale: T,
+) {
+    const EPS: f64 = 1e-9;
+    // Remaining execution time per selected job.
+    let mut rem: Vec<(JobId, T)> = set.iter().map(|&k| (k, jobs[k].volume / speed)).collect();
+    let live = |r: T| T::definitely_lt(T::zero(), r, scale, EPS);
+
+    for &(seg_start, seg_end) in segments {
+        let mut t = seg_start;
+        while t < seg_end {
+            // Released, unfinished job with the earliest deadline.
+            let mut pick: Option<usize> = None;
+            for (i, &(k, r)) in rem.iter().enumerate() {
+                if live(r) && !(t < jobs[k].release) {
+                    match pick {
+                        Some(p) if !(jobs[k].deadline < jobs[rem[p].0].deadline) => {}
+                        _ => pick = Some(i),
+                    }
+                }
+            }
+            let Some(p) = pick else {
+                // Nothing released: jump to the next release inside the segment.
+                let next = rem
+                    .iter()
+                    .filter(|&&(k, r)| live(r) && t < jobs[k].release)
+                    .map(|&(k, _)| jobs[k].release)
+                    .fold(None::<T>, |acc, r| Some(acc.map_or(r, |a| a.min2(r))));
+                match next {
+                    Some(nr) if nr < seg_end => t = nr,
+                    _ => break,
+                }
+                continue;
+            };
+            let (k, r) = rem[p];
+            // Run until the job finishes, the segment ends, or a new release
+            // arrives (a newly released job may have an earlier deadline).
+            let mut until = seg_end.min2(t + r);
+            for &(k2, r2) in &rem {
+                if live(r2) && t < jobs[k2].release {
+                    until = until.min2(jobs[k2].release);
+                }
+            }
+            if !(t < until) {
+                // Zero-length step (float dust): retire the residue and
+                // re-run the pick instead of abandoning the segment.
+                rem[p].1 = T::zero();
+                continue;
+            }
+            schedule.push(Segment {
+                job: k,
+                proc: 0,
+                start: t,
+                end: until,
+                speed,
+            });
+            rem[p].1 = r - (until - t);
+            t = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::{schedule_energy, schedule_energy_exact};
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+    use mpss_numeric::rational::rat;
+    use mpss_numeric::Rational;
+
+    fn single(ins: &Instance<f64>) -> Instance<f64> {
+        Instance::new(1, ins.jobs.clone()).unwrap()
+    }
+
+    #[test]
+    fn one_job_runs_at_density() {
+        let ins = Instance::new(1, vec![job(1.0, 5.0, 2.0)]).unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.speeds, vec![0.5]);
+    }
+
+    #[test]
+    fn textbook_two_level_instance() {
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert_eq!(res.speeds.len(), 2);
+        assert!((res.speeds[0] - 3.0).abs() < 1e-12);
+        assert!((res.speeds[1] - 1.0).abs() < 1e-12);
+        let e = schedule_energy(&res.schedule, &Polynomial::new(2.0));
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_jobs_each_get_their_density() {
+        let ins = Instance::new(
+            1,
+            vec![job(0.0, 2.0, 1.0), job(2.0, 3.0, 2.0), job(3.0, 7.0, 2.0)],
+        )
+        .unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        let mut speeds = res.speeds.clone();
+        speeds.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((speeds[0] - 2.0).abs() < 1e-12);
+        assert!((speeds[1] - 0.5).abs() < 1e-12);
+        assert!((speeds[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_jobs_peel_from_the_middle() {
+        // Inner tight job forces a high-speed island; the outer job flows
+        // around it on both sides.
+        let ins = Instance::new(1, vec![job(2.0, 3.0, 5.0), job(0.0, 5.0, 2.0)]).unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        assert!((res.speeds[0] - 5.0).abs() < 1e-12);
+        // Outer job: 2 units over the remaining 4 free time units.
+        assert!((res.speeds[1] - 0.5).abs() < 1e-12);
+        // The outer job must run on both sides of the island.
+        let outer_segs: Vec<_> = res
+            .schedule
+            .segments
+            .iter()
+            .filter(|s| s.job == 1)
+            .collect();
+        assert!(outer_segs.iter().any(|s| s.end <= 2.0 + 1e-9));
+        assert!(outer_segs.iter().any(|s| s.start >= 3.0 - 1e-9));
+    }
+
+    #[test]
+    fn edf_respects_late_releases_within_critical_interval() {
+        let ins = Instance::new(1, vec![job(0.0, 4.0, 2.0), job(2.0, 4.0, 2.0)]).unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        // Uniform speed 1: g([0,4]) = 4/4 = 1 dominates.
+        assert_eq!(res.speeds.len(), 1);
+        assert!((res.speeds[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_rational_yds() {
+        let ins: Instance<Rational> = Instance::new(
+            1,
+            vec![
+                job(rat(0, 1), rat(1, 1), rat(3, 1)),
+                job(rat(0, 1), rat(2, 1), rat(1, 1)),
+            ],
+        )
+        .unwrap();
+        let res = yds_schedule(&ins);
+        assert_feasible(&ins, &res.schedule, 0.0);
+        assert_eq!(res.speeds, vec![rat(3, 1), rat(1, 1)]);
+        assert_eq!(schedule_energy_exact(&res.schedule, 2), rat(10, 1));
+    }
+
+    #[test]
+    fn speeds_are_non_increasing() {
+        let ins = Instance::new(
+            1,
+            vec![
+                job(0.0, 1.0, 2.0),
+                job(0.5, 3.0, 1.0),
+                job(2.0, 6.0, 3.0),
+                job(4.0, 5.0, 2.0),
+            ],
+        )
+        .unwrap();
+        let res = yds_schedule(&single(&ins));
+        assert_feasible(&ins, &res.schedule, 1e-9);
+        for w in res.speeds.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "speeds increased: {:?}", res.speeds);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let ins: Instance<f64> = Instance::new(1, vec![]).unwrap();
+        let res = yds_schedule(&ins);
+        assert!(res.schedule.is_empty());
+        assert!(res.speeds.is_empty());
+    }
+}

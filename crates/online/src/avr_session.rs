@@ -1,0 +1,172 @@
+//! AVR(m) as a live session.
+//!
+//! AVR's decisions are *memoryless*: at any instant the processor speeds
+//! depend only on the currently active jobs' densities (Fig. 3 is evaluated
+//! interval by interval). That makes the session form particularly simple —
+//! no replanning state, just the active set — and it makes AVR attractive
+//! for controllers that cannot afford OA's optimal replans.
+
+use crate::avr::avr_schedule;
+use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
+
+/// A live AVR(m) scheduling session.
+pub struct AvrSession {
+    m: usize,
+    now: f64,
+    jobs: Vec<Job<f64>>,
+    executed: Schedule<f64>,
+}
+
+impl AvrSession {
+    /// Opens a session on `m` processors with the clock at `start`.
+    pub fn new(m: usize, start: f64) -> AvrSession {
+        assert!(m >= 1);
+        AvrSession {
+            m,
+            now: start,
+            jobs: Vec::new(),
+            executed: Schedule::new(m),
+        }
+    }
+
+    /// Current clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Announces a job arriving now. Returns its session id.
+    pub fn arrive(&mut self, deadline: f64, volume: f64) -> Result<JobId, ModelError> {
+        let job = Job::new(self.now, deadline, volume);
+        Instance::new(self.m, vec![job])?;
+        self.jobs.push(job);
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// The speed AVR assigns each processor right now: peel over-dense
+    /// actives, share the rest (the instantaneous Fig. 3 decision).
+    pub fn current_speeds(&self) -> Vec<f64> {
+        let mut densities: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.release <= self.now && self.now < j.deadline)
+            .map(|j| j.density())
+            .collect();
+        densities.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut speeds = vec![0.0; self.m];
+        let mut total: f64 = densities.iter().sum();
+        let mut m_left = self.m;
+        let mut idx = 0;
+        while idx < densities.len() && m_left > 0 && densities[idx] > total / m_left as f64 {
+            speeds[self.m - m_left] = densities[idx];
+            total -= densities[idx];
+            m_left -= 1;
+            idx += 1;
+        }
+        if idx < densities.len() && m_left > 0 {
+            let share = total / m_left as f64;
+            for s in speeds.iter_mut().skip(self.m - m_left) {
+                *s = share;
+            }
+        }
+        speeds
+    }
+
+    /// Advances the clock to `t`, committing AVR's execution over
+    /// `[now, t)`. Because AVR is memoryless, this simply evaluates the
+    /// full AVR schedule of the jobs seen so far restricted to the window —
+    /// identical to what instant-by-instant simulation would produce.
+    pub fn advance_to(&mut self, t: f64) -> Result<(), ModelError> {
+        assert!(t >= self.now, "clock cannot move backwards");
+        if !self.jobs.is_empty() {
+            let instance = Instance::new(self.m, self.jobs.clone())?;
+            let full = avr_schedule(&instance);
+            for seg in full.restrict(self.now, t).segments {
+                self.executed.push(Segment { ..seg });
+            }
+        }
+        self.now = t;
+        Ok(())
+    }
+
+    /// Committed history so far.
+    pub fn executed(&self) -> &Schedule<f64> {
+        &self.executed
+    }
+
+    /// Runs to the last deadline and returns the full schedule.
+    pub fn finish(mut self) -> Result<Schedule<f64>, ModelError> {
+        let horizon = self
+            .jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(self.now, f64::max);
+        self.advance_to(horizon)?;
+        let mut s = self.executed;
+        s.normalize();
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+
+    #[test]
+    fn session_replays_batch_avr() {
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 4.0, 4.0), job(0.0, 2.0, 2.0), job(1.0, 3.0, 2.0)],
+        )
+        .unwrap();
+        let batch = avr_schedule(&ins);
+
+        let mut s = AvrSession::new(2, 0.0);
+        s.arrive(4.0, 4.0).unwrap();
+        s.arrive(2.0, 2.0).unwrap();
+        s.advance_to(1.0).unwrap();
+        s.arrive(3.0, 2.0).unwrap();
+        let sched = s.finish().unwrap();
+
+        assert_feasible(&ins, &sched, 1e-9);
+        let p = Polynomial::new(2.0);
+        let a = schedule_energy(&batch, &p);
+        let b = schedule_energy(&sched, &p);
+        assert!(
+            (a - b).abs() <= 1e-9 * a.max(1.0),
+            "batch {a} vs session {b}"
+        );
+    }
+
+    #[test]
+    fn current_speeds_follow_fig3_peeling() {
+        let mut s = AvrSession::new(2, 0.0);
+        s.arrive(1.0, 4.0).unwrap(); // density 4
+        s.arrive(1.0, 1.0).unwrap(); // density 1
+        s.arrive(1.0, 1.0).unwrap(); // density 1
+        let speeds = s.current_speeds();
+        // Peel the 4; the two 1s share speed 2 on the other processor.
+        assert_eq!(speeds, vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn memorylessness_past_jobs_do_not_affect_speeds() {
+        let mut s = AvrSession::new(1, 0.0);
+        s.arrive(1.0, 3.0).unwrap();
+        s.advance_to(2.0).unwrap(); // job expired
+        assert_eq!(s.current_speeds(), vec![0.0]);
+        s.arrive(4.0, 2.0).unwrap();
+        assert_eq!(s.current_speeds(), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_session_is_silent() {
+        let s = AvrSession::new(2, 0.0);
+        assert_eq!(s.current_speeds(), vec![0.0, 0.0]);
+        let sched = s.finish().unwrap();
+        assert!(sched.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! The single-processor BKP algorithm (Bansal–Kimbrel–Pruhs, J. ACM 2007),
+//! implemented as the extension discussed in the paper's conclusion: BKP
+//! beats Optimal Available for large `α` on one processor
+//! (`2(α/(α−1))^α e^α` vs `α^α`), and whether it extends to `m` processors
+//! is posed as an open problem. We provide the `m = 1` algorithm so the
+//! experiment harness can compare all three online strategies.
+//!
+//! At time `t`, with `w(t, t1, t2)` the total volume of jobs *released by
+//! `t`* whose windows satisfy `r ≥ t1` and `d ≤ t2`, BKP runs at speed
+//!
+//! ```text
+//! s(t) = e · γ(t),    γ(t) = max_{t2 > t}  w(t, e·t − (e−1)·t2, t2) / (e·(t2 − t))
+//! ```
+//!
+//! and processes jobs in EDF order. The speed function is continuous
+//! between events; this simulation discretizes each event interval into
+//! fixed steps and holds the speed constant per step, with a feasibility
+//! safety net (if discretization error would miss a deadline, the step runs
+//! at the exact completion speed instead, counted in
+//! [`BkpOutcome::forced_speedups`]).
+
+use mpss_core::{Instance, Schedule, Segment};
+
+/// Outcome of a BKP simulation.
+#[derive(Clone, Debug)]
+pub struct BkpOutcome {
+    /// The executed schedule (single processor).
+    pub schedule: Schedule<f64>,
+    /// Steps where the discretized speed had to be raised to meet a
+    /// deadline (0 for fine enough discretizations).
+    pub forced_speedups: usize,
+}
+
+/// The BKP speed at time `t` given the jobs released so far.
+///
+/// Candidate `t2` values: every deadline `> t`, and every point where the
+/// window `[e·t − (e−1)·t2, t2]` starts touching a release time
+/// (`t2 = (e·t − r)/(e−1)`); the maximum of the piecewise-monotone
+/// objective is attained at one of these.
+pub fn bkp_speed(instance: &Instance<f64>, t: f64) -> f64 {
+    let e = std::f64::consts::E;
+    let released: Vec<_> = instance
+        .jobs
+        .iter()
+        .filter(|j| j.release <= t + 1e-12)
+        .collect();
+    if released.is_empty() {
+        return 0.0;
+    }
+    let mut candidates: Vec<f64> = Vec::with_capacity(2 * released.len());
+    for j in &released {
+        if j.deadline > t {
+            candidates.push(j.deadline);
+        }
+        let t2 = (e * t - j.release) / (e - 1.0);
+        if t2 > t {
+            candidates.push(t2);
+        }
+    }
+    let mut best = 0.0f64;
+    for &t2 in &candidates {
+        let t1 = e * t - (e - 1.0) * t2;
+        let w: f64 = released
+            .iter()
+            .filter(|j| j.release >= t1 - 1e-12 && j.deadline <= t2 + 1e-12)
+            .map(|j| j.volume)
+            .sum();
+        let gamma = w / (e * (t2 - t));
+        best = best.max(gamma);
+    }
+    e * best
+}
+
+/// Simulates BKP with `steps_per_interval` discretization steps per event
+/// interval.
+pub fn bkp_schedule(instance: &Instance<f64>, steps_per_interval: usize) -> BkpOutcome {
+    assert!(steps_per_interval >= 1);
+    assert_eq!(instance.m, 1, "BKP is a single-processor algorithm");
+    let mut schedule = Schedule::new(1);
+    let mut forced = 0usize;
+    if instance.is_empty() {
+        return BkpOutcome {
+            schedule,
+            forced_speedups: 0,
+        };
+    }
+    let intervals = mpss_core::Intervals::from_instance(instance);
+    let mut remaining: Vec<f64> = instance.jobs.iter().map(|j| j.volume).collect();
+
+    for j in 0..intervals.len() {
+        let (a, b) = intervals.bounds(j);
+        let h = (b - a) / steps_per_interval as f64;
+        for step in 0..steps_per_interval {
+            let t = a + step as f64 * h;
+            let t_next = t + h;
+            let mut budget_time = h;
+            let mut cursor = t;
+            // EDF within the step; the speed may be boosted per job to
+            // guarantee deadlines under discretization error.
+            while budget_time > 1e-12 {
+                // Earliest-deadline released unfinished job.
+                let pick = (0..instance.n())
+                    .filter(|&k| {
+                        instance.jobs[k].release <= cursor + 1e-12
+                            && remaining[k] > 1e-9 * instance.jobs[k].volume.max(1.0)
+                    })
+                    .min_by(|&x, &y| {
+                        instance.jobs[x]
+                            .deadline
+                            .partial_cmp(&instance.jobs[y].deadline)
+                            .unwrap()
+                    });
+                let Some(k) = pick else { break };
+                let mut speed = bkp_speed(instance, cursor);
+                // Safety net: never plan to finish after the deadline.
+                let slack = (instance.jobs[k].deadline - cursor).max(1e-12);
+                let needed = remaining[k] / slack;
+                if needed > speed {
+                    speed = needed;
+                    forced += 1;
+                }
+                if speed <= 0.0 {
+                    break;
+                }
+                let run = budget_time.min(remaining[k] / speed).max(0.0);
+                if run <= 1e-12 {
+                    // Retire dust.
+                    remaining[k] = 0.0;
+                    continue;
+                }
+                schedule.push(Segment {
+                    job: k,
+                    proc: 0,
+                    start: cursor,
+                    end: cursor + run,
+                    speed,
+                });
+                remaining[k] -= speed * run;
+                cursor += run;
+                budget_time -= run;
+            }
+            let _ = t_next;
+        }
+    }
+    schedule.normalize();
+    BkpOutcome {
+        schedule,
+        forced_speedups: forced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+    use mpss_offline::optimal_schedule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn speed_for_single_job_at_release_is_e_scaled_density_cap() {
+        // One job (0, 1, 1): at t = 0 the candidates give
+        // γ(0) = max_{t2 ≥ 1} 1/(e·t2) = 1/e, so s(0) = 1.
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 1.0)]).unwrap();
+        let s0 = bkp_speed(&ins, 0.0);
+        assert!((s0 - 1.0).abs() < 1e-9, "s(0) = {s0}");
+        // Later, the effective window shrinks and the speed rises.
+        assert!(bkp_speed(&ins, 0.5) > s0);
+    }
+
+    #[test]
+    fn unreleased_jobs_are_invisible() {
+        let ins = Instance::new(1, vec![job(5.0, 6.0, 1.0)]).unwrap();
+        assert_eq!(bkp_speed(&ins, 0.0), 0.0);
+        assert!(bkp_speed(&ins, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn bkp_schedules_feasibly_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..15 {
+            let n = rng.gen_range(2..7);
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    let r = rng.gen_range(0..8) as f64;
+                    let span = rng.gen_range(1..=4) as f64;
+                    job(r, r + span, rng.gen_range(1..=5) as f64)
+                })
+                .collect();
+            let ins = Instance::new(1, jobs).unwrap();
+            let out = bkp_schedule(&ins, 64);
+            assert_feasible(&ins, &out.schedule, 1e-5);
+        }
+    }
+
+    #[test]
+    fn bkp_energy_within_its_theoretical_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..6);
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    let r = rng.gen_range(0..6) as f64;
+                    let span = rng.gen_range(1..=4) as f64;
+                    job(r, r + span, rng.gen_range(1..=5) as f64)
+                })
+                .collect();
+            let ins = Instance::new(1, jobs).unwrap();
+            let alpha = 2.0;
+            let p = Polynomial::new(alpha);
+            let e_bkp = schedule_energy(&bkp_schedule(&ins, 64).schedule, &p);
+            let e_opt = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+            let bound = 2.0 * (alpha / (alpha - 1.0)).powf(alpha) * std::f64::consts::E.powf(alpha);
+            assert!(
+                e_bkp / e_opt <= bound,
+                "ratio {} exceeds 2(α/(α−1))^α e^α = {bound}",
+                e_bkp / e_opt
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-processor")]
+    fn rejects_multi_processor_instances() {
+        let ins = Instance::new(2, vec![job(0.0, 1.0, 1.0)]).unwrap();
+        bkp_schedule(&ins, 8);
+    }
+}

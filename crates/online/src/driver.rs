@@ -1,0 +1,97 @@
+//! Shared online-simulation utilities and competitive-ratio reporting.
+
+use mpss_core::energy::schedule_energy;
+use mpss_core::{Instance, PowerFunction, Schedule};
+use mpss_offline::optimal_schedule;
+
+/// A measured competitive-ratio data point, pairing an online algorithm's
+/// energy with the offline optimum and the theoretical guarantee.
+#[derive(Clone, Debug)]
+pub struct RatioReport {
+    /// Energy of the online schedule.
+    pub online_energy: f64,
+    /// Energy of the offline optimum (our flow algorithm).
+    pub opt_energy: f64,
+    /// `online_energy / opt_energy`.
+    pub ratio: f64,
+    /// The theorem's bound for this α (`α^α` for OA, `(2α)^α/2 + 1` for
+    /// AVR), as supplied by the caller.
+    pub bound: f64,
+}
+
+impl RatioReport {
+    /// `true` iff the measured ratio respects the bound (with slack for
+    /// float noise).
+    pub fn within_bound(&self) -> bool {
+        self.ratio <= self.bound * (1.0 + 1e-9) + 1e-9
+    }
+}
+
+/// Builds a [`RatioReport`] for an online schedule of `instance` under `p`.
+pub fn competitive_report(
+    instance: &Instance<f64>,
+    online: &Schedule<f64>,
+    p: &impl PowerFunction,
+    bound: f64,
+) -> RatioReport {
+    let opt = optimal_schedule(instance).expect("offline optimum");
+    let opt_energy = schedule_energy(&opt.schedule, p);
+    let online_energy = schedule_energy(online, p);
+    let ratio = if opt_energy > 0.0 {
+        online_energy / opt_energy
+    } else {
+        1.0
+    };
+    RatioReport {
+        online_energy,
+        opt_energy,
+        ratio,
+        bound,
+    }
+}
+
+/// Distinct release times of an instance, ascending — the replanning events
+/// of any arrival-driven online algorithm.
+pub fn release_events(instance: &Instance<f64>) -> Vec<f64> {
+    let mut events: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.dedup();
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avr::avr_schedule;
+    use crate::oa::oa_schedule;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+
+    fn sample() -> Instance<f64> {
+        Instance::new(
+            2,
+            vec![job(0.0, 2.0, 2.0), job(1.0, 3.0, 2.0), job(0.0, 4.0, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn release_events_are_sorted_distinct() {
+        assert_eq!(release_events(&sample()), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn reports_for_both_online_algorithms_respect_theorems() {
+        let ins = sample();
+        let p = Polynomial::new(2.0);
+        let oa = oa_schedule(&ins).unwrap();
+        let oa_report = competitive_report(&ins, &oa.schedule, &p, p.oa_bound());
+        assert!(oa_report.within_bound(), "{oa_report:?}");
+        assert!(oa_report.ratio >= 1.0 - 1e-9);
+
+        let avr = avr_schedule(&ins);
+        let avr_report = competitive_report(&ins, &avr, &p, p.avr_bound());
+        assert!(avr_report.within_bound(), "{avr_report:?}");
+        assert!(avr_report.ratio >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! OA(m) — *Optimal Available* on `m` processors (paper §3.1, Theorem 2).
+//!
+//! Whenever a new job arrives, OA(m) computes an optimal schedule for the
+//! currently available unfinished work using the offline algorithm of
+//! Section 2 (release times collapse to "now", so only deadlines matter),
+//! then follows that plan until the next arrival. The paper proves this is
+//! `α^α`-competitive — the same ratio as on a single processor — via a
+//! potential-function argument resting on three structural facts that this
+//! module's test-suite checks empirically:
+//!
+//! * **Lemma 7:** on arrival, the planned speed of every old job can only
+//!   increase;
+//! * **Lemma 8:** the per-time minimum processor speed can only increase;
+//! * **Lemma 10:** growing the new job's volume never decreases any speed.
+
+use mpss_core::{Instance, Job, JobId, ModelError, Schedule};
+use mpss_numeric::FlowNum;
+use mpss_offline::optimal::{optimal_schedule, OptimalResult};
+
+/// Outcome of an OA(m) run.
+#[derive(Clone, Debug)]
+pub struct OaOutcome<T: FlowNum> {
+    /// The complete executed schedule, in original job ids.
+    pub schedule: Schedule<T>,
+    /// Number of replanning events (distinct release times).
+    pub replans: usize,
+    /// Total max-flow computations across all replans.
+    pub flow_computations: usize,
+}
+
+/// One recorded replanning event, for lemma-level inspection.
+#[derive(Clone, Debug)]
+pub struct PlanRecord<T: FlowNum = f64> {
+    /// Time of the replan (a release event).
+    pub time: T,
+    /// Original job ids of the sub-instance, aligned with the plan's jobs.
+    pub job_map: Vec<JobId>,
+    /// The optimal plan computed for the remaining work at `time`.
+    pub plan: OptimalResult<T>,
+}
+
+/// Runs OA(m) over `instance`, revealing jobs strictly by release time.
+/// Works in either numeric mode — in exact rationals the whole online run,
+/// including every replanned optimal schedule, is bit-exact.
+pub fn oa_schedule<T: FlowNum>(instance: &Instance<T>) -> Result<OaOutcome<T>, ModelError> {
+    let (outcome, _) = oa_run(instance, false)?;
+    Ok(outcome)
+}
+
+/// Like [`oa_schedule`], additionally returning every intermediate plan —
+/// used by the tests that verify Lemmas 7, 8 and 10, by the potential-
+/// function auditor, and by the experiment harness.
+pub fn oa_schedule_with_plans<T: FlowNum>(
+    instance: &Instance<T>,
+) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
+    oa_run(instance, true)
+}
+
+fn oa_run<T: FlowNum>(
+    instance: &Instance<T>,
+    record: bool,
+) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
+    const EPS: f64 = 1e-9;
+    let n = instance.n();
+    let mut remaining: Vec<T> = instance.jobs.iter().map(|j| j.volume).collect();
+    let mut schedule = Schedule::new(instance.m);
+    let mut plans = Vec::new();
+    let mut flow_computations = 0usize;
+
+    // Release events, ascending and distinct.
+    let mut events: Vec<T> = instance.jobs.iter().map(|j| j.release).collect();
+    events.sort_by(|a, b| a.partial_cmp(b).expect("comparable times"));
+    events.dedup_by(|a, b| a == b);
+    let replans = events.len();
+    let horizon = instance.max_deadline().unwrap_or_else(T::zero);
+
+    for (ei, &t) in events.iter().enumerate() {
+        // Sub-instance: released, unfinished work; availability from `t`.
+        let mut job_map: Vec<JobId> = Vec::new();
+        let mut sub_jobs: Vec<Job<T>> = Vec::new();
+        for (k, job) in instance.jobs.iter().enumerate() {
+            let live = T::definitely_lt(T::zero(), remaining[k], job.volume, EPS);
+            if !(t < job.release) && live {
+                debug_assert!(
+                    t < job.deadline,
+                    "deadline passed with unfinished work (infeasible execution)"
+                );
+                job_map.push(k);
+                sub_jobs.push(Job::new(t, job.deadline, remaining[k]));
+            }
+        }
+        if sub_jobs.is_empty() {
+            continue;
+        }
+        let sub = Instance::new(instance.m, sub_jobs)?;
+        let plan = optimal_schedule(&sub)?;
+        flow_computations += plan.flow_computations;
+
+        // Follow the plan until the next arrival (or to completion).
+        let until = events.get(ei + 1).copied().unwrap_or(horizon);
+        let window = plan.schedule.restrict(t, until);
+        for seg in &window.segments {
+            let orig = job_map[seg.job];
+            remaining[orig] -= seg.work();
+            schedule.push(mpss_core::Segment { job: orig, ..*seg });
+        }
+        if record {
+            plans.push(PlanRecord {
+                time: t,
+                job_map,
+                plan,
+            });
+        }
+    }
+
+    debug_assert!(
+        (0..n).all(|k| T::close(remaining[k], T::zero(), instance.jobs[k].volume, 1e-6)),
+        "OA left unfinished work: {remaining:?}"
+    );
+    schedule.normalize();
+    Ok((
+        OaOutcome {
+            schedule,
+            replans,
+            flow_computations,
+        },
+        plans,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+    use mpss_offline::optimal_schedule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, m: usize, horizon: u32, seed: u64) -> Instance<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..n)
+            .map(|_| {
+                let r = rng.gen_range(0..horizon - 1) as f64;
+                let span = rng.gen_range(1..=horizon - r as u32) as f64;
+                job(r, r + span, rng.gen_range(1..=8) as f64)
+            })
+            .collect();
+        Instance::new(m, jobs).unwrap()
+    }
+
+    #[test]
+    fn oa_equals_opt_when_everything_is_released_at_once() {
+        // No future information is missing ⇒ OA is exactly OPT.
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 2.0, 3.0), job(0.0, 4.0, 2.0), job(0.0, 1.0, 1.0)],
+        )
+        .unwrap();
+        let oa = oa_schedule(&ins).unwrap();
+        assert_feasible(&ins, &oa.schedule, 1e-9);
+        assert_eq!(oa.replans, 1);
+        let p = Polynomial::new(2.0);
+        let e_oa = schedule_energy(&oa.schedule, &p);
+        let e_opt = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+        assert!((e_oa - e_opt).abs() <= 1e-9 * e_opt);
+    }
+
+    #[test]
+    fn oa_is_feasible_on_random_instances() {
+        for seed in 0..30u64 {
+            let ins = random_instance(3 + (seed as usize % 7), 1 + (seed as usize % 3), 12, seed);
+            let oa = oa_schedule(&ins).unwrap();
+            assert_feasible(&ins, &oa.schedule, 1e-6);
+        }
+    }
+
+    #[test]
+    fn oa_respects_the_alpha_alpha_bound_empirically() {
+        for seed in 50..80u64 {
+            let ins = random_instance(4 + (seed as usize % 6), 1 + (seed as usize % 4), 10, seed);
+            for alpha in [1.5, 2.0, 3.0] {
+                let p = Polynomial::new(alpha);
+                let e_oa = schedule_energy(&oa_schedule(&ins).unwrap().schedule, &p);
+                let e_opt = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+                let ratio = e_oa / e_opt;
+                assert!(
+                    ratio <= p.oa_bound() + 1e-6,
+                    "seed {seed} α {alpha}: ratio {ratio} exceeds α^α = {}",
+                    p.oa_bound()
+                );
+                assert!(ratio >= 1.0 - 1e-6, "OA beat OPT?! ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_job_speeds_never_decrease_across_replans() {
+        for seed in 100..120u64 {
+            let ins = random_instance(6, 2, 10, seed);
+            let (_, plans) = oa_schedule_with_plans(&ins).unwrap();
+            for w in plans.windows(2) {
+                let (old, new) = (&w[0], &w[1]);
+                for (sub_id, &orig) in old.job_map.iter().enumerate() {
+                    let Some(old_speed) = old.plan.speed_of(sub_id) else {
+                        continue;
+                    };
+                    // Find the job in the new plan (it may be finished).
+                    let Some(new_sub) = new.job_map.iter().position(|&o| o == orig) else {
+                        continue;
+                    };
+                    let Some(new_speed) = new.plan.speed_of(new_sub) else {
+                        continue;
+                    };
+                    assert!(
+                        new_speed >= old_speed - 1e-6 * old_speed.max(1.0),
+                        "seed {seed}: job {orig} slowed down {old_speed} -> {new_speed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma8_min_processor_speed_never_decreases_across_replans() {
+        for seed in 150..165u64 {
+            let ins = random_instance(5, 2, 10, seed);
+            let (_, plans) = oa_schedule_with_plans(&ins).unwrap();
+            for w in plans.windows(2) {
+                let (old, new) = (&w[0], &w[1]);
+                // Sample times in the overlap of both plans' horizons.
+                let t0 = new.time;
+                let t_end = old
+                    .plan
+                    .schedule
+                    .segments
+                    .iter()
+                    .map(|s| s.end)
+                    .fold(t0, f64::max);
+                let steps = 16;
+                for i in 0..steps {
+                    let t = t0 + (t_end - t0) * (i as f64 + 0.5) / steps as f64;
+                    let min_old = (0..ins.m)
+                        .map(|p| old.plan.schedule.speed_at(p, t))
+                        .fold(f64::INFINITY, f64::min);
+                    let min_new = (0..ins.m)
+                        .map(|p| new.plan.schedule.speed_at(p, t))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        min_new >= min_old - 1e-6 * min_old.max(1.0),
+                        "seed {seed} t {t}: min speed dropped {min_old} -> {min_new}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma10_growing_a_volume_never_slows_any_job() {
+        // Offline view of Lemma 10: raise one job's volume, all planned
+        // speeds are monotone non-decreasing.
+        for seed in 200..215u64 {
+            let mut ins = random_instance(5, 2, 10, seed);
+            for j in &mut ins.jobs {
+                j.release = 0.0;
+            }
+            let base = optimal_schedule(&ins).unwrap();
+            let mut grown = ins.clone();
+            grown.jobs[0].volume += 1.0;
+            let after = optimal_schedule(&grown).unwrap();
+            for k in 0..ins.n() {
+                let s0 = base.speed_of(k).unwrap();
+                let s1 = after.speed_of(k).unwrap();
+                assert!(
+                    s1 >= s0 - 1e-6 * s0.max(1.0),
+                    "seed {seed}: job {k} slowed {s0} -> {s1} after volume growth"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_surprise_job_forces_oa_above_opt() {
+        // A classic OA-hurting pattern: a relaxed job gets planned slowly,
+        // then an urgent job arrives and the leftovers must rush.
+        let ins = Instance::new(1, vec![job(0.0, 2.0, 1.0), job(1.0, 2.0, 2.0)]).unwrap();
+        let p = Polynomial::new(2.0);
+        let e_oa = schedule_energy(&oa_schedule(&ins).unwrap().schedule, &p);
+        let e_opt = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+        assert!(e_oa > e_opt + 1e-9, "OA {e_oa} should exceed OPT {e_opt}");
+        assert!(e_oa / e_opt <= p.oa_bound() + 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let ins: Instance<f64> = Instance::new(3, vec![]).unwrap();
+        let oa = oa_schedule(&ins).unwrap();
+        assert!(oa.schedule.is_empty());
+        assert_eq!(oa.replans, 0);
+    }
+}

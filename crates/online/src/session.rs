@@ -1,0 +1,295 @@
+//! Incremental online scheduling session.
+//!
+//! [`oa_schedule`](crate::oa_schedule) replays a complete instance; this
+//! module exposes the same OA(m) logic as a *driveable* session for systems
+//! that discover jobs as they arrive: push arrivals with
+//! [`OaSession::arrive`], advance the clock with [`OaSession::advance_to`],
+//! and query the current plan at any moment. The executed history is
+//! append-only (audited by `mpss-sim`'s commit-monotonicity check in the
+//! tests), and the committed schedule equals the batch `oa_schedule` run on
+//! the same arrival sequence.
+
+use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
+use mpss_offline::optimal::{optimal_schedule, OptimalResult};
+
+/// A live OA(m) scheduling session.
+pub struct OaSession {
+    m: usize,
+    now: f64,
+    /// All jobs seen so far, in arrival order (the session's job ids).
+    jobs: Vec<Job<f64>>,
+    remaining: Vec<f64>,
+    /// Committed (executed) history up to `now`.
+    executed: Schedule<f64>,
+    /// The plan currently being followed (over session job ids).
+    plan: Option<PlanView>,
+    replans: usize,
+}
+
+struct PlanView {
+    /// Maps plan-internal job indices to session job ids.
+    job_map: Vec<JobId>,
+    result: OptimalResult<f64>,
+}
+
+/// Errors from driving a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Time may not move backwards.
+    TimeWentBackwards { now: f64, requested: f64 },
+    /// An arriving job's release time lies in the past.
+    LateArrival { now: f64, release: f64 },
+    /// The arriving job is malformed (empty window / non-positive volume).
+    BadJob(ModelError),
+    /// Internal planning failure (defensive; unreachable for valid input).
+    Planning(ModelError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::TimeWentBackwards { now, requested } => {
+                write!(
+                    f,
+                    "cannot advance to {requested}: clock is already at {now}"
+                )
+            }
+            SessionError::LateArrival { now, release } => {
+                write!(
+                    f,
+                    "job released at {release} arrived after the clock reached {now}"
+                )
+            }
+            SessionError::BadJob(e) => write!(f, "bad job: {e}"),
+            SessionError::Planning(e) => write!(f, "planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl OaSession {
+    /// Opens a session on `m` processors with the clock at `start`.
+    pub fn new(m: usize, start: f64) -> OaSession {
+        assert!(m >= 1, "need at least one processor");
+        OaSession {
+            m,
+            now: start,
+            jobs: Vec::new(),
+            remaining: Vec::new(),
+            executed: Schedule::new(m),
+            plan: None,
+            replans: 0,
+        }
+    }
+
+    /// Current clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of replans so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Announces a job arriving *now* (its release must equal or precede
+    /// the current clock by at most a rounding hair) and replans. Returns
+    /// the session id assigned to the job.
+    pub fn arrive(&mut self, deadline: f64, volume: f64) -> Result<JobId, SessionError> {
+        let job = Job::new(self.now, deadline, volume);
+        // Validate via a throwaway instance.
+        Instance::new(self.m, vec![job]).map_err(SessionError::BadJob)?;
+        self.jobs.push(job);
+        self.remaining.push(volume);
+        self.replan()?;
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// Advances the clock to `t`, executing the current plan over
+    /// `[now, t)` and committing it to history.
+    pub fn advance_to(&mut self, t: f64) -> Result<(), SessionError> {
+        if t < self.now {
+            return Err(SessionError::TimeWentBackwards {
+                now: self.now,
+                requested: t,
+            });
+        }
+        if let Some(plan) = &self.plan {
+            let window = plan.result.schedule.restrict(self.now, t);
+            for seg in &window.segments {
+                let orig = plan.job_map[seg.job];
+                self.remaining[orig] -= seg.work();
+                self.executed.push(Segment { job: orig, ..*seg });
+            }
+        }
+        self.now = t;
+        Ok(())
+    }
+
+    /// The speed each processor is running at right now (0 = idle).
+    pub fn current_speeds(&self) -> Vec<f64> {
+        match &self.plan {
+            Some(plan) => (0..self.m)
+                .map(|p| plan.result.schedule.speed_at(p, self.now))
+                .collect(),
+            None => vec![0.0; self.m],
+        }
+    }
+
+    /// The planned speed of a session job (None once finished or unknown).
+    pub fn planned_speed(&self, job: JobId) -> Option<f64> {
+        let plan = self.plan.as_ref()?;
+        let sub = plan.job_map.iter().position(|&o| o == job)?;
+        plan.result.speed_of(sub)
+    }
+
+    /// Remaining volume of a session job.
+    pub fn remaining_volume(&self, job: JobId) -> Option<f64> {
+        self.remaining.get(job).copied()
+    }
+
+    /// The committed (already executed) history: everything strictly before
+    /// [`now`](OaSession::now). Append-only across the session's lifetime.
+    pub fn executed(&self) -> &Schedule<f64> {
+        &self.executed
+    }
+
+    /// Runs the session to completion (the latest deadline) and returns the
+    /// full executed schedule.
+    pub fn finish(mut self) -> Result<Schedule<f64>, SessionError> {
+        let horizon = self
+            .jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(self.now, f64::max);
+        self.advance_to(horizon)?;
+        let mut schedule = self.executed;
+        schedule.normalize();
+        Ok(schedule)
+    }
+
+    fn replan(&mut self) -> Result<(), SessionError> {
+        let mut job_map = Vec::new();
+        let mut sub_jobs = Vec::new();
+        for (k, job) in self.jobs.iter().enumerate() {
+            if self.remaining[k] > 1e-9 * job.volume.max(1.0) {
+                job_map.push(k);
+                sub_jobs.push(Job::new(self.now, job.deadline, self.remaining[k]));
+            }
+        }
+        self.replans += 1;
+        if sub_jobs.is_empty() {
+            self.plan = None;
+            return Ok(());
+        }
+        let sub = Instance::new(self.m, sub_jobs).map_err(SessionError::Planning)?;
+        let result = optimal_schedule(&sub).map_err(SessionError::Planning)?;
+        self.plan = Some(PlanView { job_map, result });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oa::oa_schedule;
+    use mpss_core::energy::schedule_energy;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::validate::assert_feasible;
+
+    #[test]
+    fn session_replays_batch_oa_exactly() {
+        // Batch instance with two arrival times.
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 4.0, 3.0), job(0.0, 2.0, 2.0), job(1.0, 3.0, 2.0)],
+        )
+        .unwrap();
+        let batch = oa_schedule(&ins).unwrap();
+
+        let mut session = OaSession::new(2, 0.0);
+        session.arrive(4.0, 3.0).unwrap();
+        session.arrive(2.0, 2.0).unwrap();
+        session.advance_to(1.0).unwrap();
+        session.arrive(3.0, 2.0).unwrap();
+        let sched = session.finish().unwrap();
+
+        assert_feasible(&ins, &sched, 1e-6);
+        let p = Polynomial::new(2.0);
+        let e_batch = schedule_energy(&batch.schedule, &p);
+        let e_session = schedule_energy(&sched, &p);
+        assert!(
+            (e_batch - e_session).abs() <= 1e-9 * e_batch.max(1.0),
+            "batch {e_batch} vs session {e_session}"
+        );
+    }
+
+    #[test]
+    fn executed_history_is_append_only() {
+        let mut session = OaSession::new(1, 0.0);
+        session.arrive(4.0, 2.0).unwrap();
+        session.advance_to(1.0).unwrap();
+        let snap1 = (1.0, session.executed().clone());
+        session.arrive(2.0, 1.5).unwrap();
+        session.advance_to(2.0).unwrap();
+        let snap2 = (2.0, session.executed().clone());
+        session.advance_to(4.0).unwrap();
+        let snap3 = (4.0, session.executed().clone());
+        mpss_sim::audit_commit_monotonicity(&[snap1, snap2, snap3])
+            .expect("history must be append-only");
+    }
+
+    #[test]
+    fn speeds_rise_on_arrivals_never_fall() {
+        let mut session = OaSession::new(1, 0.0);
+        let j0 = session.arrive(4.0, 2.0).unwrap();
+        let s_before = session.planned_speed(j0).unwrap();
+        session.advance_to(1.0).unwrap();
+        session.arrive(2.0, 3.0).unwrap(); // urgent surprise
+        let s_after = session.planned_speed(j0).unwrap();
+        assert!(
+            s_after >= s_before - 1e-9,
+            "Lemma 7 in the session API: {s_before} -> {s_after}"
+        );
+        assert!(s_after > s_before, "the surprise should actually raise it");
+    }
+
+    #[test]
+    fn clock_and_arrival_errors() {
+        let mut session = OaSession::new(1, 5.0);
+        assert!(matches!(
+            session.advance_to(4.0),
+            Err(SessionError::TimeWentBackwards { .. })
+        ));
+        assert!(matches!(
+            session.arrive(5.0, 1.0), // deadline == now: empty window
+            Err(SessionError::BadJob(_))
+        ));
+        assert!(matches!(
+            session.arrive(6.0, -1.0),
+            Err(SessionError::BadJob(_))
+        ));
+    }
+
+    #[test]
+    fn idle_session_reports_zero_speeds() {
+        let session = OaSession::new(3, 0.0);
+        assert_eq!(session.current_speeds(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(session.replans(), 0);
+    }
+
+    #[test]
+    fn current_speeds_reflect_the_plan() {
+        let mut session = OaSession::new(2, 0.0);
+        session.arrive(2.0, 4.0).unwrap();
+        session.arrive(2.0, 4.0).unwrap();
+        let speeds = session.current_speeds();
+        // Two jobs, two processors: both run at density 2.
+        assert_eq!(speeds.len(), 2);
+        for s in speeds {
+            assert!((s - 2.0).abs() < 1e-9, "speed {s}");
+        }
+    }
+}

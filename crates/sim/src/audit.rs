@@ -1,0 +1,170 @@
+//! Online-causality auditing.
+//!
+//! An *online* schedule may only commit execution for a job after the job's
+//! release, and — stronger, for arrival-driven algorithms like OA(m) — the
+//! segments committed before an arrival must not change afterwards. This
+//! module checks the first property directly on a schedule and the second
+//! on a sequence of committed windows.
+
+use mpss_core::{Instance, JobId, Schedule};
+
+/// A causality violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CausalityViolation {
+    /// A segment starts before its job's release.
+    RunsBeforeRelease {
+        job: JobId,
+        start: f64,
+        release: f64,
+    },
+    /// A committed window was retroactively altered by a later commit.
+    RetroactiveChange { time: f64 },
+}
+
+impl std::fmt::Display for CausalityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CausalityViolation::RunsBeforeRelease {
+                job,
+                start,
+                release,
+            } => write!(
+                f,
+                "job {job} starts at {start} before its release {release}"
+            ),
+            CausalityViolation::RetroactiveChange { time } => {
+                write!(f, "commitment before t = {time} was altered afterwards")
+            }
+        }
+    }
+}
+
+/// Checks that no job runs before its release (necessary for any online
+/// schedule; also implied by full feasibility validation, but this check is
+/// cheap and gives the online-specific diagnosis).
+pub fn audit_online_causality(
+    instance: &Instance<f64>,
+    schedule: &Schedule<f64>,
+) -> Result<(), Vec<CausalityViolation>> {
+    let mut violations = Vec::new();
+    for seg in &schedule.segments {
+        let release = instance.jobs[seg.job].release;
+        if seg.start < release - 1e-9 * release.abs().max(1.0) {
+            violations.push(CausalityViolation::RunsBeforeRelease {
+                job: seg.job,
+                start: seg.start,
+                release,
+            });
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Checks commit monotonicity: for each pair of consecutive snapshots
+/// `(t_i, schedule_i)` — where `schedule_i` is everything committed up to
+/// time `t_i` — the later snapshot restricted to `[−∞, t_i)` must equal the
+/// earlier one restricted the same way: history is append-only, later
+/// commits never rewrite what was already executed.
+pub fn audit_commit_monotonicity(
+    snapshots: &[(f64, Schedule<f64>)],
+) -> Result<(), CausalityViolation> {
+    for w in snapshots.windows(2) {
+        let (t_cur, _) = w[0];
+        let mut a = w[0].1.restrict(f64::NEG_INFINITY, t_cur);
+        let mut b = w[1].1.restrict(f64::NEG_INFINITY, t_cur);
+        a.normalize();
+        b.normalize();
+        if a != b {
+            return Err(CausalityViolation::RetroactiveChange { time: t_cur });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_core::Segment;
+
+    fn instance() -> Instance<f64> {
+        Instance::new(1, vec![job(2.0, 5.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn catches_early_execution() {
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 1.0,
+            end: 3.0,
+            speed: 0.5,
+        });
+        let errs = audit_online_causality(&instance(), &s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            CausalityViolation::RunsBeforeRelease { job: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_causal_schedule() {
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 2.0,
+            end: 4.0,
+            speed: 0.5,
+        });
+        assert!(audit_online_causality(&instance(), &s).is_ok());
+    }
+
+    #[test]
+    fn commit_monotonicity_accepts_appends() {
+        let mut s1 = Schedule::new(1);
+        s1.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 1.0,
+            speed: 1.0,
+        });
+        let mut s2 = s1.clone();
+        s2.push(Segment {
+            job: 1,
+            proc: 0,
+            start: 1.0,
+            end: 2.0,
+            speed: 1.0,
+        });
+        assert!(audit_commit_monotonicity(&[(1.0, s1), (2.0, s2)]).is_ok());
+    }
+
+    #[test]
+    fn commit_monotonicity_catches_rewrites() {
+        let mut s1 = Schedule::new(1);
+        s1.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 1.0,
+            speed: 1.0,
+        });
+        let mut s2 = Schedule::new(1);
+        s2.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 1.0,
+            speed: 2.0,
+        }); // history rewritten
+        let err = audit_commit_monotonicity(&[(1.0, s1), (2.0, s2)]).unwrap_err();
+        assert!(matches!(err, CausalityViolation::RetroactiveChange { time: t } if t == 1.0));
+    }
+}

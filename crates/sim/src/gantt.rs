@@ -1,0 +1,129 @@
+//! Text Gantt rendering for schedules — the at-a-glance debugging tool used
+//! by the examples.
+
+use crate::timeline::Timeline;
+use mpss_core::Schedule;
+
+/// Renders the schedule as a per-processor character strip: one row per
+/// processor, `cols` columns over `[t0, t1)`, each cell showing the running
+/// job's id (mod 36, as 0–9A–Z) or `.` when idle.
+pub fn render_gantt(schedule: &Schedule<f64>, t0: f64, t1: f64, cols: usize) -> String {
+    assert!(t1 > t0 && cols >= 1);
+    let timeline = Timeline::build(schedule);
+    let mut out = String::new();
+    let cell = (t1 - t0) / cols as f64;
+    for p in &timeline.processors {
+        out.push_str(&format!("P{:<2} |", p.proc));
+        for c in 0..cols {
+            let t = t0 + (c as f64 + 0.5) * cell;
+            let ch = p
+                .runs
+                .iter()
+                .find(|&&(_, s, e, _)| s <= t && t < e)
+                .map(|&(j, ..)| {
+                    char::from_digit((j % 36) as u32, 36)
+                        .unwrap()
+                        .to_ascii_uppercase()
+                })
+                .unwrap_or('.');
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "     t = [{t0:.1}, {t1:.1}), one column ≈ {cell:.2} time units\n"
+    ));
+    out
+}
+
+/// Renders a per-processor *speed heatmap*: like [`render_gantt`], but each
+/// cell shows execution intensity relative to the schedule's peak speed
+/// (` .:-=+*#%@` from idle to peak) instead of the job id.
+pub fn render_speed_heatmap(schedule: &Schedule<f64>, t0: f64, t1: f64, cols: usize) -> String {
+    assert!(t1 > t0 && cols >= 1);
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let peak = schedule.max_speed().max(1e-12);
+    let timeline = Timeline::build(schedule);
+    let cell = (t1 - t0) / cols as f64;
+    let mut out = String::new();
+    for p in &timeline.processors {
+        out.push_str(&format!("P{:<2} |", p.proc));
+        for c in 0..cols {
+            let t = t0 + (c as f64 + 0.5) * cell;
+            let speed = p
+                .runs
+                .iter()
+                .find(|&&(_, s, e, _)| s <= t && t < e)
+                .map(|&(_, _, _, sp)| sp)
+                .unwrap_or(0.0);
+            let idx = ((speed / peak) * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "     speed ramp: ' ' = idle … '@' = peak ({peak:.3})\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::Segment;
+
+    #[test]
+    fn gantt_shows_jobs_and_idle() {
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 11,
+            proc: 1,
+            start: 2.0,
+            end: 4.0,
+            speed: 1.0,
+        });
+        let g = render_gantt(&s, 0.0, 4.0, 8);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("P0"));
+        assert!(lines[0].contains("0000...."));
+        assert!(lines[1].contains("....BBBB")); // job 11 → 'B'
+    }
+
+    #[test]
+    fn heatmap_shows_intensity() {
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 1.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 0,
+            start: 1.0,
+            end: 2.0,
+            speed: 4.0,
+        });
+        let h = render_speed_heatmap(&s, 0.0, 2.0, 4);
+        let row = h.lines().next().unwrap();
+        // Half the row at quarter intensity, half at peak.
+        assert!(row.contains("::@@") || row.contains(":@"), "row: {row}");
+        assert!(h.contains("peak (4.000)"));
+    }
+
+    #[test]
+    fn gantt_handles_empty_schedule() {
+        let s: Schedule<f64> = Schedule::new(1);
+        let g = render_gantt(&s, 0.0, 1.0, 4);
+        assert!(g.contains("P0  |....|"));
+    }
+}

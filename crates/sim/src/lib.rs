@@ -1,0 +1,49 @@
+//! Execution engine and analysis tooling for schedules.
+//!
+//! The algorithm crates produce [`Schedule`](mpss_core::Schedule)s; this
+//! crate *runs* them: it builds per-processor timelines, computes
+//! utilization and speed profiles, renders text Gantt charts, produces
+//! energy time-series, and audits online causality (no schedule decision
+//! may touch a job before its release). The experiment harness and the
+//! examples use it for reporting; the test-suites use it as yet another
+//! independent pair of eyes on algorithm output.
+
+//!
+//! ```
+//! use mpss_core::{Schedule, Segment};
+//! use mpss_sim::{render_gantt, speed_profile, utilization, Timeline};
+//!
+//! let mut s = Schedule::new(2);
+//! s.push(Segment { job: 0, proc: 0, start: 0.0, end: 2.0, speed: 1.0 });
+//! s.push(Segment { job: 1, proc: 1, start: 1.0, end: 3.0, speed: 2.0 });
+//!
+//! let t = Timeline::build(&s);
+//! assert_eq!(t.snapshot(1.5), vec![Some(0), Some(1)]);
+//! assert_eq!(t.total_busy_time(), 4.0);
+//!
+//! let profile = speed_profile(&s);
+//! assert_eq!(profile.at(1.5), 3.0);            // both processors running
+//! assert!((profile.integral() - 6.0).abs() < 1e-12); // = total work
+//!
+//! assert!((utilization(&s, 0.0, 3.0) - 4.0 / 6.0).abs() < 1e-12);
+//! assert!(render_gantt(&s, 0.0, 3.0, 30).contains("P0"));
+//! ```
+
+// `!(a < b)` on our FlowNum types deliberately reads as "b ≤ a, treating
+// incomparable (impossible for validated inputs) as false"; rewriting via
+// partial_cmp would obscure the tolerance-free intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod audit;
+pub mod gantt;
+pub mod profile;
+pub mod stats;
+pub mod svg;
+pub mod timeline;
+
+pub use audit::{audit_commit_monotonicity, audit_online_causality, CausalityViolation};
+pub use gantt::{render_gantt, render_speed_heatmap};
+pub use profile::{energy_series, speed_profile, utilization, SpeedProfile};
+pub use stats::{fleet_stats, job_stats, FleetStats, JobStats};
+pub use svg::{render_svg, SvgOptions};
+pub use timeline::{ProcessorTimeline, Timeline};

@@ -1,0 +1,173 @@
+//! Speed/energy/utilization profiles over time.
+
+use crate::timeline::Timeline;
+use mpss_core::{PowerFunction, Schedule};
+use mpss_numeric::KahanSum;
+
+/// A piecewise-constant profile: at `times[i] ≤ t < times[i+1]` the value is
+/// `values[i]` (`values.len() == times.len() − 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeedProfile {
+    /// Breakpoints, ascending.
+    pub times: Vec<f64>,
+    /// Per-piece values.
+    pub values: Vec<f64>,
+}
+
+impl SpeedProfile {
+    /// Value at time `t` (0 outside the profile).
+    pub fn at(&self, t: f64) -> f64 {
+        if self.times.is_empty() || t < self.times[0] || t >= *self.times.last().unwrap() {
+            return 0.0;
+        }
+        let idx = match self.times.binary_search_by(|x| x.partial_cmp(&t).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.values.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Integral of the profile (`Σ value · piece length`).
+    pub fn integral(&self) -> f64 {
+        let mut sum = KahanSum::new();
+        for (i, v) in self.values.iter().enumerate() {
+            sum.add(v * (self.times[i + 1] - self.times[i]));
+        }
+        sum.value()
+    }
+}
+
+/// Breakpoints of a schedule: all segment starts and ends, deduplicated.
+fn breakpoints(schedule: &Schedule<f64>) -> Vec<f64> {
+    let mut times: Vec<f64> = schedule
+        .segments
+        .iter()
+        .flat_map(|s| [s.start, s.end])
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * a.abs().max(1.0));
+    times
+}
+
+/// The *total machine speed* profile `Σ_l s_l(t)` — the quantity the paper's
+/// Theorem 3 proof flattens onto a single processor.
+pub fn speed_profile(schedule: &Schedule<f64>) -> SpeedProfile {
+    let times = breakpoints(schedule);
+    if times.len() < 2 {
+        return SpeedProfile {
+            times: vec![],
+            values: vec![],
+        };
+    }
+    let values = times
+        .windows(2)
+        .map(|w| {
+            let mid = 0.5 * (w[0] + w[1]);
+            schedule
+                .segments
+                .iter()
+                .filter(|s| s.start <= mid && mid < s.end)
+                .map(|s| s.speed)
+                .sum()
+        })
+        .collect();
+    SpeedProfile { times, values }
+}
+
+/// The cumulative energy time-series of a schedule under `p`, sampled at
+/// the schedule's own breakpoints. Returns `(times, cumulative_energy)`.
+pub fn energy_series(schedule: &Schedule<f64>, p: &impl PowerFunction) -> (Vec<f64>, Vec<f64>) {
+    let times = breakpoints(schedule);
+    if times.len() < 2 {
+        return (times, vec![]);
+    }
+    let mut cumulative = Vec::with_capacity(times.len());
+    let mut acc = KahanSum::new();
+    cumulative.push(0.0);
+    for w in times.windows(2) {
+        let mid = 0.5 * (w[0] + w[1]);
+        let piece: f64 = schedule
+            .segments
+            .iter()
+            .filter(|s| s.start <= mid && mid < s.end)
+            .map(|s| p.power(s.speed) * (w[1] - w[0]))
+            .sum();
+        acc.add(piece);
+        cumulative.push(acc.value());
+    }
+    (times, cumulative)
+}
+
+/// Machine utilization over `[from, to)`: busy processor-time divided by
+/// `m · (to − from)`.
+pub fn utilization(schedule: &Schedule<f64>, from: f64, to: f64) -> f64 {
+    assert!(to > from);
+    let t = Timeline::build(&schedule.restrict(from, to));
+    t.total_busy_time() / (schedule.m as f64 * (to - from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::power::Polynomial;
+    use mpss_core::Segment;
+
+    fn schedule() -> Schedule<f64> {
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 1,
+            start: 1.0,
+            end: 3.0,
+            speed: 2.0,
+        });
+        s
+    }
+
+    #[test]
+    fn total_speed_profile() {
+        let p = speed_profile(&schedule());
+        assert_eq!(p.times, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(p.values, vec![1.0, 3.0, 2.0]);
+        assert_eq!(p.at(0.5), 1.0);
+        assert_eq!(p.at(1.5), 3.0);
+        assert_eq!(p.at(3.5), 0.0);
+        // Integral = total work = 1·2 + 2·2 = 6.
+        assert!((p.integral() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_series_is_monotone_and_totals() {
+        let s = schedule();
+        let p = Polynomial::new(2.0);
+        let (times, cum) = energy_series(&s, &p);
+        assert_eq!(times.len(), cum.len());
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Total: 1²·2 + 2²·2 = 10.
+        assert!((cum.last().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        // Busy 4 of 2·3 = 6 processor-time units.
+        let u = utilization(&schedule(), 0.0, 3.0);
+        assert!((u - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_profiles() {
+        let s: Schedule<f64> = Schedule::new(2);
+        assert!(speed_profile(&s).times.is_empty());
+        let (t, c) = energy_series(&s, &Polynomial::new(2.0));
+        assert!(t.is_empty() && c.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-job statistics of a schedule: completion times, flow times,
+//! stretch, per-job energy attribution — the reporting layer a cluster
+//! operator reads.
+
+use mpss_core::{Instance, PowerFunction, Schedule};
+
+/// Metrics for one job within a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobStats {
+    /// Job id.
+    pub job: usize,
+    /// First time the job executes (release if never executed).
+    pub start_time: f64,
+    /// Last time the job executes (release if never executed).
+    pub completion_time: f64,
+    /// `completion − release` (a.k.a. flow time / response time).
+    pub flow_time: f64,
+    /// Flow time divided by the window length (1.0 = uses its whole window).
+    pub stretch: f64,
+    /// Total time the job executes.
+    pub busy_time: f64,
+    /// Energy attributed to this job (`Σ P(speed)·dur` over its segments).
+    pub energy: f64,
+    /// Number of distinct processors the job touches.
+    pub processors_used: usize,
+}
+
+/// Computes [`JobStats`] for every job.
+pub fn job_stats(
+    instance: &Instance<f64>,
+    schedule: &Schedule<f64>,
+    p: &impl PowerFunction,
+) -> Vec<JobStats> {
+    (0..instance.n())
+        .map(|k| {
+            let segs: Vec<_> = schedule.segments.iter().filter(|s| s.job == k).collect();
+            let release = instance.jobs[k].release;
+            let window = instance.jobs[k].window();
+            let start_time = segs
+                .iter()
+                .map(|s| s.start)
+                .fold(f64::INFINITY, f64::min)
+                .min(f64::INFINITY);
+            let completion_time = segs.iter().map(|s| s.end).fold(release, f64::max);
+            let busy_time: f64 = segs.iter().map(|s| s.duration()).sum();
+            let energy: f64 = segs.iter().map(|s| p.power(s.speed) * s.duration()).sum();
+            let mut procs: Vec<usize> = segs.iter().map(|s| s.proc).collect();
+            procs.sort_unstable();
+            procs.dedup();
+            JobStats {
+                job: k,
+                start_time: if segs.is_empty() { release } else { start_time },
+                completion_time,
+                flow_time: completion_time - release,
+                stretch: (completion_time - release) / window,
+                busy_time,
+                energy,
+                processors_used: procs.len(),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate of [`job_stats`]: totals and extremes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetStats {
+    /// Sum of per-job energies (= total schedule energy for `P(0) = 0`).
+    pub total_energy: f64,
+    /// Mean flow time.
+    pub mean_flow_time: f64,
+    /// Largest stretch across jobs.
+    pub max_stretch: f64,
+    /// Jobs that touch more than one processor (i.e. migrate).
+    pub migrating_jobs: usize,
+}
+
+/// Summarizes the per-job stats.
+pub fn fleet_stats(stats: &[JobStats]) -> FleetStats {
+    let n = stats.len().max(1) as f64;
+    FleetStats {
+        total_energy: stats.iter().map(|s| s.energy).sum(),
+        mean_flow_time: stats.iter().map(|s| s.flow_time).sum::<f64>() / n,
+        max_stretch: stats.iter().map(|s| s.stretch).fold(0.0, f64::max),
+        migrating_jobs: stats.iter().filter(|s| s.processors_used > 1).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::job::job;
+    use mpss_core::power::Polynomial;
+    use mpss_core::Segment;
+
+    fn setup() -> (Instance<f64>, Schedule<f64>) {
+        let ins = Instance::new(2, vec![job(0.0, 4.0, 2.0), job(1.0, 3.0, 2.0)]).unwrap();
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 0.5,
+        });
+        s.push(Segment {
+            job: 0,
+            proc: 1,
+            start: 3.0,
+            end: 4.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 1,
+            start: 1.0,
+            end: 3.0,
+            speed: 1.0,
+        });
+        (ins, s)
+    }
+
+    #[test]
+    fn per_job_metrics() {
+        let (ins, s) = setup();
+        let p = Polynomial::new(2.0);
+        let stats = job_stats(&ins, &s, &p);
+        assert_eq!(stats[0].start_time, 0.0);
+        assert_eq!(stats[0].completion_time, 4.0);
+        assert_eq!(stats[0].flow_time, 4.0);
+        assert_eq!(stats[0].stretch, 1.0);
+        assert_eq!(stats[0].busy_time, 3.0);
+        assert_eq!(stats[0].processors_used, 2);
+        // Energy: 0.25·2 + 1·1 = 1.5.
+        assert!((stats[0].energy - 1.5).abs() < 1e-12);
+        assert_eq!(stats[1].flow_time, 2.0);
+        assert_eq!(stats[1].processors_used, 1);
+    }
+
+    #[test]
+    fn fleet_aggregation() {
+        let (ins, s) = setup();
+        let p = Polynomial::new(2.0);
+        let stats = job_stats(&ins, &s, &p);
+        let fleet = fleet_stats(&stats);
+        assert!((fleet.total_energy - 3.5).abs() < 1e-12);
+        assert_eq!(fleet.mean_flow_time, 3.0);
+        assert_eq!(fleet.max_stretch, 1.0);
+        assert_eq!(fleet.migrating_jobs, 1);
+    }
+
+    #[test]
+    fn unexecuted_jobs_report_zero_activity() {
+        let ins = Instance::new(1, vec![job(2.0, 5.0, 1.0)]).unwrap();
+        let stats = job_stats(&ins, &Schedule::new(1), &Polynomial::new(2.0));
+        assert_eq!(stats[0].busy_time, 0.0);
+        assert_eq!(stats[0].flow_time, 0.0);
+        assert_eq!(stats[0].energy, 0.0);
+        assert_eq!(stats[0].processors_used, 0);
+    }
+}

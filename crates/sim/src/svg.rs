@@ -1,0 +1,172 @@
+//! SVG rendering of schedules: one lane per processor, one rectangle per
+//! segment, hue by job, opacity by speed (relative to the peak). The output
+//! is self-contained SVG 1.1 viewable in any browser — the graphical
+//! counterpart of [`render_gantt`](crate::render_gantt).
+
+use mpss_core::Schedule;
+use std::fmt::Write as _;
+
+/// Geometry options for [`render_svg`].
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Total drawing width in pixels.
+    pub width: f64,
+    /// Height of one processor lane in pixels.
+    pub lane_height: f64,
+    /// Gap between lanes in pixels.
+    pub lane_gap: f64,
+    /// Left margin for lane labels.
+    pub label_margin: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800.0,
+            lane_height: 28.0,
+            lane_gap: 6.0,
+            label_margin: 40.0,
+        }
+    }
+}
+
+/// A well-spread categorical hue for job `k`.
+fn job_hue(k: usize) -> f64 {
+    // Golden-angle walk around the hue circle: consecutive ids are far apart.
+    (k as f64 * 137.508) % 360.0
+}
+
+/// Renders the schedule over `[t0, t1)` as an SVG document string.
+pub fn render_svg(schedule: &Schedule<f64>, t0: f64, t1: f64, opts: &SvgOptions) -> String {
+    assert!(t1 > t0, "empty time window");
+    let m = schedule.m.max(1);
+    let peak = schedule.max_speed().max(1e-12);
+    let h = m as f64 * (opts.lane_height + opts.lane_gap) + opts.lane_gap + 24.0;
+    let plot_w = opts.width - opts.label_margin - 8.0;
+    let x_of = |t: f64| opts.label_margin + plot_w * (t - t0) / (t1 - t0);
+    let y_of = |proc: usize| opts.lane_gap + proc as f64 * (opts.lane_height + opts.lane_gap);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{h:.0}" viewBox="0 0 {:.0} {h:.0}" font-family="monospace" font-size="11">"#,
+        opts.width, opts.width
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Lane frames + labels.
+    for proc in 0..m {
+        let y = y_of(proc);
+        let _ = writeln!(
+            out,
+            r#"<text x="4" y="{:.1}">P{proc}</text>"#,
+            y + 0.7 * opts.lane_height
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.1}" y="{y:.1}" width="{plot_w:.1}" height="{:.1}" fill="#f4f4f4" stroke="#ccc"/>"##,
+            opts.label_margin, opts.lane_height
+        );
+    }
+
+    // Segments.
+    for seg in &schedule.segments {
+        let start = seg.start.max(t0);
+        let end = seg.end.min(t1);
+        if start >= end {
+            continue;
+        }
+        let x = x_of(start);
+        let w = x_of(end) - x;
+        let y = y_of(seg.proc);
+        let opacity = 0.35 + 0.65 * (seg.speed / peak);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="hsl({:.1}, 70%, 45%)" fill-opacity="{opacity:.3}" stroke="#333" stroke-width="0.5"><title>job {} | [{:.3}, {:.3}) | speed {:.3}</title></rect>"##,
+            opts.lane_height,
+            job_hue(seg.job),
+            seg.job,
+            seg.start,
+            seg.end,
+            seg.speed
+        );
+        if w > 14.0 {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" fill="white">J{}</text>"#,
+                x + 3.0,
+                y + 0.7 * opts.lane_height,
+                seg.job
+            );
+        }
+    }
+
+    // Time axis.
+    let axis_y = y_of(m) + 4.0;
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.1}" y="{axis_y:.1}">t = {t0:.1}</text><text x="{:.1}" y="{axis_y:.1}" text-anchor="end">t = {t1:.1}</text>"#,
+        opts.label_margin,
+        opts.width - 8.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::Segment;
+
+    fn schedule() -> Schedule<f64> {
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 7,
+            proc: 1,
+            start: 1.0,
+            end: 3.0,
+            speed: 2.0,
+        });
+        s
+    }
+
+    #[test]
+    fn svg_structure_is_complete() {
+        let svg = render_svg(&schedule(), 0.0, 3.0, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Two lanes + two segments.
+        assert_eq!(svg.matches("<title>").count(), 2);
+        assert!(svg.contains("job 7"));
+        assert!(svg.contains(">P0</text>"));
+        assert!(svg.contains(">P1</text>"));
+    }
+
+    #[test]
+    fn clipping_respects_the_window() {
+        let svg = render_svg(&schedule(), 2.5, 3.0, &SvgOptions::default());
+        // Only the second segment intersects [2.5, 3).
+        assert_eq!(svg.matches("<title>").count(), 1);
+        assert!(svg.contains("job 7"));
+    }
+
+    #[test]
+    fn hues_are_distinct_for_nearby_ids() {
+        let a = job_hue(0);
+        let b = job_hue(1);
+        assert!((a - b).abs() > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time window")]
+    fn rejects_empty_window() {
+        render_svg(&schedule(), 1.0, 1.0, &SvgOptions::default());
+    }
+}

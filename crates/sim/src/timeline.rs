@@ -1,0 +1,198 @@
+//! Per-processor timelines: the executable view of a schedule.
+
+use mpss_core::{JobId, Schedule};
+use mpss_numeric::FlowNum;
+
+/// One processor's chronologically sorted, non-overlapping run list.
+#[derive(Clone, Debug)]
+pub struct ProcessorTimeline<T> {
+    /// Processor index.
+    pub proc: usize,
+    /// `(job, start, end, speed)` runs, sorted by start time.
+    pub runs: Vec<(JobId, T, T, T)>,
+}
+
+impl<T: FlowNum> ProcessorTimeline<T> {
+    /// Total busy time.
+    pub fn busy_time(&self) -> T {
+        let mut total = T::zero();
+        for &(_, s, e, _) in &self.runs {
+            total += e - s;
+        }
+        total
+    }
+
+    /// Number of context switches (job changes between consecutive runs,
+    /// including across idle gaps).
+    pub fn context_switches(&self) -> usize {
+        self.runs.windows(2).filter(|w| w[0].0 != w[1].0).count()
+    }
+
+    /// Idle time within `[from, to)`.
+    pub fn idle_time(&self, from: T, to: T) -> T {
+        let mut idle = to - from;
+        for &(_, s, e, _) in &self.runs {
+            let lo = s.max2(from);
+            let hi = e.min2(to);
+            if lo < hi {
+                idle -= hi - lo;
+            }
+        }
+        idle
+    }
+}
+
+/// The full machine timeline.
+#[derive(Clone, Debug)]
+pub struct Timeline<T> {
+    /// One entry per processor, index-aligned.
+    pub processors: Vec<ProcessorTimeline<T>>,
+}
+
+impl<T: FlowNum> Timeline<T> {
+    /// Builds the timeline from a schedule, sorting each processor's runs.
+    ///
+    /// # Panics
+    /// Panics if two runs on one processor overlap (use the validator for a
+    /// diagnosable error first).
+    pub fn build(schedule: &Schedule<T>) -> Timeline<T> {
+        let mut processors: Vec<ProcessorTimeline<T>> = (0..schedule.m)
+            .map(|proc| ProcessorTimeline {
+                proc,
+                runs: Vec::new(),
+            })
+            .collect();
+        for seg in &schedule.segments {
+            processors[seg.proc]
+                .runs
+                .push((seg.job, seg.start, seg.end, seg.speed));
+        }
+        for p in &mut processors {
+            p.runs
+                .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable times"));
+            for w in p.runs.windows(2) {
+                assert!(
+                    !(w[1].1 < w[0].2),
+                    "overlapping runs on processor {}: {:?} then {:?}",
+                    p.proc,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        Timeline { processors }
+    }
+
+    /// Number of processors.
+    pub fn m(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// The job each processor runs at time `t` (None = idle).
+    pub fn snapshot(&self, t: T) -> Vec<Option<JobId>> {
+        self.processors
+            .iter()
+            .map(|p| {
+                p.runs
+                    .iter()
+                    .find(|&&(_, s, e, _)| !(t < s) && t < e)
+                    .map(|&(j, ..)| j)
+            })
+            .collect()
+    }
+
+    /// Total busy time across all processors.
+    pub fn total_busy_time(&self) -> T {
+        let mut total = T::zero();
+        for p in &self.processors {
+            total += p.busy_time();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::Segment;
+
+    fn schedule() -> Schedule<f64> {
+        let mut s = Schedule::new(2);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 1.0,
+            end: 3.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 0,
+            start: 3.0,
+            end: 4.0,
+            speed: 2.0,
+        });
+        s.push(Segment {
+            job: 2,
+            proc: 1,
+            start: 0.0,
+            end: 2.0,
+            speed: 0.5,
+        });
+        s
+    }
+
+    #[test]
+    fn build_sorts_and_partitions_by_processor() {
+        let t = Timeline::build(&schedule());
+        assert_eq!(t.m(), 2);
+        assert_eq!(t.processors[0].runs.len(), 2);
+        assert_eq!(t.processors[1].runs.len(), 1);
+        assert_eq!(t.processors[0].runs[0].0, 0);
+    }
+
+    #[test]
+    fn busy_idle_accounting() {
+        let t = Timeline::build(&schedule());
+        assert_eq!(t.processors[0].busy_time(), 3.0);
+        assert_eq!(t.processors[0].idle_time(0.0, 4.0), 1.0);
+        assert_eq!(t.processors[1].idle_time(0.0, 4.0), 2.0);
+        assert_eq!(t.total_busy_time(), 5.0);
+    }
+
+    #[test]
+    fn snapshot_reports_running_jobs() {
+        let t = Timeline::build(&schedule());
+        assert_eq!(t.snapshot(1.5), vec![Some(0), Some(2)]);
+        assert_eq!(t.snapshot(3.5), vec![Some(1), None]);
+        assert_eq!(t.snapshot(0.5), vec![None, Some(2)]);
+    }
+
+    #[test]
+    fn context_switches_counted() {
+        let t = Timeline::build(&schedule());
+        assert_eq!(t.processors[0].context_switches(), 1);
+        assert_eq!(t.processors[1].context_switches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping runs")]
+    fn overlap_panics() {
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 0.0,
+            end: 2.0,
+            speed: 1.0,
+        });
+        s.push(Segment {
+            job: 1,
+            proc: 0,
+            start: 1.0,
+            end: 3.0,
+            speed: 1.0,
+        });
+        Timeline::build(&s);
+    }
+}

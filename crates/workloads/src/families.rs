@@ -1,0 +1,449 @@
+//! Workload families.
+
+use mpss_core::job::job;
+use mpss_core::{Instance, Job};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The workload families used throughout the experiment harness.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// Independent jobs: uniform releases, window lengths and volumes.
+    Uniform,
+    /// Arrivals clustered into a few bursts (all jobs of a burst share a
+    /// release time) — the pattern that makes OA replan under pressure.
+    Bursty,
+    /// Laminar (dyadically nested) windows — the structure behind worst
+    /// cases of density-based algorithms.
+    Laminar,
+    /// Agreeable deadlines: later release ⇒ later deadline.
+    Agreeable,
+    /// Near-full machine load: long windows, volumes scaled so the average
+    /// required speed per processor is close to 1.
+    TightLoad,
+    /// The geometric AVR-adversarial pattern (Bansal et al.): jobs sharing
+    /// one deadline with doubling densities, so AVR's speed ramps while OPT
+    /// runs flat.
+    AvrAdversarial,
+    /// Poisson arrival process with exponential-ish windows — the queueing
+    /// shape of datacenter request streams.
+    Poisson,
+    /// Heavy-tailed (Pareto-like) volumes on uniform windows: a few
+    /// elephants among many mice.
+    HeavyTail,
+    /// Periodic real-time tasks: each task releases a job every period with
+    /// deadline = next period (implicit-deadline task systems).
+    Periodic,
+}
+
+impl Family {
+    /// All families, for sweeps.
+    pub const ALL: [Family; 9] = [
+        Family::Uniform,
+        Family::Bursty,
+        Family::Laminar,
+        Family::Agreeable,
+        Family::TightLoad,
+        Family::AvrAdversarial,
+        Family::Poisson,
+        Family::HeavyTail,
+        Family::Periodic,
+    ];
+
+    /// Short stable name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Uniform => "uniform",
+            Family::Bursty => "bursty",
+            Family::Laminar => "laminar",
+            Family::Agreeable => "agreeable",
+            Family::TightLoad => "tight-load",
+            Family::AvrAdversarial => "avr-adversarial",
+            Family::Poisson => "poisson",
+            Family::HeavyTail => "heavy-tail",
+            Family::Periodic => "periodic",
+        }
+    }
+}
+
+/// A reproducible workload: family + size + seed.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which family to draw from.
+    pub family: Family,
+    /// Number of jobs (families may round slightly, e.g. laminar trees).
+    pub n: usize,
+    /// Number of processors.
+    pub m: usize,
+    /// Horizon length (integer grid).
+    pub horizon: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with a 100-unit horizon.
+    pub fn new(family: Family, n: usize, m: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            family,
+            n,
+            m,
+            horizon: 100,
+            seed,
+        }
+    }
+
+    /// Generates the instance (deterministic in the spec).
+    pub fn generate(&self) -> Instance<f64> {
+        assert!(self.n >= 1 && self.m >= 1 && self.horizon >= 4);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.family as u64) << 32);
+        let jobs = match self.family {
+            Family::Uniform => self.uniform(&mut rng),
+            Family::Bursty => self.bursty(&mut rng),
+            Family::Laminar => self.laminar(&mut rng),
+            Family::Agreeable => self.agreeable(&mut rng),
+            Family::TightLoad => self.tight_load(&mut rng),
+            Family::AvrAdversarial => self.avr_adversarial(),
+            Family::Poisson => self.poisson(&mut rng),
+            Family::HeavyTail => self.heavy_tail(&mut rng),
+            Family::Periodic => self.periodic(&mut rng),
+        };
+        Instance::new(self.m, jobs).expect("generator produced an invalid instance")
+    }
+
+    fn uniform(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        let h = self.horizon;
+        (0..self.n)
+            .map(|_| {
+                let r = rng.gen_range(0..h - 1);
+                let span = rng.gen_range(1..=h - r);
+                let w = rng.gen_range(1..=10) as f64;
+                job(r as f64, (r + span) as f64, w)
+            })
+            .collect()
+    }
+
+    fn bursty(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        let h = self.horizon;
+        let bursts = (self.n / 4).clamp(1, 8);
+        let burst_times: Vec<u64> = (0..bursts).map(|_| rng.gen_range(0..h - 2)).collect();
+        (0..self.n)
+            .map(|i| {
+                let r = burst_times[i % bursts];
+                let span = rng.gen_range(1..=(h - r).min(h / 4).max(1));
+                let w = rng.gen_range(1..=10) as f64;
+                job(r as f64, (r + span) as f64, w)
+            })
+            .collect()
+    }
+
+    fn laminar(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        // Walk a dyadic tree over [0, horizon); each node contributes one
+        // job spanning its whole range, until n jobs exist.
+        let mut jobs = Vec::with_capacity(self.n);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((0u64, self.horizon));
+        while jobs.len() < self.n {
+            let Some((a, b)) = queue.pop_front() else {
+                break;
+            };
+            if b - a < 1 {
+                continue;
+            }
+            let w = rng.gen_range(1..=10) as f64;
+            jobs.push(job(a as f64, b as f64, w));
+            let mid = (a + b) / 2;
+            if mid > a && b > mid {
+                queue.push_back((a, mid));
+                queue.push_back((mid, b));
+            }
+        }
+        // Top up with unit jobs at random dyadic leaves if the tree ran out.
+        while jobs.len() < self.n {
+            let a = rng.gen_range(0..self.horizon - 1);
+            jobs.push(job(a as f64, (a + 1) as f64, rng.gen_range(1..=10) as f64));
+        }
+        jobs
+    }
+
+    fn agreeable(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        let h = self.horizon;
+        let mut releases: Vec<u64> = (0..self.n).map(|_| rng.gen_range(0..h - 2)).collect();
+        releases.sort_unstable();
+        let mut last_d = 0u64;
+        releases
+            .iter()
+            .map(|&r| {
+                let span = rng.gen_range(1..=(h - r).max(1));
+                let d = (r + span).max(last_d + 1).min(h + self.n as u64);
+                last_d = d;
+                job(r as f64, d as f64, rng.gen_range(1..=10) as f64)
+            })
+            .collect()
+    }
+
+    fn tight_load(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        // Long windows; total volume ≈ m · horizon so the machine runs near
+        // speed 1 everywhere.
+        let h = self.horizon;
+        let target = (self.m as u64 * h) as f64;
+        let per_job = target / self.n as f64;
+        (0..self.n)
+            .map(|_| {
+                let r = rng.gen_range(0..h / 4);
+                let d = rng.gen_range(3 * h / 4..=h);
+                let w = (per_job * rng.gen_range(0.5..1.5)).max(1.0);
+                job(r as f64, d as f64, w)
+            })
+            .collect()
+    }
+
+    fn poisson(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        // Inter-arrival gaps geometric on the integer grid (the discrete
+        // Poisson process), windows geometric too, clamped to the horizon.
+        let h = self.horizon;
+        let rate = self.n as f64 / h as f64;
+        let mut t = 0u64;
+        let mut jobs = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            // Geometric gap with success probability min(1, rate).
+            let p = rate.clamp(1e-3, 1.0);
+            let mut gap = 0u64;
+            while rng.gen_range(0.0..1.0) > p && gap < h / 2 {
+                gap += 1;
+            }
+            t = (t + gap).min(h - 2);
+            let mut span = 1u64;
+            while rng.gen_range(0.0..1.0) > 0.3 && t + span < h {
+                span += 1;
+            }
+            jobs.push(job(
+                t as f64,
+                (t + span) as f64,
+                rng.gen_range(1..=6) as f64,
+            ));
+        }
+        jobs
+    }
+
+    fn heavy_tail(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        // Pareto(α = 1.3)-shaped integer volumes, capped, on uniform
+        // windows: elephants and mice.
+        let h = self.horizon;
+        (0..self.n)
+            .map(|_| {
+                let r = rng.gen_range(0..h - 1);
+                let span = rng.gen_range(1..=h - r);
+                let u: f64 = rng.gen_range(0.001..1.0);
+                let w = (u.powf(-1.0 / 1.3)).clamp(1.0, 64.0).round();
+                job(r as f64, (r + span) as f64, w)
+            })
+            .collect()
+    }
+
+    fn periodic(&self, rng: &mut StdRng) -> Vec<Job<f64>> {
+        // A few implicit-deadline periodic tasks; jobs are the releases
+        // within the horizon (truncated to n jobs total).
+        let h = self.horizon;
+        let num_tasks = (self.n / 4).clamp(1, 6);
+        let mut jobs = Vec::with_capacity(self.n);
+        let tasks: Vec<(u64, f64)> = (0..num_tasks)
+            .map(|_| {
+                let period = rng.gen_range(2..=(h / 2).max(2));
+                let wcet = rng.gen_range(1..=4) as f64;
+                (period, wcet)
+            })
+            .collect();
+        'outer: for &(period, wcet) in &tasks {
+            let mut t = 0u64;
+            while t + period <= h {
+                jobs.push(job(t as f64, (t + period) as f64, wcet));
+                if jobs.len() >= self.n {
+                    break 'outer;
+                }
+                t += period;
+            }
+        }
+        // Horizon exhausted before n jobs: top up with unit fillers.
+        while jobs.len() < self.n {
+            let r = rng.gen_range(0..h - 1);
+            jobs.push(job(r as f64, (r + 1) as f64, 1.0));
+        }
+        jobs.truncate(self.n);
+        jobs
+    }
+
+    fn avr_adversarial(&self) -> Vec<Job<f64>> {
+        // Geometric stack: job i releases at H − H/2^i, everyone deadlines
+        // at H, equal volumes ⇒ densities double with i and AVR's total
+        // speed ramps as deadlines approach, while OPT spreads each job's
+        // work evenly.
+        let levels = self.n.min(16); // beyond 2^16 the grid collapses
+        let h = self.horizon.next_power_of_two().max(1 << levels.min(20));
+        let mut jobs: Vec<Job<f64>> = (0..levels)
+            .map(|i| {
+                let r = h - (h >> i);
+                job(r as f64, h as f64, 1.0)
+            })
+            .collect();
+        // Pad to n with copies at the densest level.
+        while jobs.len() < self.n {
+            let r = h - 1;
+            jobs.push(job(r as f64, h as f64, 1.0));
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpss_core::Intervals;
+
+    #[test]
+    fn all_families_generate_valid_instances() {
+        for family in Family::ALL {
+            for seed in 0..5u64 {
+                let spec = WorkloadSpec {
+                    family,
+                    n: 12,
+                    m: 3,
+                    horizon: 64,
+                    seed,
+                };
+                let ins = spec.generate();
+                assert_eq!(ins.n(), 12, "{family:?}");
+                assert_eq!(ins.m, 3);
+                assert!(!Intervals::from_instance(&ins).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for family in Family::ALL {
+            let a = WorkloadSpec {
+                family,
+                n: 10,
+                m: 2,
+                horizon: 50,
+                seed: 9,
+            }
+            .generate();
+            let b = WorkloadSpec {
+                family,
+                n: 10,
+                m: 2,
+                horizon: 50,
+                seed: 9,
+            }
+            .generate();
+            let c = WorkloadSpec {
+                family,
+                n: 10,
+                m: 2,
+                horizon: 50,
+                seed: 10,
+            }
+            .generate();
+            assert_eq!(a, b, "{family:?} not deterministic");
+            if family != Family::AvrAdversarial {
+                assert_ne!(a, c, "{family:?} ignores the seed");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinates_are_integers() {
+        for family in [
+            Family::Uniform,
+            Family::Bursty,
+            Family::Laminar,
+            Family::Agreeable,
+        ] {
+            let ins = WorkloadSpec {
+                family,
+                n: 16,
+                m: 2,
+                horizon: 40,
+                seed: 3,
+            }
+            .generate();
+            for j in &ins.jobs {
+                assert_eq!(j.release.fract(), 0.0);
+                assert_eq!(j.deadline.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn laminar_windows_are_laminar() {
+        let ins = WorkloadSpec {
+            family: Family::Laminar,
+            n: 15,
+            m: 2,
+            horizon: 64,
+            seed: 1,
+        }
+        .generate();
+        for a in &ins.jobs {
+            for b in &ins.jobs {
+                let disjoint = a.deadline <= b.release || b.deadline <= a.release;
+                let nested = (a.release <= b.release && b.deadline <= a.deadline)
+                    || (b.release <= a.release && a.deadline <= b.deadline);
+                assert!(disjoint || nested, "windows cross: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreeable_order_is_agreeable() {
+        let ins = WorkloadSpec {
+            family: Family::Agreeable,
+            n: 20,
+            m: 2,
+            horizon: 80,
+            seed: 5,
+        }
+        .generate();
+        for w in ins.jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+            assert!(w[0].deadline <= w[1].deadline);
+        }
+    }
+
+    #[test]
+    fn adversarial_densities_double() {
+        let ins = WorkloadSpec {
+            family: Family::AvrAdversarial,
+            n: 8,
+            m: 1,
+            horizon: 256,
+            seed: 0,
+        }
+        .generate();
+        for w in ins.jobs.windows(2) {
+            let ratio = w[1].density() / w[0].density();
+            assert!((ratio - 2.0).abs() < 1e-9, "density ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn tight_load_is_heavy() {
+        let ins = WorkloadSpec {
+            family: Family::TightLoad,
+            n: 20,
+            m: 4,
+            horizon: 100,
+            seed: 2,
+        }
+        .generate();
+        let total: f64 = ins.jobs.iter().map(|j| j.volume).sum();
+        // Within a factor 2 of m·horizon by construction.
+        assert!(
+            total > 0.4 * 400.0 && total < 2.0 * 400.0,
+            "total volume {total}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! JSON trace import/export for instances, so experiments can be rerun on
+//! externally supplied job traces and results archived alongside inputs.
+
+use mpss_core::Instance;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Writes an instance as pretty-printed JSON.
+pub fn write_trace(path: &Path, instance: &Instance<f64>) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let text = serde_json::to_string_pretty(instance)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    file.write_all(text.as_bytes())?;
+    file.flush()
+}
+
+/// Reads an instance back from JSON, re-validating its invariants.
+pub fn read_trace(path: &Path) -> std::io::Result<Instance<f64>> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut text = String::new();
+    file.read_to_string(&mut text)?;
+    let raw: Instance<f64> = serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    // Re-validate: a hand-edited trace must not bypass the invariants.
+    Instance::new(raw.m, raw.jobs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{Family, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_preserves_the_instance() {
+        let dir = std::env::temp_dir().join("mpss-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let ins = WorkloadSpec::new(Family::Uniform, 10, 2, 42).generate();
+        write_trace(&path, &ins).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, ins);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected() {
+        let dir = std::env::temp_dir().join("mpss-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalid.json");
+        std::fs::write(
+            &path,
+            r#"{"m": 0, "jobs": [{"release": 0.0, "deadline": 1.0, "volume": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(read_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_trace(Path::new("/nonexistent/trace.json")).is_err());
+    }
+}

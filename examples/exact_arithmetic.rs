@@ -1,0 +1,58 @@
+//! Exact-arithmetic pipeline: the whole offline algorithm — intervals,
+//! max flows, speeds, packing, energy — in `i128` rationals, bit-exact on
+//! integer instances, cross-checked against the `f64` path.
+//!
+//! Run with: `cargo run --example exact_arithmetic`
+
+use mpss::model::energy::schedule_energy_poly;
+use mpss::numeric::rational::rat;
+use mpss::prelude::*;
+
+fn main() {
+    // Integer instance: exact in both numeric modes.
+    let float_instance = Instance::new(
+        2,
+        vec![
+            job(0.0, 3.0, 3.0),
+            job(0.0, 3.0, 3.0),
+            job(0.0, 3.0, 3.0),
+            job(1.0, 5.0, 2.0),
+        ],
+    )
+    .unwrap();
+    let exact_instance = float_instance.to_rational();
+
+    let float_res = optimal_schedule(&float_instance).unwrap();
+    let exact_res = optimal_schedule(&exact_instance).unwrap();
+    assert_feasible(&exact_instance, &exact_res.schedule, 0.0); // zero tolerance!
+
+    println!("Exact speed ladder:");
+    for (i, phase) in exact_res.phases.iter().enumerate() {
+        println!(
+            "  phase {}: speed = {} (≈ {:.6}), jobs {:?}",
+            i + 1,
+            phase.speed,
+            phase.speed.to_f64(),
+            phase.jobs
+        );
+    }
+
+    // Exact energy under P(s) = s² and s³ as honest-to-goodness fractions.
+    let e2 = schedule_energy_exact(&exact_res.schedule, 2);
+    let e3 = schedule_energy_exact(&exact_res.schedule, 3);
+    println!("\nExact energies:");
+    println!("  E[s²] = {e2} (≈ {:.6})", e2.to_f64());
+    println!("  E[s³] = {e3} (≈ {:.6})", e3.to_f64());
+
+    // The f64 path lands within rounding error of the exact value.
+    let f2 = schedule_energy_poly(&float_res.schedule, 2);
+    println!("\nf64 pipeline E[s²] = {f2:.12}");
+    println!("difference         = {:.3e}", (f2 - e2.to_f64()).abs());
+    assert!((f2 - e2.to_f64()).abs() <= 1e-9 * f2.max(1.0));
+
+    // Rational arithmetic demo: exact density bookkeeping.
+    let third = rat(1, 3);
+    let sixth = rat(1, 6);
+    assert_eq!(third + sixth, rat(1, 2));
+    println!("\n1/3 + 1/6 = {} — no 0.49999999 in sight.", third + sixth);
+}

@@ -1,0 +1,75 @@
+//! Live scheduling session: drive OA(m) interactively the way a cluster
+//! power manager would — jobs arrive over (simulated) time, the session
+//! replans, and the operator reads back current speeds, per-job plans, and
+//! fleet statistics.
+//!
+//! Run with: `cargo run --example live_session`
+
+use mpss::prelude::*;
+use mpss::sim::{fleet_stats, job_stats};
+
+fn main() {
+    let p = Polynomial::cube();
+    let mut session = OaSession::new(2, 0.0);
+
+    println!("t = 0.0: two batch jobs arrive");
+    let a = session.arrive(8.0, 6.0).expect("job A");
+    let b = session.arrive(6.0, 4.0).expect("job B");
+    println!(
+        "  planned speeds: A = {:.3}, B = {:.3}",
+        session.planned_speed(a).unwrap(),
+        session.planned_speed(b).unwrap()
+    );
+    println!("  processors now: {:?}", session.current_speeds());
+
+    session.advance_to(2.0).expect("advance");
+    println!("\nt = 2.0: an urgent job lands (deadline 4, volume 5)");
+    let c = session.arrive(4.0, 5.0).expect("job C");
+    println!(
+        "  replanned speeds: A = {:.3}, B = {:.3}, C = {:.3}",
+        session.planned_speed(a).unwrap(),
+        session.planned_speed(b).unwrap(),
+        session.planned_speed(c).unwrap()
+    );
+    println!(
+        "  remaining volumes: A = {:.2}, B = {:.2}, C = {:.2}",
+        session.remaining_volume(a).unwrap(),
+        session.remaining_volume(b).unwrap(),
+        session.remaining_volume(c).unwrap()
+    );
+    println!("  replans so far: {}", session.replans());
+
+    let schedule = session.finish().expect("run to completion");
+
+    // Reconstruct the batch instance for validation and reporting.
+    let instance = Instance::new(
+        2,
+        vec![job(0.0, 8.0, 6.0), job(0.0, 6.0, 4.0), job(2.0, 4.0, 5.0)],
+    )
+    .unwrap();
+    assert_feasible(&instance, &schedule, 1e-6);
+
+    println!("\nfinal per-job report:");
+    let stats = job_stats(&instance, &schedule, &p);
+    for s in &stats {
+        println!(
+            "  job {}: done at {:.2} (stretch {:.2}), busy {:.2}, energy {:.2}, {} processor(s)",
+            s.job, s.completion_time, s.stretch, s.busy_time, s.energy, s.processors_used
+        );
+    }
+    let fleet = fleet_stats(&stats);
+    println!(
+        "\nfleet: energy {:.2}, mean flow time {:.2}, {} migrating job(s)",
+        fleet.total_energy, fleet.mean_flow_time, fleet.migrating_jobs
+    );
+
+    // And the theorem holds, live:
+    let report = competitive_report(&instance, &schedule, &p, p.oa_bound());
+    println!(
+        "OA ratio vs offline OPT: {:.4} (α^α bound = {:.0}) — within: {}",
+        report.ratio,
+        report.bound,
+        report.within_bound()
+    );
+    assert!(report.within_bound());
+}

@@ -1,0 +1,78 @@
+//! Online arrival simulation: watch OA(m) replan as jobs arrive and verify
+//! the paper's monotonicity lemmas live (Lemma 7: planned job speeds only
+//! rise; Lemma 8: the minimum processor speed only rises).
+//!
+//! Run with: `cargo run --example online_race`
+
+use mpss::online::oa::oa_schedule_with_plans;
+use mpss::prelude::*;
+
+fn main() {
+    // A bursty stream on two processors: each burst forces a replan.
+    let instance = Instance::new(
+        2,
+        vec![
+            job(0.0, 10.0, 4.0),
+            job(0.0, 6.0, 3.0),
+            job(2.0, 8.0, 5.0),
+            job(2.0, 5.0, 2.0),
+            job(4.0, 7.0, 4.0),
+            job(5.0, 10.0, 3.0),
+        ],
+    )
+    .expect("valid instance");
+
+    let (outcome, plans) = oa_schedule_with_plans(&instance).expect("OA run");
+    assert_feasible(&instance, &outcome.schedule, 1e-6);
+
+    println!(
+        "OA(2) on a bursty stream — {} replanning events\n",
+        outcome.replans
+    );
+    for record in &plans {
+        println!(
+            "t = {:.1}: replanned {} live jobs",
+            record.time,
+            record.job_map.len()
+        );
+        for (i, phase) in record.plan.phases.iter().enumerate() {
+            let originals: Vec<_> = phase.jobs.iter().map(|&s| record.job_map[s]).collect();
+            println!(
+                "    level {}: speed {:.3}  jobs {:?}",
+                i + 1,
+                phase.speed,
+                originals
+            );
+        }
+    }
+
+    // Lemma 7 live check: per-job planned speeds across consecutive plans.
+    println!("\nLemma 7 check (job speeds never drop across replans):");
+    for w in plans.windows(2) {
+        let (old, new) = (&w[0], &w[1]);
+        for (sub, &orig) in old.job_map.iter().enumerate() {
+            let (Some(s_old), Some(pos)) = (
+                old.plan.speed_of(sub),
+                new.job_map.iter().position(|&o| o == orig),
+            ) else {
+                continue;
+            };
+            if let Some(s_new) = new.plan.speed_of(pos) {
+                let arrow = if s_new > s_old + 1e-9 { "↑" } else { "=" };
+                println!(
+                    "  t {:.1} → {:.1}  job {}: {:.3} {arrow} {:.3}",
+                    old.time, new.time, orig, s_old, s_new
+                );
+                assert!(s_new >= s_old - 1e-6 * s_old.max(1.0), "Lemma 7 violated!");
+            }
+        }
+    }
+
+    let p = Polynomial::new(2.0);
+    let report = competitive_report(&instance, &outcome.schedule, &p, p.oa_bound());
+    println!(
+        "\nenergy: OA = {:.3}, OPT = {:.3}, ratio = {:.4} (α^α bound = {:.1})",
+        report.online_energy, report.opt_energy, report.ratio, report.bound
+    );
+    assert!(report.within_bound());
+}

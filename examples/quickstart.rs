@@ -1,0 +1,75 @@
+//! Quickstart: build an instance, compute the optimal schedule, inspect it,
+//! and compare the online algorithms against it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mpss::prelude::*;
+
+fn main() {
+    // Three jobs on two processors: (release, deadline, volume).
+    // Job 2 arrives later — the online algorithms won't see it coming.
+    let instance = Instance::new(
+        2,
+        vec![
+            job(0.0, 2.0, 3.0), // urgent: 3 units in [0, 2)
+            job(0.0, 4.0, 2.0), // relaxed: 2 units in [0, 4)
+            job(1.0, 3.0, 2.0), // surprise arrival at t = 1
+        ],
+    )
+    .expect("valid instance");
+
+    // ---- Offline optimum (paper Fig. 2: flow-based, power-function-free).
+    let opt = optimal_schedule(&instance).expect("solvable");
+    assert_feasible(&instance, &opt.schedule, 1e-9);
+
+    println!(
+        "Optimal schedule ({} max-flow computations):",
+        opt.flow_computations
+    );
+    for (i, phase) in opt.phases.iter().enumerate() {
+        println!(
+            "  phase {}: speed {:.4}  jobs {:?}",
+            i + 1,
+            phase.speed,
+            phase.jobs
+        );
+    }
+    for seg in &opt.schedule.segments {
+        println!(
+            "  proc {} runs job {} during [{:.3}, {:.3}) at speed {:.3}",
+            seg.proc, seg.job, seg.start, seg.end, seg.speed
+        );
+    }
+
+    // ---- Energy under the cube-root rule P(s) = s³ (and any convex P).
+    let p = Polynomial::cube();
+    let e_opt = schedule_energy(&opt.schedule, &p);
+    println!("\nEnergy under P(s) = s³:");
+    println!("  OPT            = {e_opt:.4}");
+
+    // ---- Online algorithms.
+    let oa = oa_schedule(&instance).expect("OA run");
+    let e_oa = schedule_energy(&oa.schedule, &p);
+    println!(
+        "  OA(m)          = {e_oa:.4}  (bound α^α = {:.1})",
+        p.oa_bound()
+    );
+
+    let avr = avr_schedule(&instance);
+    let e_avr = schedule_energy(&avr, &p);
+    println!(
+        "  AVR(m)         = {e_avr:.4}  (bound (2α)^α/2+1 = {:.1})",
+        p.avr_bound()
+    );
+
+    // ---- Ablation: how much does migration buy?
+    let nm = non_migratory_schedule(&instance, 3.0, AssignPolicy::GreedyEnergy);
+    let e_nm = schedule_energy(&nm.schedule, &p);
+    println!("  non-migratory  = {e_nm:.4}");
+
+    println!("\nCompetitive ratios (measured):");
+    println!("  OA / OPT  = {:.4}", e_oa / e_opt);
+    println!("  AVR / OPT = {:.4}", e_avr / e_opt);
+    assert!(e_oa / e_opt <= p.oa_bound() + 1e-9);
+    assert!(e_avr / e_opt <= p.avr_bound() + 1e-9);
+}

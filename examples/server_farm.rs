@@ -1,0 +1,99 @@
+//! Server-farm scenario: a day of batch jobs on an 8-processor cluster —
+//! the multi-processor environment the paper's introduction motivates
+//! (compute clusters / server farms with power dissipation concerns).
+//!
+//! Compares the optimal migratory schedule against the online algorithms
+//! and the non-migratory heuristic across three load regimes, and reports
+//! the energy saved by computing speeds optimally.
+//!
+//! Run with: `cargo run --release --example server_farm`
+
+use mpss::prelude::*;
+
+fn scenario(name: &str, spec: WorkloadSpec, alpha: f64) {
+    let instance = spec.generate();
+    let p = Polynomial::new(alpha);
+
+    let opt = optimal_schedule(&instance).expect("offline optimum");
+    assert_feasible(&instance, &opt.schedule, 1e-9);
+    let e_opt = schedule_energy(&opt.schedule, &p);
+
+    let oa = oa_schedule(&instance).expect("OA");
+    let e_oa = schedule_energy(&oa.schedule, &p);
+    let avr = avr_schedule(&instance);
+    let e_avr = schedule_energy(&avr, &p);
+    let nm = non_migratory_schedule(&instance, alpha, AssignPolicy::GreedyEnergy);
+    let e_nm = schedule_energy(&nm.schedule, &p);
+
+    // A naive baseline every operator understands: run everything at each
+    // interval's AVR total but on one processor's worth of speed... instead
+    // we use the per-job lower bound as the "physics floor".
+    let floor = per_job_lower_bound(&instance, &p);
+
+    println!(
+        "\n=== {name} (n = {}, m = {}, α = {alpha}) ===",
+        instance.n(),
+        instance.m
+    );
+    println!("  physics floor (per-job LB) : {floor:>12.2}");
+    println!("  OPT (migration, offline)   : {e_opt:>12.2}");
+    println!(
+        "  OA(m)  (online)            : {e_oa:>12.2}   ratio {:.3} (bound {:.1})",
+        e_oa / e_opt,
+        p.oa_bound()
+    );
+    println!(
+        "  AVR(m) (online)            : {e_avr:>12.2}   ratio {:.3} (bound {:.1})",
+        e_avr / e_opt,
+        p.avr_bound()
+    );
+    println!(
+        "  no-migration heuristic     : {e_nm:>12.2}   migration saves {:.1}%",
+        100.0 * (e_nm - e_opt) / e_nm
+    );
+    println!(
+        "  schedule stats: {} segments, {} migrations, {} preemptions, peak speed {:.2}",
+        opt.schedule.len(),
+        opt.schedule.migrations(),
+        opt.schedule.preemptions(),
+        opt.schedule.max_speed()
+    );
+}
+
+fn main() {
+    println!("Server farm: 8 variable-speed processors, cube-root power rule");
+
+    scenario(
+        "overnight batch (relaxed deadlines)",
+        WorkloadSpec {
+            family: Family::Uniform,
+            n: 48,
+            m: 8,
+            horizon: 96,
+            seed: 1,
+        },
+        3.0,
+    );
+    scenario(
+        "bursty interactive load",
+        WorkloadSpec {
+            family: Family::Bursty,
+            n: 48,
+            m: 8,
+            horizon: 96,
+            seed: 2,
+        },
+        3.0,
+    );
+    scenario(
+        "near-saturation (tight capacity)",
+        WorkloadSpec {
+            family: Family::TightLoad,
+            n: 48,
+            m: 8,
+            horizon: 96,
+            seed: 3,
+        },
+        3.0,
+    );
+}

@@ -1,0 +1,54 @@
+//! Trace tooling: generate a workload, archive it as JSON, reload it, and
+//! schedule it — the round-trip a user needs to run these algorithms on
+//! their own job traces.
+//!
+//! Run with: `cargo run --example trace_tools`
+
+use mpss::prelude::*;
+use mpss::workloads::{read_trace, write_trace};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("mpss-traces");
+    std::fs::create_dir_all(&dir)?;
+
+    // Generate one instance per family and archive them.
+    let mut paths = Vec::new();
+    for family in Family::ALL {
+        let spec = WorkloadSpec {
+            family,
+            n: 16,
+            m: 4,
+            horizon: 64,
+            seed: 7,
+        };
+        let instance = spec.generate();
+        let path = dir.join(format!("{}.json", family.name()));
+        write_trace(&path, &instance)?;
+        paths.push((family, path));
+    }
+    println!("archived {} traces under {}", paths.len(), dir.display());
+
+    // Reload and schedule each one.
+    let p = Polynomial::cube();
+    println!(
+        "\n{:<16} {:>10} {:>10} {:>8} {:>8}",
+        "family", "E[OPT]", "E[AVR]", "ratio", "migr"
+    );
+    for (family, path) in &paths {
+        let instance = read_trace(path)?;
+        let opt = optimal_schedule(&instance).expect("offline optimum");
+        assert_feasible(&instance, &opt.schedule, 1e-9);
+        let avr = avr_schedule(&instance);
+        let e_opt = schedule_energy(&opt.schedule, &p);
+        let e_avr = schedule_energy(&avr, &p);
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>8.3} {:>8}",
+            family.name(),
+            e_opt,
+            e_avr,
+            e_avr / e_opt,
+            opt.schedule.migrations()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,355 @@
+//! `mpss-cli` — command-line interface to the mpss library.
+//!
+//! ```text
+//! mpss-cli generate --family uniform --n 20 --m 4 [--horizon 48] [--seed 1] -o trace.json
+//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--save-schedule out.json]
+//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3]
+//! mpss-cli bounds trace.json [--alpha 3]
+//! mpss-cli check trace.json schedule.json
+//! ```
+
+use mpss::prelude::*;
+use mpss::sim::{fleet_stats, job_stats, render_gantt, render_svg, SvgOptions};
+use mpss::workloads::instance_stats;
+use mpss::workloads::{read_trace, write_trace};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("online") => cmd_online(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "mpss-cli — multi-processor speed scaling with migration (SPAA 2011)\n\n\
+         USAGE:\n\
+         \u{20}  mpss-cli generate --family <name> --n <jobs> --m <procs> [--horizon H] [--seed S] -o <trace.json>\n\
+         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--save-schedule <out.json>]\n\
+         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A]\n\
+         \u{20}  mpss-cli bounds <trace.json> [--alpha A]\n\
+         \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
+         \u{20}  mpss-cli check <trace.json> <schedule.json>\n\n\
+         families: uniform bursty laminar agreeable tight-load avr-adversarial poisson heavy-tail periodic"
+    );
+}
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+}
+
+fn parse<'a>(args: &'a [String], switch_names: &[&str]) -> Args<'a> {
+    let mut out = Args {
+        positional: Vec::new(),
+        flags: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            if switch_names.contains(&name) {
+                out.switches.push(name);
+                i += 1;
+            } else if i + 1 < args.len() {
+                out.flags.push((name, args[i + 1].as_str()));
+                i += 2;
+            } else {
+                out.positional.push(a);
+                i += 1;
+            }
+        } else if a == "-o" && i + 1 < args.len() {
+            out.flags.push(("o", args[i + 1].as_str()));
+            i += 2;
+        } else {
+            out.positional.push(a);
+            i += 1;
+        }
+    }
+    out
+}
+
+impl Args<'_> {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+    fn alpha(&self) -> Result<f64, String> {
+        let a: f64 = self
+            .flag("alpha")
+            .unwrap_or("3")
+            .parse()
+            .map_err(|_| "alpha must be a number".to_string())?;
+        if a <= 1.0 {
+            return Err("alpha must be > 1".into());
+        }
+        Ok(a)
+    }
+}
+
+fn family_by_name(name: &str) -> Result<Family, String> {
+    Family::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family `{name}`"))
+}
+
+fn load(path: &str) -> Result<Instance<f64>, String> {
+    read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let family = family_by_name(a.flag("family").ok_or("--family required")?)?;
+    let n: usize = a
+        .flag("n")
+        .ok_or("--n required")?
+        .parse()
+        .map_err(|_| "bad --n")?;
+    let m: usize = a
+        .flag("m")
+        .ok_or("--m required")?
+        .parse()
+        .map_err(|_| "bad --m")?;
+    let horizon: u64 = a
+        .flag("horizon")
+        .unwrap_or("48")
+        .parse()
+        .map_err(|_| "bad --horizon")?;
+    let seed: u64 = a
+        .flag("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let out = a.flag("o").ok_or("-o <file> required")?;
+    let instance = WorkloadSpec {
+        family,
+        n,
+        m,
+        horizon,
+        seed,
+    }
+    .generate();
+    write_trace(Path::new(out), &instance).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} jobs on {} processors, horizon {} ({})",
+        instance.n(),
+        instance.m,
+        horizon,
+        family.name()
+    );
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &["gantt"]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let instance = load(path)?;
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    let res = optimal_schedule(&instance).map_err(|e| e.to_string())?;
+    validate_schedule(&instance, &res.schedule, 1e-9)
+        .map_err(|v| format!("internal: infeasible optimum: {v:?}"))?;
+
+    println!(
+        "optimal schedule for {} jobs on {} processors",
+        instance.n(),
+        instance.m
+    );
+    println!("  speed levels ({} phases):", res.phases.len());
+    for (i, phase) in res.phases.iter().enumerate() {
+        println!(
+            "    s_{} = {:.4}  ({} jobs)",
+            i + 1,
+            phase.speed,
+            phase.jobs.len()
+        );
+    }
+    println!(
+        "  energy (P = s^{alpha}): {:.4}",
+        schedule_energy(&res.schedule, &p)
+    );
+    println!(
+        "  segments {}, migrations {}, preemptions {}, peak speed {:.4}",
+        res.schedule.len(),
+        res.schedule.migrations(),
+        res.schedule.preemptions(),
+        res.schedule.max_speed()
+    );
+    println!("  max-flow computations: {}", res.flow_computations);
+    if a.switches.contains(&"gantt") {
+        let t0 = instance.min_release().unwrap_or(0.0);
+        let t1 = instance.max_deadline().unwrap_or(1.0);
+        print!("{}", render_gantt(&res.schedule, t0, t1, 72));
+    }
+    if let Some(out) = a.flag("svg") {
+        let t0 = instance.min_release().unwrap_or(0.0);
+        let t1 = instance.max_deadline().unwrap_or(1.0);
+        let svg = render_svg(&res.schedule, t0, t1, &SvgOptions::default());
+        std::fs::write(out, svg).map_err(|e| e.to_string())?;
+        println!("  SVG saved to {out}");
+    }
+    if let Some(out) = a.flag("save-schedule") {
+        let text = serde_json::to_string_pretty(&res.schedule).map_err(|e| e.to_string())?;
+        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        println!("  schedule saved to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_online(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let instance = load(path)?;
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    let algo = a.flag("algo").ok_or("--algo oa|avr|bkp required")?;
+    let (schedule, bound, name) = match algo {
+        "oa" => {
+            let oa = oa_schedule(&instance).map_err(|e| e.to_string())?;
+            (oa.schedule, p.oa_bound(), "OA(m)")
+        }
+        "avr" => (avr_schedule(&instance), p.avr_bound(), "AVR(m)"),
+        "bkp" => {
+            if instance.m != 1 {
+                return Err("BKP is single-processor: regenerate the trace with --m 1".into());
+            }
+            let bound = 2.0 * (alpha / (alpha - 1.0)).powf(alpha) * std::f64::consts::E.powf(alpha);
+            (bkp_schedule(&instance, 64).schedule, bound, "BKP")
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    validate_schedule(&instance, &schedule, 1e-6)
+        .map_err(|v| format!("{name} produced an infeasible schedule: {v:?}"))?;
+    let report = competitive_report(&instance, &schedule, &p, bound);
+    println!(
+        "{name} on {} jobs / {} processors, α = {alpha}",
+        instance.n(),
+        instance.m
+    );
+    println!("  online energy : {:.4}", report.online_energy);
+    println!("  OPT energy    : {:.4}", report.opt_energy);
+    println!(
+        "  ratio         : {:.4}  (bound {:.3})",
+        report.ratio, report.bound
+    );
+    println!(
+        "  within bound  : {}",
+        if report.within_bound() { "yes" } else { "NO" }
+    );
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let instance = load(path)?;
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    println!("instance bounds (α = {alpha}):");
+    println!(
+        "  per-job lower bound       : {:.4}",
+        per_job_lower_bound(&instance, &p)
+    );
+    println!(
+        "  best lower bound          : {:.4}",
+        best_lower_bound(&instance, alpha)
+    );
+    println!(
+        "  minimum feasible peak speed: {:.4}",
+        mpss::offline::speed_bound::minimum_peak_speed(&instance)
+    );
+    let opt = schedule_energy(
+        &optimal_schedule(&instance)
+            .map_err(|e| e.to_string())?
+            .schedule,
+        &p,
+    );
+    println!("  OPT energy                : {opt:.4}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let instance = load(path)?;
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    let st = instance_stats(&instance);
+    println!("instance statistics:");
+    println!(
+        "  jobs {} on {} processors, horizon {:.2}",
+        st.n, st.m, st.horizon
+    );
+    println!("  load factor          : {:.3}", st.load_factor);
+    println!("  max job density      : {:.3}", st.max_density);
+    println!("  peak total density Δ : {:.3}", st.peak_total_density);
+    println!(
+        "  mean/max active jobs : {:.1} / {}",
+        st.mean_active, st.max_active
+    );
+    println!(
+        "  crossing pairs       : {:.1}%",
+        100.0 * st.crossing_fraction
+    );
+    let res = optimal_schedule(&instance).map_err(|e| e.to_string())?;
+    let js = job_stats(&instance, &res.schedule, &p);
+    let fleet = fleet_stats(&js);
+    println!("under the optimal schedule (α = {alpha}):");
+    println!("  total energy   : {:.4}", fleet.total_energy);
+    println!("  mean flow time : {:.3}", fleet.mean_flow_time);
+    println!("  max stretch    : {:.3}", fleet.max_stretch);
+    println!("  migrating jobs : {}", fleet.migrating_jobs);
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let trace = a.positional.first().ok_or("trace path required")?;
+    let sched_path = a.positional.get(1).ok_or("schedule path required")?;
+    let instance = load(trace)?;
+    let text = std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?;
+    let schedule: Schedule<f64> = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    match validate_schedule(&instance, &schedule, 1e-9) {
+        Ok(()) => {
+            println!("schedule is FEASIBLE for {trace}");
+            println!(
+                "  energy (s³): {:.4}",
+                schedule_energy(&schedule, &Polynomial::cube())
+            );
+            Ok(())
+        }
+        Err(violations) => {
+            println!("schedule is INFEASIBLE ({} violations):", violations.len());
+            for v in violations.iter().take(10) {
+                println!("  - {v}");
+            }
+            Err("validation failed".into())
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the `mpss-cli` binary: generate → solve → online →
+//! bounds → check, driving the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpss-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mpss-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn mpss-cli");
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_solve_online_bounds_roundtrip() {
+    let trace = tmp("roundtrip.json");
+    let sched = tmp("roundtrip-schedule.json");
+
+    let out = run_ok(cli().args([
+        "generate",
+        "--family",
+        "uniform",
+        "--n",
+        "8",
+        "--m",
+        "2",
+        "--horizon",
+        "16",
+        "--seed",
+        "7",
+        "-o",
+        trace.to_str().unwrap(),
+    ]));
+    assert!(out.contains("8 jobs on 2 processors"));
+
+    let out = run_ok(cli().args([
+        "solve",
+        trace.to_str().unwrap(),
+        "--alpha",
+        "2",
+        "--gantt",
+        "--save-schedule",
+        sched.to_str().unwrap(),
+    ]));
+    assert!(out.contains("speed levels"));
+    assert!(out.contains("energy (P = s^2)"));
+    assert!(out.contains("P0")); // gantt rendered
+    assert!(sched.exists());
+
+    let out = run_ok(cli().args(["check", trace.to_str().unwrap(), sched.to_str().unwrap()]));
+    assert!(out.contains("FEASIBLE"));
+
+    for algo in ["oa", "avr"] {
+        let out = run_ok(cli().args([
+            "online",
+            trace.to_str().unwrap(),
+            "--algo",
+            algo,
+            "--alpha",
+            "2",
+        ]));
+        assert!(out.contains("within bound  : yes"), "{algo}: {out}");
+    }
+
+    let out = run_ok(cli().args(["bounds", trace.to_str().unwrap(), "--alpha", "2"]));
+    assert!(out.contains("minimum feasible peak speed"));
+}
+
+#[test]
+fn bkp_requires_single_processor_traces() {
+    let trace = tmp("bkp-m1.json");
+    run_ok(cli().args([
+        "generate",
+        "--family",
+        "bursty",
+        "--n",
+        "5",
+        "--m",
+        "1",
+        "--horizon",
+        "12",
+        "--seed",
+        "2",
+        "-o",
+        trace.to_str().unwrap(),
+    ]));
+    let out = run_ok(cli().args(["online", trace.to_str().unwrap(), "--algo", "bkp"]));
+    assert!(out.contains("BKP"));
+
+    // And an m = 2 trace is rejected with a clear error.
+    let trace2 = tmp("bkp-m2.json");
+    run_ok(cli().args([
+        "generate",
+        "--family",
+        "bursty",
+        "--n",
+        "5",
+        "--m",
+        "2",
+        "--horizon",
+        "12",
+        "--seed",
+        "2",
+        "-o",
+        trace2.to_str().unwrap(),
+    ]));
+    let out = cli()
+        .args(["online", trace2.to_str().unwrap(), "--algo", "bkp"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("single-processor"));
+}
+
+#[test]
+fn corrupted_schedule_fails_check() {
+    let trace = tmp("corrupt.json");
+    let sched = tmp("corrupt-schedule.json");
+    run_ok(cli().args([
+        "generate",
+        "--family",
+        "uniform",
+        "--n",
+        "4",
+        "--m",
+        "1",
+        "--horizon",
+        "10",
+        "--seed",
+        "3",
+        "-o",
+        trace.to_str().unwrap(),
+    ]));
+    run_ok(cli().args([
+        "solve",
+        trace.to_str().unwrap(),
+        "--save-schedule",
+        sched.to_str().unwrap(),
+    ]));
+    // Corrupt: drop the last segment.
+    let text = std::fs::read_to_string(&sched).unwrap();
+    let mut parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let segs = parsed["segments"].as_array_mut().unwrap();
+    segs.pop();
+    std::fs::write(&sched, serde_json::to_string(&parsed).unwrap()).unwrap();
+    let out = cli()
+        .args(["check", trace.to_str().unwrap(), sched.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INFEASIBLE"));
+}
+
+#[test]
+fn usage_and_unknown_commands() {
+    let out = run_ok(cli().arg("--help"));
+    assert!(out.contains("USAGE"));
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn stats_and_svg_outputs() {
+    let trace = tmp("stats.json");
+    let svg = tmp("stats.svg");
+    run_ok(cli().args([
+        "generate",
+        "--family",
+        "poisson",
+        "--n",
+        "6",
+        "--m",
+        "2",
+        "--horizon",
+        "14",
+        "--seed",
+        "1",
+        "-o",
+        trace.to_str().unwrap(),
+    ]));
+    let out = run_ok(cli().args(["stats", trace.to_str().unwrap(), "--alpha", "2"]));
+    assert!(out.contains("load factor"));
+    assert!(out.contains("migrating jobs"));
+    run_ok(cli().args([
+        "solve",
+        trace.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+    ]));
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+    assert!(content.contains("</svg>"));
+}

@@ -1,0 +1,162 @@
+//! End-to-end pipeline tests across all workspace crates: workload
+//! generation → offline optimum → online algorithms → validation → energy
+//! accounting, on every workload family.
+
+use mpss::prelude::*;
+
+fn families_sweep() -> Vec<(Family, Instance<f64>)> {
+    Family::ALL
+        .iter()
+        .flat_map(|&family| {
+            (0..3u64).map(move |seed| {
+                let spec = WorkloadSpec {
+                    family,
+                    n: 10,
+                    m: 3,
+                    horizon: 32,
+                    seed,
+                };
+                (family, spec.generate())
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn optimal_schedules_are_feasible_on_every_family() {
+    for (family, instance) in families_sweep() {
+        let res = optimal_schedule(&instance).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        assert_feasible(&instance, &res.schedule, 1e-9);
+        // Phase speeds strictly decrease.
+        for w in res.phases.windows(2) {
+            assert!(
+                w[0].speed > w[1].speed - 1e-12,
+                "{family:?}: speeds not ordered"
+            );
+        }
+    }
+}
+
+#[test]
+fn online_algorithms_are_feasible_and_bounded_on_every_family() {
+    for (family, instance) in families_sweep() {
+        let p = Polynomial::new(2.5);
+        let opt = optimal_schedule(&instance).unwrap();
+        let e_opt = schedule_energy(&opt.schedule, &p);
+
+        let oa = oa_schedule(&instance).unwrap();
+        assert_feasible(&instance, &oa.schedule, 1e-6);
+        let e_oa = schedule_energy(&oa.schedule, &p);
+        assert!(
+            e_oa >= e_opt - 1e-6 * e_opt && e_oa <= p.oa_bound() * e_opt * (1.0 + 1e-9),
+            "{family:?}: OA energy {e_oa} vs OPT {e_opt}"
+        );
+
+        let avr = avr_schedule(&instance);
+        assert_feasible(&instance, &avr, 1e-9);
+        let e_avr = schedule_energy(&avr, &p);
+        assert!(
+            e_avr >= e_opt - 1e-6 * e_opt && e_avr <= p.avr_bound() * e_opt * (1.0 + 1e-9),
+            "{family:?}: AVR energy {e_avr} vs OPT {e_opt}"
+        );
+    }
+}
+
+#[test]
+fn optimality_sandwich_on_every_family() {
+    for (family, instance) in families_sweep() {
+        let alpha = 3.0;
+        let p = Polynomial::new(alpha);
+        let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+        let lb = best_lower_bound(&instance, alpha);
+        let nm = non_migratory_schedule(&instance, alpha, AssignPolicy::GreedyEnergy);
+        assert_feasible(&instance, &nm.schedule, 1e-9);
+        let ub = schedule_energy(&nm.schedule, &p);
+        assert!(
+            lb <= e_opt * (1.0 + 1e-6) && e_opt <= ub * (1.0 + 1e-6),
+            "{family:?}: sandwich broken LB {lb} OPT {e_opt} UB {ub}"
+        );
+    }
+}
+
+#[test]
+fn lp_baseline_brackets_opt_on_small_instances() {
+    for &family in &[Family::Uniform, Family::Laminar, Family::Agreeable] {
+        let spec = WorkloadSpec {
+            family,
+            n: 5,
+            m: 2,
+            horizon: 12,
+            seed: 11,
+        };
+        let instance = spec.generate();
+        let p = Polynomial::new(2.0);
+        let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+        let lp = lp_baseline(&instance, &p, 20).unwrap();
+        assert_feasible(&instance, &lp.schedule, 1e-6);
+        assert!(
+            lp.energy >= e_opt * (1.0 - 1e-6) && lp.energy <= e_opt * 1.10,
+            "{family:?}: LP {} vs OPT {e_opt}",
+            lp.energy
+        );
+    }
+}
+
+#[test]
+fn exact_pipeline_agrees_with_float_on_every_family() {
+    use mpss::model::energy::{schedule_energy_exact, schedule_energy_poly};
+    for &family in &[Family::Uniform, Family::Bursty, Family::Laminar] {
+        let spec = WorkloadSpec {
+            family,
+            n: 8,
+            m: 2,
+            horizon: 16,
+            seed: 5,
+        };
+        let instance = spec.generate();
+        let exact = optimal_schedule(&instance.to_rational()).unwrap();
+        assert_feasible(&instance.to_rational(), &exact.schedule, 0.0);
+        let float = optimal_schedule(&instance).unwrap();
+        let ef = schedule_energy_poly(&float.schedule, 3);
+        let er = schedule_energy_exact(&exact.schedule, 3).to_f64();
+        assert!(
+            (ef - er).abs() <= 1e-6 * ef.max(1.0),
+            "{family:?}: float {ef} vs exact {er}"
+        );
+    }
+}
+
+#[test]
+fn migration_strictly_helps_on_a_crafted_instance() {
+    // Three identical tight jobs on two processors: with migration all run
+    // at 3/2; without, one processor must run two jobs back-to-back at
+    // higher speed (or one at double speed).
+    let instance = Instance::new(2, vec![job(0.0, 3.0, 3.0); 3]).unwrap();
+    let p = Polynomial::new(2.0);
+    let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+    let e_nm = schedule_energy(
+        &non_migratory_schedule(&instance, 2.0, AssignPolicy::GreedyEnergy).schedule,
+        &p,
+    );
+    assert!((e_opt - 13.5).abs() < 1e-9, "OPT = {e_opt}"); // (3/2)²·6
+    assert!(
+        e_nm > e_opt * 1.1,
+        "migration should save >10% here: OPT {e_opt} vs NM {e_nm}"
+    );
+}
+
+#[test]
+fn single_processor_everything_collapses_to_yds() {
+    let spec = WorkloadSpec {
+        family: Family::Uniform,
+        n: 9,
+        m: 1,
+        horizon: 24,
+        seed: 3,
+    };
+    let instance = spec.generate();
+    let p = Polynomial::cube();
+    let e_flow = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+    let e_yds = schedule_energy(&yds_schedule(&instance).schedule, &p);
+    assert!((e_flow - e_yds).abs() <= 1e-6 * e_flow);
+}

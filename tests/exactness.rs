@@ -1,0 +1,134 @@
+//! Exact-arithmetic integration tests: the *entire* pipeline — offline
+//! optimum, OA(m) with all its replans, AVR(m), YDS — run in `i128`
+//! rationals on integer instances, validated at zero tolerance, and
+//! compared bit-for-bit against theory.
+
+use mpss::model::energy::schedule_energy_exact;
+use mpss::model::validate::assert_feasible;
+use mpss::numeric::rational::rat;
+use mpss::numeric::Rational;
+use mpss::offline::{optimal_schedule, yds_schedule};
+use mpss::online::{avr_schedule, oa_schedule};
+use mpss::prelude::{job, Family, Instance, WorkloadSpec};
+
+fn exact(spec: WorkloadSpec) -> Instance<Rational> {
+    spec.generate().to_rational()
+}
+
+#[test]
+fn exact_offline_optimum_across_families() {
+    for family in [
+        Family::Uniform,
+        Family::Bursty,
+        Family::Laminar,
+        Family::Periodic,
+    ] {
+        let ins = exact(WorkloadSpec {
+            family,
+            n: 8,
+            m: 2,
+            horizon: 16,
+            seed: 44,
+        });
+        let res = optimal_schedule(&ins).unwrap();
+        assert_feasible(&ins, &res.schedule, 0.0); // ZERO tolerance
+                                                   // Total scheduled work is exactly the total volume.
+        assert_eq!(res.schedule.total_work(), ins.total_volume(), "{family:?}");
+        // Phase speeds are exactly strictly decreasing rationals.
+        for w in res.phases.windows(2) {
+            assert!(w[0].speed > w[1].speed, "{family:?}");
+        }
+    }
+}
+
+#[test]
+fn exact_oa_run_with_replans() {
+    let ins = exact(WorkloadSpec {
+        family: Family::Bursty,
+        n: 8,
+        m: 2,
+        horizon: 16,
+        seed: 3,
+    });
+    let oa = oa_schedule(&ins).unwrap();
+    assert_feasible(&ins, &oa.schedule, 0.0);
+    assert!(
+        oa.replans >= 2,
+        "bursty family should force several replans"
+    );
+    // Exact competitive check against the exact optimum at α = 2:
+    // E_OA / E_OPT ≤ α^α = 4, as exact rationals.
+    let e_oa = schedule_energy_exact(&oa.schedule, 2);
+    let e_opt = schedule_energy_exact(&optimal_schedule(&ins).unwrap().schedule, 2);
+    assert!(e_oa >= e_opt, "online beat offline in exact arithmetic");
+    assert!(
+        e_oa <= Rational::from_int(4) * e_opt,
+        "exact Theorem 2 violated: {e_oa} > 4·{e_opt}"
+    );
+}
+
+#[test]
+fn exact_avr_against_theorem3_bound() {
+    let ins = exact(WorkloadSpec {
+        family: Family::Uniform,
+        n: 8,
+        m: 2,
+        horizon: 16,
+        seed: 5,
+    });
+    let avr = avr_schedule(&ins);
+    assert_feasible(&ins, &avr, 0.0);
+    let e_avr = schedule_energy_exact(&avr, 2);
+    let e_opt = schedule_energy_exact(&optimal_schedule(&ins).unwrap().schedule, 2);
+    // (2α)^α/2 + 1 = 9 at α = 2, exactly.
+    assert!(e_avr <= Rational::from_int(9) * e_opt);
+    assert!(e_avr >= e_opt);
+}
+
+#[test]
+fn exact_yds_equals_exact_flow_algorithm_at_m1() {
+    let ins = exact(WorkloadSpec {
+        family: Family::Agreeable,
+        n: 7,
+        m: 1,
+        horizon: 14,
+        seed: 9,
+    });
+    let flow = optimal_schedule(&ins).unwrap();
+    let yds = yds_schedule(&ins);
+    assert_feasible(&ins, &yds.schedule, 0.0);
+    assert_eq!(
+        schedule_energy_exact(&flow.schedule, 3),
+        schedule_energy_exact(&yds.schedule, 3),
+        "two independent algorithms must agree exactly"
+    );
+}
+
+#[test]
+fn known_instance_has_the_predicted_exact_energy() {
+    // 3 identical jobs (0, 3, 3) on two processors: uniform speed 3/2 over
+    // 6 processor-time units ⇒ E[s²] = (3/2)²·6 = 27/2 and
+    // E[s³] = (27/8)·6 = 81/4, exactly.
+    let ins: Instance<Rational> =
+        Instance::new(2, vec![job(rat(0, 1), rat(3, 1), rat(3, 1)); 3]).unwrap();
+    let res = optimal_schedule(&ins).unwrap();
+    assert_eq!(schedule_energy_exact(&res.schedule, 2), rat(27, 2));
+    assert_eq!(schedule_energy_exact(&res.schedule, 3), rat(81, 4));
+}
+
+#[test]
+fn exact_fractional_coordinates_also_work() {
+    // Rational (non-integer) inputs: thirds and halves.
+    let ins: Instance<Rational> = Instance::new(
+        2,
+        vec![
+            job(rat(0, 1), rat(1, 3), rat(1, 2)),
+            job(rat(1, 6), rat(5, 6), rat(2, 3)),
+            job(rat(0, 1), rat(5, 6), rat(1, 4)),
+        ],
+    )
+    .unwrap();
+    let res = optimal_schedule(&ins).unwrap();
+    assert_feasible(&ins, &res.schedule, 0.0);
+    assert_eq!(res.schedule.total_work(), rat(1, 2) + rat(2, 3) + rat(1, 4));
+}

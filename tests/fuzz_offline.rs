@@ -1,0 +1,211 @@
+//! Fuzz-style property tests of the whole offline stack on *fractional*
+//! (non-integer) random instances — the regime where float tolerance
+//! actually gets exercised — plus validator failure-injection: random
+//! corruptions of correct schedules must be caught.
+
+use mpss::model::validate::ScheduleViolation;
+use mpss::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random instance with fractional coordinates (not exactly representable
+/// on any grid).
+fn fractional_instance(n: usize, m: usize, seed: u64) -> Instance<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen_range(0.0..10.0);
+            let span: f64 = rng.gen_range(0.3..7.0);
+            let w: f64 = rng.gen_range(0.2..9.0);
+            job(r, r + span, w)
+        })
+        .collect();
+    Instance::new(m, jobs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimal schedule stays feasible and sandwiched on fractional
+    /// instances.
+    #[test]
+    fn fractional_instances_stay_feasible_and_sandwiched(
+        seed in 0u64..100_000, n in 2usize..10, m in 1usize..4
+    ) {
+        let ins = fractional_instance(n, m, seed);
+        let res = optimal_schedule(&ins).unwrap();
+        prop_assert!(validate_schedule(&ins, &res.schedule, 1e-7).is_ok());
+        let p = Polynomial::new(2.0);
+        let opt = schedule_energy(&res.schedule, &p);
+        let lb = per_job_lower_bound(&ins, &p);
+        prop_assert!(lb <= opt * (1.0 + 1e-6) + 1e-9, "LB {lb} > OPT {opt}");
+        let nm = non_migratory_schedule(&ins, 2.0, AssignPolicy::LeastLoaded);
+        let ub = schedule_energy(&nm.schedule, &p);
+        prop_assert!(opt <= ub * (1.0 + 1e-6) + 1e-9, "OPT {opt} > UB {ub}");
+    }
+
+    /// Scaling all volumes by c scales optimal energy by c^α
+    /// (homogeneity of P(s) = s^α — a strong functional invariant).
+    #[test]
+    fn energy_is_alpha_homogeneous_in_volume(
+        seed in 0u64..100_000, n in 2usize..7, scale in 1.5f64..4.0
+    ) {
+        let ins = fractional_instance(n, 2, seed);
+        let mut scaled = ins.clone();
+        for j in &mut scaled.jobs {
+            j.volume *= scale;
+        }
+        let p = Polynomial::new(2.0);
+        let e1 = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+        let e2 = schedule_energy(&optimal_schedule(&scaled).unwrap().schedule, &p);
+        prop_assert!(
+            (e2 - scale.powi(2) * e1).abs() <= 1e-6 * e2.max(1.0),
+            "homogeneity broken: {e2} vs {}", scale.powi(2) * e1
+        );
+    }
+
+    /// Dilating time by c scales optimal energy by c^{1−α}.
+    #[test]
+    fn energy_scales_correctly_under_time_dilation(
+        seed in 0u64..100_000, n in 2usize..7, c in 1.5f64..3.0
+    ) {
+        let ins = fractional_instance(n, 2, seed);
+        let mut dilated = ins.clone();
+        for j in &mut dilated.jobs {
+            j.release *= c;
+            j.deadline *= c;
+        }
+        let p = Polynomial::new(3.0);
+        let e1 = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+        let e2 = schedule_energy(&optimal_schedule(&dilated).unwrap().schedule, &p);
+        prop_assert!(
+            (e2 - c.powi(-2) * e1).abs() <= 1e-6 * e1.max(1.0),
+            "dilation scaling broken: {e2} vs {}", c.powi(-2) * e1
+        );
+    }
+
+    /// Failure injection: corrupting a correct schedule (drop / stretch /
+    /// de-speed / double-book a segment) must be caught by the validator.
+    #[test]
+    fn validator_catches_random_corruption(
+        seed in 0u64..100_000, n in 3usize..8, kind in 0usize..4
+    ) {
+        let ins = fractional_instance(n, 2, seed);
+        let mut sched = optimal_schedule(&ins).unwrap().schedule;
+        prop_assume!(!sched.segments.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let idx = rng.gen_range(0..sched.segments.len());
+        match kind {
+            0 => {
+                // Drop a segment: some job loses work.
+                sched.segments.remove(idx);
+            }
+            1 => {
+                // Halve a segment's speed: work goes missing.
+                sched.segments[idx].speed *= 0.5;
+            }
+            2 => {
+                // Shift a segment before every release.
+                let dur = sched.segments[idx].duration();
+                sched.segments[idx].start = -5.0;
+                sched.segments[idx].end = -5.0 + dur;
+            }
+            _ => {
+                // Duplicate a segment onto the same processor/time: overlap
+                // AND over-completion.
+                let dup = sched.segments[idx];
+                sched.segments.push(dup);
+            }
+        }
+        prop_assert!(
+            validate_schedule(&ins, &sched, 1e-7).is_err(),
+            "corruption kind {kind} slipped through"
+        );
+    }
+}
+
+#[test]
+fn validator_reports_specific_violation_kinds() {
+    let ins = Instance::new(1, vec![job(0.0, 2.0, 2.0)]).unwrap();
+    let mut sched = optimal_schedule(&ins).unwrap().schedule;
+    sched.segments[0].speed *= 0.5;
+    let errs = validate_schedule(&ins, &sched, 1e-9).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|v| matches!(v, ScheduleViolation::WrongVolume { job: 0, .. })));
+}
+
+#[test]
+fn degenerate_shapes_are_handled() {
+    // One very long job among many short ones; equal jobs; micro-windows.
+    let cases = vec![
+        vec![
+            job(0.0, 100.0, 1.0),
+            job(49.9, 50.1, 5.0),
+            job(50.0, 50.2, 5.0),
+        ],
+        vec![job(0.0, 1.0, 1.0); 12],
+        vec![job(0.0, 1e-3, 1e-3), job(0.0, 1e3, 1e3)],
+    ];
+    for jobs in cases {
+        for m in [1usize, 3] {
+            let ins = Instance::new(m, jobs.clone()).unwrap();
+            let res = optimal_schedule(&ins).unwrap();
+            assert!(validate_schedule(&ins, &res.schedule, 1e-6).is_ok());
+        }
+    }
+}
+
+mod monotonicity {
+    use super::*;
+    use mpss::workloads::{scale_slack, split_jobs};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Extending any single deadline never raises the optimum.
+        #[test]
+        fn deadline_extension_is_monotone(seed in 0u64..50_000, n in 2usize..7, extra in 0.5f64..5.0) {
+            let ins = fractional_instance(n, 2, seed);
+            let p = Polynomial::new(2.0);
+            let e0 = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+            for k in 0..ins.n() {
+                let mut relaxed = ins.clone();
+                relaxed.jobs[k].deadline += extra;
+                let e = schedule_energy(&optimal_schedule(&relaxed).unwrap().schedule, &p);
+                prop_assert!(e <= e0 * (1.0 + 1e-6) + 1e-9,
+                    "extending job {k}'s deadline raised OPT {e0} -> {e}");
+            }
+        }
+
+        /// Shrinking any volume never raises the optimum.
+        #[test]
+        fn volume_reduction_is_monotone(seed in 0u64..50_000, n in 2usize..7) {
+            let ins = fractional_instance(n, 2, seed);
+            let p = Polynomial::new(2.5);
+            let e0 = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+            let mut lighter = ins.clone();
+            for j in &mut lighter.jobs {
+                j.volume *= 0.7;
+            }
+            let e = schedule_energy(&optimal_schedule(&lighter).unwrap().schedule, &p);
+            prop_assert!(e <= e0 * (1.0 + 1e-6), "lighter load raised OPT {e0} -> {e}");
+        }
+
+        /// Splitting jobs and relaxing slack never raise the optimum
+        /// (perturbation utilities agree with theory).
+        #[test]
+        fn perturbations_respect_monotonicity(seed in 0u64..50_000, n in 2usize..6) {
+            let ins = fractional_instance(n, 2, seed);
+            let p = Polynomial::new(2.0);
+            let e0 = schedule_energy(&optimal_schedule(&ins).unwrap().schedule, &p);
+            let e_split = schedule_energy(
+                &optimal_schedule(&split_jobs(&ins, 2)).unwrap().schedule, &p);
+            prop_assert!(e_split <= e0 * (1.0 + 1e-6));
+            let e_relax = schedule_energy(
+                &optimal_schedule(&scale_slack(&ins, 1.25)).unwrap().schedule, &p);
+            prop_assert!(e_relax <= e0 * (1.0 + 1e-6));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate online-semantics properties: causality, commit
+//! monotonicity, and the offline symmetries from `core::transform`.
+
+use mpss::model::transform::{dilate_time, reverse_time, scale_volumes, shift_time};
+use mpss::online::oa::oa_schedule_with_plans;
+use mpss::prelude::*;
+use mpss::sim::{audit_commit_monotonicity, audit_online_causality};
+
+fn sweep() -> Vec<Instance<f64>> {
+    [
+        Family::Uniform,
+        Family::Bursty,
+        Family::Poisson,
+        Family::Periodic,
+    ]
+    .iter()
+    .flat_map(|&family| {
+        (0..3u64).map(move |seed| {
+            WorkloadSpec {
+                family,
+                n: 8,
+                m: 2,
+                horizon: 20,
+                seed,
+            }
+            .generate()
+        })
+    })
+    .collect()
+}
+
+#[test]
+fn all_online_schedules_are_causal() {
+    for instance in sweep() {
+        let oa = oa_schedule(&instance).unwrap();
+        audit_online_causality(&instance, &oa.schedule).expect("OA causal");
+        let avr = avr_schedule(&instance);
+        audit_online_causality(&instance, &avr).expect("AVR causal");
+    }
+    // BKP (m = 1).
+    let single = WorkloadSpec {
+        family: Family::Bursty,
+        n: 6,
+        m: 1,
+        horizon: 16,
+        seed: 2,
+    }
+    .generate();
+    let bkp = bkp_schedule(&single, 64);
+    audit_online_causality(&single, &bkp.schedule).expect("BKP causal");
+}
+
+#[test]
+fn oa_commitments_are_append_only() {
+    for instance in sweep() {
+        let (outcome, plans) = oa_schedule_with_plans(&instance).unwrap();
+        // Reconstruct the committed history at each replan time: the final
+        // executed schedule cut at that time (OA executes its plan between
+        // events, so the cut *is* what was committed by then).
+        let snapshots: Vec<(f64, Schedule<f64>)> = plans
+            .iter()
+            .map(|p| (p.time, outcome.schedule.restrict(f64::NEG_INFINITY, p.time)))
+            .chain(std::iter::once((f64::INFINITY, outcome.schedule.clone())))
+            .collect();
+        audit_commit_monotonicity(&snapshots).expect("OA history append-only");
+    }
+}
+
+#[test]
+fn offline_energy_is_invariant_under_shift_and_reversal() {
+    let p = Polynomial::new(2.5);
+    for instance in sweep() {
+        let base = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+        let shifted = shift_time(&instance, 13.0);
+        let e_shift = schedule_energy(&optimal_schedule(&shifted).unwrap().schedule, &p);
+        assert!(
+            (base - e_shift).abs() <= 1e-6 * base.max(1.0),
+            "shift changed OPT: {base} vs {e_shift}"
+        );
+        let reversed = reverse_time(&instance);
+        let e_rev = schedule_energy(&optimal_schedule(&reversed).unwrap().schedule, &p);
+        assert!(
+            (base - e_rev).abs() <= 1e-6 * base.max(1.0),
+            "reversal changed OPT: {base} vs {e_rev}"
+        );
+    }
+}
+
+#[test]
+fn offline_energy_scales_by_the_homogeneity_laws() {
+    let alpha = 3.0;
+    let p = Polynomial::new(alpha);
+    let instance = WorkloadSpec::new(Family::Uniform, 8, 2, 77).generate();
+    let base = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+    // Volume scaling: E → c^α E.
+    let scaled = scale_volumes(&instance, 2.0);
+    let e_scaled = schedule_energy(&optimal_schedule(&scaled).unwrap().schedule, &p);
+    assert!((e_scaled - 8.0 * base).abs() <= 1e-6 * e_scaled);
+    // Time dilation: E → c^{1−α} E.
+    let dilated = dilate_time(&instance, 2.0);
+    let e_dilated = schedule_energy(&optimal_schedule(&dilated).unwrap().schedule, &p);
+    assert!((e_dilated - 0.25 * base).abs() <= 1e-6 * base);
+}
+
+#[test]
+fn online_is_not_reversal_invariant_but_offline_is() {
+    // A deliberately asymmetric arrival pattern: OA's energy differs
+    // between a trace and its time reversal (the future is unknown in one
+    // direction only), while OPT's does not. This distinguishes genuinely
+    // online behavior from offline peeking.
+    let instance = Instance::new(
+        1,
+        vec![job(0.0, 2.0, 1.0), job(1.0, 2.0, 2.0), job(0.0, 8.0, 1.0)],
+    )
+    .unwrap();
+    let reversed = reverse_time(&instance);
+    let p = Polynomial::new(2.0);
+    let opt_a = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+    let opt_b = schedule_energy(&optimal_schedule(&reversed).unwrap().schedule, &p);
+    assert!((opt_a - opt_b).abs() <= 1e-9 * opt_a);
+    let oa_a = schedule_energy(&oa_schedule(&instance).unwrap().schedule, &p);
+    let oa_b = schedule_energy(&oa_schedule(&reversed).unwrap().schedule, &p);
+    assert!(
+        (oa_a - oa_b).abs() > 1e-6,
+        "OA should notice the arrow of time here: {oa_a} vs {oa_b}"
+    );
+}

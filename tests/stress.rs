@@ -1,0 +1,104 @@
+//! Moderate-scale stress tests: larger instances than the unit tests use,
+//! exercising allocation paths, wrap-around packing across many intervals,
+//! and numeric stability of long accumulations. Sized to stay inside a few
+//! seconds in debug builds.
+
+use mpss::offline::certificate::verify_certificate;
+use mpss::prelude::*;
+
+#[test]
+fn sixty_jobs_eight_processors_across_families() {
+    for family in [Family::Uniform, Family::Bursty, Family::TightLoad] {
+        let instance = WorkloadSpec {
+            family,
+            n: 60,
+            m: 8,
+            horizon: 120,
+            seed: 99,
+        }
+        .generate();
+        let res = optimal_schedule(&instance).unwrap();
+        assert_feasible(&instance, &res.schedule, 1e-8);
+        verify_certificate(&instance, &res, 1e-7)
+            .unwrap_or_else(|e| panic!("{family:?}: certificate rejected: {e}"));
+        // Flow-computation budget (Theorem 1's polynomial bound).
+        assert!(res.flow_computations <= 60 * 61 / 2 + 60);
+        // Energy sandwich at scale.
+        let p = Polynomial::cube();
+        let opt = schedule_energy(&res.schedule, &p);
+        let lb = per_job_lower_bound(&instance, &p);
+        assert!(lb <= opt * (1.0 + 1e-6), "{family:?}: LB {lb} > OPT {opt}");
+    }
+}
+
+#[test]
+fn long_horizon_many_intervals() {
+    // 40 short jobs scattered over a long horizon: many intervals, sparse
+    // activity — stresses the interval bookkeeping rather than the flows.
+    let instance = WorkloadSpec {
+        family: Family::Poisson,
+        n: 40,
+        m: 2,
+        horizon: 400,
+        seed: 5,
+    }
+    .generate();
+    let res = optimal_schedule(&instance).unwrap();
+    assert_feasible(&instance, &res.schedule, 1e-8);
+    assert!(res.intervals.len() >= 20, "expected a long event partition");
+}
+
+#[test]
+fn online_algorithms_at_scale() {
+    let instance = WorkloadSpec {
+        family: Family::Bursty,
+        n: 50,
+        m: 4,
+        horizon: 100,
+        seed: 17,
+    }
+    .generate();
+    let p = Polynomial::new(2.0);
+    let e_opt = schedule_energy(&optimal_schedule(&instance).unwrap().schedule, &p);
+
+    let oa = oa_schedule(&instance).unwrap();
+    assert_feasible(&instance, &oa.schedule, 1e-6);
+    let r_oa = schedule_energy(&oa.schedule, &p) / e_opt;
+    assert!(
+        (1.0 - 1e-6..=p.oa_bound()).contains(&r_oa),
+        "OA ratio {r_oa}"
+    );
+
+    let avr = avr_schedule(&instance);
+    assert_feasible(&instance, &avr, 1e-8);
+    let r_avr = schedule_energy(&avr, &p) / e_opt;
+    assert!(
+        (1.0 - 1e-6..=p.avr_bound()).contains(&r_avr),
+        "AVR ratio {r_avr}"
+    );
+}
+
+#[test]
+fn exact_arithmetic_at_scale_does_not_overflow() {
+    // 30 integer jobs through the full rational pipeline: denominators stay
+    // bounded by interval-length lcms; this guards against accidental
+    // denominator blow-ups reintroduced by refactors.
+    let instance = WorkloadSpec {
+        family: Family::Uniform,
+        n: 30,
+        m: 3,
+        horizon: 60,
+        seed: 23,
+    }
+    .generate()
+    .to_rational();
+    let res = optimal_schedule(&instance).unwrap();
+    assert_feasible(&instance, &res.schedule, 0.0);
+    let energy = schedule_energy_exact(&res.schedule, 2);
+    assert!(energy.is_positive());
+    // Denominator sanity: printable without astronomical digits.
+    assert!(
+        energy.denom() < i128::MAX / 1_000_000,
+        "denominator blow-up: {energy}"
+    );
+}
