@@ -8,7 +8,10 @@
 //! bound printed beside the measurement) for the theorems. EXPERIMENTS.md
 //! records the outputs.
 
+use mpss_obs::json::Json;
+use mpss_obs::RecordingCollector;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 /// A fixed-width text table that prints like the tables in EXPERIMENTS.md.
@@ -62,6 +65,63 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// The table as JSON: an array of objects keyed by the column headers.
+    /// Cells that parse as numbers are emitted as numbers.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = Json::object();
+                    for (header, cell) in self.headers.iter().zip(row) {
+                        let value = match cell.parse::<f64>() {
+                            Ok(v) => Json::Num(v),
+                            Err(_) => Json::from(cell.as_str()),
+                        };
+                        obj.push(header, value);
+                    }
+                    obj
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Assembles an experiment's JSON document: its name, every measured table,
+/// and — when a [`RecordingCollector`] was attached to the runs — the full
+/// observability report (spans, counters, histograms) under `"observability"`.
+/// This is how `exp_*` binaries expose *work done* (augmenting paths, repair
+/// rounds, …) next to wall time in their machine-readable output.
+pub fn experiment_report(
+    name: &str,
+    tables: &[(&str, &Table)],
+    collector: Option<&RecordingCollector>,
+) -> Json {
+    let mut doc = Json::object();
+    doc.push("experiment", Json::from(name));
+    let mut tables_obj = Json::object();
+    for (title, table) in tables {
+        tables_obj.push(title, table.to_json());
+    }
+    doc.push("tables", tables_obj);
+    if let Some(rec) = collector {
+        doc.push("observability", rec.to_json());
+    }
+    doc
+}
+
+/// Writes [`experiment_report`] pretty-printed to `path`.
+pub fn write_experiment_report(
+    path: &Path,
+    name: &str,
+    tables: &[(&str, &Table)],
+    collector: Option<&RecordingCollector>,
+) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        experiment_report(name, tables, collector).render_pretty(),
+    )
 }
 
 /// Wall-clock time of `f`, in milliseconds, together with its result.
@@ -159,6 +219,35 @@ mod tests {
     fn table_rejects_wrong_arity() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn table_to_json_types_numbers_and_strings() {
+        let mut t = Table::new(&["engine", "ms"]);
+        t.row(vec!["dinic".into(), "1.5".into()]);
+        let json = t.to_json();
+        let Json::Arr(rows) = &json else {
+            panic!("expected array")
+        };
+        assert_eq!(rows[0].get("engine"), Some(&Json::from("dinic")));
+        assert_eq!(rows[0].get("ms"), Some(&Json::Num(1.5)));
+    }
+
+    #[test]
+    fn experiment_report_embeds_collector_output() {
+        use mpss_obs::Collector;
+        let mut t = Table::new(&["n", "ms"]);
+        t.row(vec!["10".into(), "0.5".into()]);
+        let mut rec = RecordingCollector::new();
+        rec.count("maxflow.dinic.augmenting_paths", 12);
+        let doc = experiment_report("ablation", &[("real", &t)], Some(&rec));
+        let text = doc.render_pretty();
+        assert!(text.contains("\"experiment\": \"ablation\""));
+        assert!(text.contains("\"real\""));
+        assert!(text.contains("\"maxflow.dinic.augmenting_paths\": 12"));
+        // Without a collector the observability section is absent.
+        let bare = experiment_report("ablation", &[("real", &t)], None);
+        assert!(bare.get("observability").is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Hopcroft–Karp and is effectively `O(E √V)`.
 
 use crate::network::{Edge, FlowNetwork, NodeId};
-use crate::MaxFlow;
+use crate::{EngineStats, MaxFlow};
 use mpss_numeric::FlowNum;
 use std::collections::VecDeque;
 
@@ -23,6 +23,7 @@ pub struct Dinic {
     level: Vec<u32>,
     it: Vec<u32>,
     queue: VecDeque<u32>,
+    stats: EngineStats,
 }
 
 const UNREACHED: u32 = u32::MAX;
@@ -36,6 +37,7 @@ impl Dinic {
     /// BFS from `s` on the residual graph, building the level graph.
     /// Returns `true` if `t` is reachable.
     fn bfs<T: FlowNum>(&mut self, net: &FlowNetwork<T>, s: NodeId, t: NodeId) -> bool {
+        self.stats.bfs_phases += 1;
         self.level.clear();
         self.level.resize(net.num_nodes(), UNREACHED);
         self.queue.clear();
@@ -103,6 +105,7 @@ impl<T: FlowNum> MaxFlow<T> for Dinic {
             self.it.clear();
             self.it.resize(net.num_nodes(), 0);
             while let Some(got) = self.dfs(net, s, t, None) {
+                self.stats.augmenting_paths += 1;
                 total += got;
             }
         }
@@ -111,6 +114,14 @@ impl<T: FlowNum> MaxFlow<T> for Dinic {
 
     fn name(&self) -> &'static str {
         "dinic"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
     }
 }
 

@@ -54,6 +54,37 @@ pub use push_relabel::PushRelabel;
 
 use mpss_numeric::FlowNum;
 
+/// Work counters of a max-flow engine, accumulated across
+/// [`MaxFlow::max_flow`] calls until [`MaxFlow::reset_stats`].
+///
+/// Wall time alone cannot separate "the algorithm did less work" from "the
+/// machine was faster"; these counters are the engine-level work measures the
+/// ablation experiments and run reports compare. Dinic fills the first two
+/// fields, push–relabel the last three; a field an engine never touches stays
+/// zero.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Dinic: level graphs built (BFS passes over the residual graph).
+    pub bfs_phases: u64,
+    /// Dinic: augmenting paths pushed inside blocking flows.
+    pub augmenting_paths: u64,
+    /// Push–relabel: push operations (saturating and not).
+    pub pushes: u64,
+    /// Push–relabel: relabel operations.
+    pub relabels: u64,
+    /// Push–relabel: gap-heuristic firings (a height level emptied and
+    /// everything above it was lifted past `n`).
+    pub gap_events: u64,
+}
+
+impl EngineStats {
+    /// Total primitive operations — a single scalar "work done" figure for
+    /// cross-engine tables.
+    pub fn total_ops(&self) -> u64 {
+        self.bfs_phases + self.augmenting_paths + self.pushes + self.relabels + self.gap_events
+    }
+}
+
 /// A maximum-flow engine over a [`FlowNetwork`].
 ///
 /// Engines mutate the network's flow values in place and return the value of
@@ -65,6 +96,16 @@ pub trait MaxFlow<T: FlowNum> {
 
     /// Name for logs and bench labels.
     fn name(&self) -> &'static str;
+
+    /// Work counters accumulated since construction or the last
+    /// [`reset_stats`](MaxFlow::reset_stats). The counters cost one integer
+    /// increment per primitive operation, so they are always on.
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+
+    /// Zeroes the work counters.
+    fn reset_stats(&mut self) {}
 }
 
 /// Convenience: run Dinic's algorithm on `net`.

@@ -8,7 +8,7 @@
 //! exact rationals.
 
 use crate::network::{FlowNetwork, NodeId};
-use crate::MaxFlow;
+use crate::{EngineStats, MaxFlow};
 use mpss_numeric::FlowNum;
 
 /// Highest-label push–relabel engine.
@@ -21,6 +21,7 @@ pub struct PushRelabel {
     height_count: Vec<u32>,
     cur_arc: Vec<u32>,
     in_bucket: Vec<bool>,
+    stats: EngineStats,
 }
 
 impl PushRelabel {
@@ -96,6 +97,7 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
             while excess[u].is_strictly_positive() {
                 if (self.cur_arc[u] as usize) >= net.adj[u].len() {
                     // Relabel.
+                    self.stats.relabels += 1;
                     let old_h = self.height[u] as usize;
                     let mut min_h = u32::MAX;
                     for &eid in &net.adj[u] {
@@ -114,6 +116,7 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
                     // Gap heuristic: nobody left at old_h ⇒ everything
                     // between old_h and n is unreachable from t.
                     if self.height_count[old_h] == 0 && old_h < n {
+                        self.stats.gap_events += 1;
                         for v in 0..n {
                             let hv = self.height[v] as usize;
                             if hv > old_h && hv <= n && v != s {
@@ -135,6 +138,7 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
                 let v = e.to as usize;
                 if e.residual.is_strictly_positive() && self.height[u] == self.height[v] + 1 {
                     // Push.
+                    self.stats.pushes += 1;
                     let delta = excess[u].min2(e.residual);
                     net.edges[eid].residual -= delta;
                     net.edges[eid ^ 1].residual += delta;
@@ -165,6 +169,14 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
 
     fn name(&self) -> &'static str {
         "push-relabel"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
     }
 }
 

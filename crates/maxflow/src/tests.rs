@@ -3,6 +3,7 @@
 
 use crate::validate::{cut_capacity, validate_flow};
 use crate::{max_flow_dinic, max_flow_push_relabel, FlowNetwork};
+use crate::{Dinic, EngineStats, MaxFlow, PushRelabel};
 use mpss_numeric::{FlowNum, Rational};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -100,6 +101,57 @@ fn layered_scheduling_shape_fractional_caps() {
     let f = max_flow_dinic(&mut net, s, t);
     assert_eq!(f, Rational::new(9, 2));
     validate_flow(&net, s, t, 0.0).expect("exact conservation");
+}
+
+#[test]
+fn dinic_stats_count_work_and_reset() {
+    let mut net: FlowNetwork<f64> = random_network(10, 0.3, 42);
+    let mut engine = Dinic::new();
+    let f = engine.max_flow(&mut net, 0, 9);
+    let stats = MaxFlow::<f64>::stats(&engine);
+    // At least one BFS always runs (it discovers unreachability), and a
+    // positive flow needs at least one augmenting path.
+    assert!(stats.bfs_phases >= 1);
+    if f > 0.0 {
+        assert!(stats.augmenting_paths >= 1);
+    }
+    // Dinic never touches the push–relabel counters.
+    assert_eq!(stats.pushes, 0);
+    assert_eq!(stats.relabels, 0);
+    assert_eq!(stats.gap_events, 0);
+    assert_eq!(stats.total_ops(), stats.bfs_phases + stats.augmenting_paths);
+
+    MaxFlow::<f64>::reset_stats(&mut engine);
+    assert_eq!(MaxFlow::<f64>::stats(&engine), EngineStats::default());
+}
+
+#[test]
+fn push_relabel_stats_count_work_and_reset() {
+    let mut net: FlowNetwork<f64> = random_network(10, 0.3, 42);
+    let mut engine = PushRelabel::new();
+    let f = engine.max_flow(&mut net, 0, 9);
+    let stats = MaxFlow::<f64>::stats(&engine);
+    if f > 0.0 {
+        assert!(stats.pushes >= 1, "positive flow requires pushes");
+    }
+    // Push–relabel never touches the Dinic counters.
+    assert_eq!(stats.bfs_phases, 0);
+    assert_eq!(stats.augmenting_paths, 0);
+
+    MaxFlow::<f64>::reset_stats(&mut engine);
+    assert_eq!(MaxFlow::<f64>::stats(&engine), EngineStats::default());
+}
+
+#[test]
+fn stats_accumulate_across_runs_until_reset() {
+    let mut net: FlowNetwork<f64> = random_network(8, 0.4, 7);
+    let mut engine = Dinic::new();
+    engine.max_flow(&mut net.clone(), 0, 7);
+    let first = MaxFlow::<f64>::stats(&engine);
+    engine.max_flow(&mut net, 0, 7);
+    let second = MaxFlow::<f64>::stats(&engine);
+    assert_eq!(second.bfs_phases, 2 * first.bfs_phases);
+    assert_eq!(second.augmenting_paths, 2 * first.augmenting_paths);
 }
 
 proptest! {

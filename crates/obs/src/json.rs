@@ -1,0 +1,244 @@
+//! A minimal JSON document builder and emitter.
+//!
+//! The build environment is offline, so run reports cannot lean on
+//! `serde_json`; this module is the few dozen lines of JSON the workspace
+//! actually needs — building a document tree and rendering it with correct
+//! string escaping and round-trippable numbers. No parsing: reports are
+//! write-only from this side (tests parse them with whatever JSON reader the
+//! consuming environment has).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point number. Non-finite values render as `null` (JSON has
+    /// no NaN/∞).
+    Num(f64),
+    /// An unsigned integer, kept separate from [`Json::Num`] so counters
+    /// render without a decimal point or precision loss.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved, so reports are deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be extended with [`push`](Json::push).
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an [`Json::Obj`].
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a key in an object (test convenience; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with 2-space indentation, one field per line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is shortest round-trip formatting, always a
+                    // valid JSON number (no exponent-only forms like `1e3`
+                    // would still be valid anyway).
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (key, value) = &fields[i];
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+/// Shared bracketed-sequence writer for arrays and objects.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+/// Writes `s` as a JSON string literal (quotes included).
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure_renders_compact_and_pretty() {
+        let mut obj = Json::object();
+        obj.push("xs", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        obj.push("empty", Json::object());
+        assert_eq!(obj.render(), r#"{"xs":[1,2],"empty":{}}"#);
+        let pretty = obj.render_pretty();
+        assert!(pretty.contains("\"xs\": [\n    1,\n    2\n  ]"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let mut obj = Json::object();
+        obj.push("z", Json::UInt(1));
+        obj.push("a", Json::UInt(2));
+        assert_eq!(obj.render(), r#"{"z":1,"a":2}"#);
+        assert_eq!(obj.get("a"), Some(&Json::UInt(2)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn numbers_round_trip_textually() {
+        // Shortest round-trip formatting: reading the text back yields the
+        // identical double.
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123456.789] {
+            let text = Json::Num(x).render();
+            assert_eq!(text.parse::<f64>().unwrap(), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_on_array_panics() {
+        Json::Arr(vec![]).push("k", Json::Null);
+    }
+}

@@ -1,0 +1,262 @@
+//! The recording collector and its JSON run report.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::Collector;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// One completed span: a named, timed region with nested children.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name, as passed to [`Collector::span_start`].
+    pub name: &'static str,
+    /// Wall-clock duration, monotonic clock.
+    pub duration_ns: u64,
+    /// Spans opened and closed while this one was open, in order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.duration_ns as f64 / 1e6
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("name", Json::from(self.name));
+        obj.push("ms", Json::Num(self.millis()));
+        if !self.children.is_empty() {
+            obj.push(
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            );
+        }
+        obj
+    }
+}
+
+/// A [`Collector`] that records everything: the span tree (with
+/// monotonic-clock durations), counters, and histograms. Every completed
+/// span's duration is additionally folded into the histogram
+/// `span.<name>.ms`, so repeated spans (one per phase, one per arrival)
+/// aggregate into latency distributions for free.
+#[derive(Debug, Default)]
+pub struct RecordingCollector {
+    roots: Vec<SpanNode>,
+    open: Vec<(SpanNode, Instant)>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Collector for RecordingCollector {
+    fn span_start(&mut self, name: &'static str) {
+        let node = SpanNode {
+            name,
+            duration_ns: 0,
+            children: Vec::new(),
+        };
+        self.open.push((node, Instant::now()));
+    }
+
+    fn span_end(&mut self, name: &'static str) {
+        let Some((mut node, started)) = self.open.pop() else {
+            debug_assert!(false, "span_end(\"{name}\") without a matching span_start");
+            return;
+        };
+        debug_assert_eq!(
+            node.name, name,
+            "span_end name does not match the innermost open span"
+        );
+        node.duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.histograms
+            .entry(format!("span.{}.ms", node.name))
+            .or_default()
+            .record(node.millis());
+        match self.open.last_mut() {
+            Some((parent, _)) => parent.children.push(node),
+            None => self.roots.push(node),
+        }
+    }
+
+    fn count(&mut self, counter: &'static str, by: u64) {
+        *self.counters.entry(counter).or_insert(0) += by;
+    }
+
+    fn observe(&mut self, histogram: &'static str, value: f64) {
+        self.histograms
+            .entry(histogram.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl RecordingCollector {
+    /// Creates an empty recording collector.
+    pub fn new() -> RecordingCollector {
+        RecordingCollector::default()
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// A histogram by name, if any value was observed under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Completed top-level spans, in completion order.
+    pub fn spans(&self) -> &[SpanNode] {
+        &self.roots
+    }
+
+    /// Closes any spans left open (e.g. by an error return unwinding past
+    /// their `span_end`), so a report can still be produced.
+    pub fn close_open_spans(&mut self) {
+        while let Some((node, _)) = self.open.last() {
+            let name = node.name;
+            self.span_end(name);
+        }
+    }
+
+    /// The run report as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "spans": [ { "name": "...", "ms": 1.5, "children": [...] } ],
+    ///   "counters": { "offline.maxflow.invocations": 12 },
+    ///   "histograms": { "span.oa.replan.ms": { "count": 3, "mean": ... } }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (name, value) in &self.counters {
+            counters.push(name, Json::UInt(*value));
+        }
+        let mut histograms = Json::object();
+        for (name, hist) in &self.histograms {
+            let s = hist.summary();
+            let mut h = Json::object();
+            h.push("count", Json::UInt(s.count));
+            h.push("sum", Json::Num(s.sum));
+            h.push("mean", Json::Num(s.mean));
+            h.push("min", Json::Num(s.min));
+            h.push("max", Json::Num(s.max));
+            h.push("p50", Json::Num(s.p50));
+            h.push("p90", Json::Num(s.p90));
+            h.push("p99", Json::Num(s.p99));
+            histograms.push(name, h);
+        }
+        let mut report = Json::object();
+        report.push(
+            "spans",
+            Json::Arr(self.roots.iter().map(SpanNode::to_json).collect()),
+        );
+        report.push("counters", counters);
+        report.push("histograms", histograms);
+        report
+    }
+
+    /// Writes the pretty-printed run report to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut rec = RecordingCollector::new();
+        rec.count("a", 1);
+        rec.count("a", 2);
+        rec.count("b", 5);
+        assert_eq!(rec.counter("a"), 3);
+        assert_eq!(rec.counter("b"), 5);
+        assert_eq!(rec.counter("missing"), 0);
+        assert_eq!(rec.counters().count(), 2);
+    }
+
+    #[test]
+    fn spans_nest_and_feed_duration_histograms() {
+        let mut rec = RecordingCollector::new();
+        rec.span_start("outer");
+        rec.span_start("phase");
+        rec.span_end("phase");
+        rec.span_start("phase");
+        rec.span_end("phase");
+        rec.span_end("outer");
+        assert_eq!(rec.spans().len(), 1);
+        let outer = &rec.spans()[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.children.len(), 2);
+        assert!(outer.children.iter().all(|c| c.name == "phase"));
+        // Two "phase" spans aggregated into one latency histogram.
+        assert_eq!(rec.histogram("span.phase.ms").unwrap().count(), 2);
+        assert_eq!(rec.histogram("span.outer.ms").unwrap().count(), 1);
+        // Durations are monotonic-clock and non-negative.
+        assert!(outer.millis() >= 0.0);
+    }
+
+    #[test]
+    fn close_open_spans_recovers_from_early_exit() {
+        let mut rec = RecordingCollector::new();
+        rec.span_start("a");
+        rec.span_start("b");
+        // Simulated error return: nobody called span_end.
+        rec.close_open_spans();
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "a");
+        assert_eq!(rec.spans()[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn report_json_contains_all_three_sections() {
+        let mut rec = RecordingCollector::new();
+        rec.span_start("run");
+        rec.count("events", 7);
+        rec.observe("latency", 1.0);
+        rec.observe("latency", 3.0);
+        rec.span_end("run");
+        let json = rec.to_json();
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get("events")),
+            Some(&crate::json::Json::UInt(7))
+        );
+        let hist = json
+            .get("histograms")
+            .and_then(|h| h.get("latency"))
+            .unwrap();
+        assert_eq!(hist.get("count"), Some(&crate::json::Json::UInt(2)));
+        assert_eq!(hist.get("sum"), Some(&crate::json::Json::Num(4.0)));
+        let text = json.render_pretty();
+        assert!(text.contains("\"spans\""));
+        assert!(text.contains("\"name\": \"run\""));
+    }
+
+    #[test]
+    fn write_json_produces_a_file() {
+        let mut rec = RecordingCollector::new();
+        rec.count("x", 1);
+        let path = std::env::temp_dir().join("mpss-obs-report-test.json");
+        rec.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

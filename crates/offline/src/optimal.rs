@@ -29,6 +29,7 @@ use crate::flow_model::FlowModel;
 use mpss_core::{Instance, Intervals, JobId, ModelError, Schedule, Segment};
 use mpss_maxflow::{Dinic, MaxFlow, PushRelabel};
 use mpss_numeric::FlowNum;
+use mpss_obs::{Collector, NoopCollector};
 
 /// Which max-flow engine the offline algorithm runs internally.
 ///
@@ -149,6 +150,33 @@ pub fn optimal_schedule_with<T: FlowNum>(
     instance: &Instance<T>,
     opts: &OfflineOptions,
 ) -> Result<OptimalResult<T>, ModelError> {
+    optimal_schedule_observed(instance, opts, &mut NoopCollector)
+}
+
+/// [`optimal_schedule_with`] with an instrumentation [`Collector`].
+///
+/// Emits, per run:
+///
+/// * span `offline.optimal_schedule` wrapping the whole computation, with a
+///   child span `offline.phase` per accepted phase (so a recording collector
+///   aggregates the per-phase latency into `span.offline.phase.ms`);
+/// * counters `offline.phases`, `offline.repair_rounds` (max-flow rounds,
+///   accepted and deficient), `offline.jobs_removed` (Lemma 4 removals),
+///   `offline.maxflow.invocations`, and the engine work counters
+///   (`maxflow.dinic.*` / `maxflow.pr.*` from
+///   [`EngineStats`](mpss_maxflow::EngineStats));
+/// * histograms `offline.flow_vs_target` (computed flow over the saturation
+///   target `F_G`, one observation per round — 1.0 means the conjectured
+///   speed was accepted) and `offline.jobs_removed_per_phase`.
+///
+/// Passing [`NoopCollector`] makes this identical to
+/// [`optimal_schedule_with`]: every instrumentation point inlines to nothing.
+pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    opts: &OfflineOptions,
+    obs: &mut C,
+) -> Result<OptimalResult<T>, ModelError> {
+    obs.span_start("offline.optimal_schedule");
     let intervals = Intervals::from_instance(instance);
     let nj = intervals.len();
     let mut used = vec![0usize; nj];
@@ -164,9 +192,11 @@ pub fn optimal_schedule_with<T: FlowNum>(
         let phase_index = phases.len() + 1;
         let mut cur = remaining.clone();
         let mut rounds = 0usize;
+        obs.span_start("offline.phase");
 
         let (m_j, speed, fm) = loop {
             rounds += 1;
+            obs.count("offline.repair_rounds", 1);
             // Lemma 3 reservation.
             let mut m_j = vec![0usize; nj];
             for (j, mj) in m_j.iter_mut().enumerate() {
@@ -192,6 +222,9 @@ pub fn optimal_schedule_with<T: FlowNum>(
                 }
             }
             if !p_total.is_strictly_positive() {
+                obs.span_end("offline.phase");
+                flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
+                obs.span_end("offline.optimal_schedule");
                 return Err(ModelError::NoReservableTime);
             }
             let speed = w_total / p_total;
@@ -202,6 +235,13 @@ pub fn optimal_schedule_with<T: FlowNum>(
                 FlowEngine::PushRelabel => push_relabel.max_flow(&mut fm.net, fm.source, fm.sink),
             };
             flow_computations += 1;
+            obs.count("offline.maxflow.invocations", 1);
+            if obs.enabled() {
+                let target = fm.target.to_f64();
+                if target > 0.0 {
+                    obs.observe("offline.flow_vs_target", flow.to_f64() / target);
+                }
+            }
 
             if T::close(flow, fm.target, fm.target, opts.eps) {
                 if opts.record_trace {
@@ -219,6 +259,7 @@ pub fn optimal_schedule_with<T: FlowNum>(
 
             // Deficient round: drop the job of Lemma 4's removal rule.
             let removed = select_removal(&fm, &intervals);
+            obs.count("offline.jobs_removed", 1);
             if opts.record_trace {
                 trace.push(RoundTrace {
                     phase: phase_index,
@@ -239,6 +280,9 @@ pub fn optimal_schedule_with<T: FlowNum>(
                 "candidate set exhausted without saturation"
             );
             if cur.is_empty() {
+                obs.span_end("offline.phase");
+                flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
+                obs.span_end("offline.optimal_schedule");
                 return Err(ModelError::NoReservableTime);
             }
         };
@@ -290,8 +334,13 @@ pub fn optimal_schedule_with<T: FlowNum>(
             procs: m_j,
             rounds,
         });
+        obs.count("offline.phases", 1);
+        obs.observe("offline.jobs_removed_per_phase", (rounds - 1) as f64);
+        obs.span_end("offline.phase");
     }
 
+    flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
+    obs.span_end("offline.optimal_schedule");
     schedule.normalize();
     Ok(OptimalResult {
         schedule,
@@ -300,6 +349,23 @@ pub fn optimal_schedule_with<T: FlowNum>(
         flow_computations,
         trace,
     })
+}
+
+/// Copies the engines' accumulated work counters
+/// ([`EngineStats`](mpss_maxflow::EngineStats)) into the collector, so run
+/// reports show algorithmic work — not just wall time. The engines are
+/// created fresh per call, so their stats are exactly this run's work.
+fn flush_engine_stats<T: FlowNum, C: Collector>(obs: &mut C, dinic: &Dinic, pr: &PushRelabel) {
+    if !obs.enabled() {
+        return;
+    }
+    let d = MaxFlow::<T>::stats(dinic);
+    obs.count("maxflow.dinic.bfs_phases", d.bfs_phases);
+    obs.count("maxflow.dinic.augmenting_paths", d.augmenting_paths);
+    let p = MaxFlow::<T>::stats(pr);
+    obs.count("maxflow.pr.pushes", p.pushes);
+    obs.count("maxflow.pr.relabels", p.relabels);
+    obs.count("maxflow.pr.gap_events", p.gap_events);
 }
 
 /// Lemma 4's removal rule: find the interval vertex with the largest sink
@@ -539,6 +605,56 @@ mod tests {
         assert!(res.schedule.is_empty());
         assert!(res.phases.is_empty());
         assert_eq!(res.flow_computations, 0);
+    }
+
+    #[test]
+    fn observed_run_reports_phases_rounds_and_engine_work() {
+        use mpss_obs::RecordingCollector;
+        let ins = Instance::new(1, vec![job(0.0, 1.0, 3.0), job(0.0, 2.0, 1.0)]).unwrap();
+        let mut rec = RecordingCollector::new();
+        let res = optimal_schedule_observed(&ins, &OfflineOptions::default(), &mut rec).unwrap();
+
+        assert_eq!(rec.counter("offline.phases"), res.phases.len() as u64);
+        assert_eq!(
+            rec.counter("offline.maxflow.invocations"),
+            res.flow_computations as u64
+        );
+        assert_eq!(
+            rec.counter("offline.repair_rounds"),
+            res.flow_computations as u64
+        );
+        // Two phases here, and phase 1 removed the relaxed job once.
+        assert_eq!(rec.counter("offline.jobs_removed"), 1);
+        // Dinic (the default engine) did real work; push–relabel none.
+        assert!(rec.counter("maxflow.dinic.bfs_phases") >= 1);
+        assert!(rec.counter("maxflow.dinic.augmenting_paths") >= 1);
+        assert_eq!(rec.counter("maxflow.pr.pushes"), 0);
+        // Span tree: one root per phase, plus the wrapping span.
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "offline.optimal_schedule");
+        assert_eq!(rec.spans()[0].children.len(), res.phases.len());
+        // Flow-vs-target ratio was observed once per round, each in (0, 1].
+        let h = rec.histogram("offline.flow_vs_target").unwrap();
+        assert_eq!(h.count(), res.flow_computations as u64);
+        let s = h.summary();
+        assert!(s.min > 0.0 && s.max <= 1.0 + 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn observed_and_unobserved_runs_agree() {
+        use mpss_obs::RecordingCollector;
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 1.0, 4.0), job(0.0, 4.0, 2.0), job(2.0, 6.0, 1.0)],
+        )
+        .unwrap();
+        let plain = optimal_schedule(&ins).unwrap();
+        let mut rec = RecordingCollector::new();
+        let observed =
+            optimal_schedule_observed(&ins, &OfflineOptions::default(), &mut rec).unwrap();
+        assert_eq!(plain.flow_computations, observed.flow_computations);
+        assert_eq!(plain.phases.len(), observed.phases.len());
+        assert_eq!(plain.schedule.segments, observed.schedule.segments);
     }
 
     #[test]

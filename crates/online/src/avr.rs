@@ -22,15 +22,28 @@
 
 use mpss_core::{Instance, Intervals, Schedule, Segment};
 use mpss_numeric::FlowNum;
+use mpss_obs::{Collector, NoopCollector};
 
 /// Runs AVR(m) on the event-interval partition. Works for either numeric
 /// mode; decisions are fully online (densities of active jobs only).
 pub fn avr_schedule<T: FlowNum>(instance: &Instance<T>) -> Schedule<T> {
+    avr_schedule_observed(instance, &mut NoopCollector)
+}
+
+/// [`avr_schedule`] with an instrumentation [`Collector`].
+///
+/// Counters: `avr.intervals` (event intervals with at least one active job)
+/// and `avr.peeled` (over-dense jobs peeled onto dedicated processors across
+/// all intervals — the Fig. 3 step 1 work).
+pub fn avr_schedule_observed<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    obs: &mut C,
+) -> Schedule<T> {
     let intervals = Intervals::from_instance(instance);
     let mut schedule = Schedule::new(instance.m);
     for j in 0..intervals.len() {
         let (start, end) = intervals.bounds(j);
-        schedule_interval(instance, &mut schedule, start, end);
+        schedule_interval(instance, &mut schedule, start, end, obs);
     }
     schedule.normalize();
     schedule
@@ -55,7 +68,7 @@ pub fn avr_schedule_unit(instance: &Instance<f64>) -> Schedule<f64> {
     let t_max = instance.max_deadline().unwrap();
     let mut t = t0;
     while t < t_max {
-        schedule_interval(instance, &mut schedule, t, t + 1.0);
+        schedule_interval(instance, &mut schedule, t, t + 1.0, &mut NoopCollector);
         t += 1.0;
     }
     schedule.normalize();
@@ -64,11 +77,12 @@ pub fn avr_schedule_unit(instance: &Instance<f64>) -> Schedule<f64> {
 
 /// The per-interval core of Fig. 3: peel over-dense jobs, then wrap-around
 /// the rest at the average speed.
-fn schedule_interval<T: FlowNum>(
+fn schedule_interval<T: FlowNum, C: Collector>(
     instance: &Instance<T>,
     schedule: &mut Schedule<T>,
     start: T,
     end: T,
+    obs: &mut C,
 ) {
     let len = end - start;
     // Active jobs with their densities, sorted densest-first.
@@ -82,6 +96,7 @@ fn schedule_interval<T: FlowNum>(
     if active.is_empty() {
         return;
     }
+    obs.count("avr.intervals", 1);
     active.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("comparable densities")
@@ -102,6 +117,7 @@ fn schedule_interval<T: FlowNum>(
         if !(avg < d) {
             break; // δ_max ≤ Δ'/|M|: the rest shares uniformly
         }
+        obs.count("avr.peeled", 1);
         schedule.push(Segment {
             job: k,
             proc: next_proc,
@@ -283,6 +299,22 @@ mod tests {
                 "interval {j}: Σ speeds {total_speed} ≠ Δ_t {total_density}"
             );
         }
+    }
+
+    #[test]
+    fn observed_run_counts_intervals_and_peels() {
+        use mpss_obs::RecordingCollector;
+        // Densities 4, 1, 1 on m = 2: exactly one peel in one interval.
+        let ins = Instance::new(
+            2,
+            vec![job(0.0, 1.0, 4.0), job(0.0, 1.0, 1.0), job(0.0, 1.0, 1.0)],
+        )
+        .unwrap();
+        let mut rec = RecordingCollector::new();
+        let s = avr_schedule_observed(&ins, &mut rec);
+        assert_eq!(rec.counter("avr.intervals"), 1);
+        assert_eq!(rec.counter("avr.peeled"), 1);
+        assert_eq!(s.segments, avr_schedule(&ins).segments);
     }
 
     #[test]

@@ -34,12 +34,12 @@
 //!
 //! let p = Polynomial::new(2.0);
 //! let oa = oa_schedule(&instance).unwrap();
-//! let report = competitive_report(&instance, &oa.schedule, &p, p.oa_bound());
-//! assert!(report.ratio > 1.0);          // OA pays for not knowing the future
+//! let report = competitive_report(&instance, &oa.schedule, &p, p.oa_bound()).unwrap();
+//! assert!(report.ratio.unwrap() > 1.0); // OA pays for not knowing the future
 //! assert!(report.within_bound());       // but never more than α^α (Theorem 2)
 //!
 //! let avr = avr_schedule(&instance);
-//! let avr_report = competitive_report(&instance, &avr, &p, p.avr_bound());
+//! let avr_report = competitive_report(&instance, &avr, &p, p.avr_bound()).unwrap();
 //! assert!(avr_report.within_bound());   // Theorem 3
 //!
 //! // The same algorithm as a live session:
@@ -65,11 +65,13 @@ pub mod oa;
 pub mod potential;
 pub mod session;
 
-pub use avr::{avr_schedule, avr_schedule_unit};
+pub use avr::{avr_schedule, avr_schedule_observed, avr_schedule_unit};
 pub use avr_analysis::{avr_proof_terms, AvrProofTerms};
 pub use avr_session::AvrSession;
 pub use bkp::bkp_schedule;
-pub use driver::{competitive_report, RatioReport};
-pub use oa::{oa_schedule, oa_schedule_with_plans};
+pub use driver::{
+    competitive_report, competitive_report_observed, record_energy_trajectory, RatioReport,
+};
+pub use oa::{oa_schedule, oa_schedule_observed, oa_schedule_with_plans};
 pub use potential::{audit_oa_potential, PotentialAudit};
 pub use session::{OaSession, SessionError};

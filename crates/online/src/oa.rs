@@ -15,7 +15,8 @@
 
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule};
 use mpss_numeric::FlowNum;
-use mpss_offline::optimal::{optimal_schedule, OptimalResult};
+use mpss_obs::{Collector, NoopCollector};
+use mpss_offline::optimal::{optimal_schedule_observed, OfflineOptions, OptimalResult};
 
 /// Outcome of an OA(m) run.
 #[derive(Clone, Debug)]
@@ -43,7 +44,23 @@ pub struct PlanRecord<T: FlowNum = f64> {
 /// Works in either numeric mode — in exact rationals the whole online run,
 /// including every replanned optimal schedule, is bit-exact.
 pub fn oa_schedule<T: FlowNum>(instance: &Instance<T>) -> Result<OaOutcome<T>, ModelError> {
-    let (outcome, _) = oa_run(instance, false)?;
+    let (outcome, _) = oa_run(instance, false, &mut NoopCollector)?;
+    Ok(outcome)
+}
+
+/// [`oa_schedule`] with an instrumentation [`Collector`].
+///
+/// Every arrival that triggers a recomputation is wrapped in a span
+/// `oa.replan` — a recording collector therefore aggregates the per-arrival
+/// replanning latency into the histogram `span.oa.replan.ms`. The nested
+/// offline run reports through the same collector (its spans appear as
+/// children of `oa.replan`). Counters: `oa.replans` (recomputations actually
+/// performed) and `oa.maxflow.invocations`.
+pub fn oa_schedule_observed<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    obs: &mut C,
+) -> Result<OaOutcome<T>, ModelError> {
+    let (outcome, _) = oa_run(instance, false, obs)?;
     Ok(outcome)
 }
 
@@ -53,12 +70,13 @@ pub fn oa_schedule<T: FlowNum>(instance: &Instance<T>) -> Result<OaOutcome<T>, M
 pub fn oa_schedule_with_plans<T: FlowNum>(
     instance: &Instance<T>,
 ) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
-    oa_run(instance, true)
+    oa_run(instance, true, &mut NoopCollector)
 }
 
-fn oa_run<T: FlowNum>(
+fn oa_run<T: FlowNum, C: Collector>(
     instance: &Instance<T>,
     record: bool,
+    obs: &mut C,
 ) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
     const EPS: f64 = 1e-9;
     let n = instance.n();
@@ -92,9 +110,21 @@ fn oa_run<T: FlowNum>(
         if sub_jobs.is_empty() {
             continue;
         }
-        let sub = Instance::new(instance.m, sub_jobs)?;
-        let plan = optimal_schedule(&sub)?;
+        obs.span_start("oa.replan");
+        let plan = (|| {
+            let sub = Instance::new(instance.m, sub_jobs)?;
+            optimal_schedule_observed(&sub, &OfflineOptions::default(), obs)
+        })();
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                obs.span_end("oa.replan");
+                return Err(e);
+            }
+        };
         flow_computations += plan.flow_computations;
+        obs.count("oa.replans", 1);
+        obs.count("oa.maxflow.invocations", plan.flow_computations as u64);
 
         // Follow the plan until the next arrival (or to completion).
         let until = events.get(ei + 1).copied().unwrap_or(horizon);
@@ -104,6 +134,7 @@ fn oa_run<T: FlowNum>(
             remaining[orig] -= seg.work();
             schedule.push(mpss_core::Segment { job: orig, ..*seg });
         }
+        obs.span_end("oa.replan");
         if record {
             plans.push(PlanRecord {
                 time: t,
@@ -299,5 +330,35 @@ mod tests {
         let oa = oa_schedule(&ins).unwrap();
         assert!(oa.schedule.is_empty());
         assert_eq!(oa.replans, 0);
+    }
+
+    #[test]
+    fn observed_run_reports_replans_and_latency_histogram() {
+        use mpss_obs::RecordingCollector;
+        let ins = Instance::new(
+            1,
+            vec![job(0.0, 2.0, 1.0), job(1.0, 3.0, 2.0), job(2.5, 4.0, 1.0)],
+        )
+        .unwrap();
+        let mut rec = RecordingCollector::new();
+        let oa = oa_schedule_observed(&ins, &mut rec).unwrap();
+        // Three distinct release times, all with live work ⇒ 3 recomputations.
+        assert_eq!(rec.counter("oa.replans"), oa.replans as u64);
+        assert_eq!(
+            rec.counter("oa.maxflow.invocations"),
+            oa.flow_computations as u64
+        );
+        // One root span per arrival, each wrapping a nested offline run.
+        assert_eq!(rec.spans().len(), oa.replans);
+        assert!(rec.spans().iter().all(|s| s.name == "oa.replan"
+            && s.children
+                .iter()
+                .any(|c| c.name == "offline.optimal_schedule")));
+        // The per-arrival latency histogram has one sample per replan.
+        let lat = rec.histogram("span.oa.replan.ms").unwrap();
+        assert_eq!(lat.count(), oa.replans as u64);
+        // Observed and unobserved runs produce the same schedule.
+        let plain = oa_schedule(&ins).unwrap();
+        assert_eq!(plain.schedule.segments, oa.schedule.segments);
     }
 }

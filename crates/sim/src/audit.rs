@@ -126,6 +126,69 @@ mod tests {
     }
 
     #[test]
+    fn tolerance_boundary_start_just_before_release_is_accepted() {
+        // The audit allows float dust: start = release − ε for ε below the
+        // relative tolerance (1e-9 · max(|release|, 1)) must pass…
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 2.0 - 1e-12,
+            end: 4.0,
+            speed: 0.5,
+        });
+        assert!(audit_online_causality(&instance(), &s).is_ok());
+
+        // …while an ε above it is a real violation.
+        let mut s = Schedule::new(1);
+        s.push(Segment {
+            job: 0,
+            proc: 0,
+            start: 2.0 - 1e-6,
+            end: 4.0,
+            speed: 0.5,
+        });
+        let errs = audit_online_causality(&instance(), &s).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(
+            errs[0],
+            CausalityViolation::RunsBeforeRelease { job: 0, release, .. } if release == 2.0
+        ));
+    }
+
+    #[test]
+    fn all_early_segments_are_reported() {
+        let ins = Instance::new(2, vec![job(2.0, 5.0, 1.0), job(3.0, 6.0, 1.0)]).unwrap();
+        let mut s = Schedule::new(2);
+        for (k, start) in [(0usize, 0.0), (1usize, 1.0)] {
+            s.push(Segment {
+                job: k,
+                proc: k,
+                start,
+                end: start + 1.0,
+                speed: 1.0,
+            });
+        }
+        let errs = audit_online_causality(&ins, &s).unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn violations_display_both_variants() {
+        let early = CausalityViolation::RunsBeforeRelease {
+            job: 3,
+            start: 1.0,
+            release: 2.0,
+        };
+        assert_eq!(early.to_string(), "job 3 starts at 1 before its release 2");
+        let rewrite = CausalityViolation::RetroactiveChange { time: 4.5 };
+        assert_eq!(
+            rewrite.to_string(),
+            "commitment before t = 4.5 was altered afterwards"
+        );
+    }
+
+    #[test]
     fn commit_monotonicity_accepts_appends() {
         let mut s1 = Schedule::new(1);
         s1.push(Segment {

@@ -15,12 +15,27 @@ pub struct SpeedProfile {
 }
 
 impl SpeedProfile {
-    /// Value at time `t` (0 outside the profile).
+    /// Value at time `t`: 0 strictly outside `[times[0], times.last()]`, the
+    /// piece value inside, and — so that the profile is well-defined on its
+    /// whole closed support — the *last* piece's value at the final
+    /// breakpoint itself. A NaN query returns 0 rather than panicking;
+    /// breakpoints are finite by construction (they come from schedule
+    /// segment endpoints, which the validator requires finite).
     pub fn at(&self, t: f64) -> f64 {
-        if self.times.is_empty() || t < self.times[0] || t >= *self.times.last().unwrap() {
+        if t.is_nan() || self.times.is_empty() || t < self.times[0] {
             return 0.0;
         }
-        let idx = match self.times.binary_search_by(|x| x.partial_cmp(&t).unwrap()) {
+        let last = *self.times.last().unwrap();
+        if t > last {
+            return 0.0;
+        }
+        if t == last {
+            return self.values.last().copied().unwrap_or(0.0);
+        }
+        // total_cmp distinguishes -0.0 < 0.0; normalize so a -0.0 query
+        // cannot land "before" a 0.0 breakpoint it is numerically equal to.
+        let t = if t == 0.0 { 0.0 } else { t };
+        let idx = match self.times.binary_search_by(|x| x.total_cmp(&t)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -141,6 +156,30 @@ mod tests {
         assert_eq!(p.at(3.5), 0.0);
         // Integral = total work = 1·2 + 2·2 = 6.
         assert!((p.integral() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_is_total_on_edge_inputs() {
+        let p = speed_profile(&schedule());
+        // NaN never panics, and reads as "outside the profile".
+        assert_eq!(p.at(f64::NAN), 0.0);
+        // Before the first breakpoint.
+        assert_eq!(p.at(-1.0), 0.0);
+        // Exactly on an interior breakpoint: the piece starting there.
+        assert_eq!(p.at(1.0), 3.0);
+        // The closed right end takes the final piece's value...
+        assert_eq!(p.at(3.0), 2.0);
+        // ...and anything past it is outside.
+        assert_eq!(p.at(3.0 + 1e-12), 0.0);
+        // Negative zero equals zero (the first breakpoint).
+        assert_eq!(p.at(-0.0), p.at(0.0));
+        // An empty profile is zero everywhere, NaN included.
+        let empty = SpeedProfile {
+            times: vec![],
+            values: vec![],
+        };
+        assert_eq!(empty.at(0.0), 0.0);
+        assert_eq!(empty.at(f64::NAN), 0.0);
     }
 
     #[test]

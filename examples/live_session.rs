@@ -64,10 +64,10 @@ fn main() {
     );
 
     // And the theorem holds, live:
-    let report = competitive_report(&instance, &schedule, &p, p.oa_bound());
+    let report = competitive_report(&instance, &schedule, &p, p.oa_bound()).unwrap();
     println!(
         "OA ratio vs offline OPT: {:.4} (α^α bound = {:.0}) — within: {}",
-        report.ratio,
+        report.ratio_or_inf(),
         report.bound,
         report.within_bound()
     );

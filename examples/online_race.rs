@@ -69,10 +69,13 @@ fn main() {
     }
 
     let p = Polynomial::new(2.0);
-    let report = competitive_report(&instance, &outcome.schedule, &p, p.oa_bound());
+    let report = competitive_report(&instance, &outcome.schedule, &p, p.oa_bound()).unwrap();
     println!(
         "\nenergy: OA = {:.3}, OPT = {:.3}, ratio = {:.4} (α^α bound = {:.1})",
-        report.online_energy, report.opt_energy, report.ratio, report.bound
+        report.online_energy,
+        report.opt_energy,
+        report.ratio_or_inf(),
+        report.bound
     );
     assert!(report.within_bound());
 }

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! mpss-cli generate --family uniform --n 20 --m 4 [--horizon 48] [--seed 1] -o trace.json
-//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--save-schedule out.json]
-//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3]
+//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--save-schedule out.json] [--report out.json]
+//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--report out.json]
 //! mpss-cli bounds trace.json [--alpha 3]
 //! mpss-cli check trace.json schedule.json
 //! ```
+//!
+//! `--report <path>` attaches a [`RecordingCollector`] to the run and writes
+//! the JSON run report (per-phase spans, max-flow work counters, latency
+//! histograms) it collected.
 
 use mpss::prelude::*;
 use mpss::sim::{fleet_stats, job_stats, render_gantt, render_svg, SvgOptions};
@@ -44,8 +48,8 @@ fn print_usage() {
         "mpss-cli — multi-processor speed scaling with migration (SPAA 2011)\n\n\
          USAGE:\n\
          \u{20}  mpss-cli generate --family <name> --n <jobs> --m <procs> [--horizon H] [--seed S] -o <trace.json>\n\
-         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--save-schedule <out.json>]\n\
-         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A]\n\
+         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--save-schedule <out.json>] [--report <out.json>]\n\
+         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--report <out.json>]\n\
          \u{20}  mpss-cli bounds <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli check <trace.json> <schedule.json>\n\n\
@@ -172,7 +176,13 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let instance = load(path)?;
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
-    let res = optimal_schedule(&instance).map_err(|e| e.to_string())?;
+    let mut rec = RecordingCollector::new();
+    let res = if a.flag("report").is_some() {
+        optimal_schedule_observed(&instance, &OfflineOptions::default(), &mut rec)
+    } else {
+        optimal_schedule(&instance)
+    }
+    .map_err(|e| e.to_string())?;
     validate_schedule(&instance, &res.schedule, 1e-9)
         .map_err(|v| format!("internal: infeasible optimum: {v:?}"))?;
 
@@ -219,6 +229,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         std::fs::write(out, text).map_err(|e| e.to_string())?;
         println!("  schedule saved to {out}");
     }
+    if let Some(out) = a.flag("report") {
+        rec.close_open_spans();
+        rec.write_json(Path::new(out)).map_err(|e| e.to_string())?;
+        println!("  run report saved to {out}");
+    }
     Ok(())
 }
 
@@ -229,12 +244,26 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
     let algo = a.flag("algo").ok_or("--algo oa|avr|bkp required")?;
+    let mut rec = RecordingCollector::new();
+    let observing = a.flag("report").is_some();
     let (schedule, bound, name) = match algo {
         "oa" => {
-            let oa = oa_schedule(&instance).map_err(|e| e.to_string())?;
+            let oa = if observing {
+                oa_schedule_observed(&instance, &mut rec)
+            } else {
+                oa_schedule(&instance)
+            }
+            .map_err(|e| e.to_string())?;
             (oa.schedule, p.oa_bound(), "OA(m)")
         }
-        "avr" => (avr_schedule(&instance), p.avr_bound(), "AVR(m)"),
+        "avr" => {
+            let avr = if observing {
+                avr_schedule_observed(&instance, &mut rec)
+            } else {
+                avr_schedule(&instance)
+            };
+            (avr, p.avr_bound(), "AVR(m)")
+        }
         "bkp" => {
             if instance.m != 1 {
                 return Err("BKP is single-processor: regenerate the trace with --m 1".into());
@@ -246,7 +275,13 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     };
     validate_schedule(&instance, &schedule, 1e-6)
         .map_err(|v| format!("{name} produced an infeasible schedule: {v:?}"))?;
-    let report = competitive_report(&instance, &schedule, &p, bound);
+    let report = if observing {
+        record_energy_trajectory(&schedule, &p, &mut rec);
+        competitive_report_observed(&instance, &schedule, &p, bound, &mut rec)
+    } else {
+        competitive_report(&instance, &schedule, &p, bound)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "{name} on {} jobs / {} processors, α = {alpha}",
         instance.n(),
@@ -256,12 +291,18 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     println!("  OPT energy    : {:.4}", report.opt_energy);
     println!(
         "  ratio         : {:.4}  (bound {:.3})",
-        report.ratio, report.bound
+        report.ratio_or_inf(),
+        report.bound
     );
     println!(
         "  within bound  : {}",
         if report.within_bound() { "yes" } else { "NO" }
     );
+    if let Some(out) = a.flag("report") {
+        rec.close_open_spans();
+        rec.write_json(Path::new(out)).map_err(|e| e.to_string())?;
+        println!("  run report saved to {out}");
+    }
     Ok(())
 }
 

@@ -46,6 +46,7 @@ pub use mpss_core as model;
 pub use mpss_lp as lp;
 pub use mpss_maxflow as maxflow;
 pub use mpss_numeric as numeric;
+pub use mpss_obs as obs;
 pub use mpss_offline as offline;
 pub use mpss_online as online;
 pub use mpss_sim as sim;
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use mpss_core::validate::{assert_feasible, validate_schedule};
     pub use mpss_core::{Instance, Intervals, Job, JobId, PowerFunction, Schedule, Segment};
     pub use mpss_numeric::{FlowNum, Rational};
+    pub use mpss_obs::{Collector, NoopCollector, RecordingCollector};
     pub use mpss_offline::canonical::canonicalize;
     pub use mpss_offline::certificate::verify_certificate;
     pub use mpss_offline::discrete::discretize_speeds;
@@ -66,10 +68,13 @@ pub mod prelude {
     pub use mpss_offline::lp_baseline::lp_baseline;
     pub use mpss_offline::non_migratory::{non_migratory_schedule, AssignPolicy};
     pub use mpss_offline::speed_bound::{feasible_at_cap, minimum_peak_speed};
-    pub use mpss_offline::{optimal_schedule, yds_schedule, FlowEngine, OfflineOptions};
+    pub use mpss_offline::{
+        optimal_schedule, optimal_schedule_observed, yds_schedule, FlowEngine, OfflineOptions,
+    };
     pub use mpss_online::{
-        audit_oa_potential, avr_proof_terms, avr_schedule, bkp_schedule, competitive_report,
-        oa_schedule, OaSession,
+        audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed, bkp_schedule,
+        competitive_report, competitive_report_observed, oa_schedule, oa_schedule_observed,
+        record_energy_trajectory, OaSession,
     };
     pub use mpss_workloads::{instance_stats, Family, WorkloadSpec};
 }

@@ -81,6 +81,86 @@ fn generate_solve_online_bounds_roundtrip() {
 }
 
 #[test]
+fn solve_and_online_write_observability_reports() {
+    let trace = tmp("report-trace.json");
+    run_ok(cli().args([
+        "generate",
+        "--family",
+        "uniform",
+        "--n",
+        "8",
+        "--m",
+        "2",
+        "--horizon",
+        "16",
+        "--seed",
+        "11",
+        "-o",
+        trace.to_str().unwrap(),
+    ]));
+
+    // solve --report: per-phase spans + max-flow work counters.
+    let report = tmp("solve-report.json");
+    let out = run_ok(cli().args([
+        "solve",
+        trace.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+    ]));
+    assert!(out.contains("run report saved"));
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    // The span tree wraps the whole computation with one child per phase.
+    let root = &doc["spans"][0];
+    assert_eq!(root["name"], "offline.optimal_schedule");
+    let phase_spans = root["children"].as_array().unwrap();
+    assert!(!phase_spans.is_empty());
+    assert!(phase_spans.iter().all(|s| s["name"] == "offline.phase"));
+    // Work counters: total max-flow invocations and Dinic augmenting paths.
+    let counters = &doc["counters"];
+    assert_eq!(
+        counters["offline.phases"].as_u64().unwrap(),
+        phase_spans.len() as u64
+    );
+    assert!(counters["offline.maxflow.invocations"].as_u64().unwrap() >= 1);
+    assert!(counters["maxflow.dinic.augmenting_paths"].as_u64().unwrap() >= 1);
+    // Per-phase latency histogram, auto-folded from the phase spans.
+    assert_eq!(
+        doc["histograms"]["span.offline.phase.ms"]["count"]
+            .as_u64()
+            .unwrap(),
+        phase_spans.len() as u64
+    );
+
+    // online --algo oa --report: replan spans nesting offline runs.
+    let oa_report = tmp("oa-report.json");
+    run_ok(cli().args([
+        "online",
+        trace.to_str().unwrap(),
+        "--algo",
+        "oa",
+        "--report",
+        oa_report.to_str().unwrap(),
+    ]));
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&oa_report).unwrap()).unwrap();
+    let counters = &doc["counters"];
+    assert!(counters["oa.replans"].as_u64().unwrap() >= 1);
+    assert!(counters["oa.maxflow.invocations"].as_u64().unwrap() >= 1);
+    assert!(counters["driver.segments"].as_u64().unwrap() >= 1);
+    assert_eq!(
+        doc["histograms"]["span.oa.replan.ms"]["count"]
+            .as_u64()
+            .unwrap(),
+        counters["oa.replans"].as_u64().unwrap()
+    );
+    assert!(doc["histograms"]["driver.energy_trajectory"]["count"]
+        .as_u64()
+        .unwrap()
+        .ge(&1));
+}
+
+#[test]
 fn bkp_requires_single_processor_traces() {
     let trace = tmp("bkp-m1.json");
     run_ok(cli().args([

@@ -100,16 +100,19 @@ fn theorem2_oa_is_alpha_alpha_competitive() {
         for alpha in ALPHAS {
             let p = Polynomial::new(alpha);
             let oa = oa_schedule(&instance).unwrap();
-            let report = competitive_report(&instance, &oa.schedule, &p, p.oa_bound());
+            let report = competitive_report(&instance, &oa.schedule, &p, p.oa_bound()).unwrap();
             assert!(
                 report.within_bound(),
                 "α = {alpha}: measured {:.4} > bound {:.4}",
-                report.ratio,
+                report.ratio_or_inf(),
                 report.bound
             );
-            assert!(report.ratio >= 1.0 - 1e-6, "online beat offline optimum");
+            assert!(
+                report.ratio_or_inf() >= 1.0 - 1e-6,
+                "online beat offline optimum"
+            );
             if alpha == 2.0 {
-                worst = worst.max(report.ratio);
+                worst = worst.max(report.ratio_or_inf());
             }
         }
     }
@@ -129,11 +132,11 @@ fn theorem3_avr_is_bounded_and_its_proof_inequalities_hold() {
         for alpha in ALPHAS {
             let p = Polynomial::new(alpha);
             let avr = avr_schedule(&instance);
-            let report = competitive_report(&instance, &avr, &p, p.avr_bound());
+            let report = competitive_report(&instance, &avr, &p, p.avr_bound()).unwrap();
             assert!(
                 report.within_bound(),
                 "α = {alpha}: AVR ratio {:.4} > bound {:.4}",
-                report.ratio,
+                report.ratio_or_inf(),
                 report.bound
             );
 
@@ -176,8 +179,8 @@ fn theorem3_adversarial_family_stresses_avr_hardest() {
             }
             .generate();
             let avr = avr_schedule(&ins);
-            let r = competitive_report(&ins, &avr, &p, p.avr_bound());
-            worst = worst.max(r.ratio);
+            let r = competitive_report(&ins, &avr, &p, p.avr_bound()).unwrap();
+            worst = worst.max(r.ratio_or_inf());
         }
         worst
     };
