@@ -1,0 +1,65 @@
+//! Criterion bench: warm-start residual reuse vs cold rebuild — the
+//! statistical counterpart of `exp_warmstart_ablation`. Covers the offline
+//! solver (repair rounds share one residual network per phase) and the
+//! OA(m) driver (each replan seeds from the surviving jobs' previous flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpss_offline::{optimal_schedule_with, OfflineOptions};
+use mpss_online::{oa_schedule_with_options, OaOptions};
+use mpss_workloads::{Family, WorkloadSpec};
+
+fn bench_offline_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmstart/offline");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 11,
+        }
+        .generate();
+        for (label, warm_start) in [("warm", true), ("cold", false)] {
+            let opts = OfflineOptions {
+                warm_start,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &instance, |b, ins| {
+                b.iter(|| optimal_schedule_with(std::hint::black_box(ins), &opts).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_oa_reseed_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmstart/oa");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let instance = WorkloadSpec {
+            family: Family::Uniform,
+            n,
+            m: 4,
+            horizon: 2 * n as u64,
+            seed: 11,
+        }
+        .generate();
+        for (label, warm) in [("reseeded", true), ("cold", false)] {
+            let opts = OaOptions {
+                offline: OfflineOptions {
+                    warm_start: warm,
+                    ..Default::default()
+                },
+                reseed: warm,
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &instance, |b, ins| {
+                b.iter(|| oa_schedule_with_options(std::hint::black_box(ins), &opts).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_warm_vs_cold, bench_oa_reseed_vs_cold);
+criterion_main!(benches);

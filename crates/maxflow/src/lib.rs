@@ -15,6 +15,9 @@
 //!   heuristic, as an independent second engine used to cross-validate;
 //! * [`validate`] — an engine-agnostic checker for capacity constraints and
 //!   flow conservation;
+//! * [`warm`] — warm-start primitives (drain a vertex's flow, retune a
+//!   capacity in place, re-augment from the retained feasible flow) so the
+//!   incremental solvers reuse the previous round's flow;
 //! * [`dot`] — Graphviz export used to regenerate the paper's Fig. 1.
 //!
 //! ```
@@ -46,11 +49,13 @@ pub mod dot;
 pub mod network;
 pub mod push_relabel;
 pub mod validate;
+pub mod warm;
 
 pub use decompose::{decompose_flow, FlowPath};
 pub use dinic::Dinic;
 pub use network::{EdgeId, FlowNetwork, NodeId};
 pub use push_relabel::PushRelabel;
+pub use warm::{drain_node, push_path, residual_reachable_tol, set_capacity, WarmStartable};
 
 use mpss_numeric::FlowNum;
 

@@ -192,3 +192,96 @@ proptest! {
             "f1 {f1} f2 {f2}");
     }
 }
+
+/// Random *layered* network (source → jobs → intervals → sink) — the shape
+/// of every `G(J, m⃗, s)` instance and the shape the warm-start cancellation
+/// walks require (flow-carrying edges form a DAG).
+fn random_layered(seed: u64, a: usize, b: usize) -> FlowNetwork<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (s, t) = (0usize, 1 + a + b);
+    let mut net = FlowNetwork::new(2 + a + b);
+    for j in 1..=a {
+        net.add_edge(s, j, rng.gen_range(0..=10u32) as f64 / 2.0);
+    }
+    for iv in 0..b {
+        net.add_edge(1 + a + iv, t, rng.gen_range(1..=12u32) as f64 / 2.0);
+    }
+    for j in 1..=a {
+        for iv in 0..b {
+            if rng.gen_bool(0.6) {
+                net.add_edge(j, 1 + a + iv, rng.gen_range(0..=8u32) as f64 / 2.0);
+            }
+        }
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Warm-start removal invariants: after draining a job vertex the
+    /// remaining flow conserves at every node and respects every capacity
+    /// (validate_flow checks both), the vertex carries no flow, and
+    /// re-augmenting reaches exactly the max-flow value of a cold solve on
+    /// the job-less network.
+    #[test]
+    fn prop_drain_node_keeps_flow_feasible(
+        seed in 0u64..10_000, a in 2usize..7, b in 2usize..6, victim in 0usize..7,
+    ) {
+        let victim = 1 + (victim % a); // a job-layer vertex
+        let (s, t) = (0usize, 1 + a + b);
+        let mut warm = random_layered(seed, a, b);
+        let mut dinic = Dinic::new();
+        dinic.max_flow(&mut warm, s, t);
+
+        let before = warm.flow(crate::EdgeId(2 * (victim - 1) as u32)); // s→victim
+        let drained = crate::drain_node(&mut warm, victim, s, t);
+        prop_assert!((drained - before).abs() <= 1e-9 * before.max(1.0),
+            "drained {drained} vs throughput {before}");
+        prop_assert!(warm.net_out_flow(victim).abs() <= 1e-9);
+        prop_assert!(validate_flow(&warm, s, t, 1e-9).is_ok());
+
+        crate::set_capacity(&mut warm, crate::EdgeId(2 * (victim - 1) as u32), 0.0, s, t);
+        prop_assert!(validate_flow(&warm, s, t, 1e-9).is_ok());
+        let f_warm = crate::WarmStartable::re_max_flow(&mut dinic, &mut warm, s, t);
+
+        // Cold oracle: same network with the victim's supply zeroed
+        // (set_capacity on a zero flow is a plain capacity rewrite).
+        let mut cold = random_layered(seed, a, b);
+        crate::set_capacity(&mut cold, crate::EdgeId(2 * (victim - 1) as u32), 0.0, s, t);
+        let f_cold = max_flow_dinic(&mut cold, s, t);
+        prop_assert!((f_warm - f_cold).abs() <= 1e-9 * f_cold.max(1.0),
+            "warm {f_warm} vs cold {f_cold}");
+        prop_assert!(validate_flow(&warm, s, t, 1e-9).is_ok());
+    }
+
+    /// Tightening a capacity below the current flow drains exactly the
+    /// excess, stays feasible, and re-augments to the cold optimum of the
+    /// modified network.
+    #[test]
+    fn prop_set_capacity_tighten_matches_cold(
+        seed in 0u64..10_000, a in 2usize..7, b in 2usize..6, pick in 0usize..64,
+    ) {
+        let (s, t) = (0usize, 1 + a + b);
+        let mut warm = random_layered(seed, a, b);
+        let mut dinic = Dinic::new();
+        dinic.max_flow(&mut warm, s, t);
+
+        let e = crate::EdgeId(2 * (pick % warm.num_edges()) as u32);
+        let new_cap = warm.capacity(e) / 2.0;
+        let flow_before = warm.flow(e);
+        let drained = crate::set_capacity(&mut warm, e, new_cap, s, t);
+        let expected = (flow_before - new_cap).max(0.0);
+        prop_assert!((drained - expected).abs() <= 1e-9 * expected.max(1.0),
+            "drained {drained}, expected {expected}");
+        prop_assert!(warm.flow(e) <= new_cap + 1e-9);
+        prop_assert!(validate_flow(&warm, s, t, 1e-9).is_ok());
+
+        let f_warm = crate::WarmStartable::re_max_flow(&mut dinic, &mut warm, s, t);
+        let mut cold = random_layered(seed, a, b);
+        crate::set_capacity(&mut cold, e, new_cap, s, t);
+        let f_cold = max_flow_dinic(&mut cold, s, t);
+        prop_assert!((f_warm - f_cold).abs() <= 1e-9 * f_cold.max(1.0),
+            "warm {f_warm} vs cold {f_cold}");
+    }
+}

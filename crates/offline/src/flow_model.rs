@@ -16,7 +16,7 @@
 //! `F_G = Σ w_k / s = Σ m_j |I_j|`.
 
 use mpss_core::{Instance, Intervals, JobId};
-use mpss_maxflow::{EdgeId, FlowNetwork, NodeId};
+use mpss_maxflow::{warm, EdgeId, FlowNetwork, NodeId};
 use mpss_numeric::FlowNum;
 
 /// The Fig. 1 network plus the bookkeeping needed to read flows back.
@@ -40,6 +40,9 @@ pub struct FlowModel<T: FlowNum> {
     pub sink_edges: Vec<EdgeId>,
     /// The flow target `F_G = Σ m_j |I_j|`.
     pub target: T,
+    /// `alive[k]` — false once job `k` was removed via [`FlowModel::remove_job`]
+    /// (its vertex stays in the warm network with a zero supply capacity).
+    pub alive: Vec<bool>,
 }
 
 impl<T: FlowNum> FlowModel<T> {
@@ -101,7 +104,148 @@ impl<T: FlowNum> FlowModel<T> {
             source_edges,
             sink_edges,
             target,
+            alive: vec![true; n],
         }
+    }
+
+    /// Position of interval `j` among the used intervals, if reserved.
+    pub fn interval_pos(&self, j: usize) -> Option<usize> {
+        self.intervals_used.binary_search(&j).ok()
+    }
+
+    /// Vertex index of the `x`-th used interval.
+    #[inline]
+    pub fn interval_vertex(&self, x: usize) -> usize {
+        1 + self.jobs.len() + x
+    }
+
+    /// Warm-start removal of candidate job `k` (vertex index): drains all
+    /// flow routed through `u_k` and zeroes its supply capacity, leaving
+    /// the rest of the flow feasible. Returns the drained amount.
+    pub fn remove_job(&mut self, k: usize) -> T {
+        debug_assert!(self.alive[k], "job removed twice");
+        let drained = warm::drain_node(&mut self.net, 1 + k, self.source, self.sink);
+        warm::set_capacity(
+            &mut self.net,
+            self.source_edges[k],
+            T::zero(),
+            self.source,
+            self.sink,
+        );
+        self.alive[k] = false;
+        drained
+    }
+
+    /// Warm-start retarget to a fresh `(m⃗, speed)` probe: rewrites every
+    /// supply capacity to `w_k / s` and every sink capacity to `m_j |I_j|`,
+    /// draining any flow the tightened capacities no longer admit, and
+    /// recomputes the saturation target. The capacity and target arithmetic
+    /// is expression-identical to [`FlowModel::build`], so a warm-started
+    /// round probes exactly the network a cold rebuild would.
+    ///
+    /// Returns the total flow drained by tightened capacities. `m_j` may
+    /// only shrink relative to the round the network was built for (true
+    /// within a phase: the candidate set only loses jobs); intervals whose
+    /// reservation drops to zero keep their vertex with a zero sink
+    /// capacity, which is flow-equivalent to having no vertex at all.
+    pub fn retarget(
+        &mut self,
+        instance: &Instance<T>,
+        intervals: &Intervals<T>,
+        m_j: &[usize],
+        speed: T,
+    ) -> T {
+        let mut drained = T::zero();
+        for (k, &job_id) in self.jobs.iter().enumerate() {
+            if !self.alive[k] {
+                continue;
+            }
+            let cap = instance.jobs[job_id].volume / speed;
+            drained += warm::set_capacity(
+                &mut self.net,
+                self.source_edges[k],
+                cap,
+                self.source,
+                self.sink,
+            );
+        }
+        let mut target = T::zero();
+        for (x, &j) in self.intervals_used.iter().enumerate() {
+            let cap = T::from_usize(m_j[j]) * intervals.length(j);
+            target += cap;
+            drained += warm::set_capacity(
+                &mut self.net,
+                self.sink_edges[x],
+                cap,
+                self.source,
+                self.sink,
+            );
+        }
+        self.target = target;
+        drained
+    }
+
+    /// Greedy seeding: one pass over the job→interval edges pushing the
+    /// residual bottleneck of each `source → u_k → v_j → sink` path.
+    /// Returns the seeded flow value. Every seeded unit is one the engine
+    /// does not have to discover through BFS + augmentation; the engine
+    /// then only performs the corrective (rerouting) work.
+    pub fn seed_greedy(&mut self) -> T {
+        let mut seeded = T::zero();
+        for k in 0..self.jobs.len() {
+            if !self.alive[k] {
+                continue;
+            }
+            for x in 0..self.job_edges[k].len() {
+                let (j, e) = self.job_edges[k][x];
+                let Some(pos) = self.interval_pos(j) else {
+                    continue;
+                };
+                let supply = self.net.residual(self.source_edges[k]);
+                if !supply.is_strictly_positive() {
+                    break;
+                }
+                let path = [self.source_edges[k], e, self.sink_edges[pos]];
+                seeded += warm::push_path(&mut self.net, &path, supply);
+            }
+        }
+        seeded
+    }
+
+    /// Span-hint seeding for OA(m) replans: `spans[k]` lists wall-clock
+    /// `(start, end)` stretches during which candidate job `k` executed in
+    /// the *previous* plan. The overlap of those stretches with each new
+    /// interval is used as a per-edge seed amount (clamped by the residual
+    /// capacities), transplanting the surviving jobs' previous flow into
+    /// the new network. Returns the seeded flow value.
+    pub fn seed_from_spans(&mut self, intervals: &Intervals<T>, spans: &[Vec<(T, T)>]) -> T {
+        let mut seeded = T::zero();
+        for k in 0..self.jobs.len() {
+            if !self.alive[k] || spans.get(k).is_none_or(|s| s.is_empty()) {
+                continue;
+            }
+            for x in 0..self.job_edges[k].len() {
+                let (j, e) = self.job_edges[k][x];
+                let Some(pos) = self.interval_pos(j) else {
+                    continue;
+                };
+                let (lo, hi) = intervals.bounds(j);
+                let mut hint = T::zero();
+                for &(a, b) in &spans[k] {
+                    let s = a.max2(lo);
+                    let t = b.min2(hi);
+                    if s < t {
+                        hint += t - s;
+                    }
+                }
+                if !hint.is_strictly_positive() {
+                    continue;
+                }
+                let path = [self.source_edges[k], e, self.sink_edges[pos]];
+                seeded += warm::push_path(&mut self.net, &path, hint);
+            }
+        }
+        seeded
     }
 
     /// After a max-flow run: the flow on `u_k → v_j`, i.e. the time job

@@ -67,8 +67,8 @@ pub mod speed_bound;
 pub mod yds;
 
 pub use optimal::{
-    optimal_schedule, optimal_schedule_observed, optimal_schedule_with, FlowEngine, OfflineOptions,
-    OptimalResult, PhaseInfo,
+    optimal_schedule, optimal_schedule_observed, optimal_schedule_seeded, optimal_schedule_with,
+    FlowEngine, OfflineOptions, OptimalResult, PhaseInfo, SeedPlan,
 };
 pub use yds::yds_schedule;
 

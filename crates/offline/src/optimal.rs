@@ -27,7 +27,7 @@
 
 use crate::flow_model::FlowModel;
 use mpss_core::{Instance, Intervals, JobId, ModelError, Schedule, Segment};
-use mpss_maxflow::{Dinic, MaxFlow, PushRelabel};
+use mpss_maxflow::{residual_reachable_tol, Dinic, MaxFlow, PushRelabel, WarmStartable};
 use mpss_numeric::FlowNum;
 use mpss_obs::{Collector, NoopCollector};
 
@@ -56,6 +56,14 @@ pub struct OfflineOptions {
     pub record_trace: bool,
     /// The max-flow engine to run internally.
     pub engine: FlowEngine,
+    /// Reuse the residual network across repair rounds of a phase instead of
+    /// rebuilding it cold each round (default `true`). The warm path produces
+    /// bit-identical phases — the removal rule below reads only the
+    /// flow-invariant min-cut certificate, and all capacities are recomputed
+    /// with expression-identical arithmetic — so this is purely a work
+    /// optimisation. Set to `false` to get the cold solver as a differential
+    /// oracle (`--cold-flow` in the CLI).
+    pub warm_start: bool,
 }
 
 impl Default for OfflineOptions {
@@ -64,8 +72,27 @@ impl Default for OfflineOptions {
             eps: 1e-9,
             record_trace: false,
             engine: FlowEngine::Dinic,
+            warm_start: true,
         }
     }
+}
+
+/// Per-job execution spans carried from a previous plan, used to seed the
+/// first max-flow of each phase when replanning a closely related instance
+/// (the OA(m) driver re-solves after every arrival; surviving jobs keep most
+/// of their flow).
+///
+/// `spans[k]` lists half-open wall-clock spans `(start, end)` during which
+/// job `k` (an id of the instance being solved) was executing in the previous
+/// plan. Spans may be unsorted and may overlap interval boundaries; they are
+/// clipped against each interval when converted to seed flow. The seed is a
+/// hint only: seeded flow never exceeds edge capacities, and the subsequent
+/// re-augmentation restores maximality, so an arbitrarily wrong seed cannot
+/// change the result — only the amount of residual work.
+#[derive(Clone, Debug, Default)]
+pub struct SeedPlan<T> {
+    /// Per-job spans, indexed by the job ids of the instance being solved.
+    pub spans: Vec<Vec<(T, T)>>,
 }
 
 /// One phase of the algorithm: the job set `J_i`, its uniform speed `s_i`,
@@ -176,6 +203,28 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
     opts: &OfflineOptions,
     obs: &mut C,
 ) -> Result<OptimalResult<T>, ModelError> {
+    optimal_schedule_seeded(instance, opts, None, obs)
+}
+
+/// [`optimal_schedule_observed`] with an optional [`SeedPlan`] from a
+/// previous, related solve.
+///
+/// When `opts.warm_start` is on, each phase's first network is primed from
+/// the seed's clipped spans (then greedily topped up) before the engine runs,
+/// and deficient repair rounds reuse the residual network: the removed job is
+/// drained in place, capacities are retuned, and the engine re-augments from
+/// the retained feasible flow instead of starting from zero. Extra
+/// instrumentation: counters `maxflow.warm.reused_flow` (rounds that started
+/// from non-zero retained or seeded flow), `maxflow.warm.drained` (drain
+/// events — job removals plus retarget cancellations), and
+/// `offline.cold_rounds_avoided` (repair rounds served by a retained network
+/// instead of a cold rebuild).
+pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    opts: &OfflineOptions,
+    seed: Option<&SeedPlan<T>>,
+    obs: &mut C,
+) -> Result<OptimalResult<T>, ModelError> {
     obs.span_start("offline.optimal_schedule");
     let intervals = Intervals::from_instance(instance);
     let nj = intervals.len();
@@ -193,6 +242,9 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
         let mut cur = remaining.clone();
         let mut rounds = 0usize;
         obs.span_start("offline.phase");
+        // Warm path: the network retained from the previous (deficient)
+        // round of this phase, with the removed job already drained.
+        let mut warm_fm: Option<FlowModel<T>> = None;
 
         let (m_j, speed, fm) = loop {
             rounds += 1;
@@ -229,11 +281,58 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
             }
             let speed = w_total / p_total;
 
-            let mut fm = FlowModel::build(instance, &intervals, &cur, &m_j, speed);
-            let flow = match opts.engine {
-                FlowEngine::Dinic => dinic.max_flow(&mut fm.net, fm.source, fm.sink),
-                FlowEngine::PushRelabel => push_relabel.max_flow(&mut fm.net, fm.source, fm.sink),
-            };
+            let (mut fm, flow);
+            if let Some(mut prev) = warm_fm.take() {
+                // Reuse the residual network: the removed job was drained
+                // when it was dropped; retune every capacity to the new
+                // conjectured speed and re-augment from the retained flow.
+                let drained = prev.retarget(instance, &intervals, &m_j, speed);
+                if drained.is_strictly_positive() {
+                    obs.count("maxflow.warm.drained", 1);
+                }
+                if prev.net.net_out_flow(prev.source).is_strictly_positive() {
+                    obs.count("maxflow.warm.reused_flow", 1);
+                }
+                obs.count("offline.cold_rounds_avoided", 1);
+                flow = match opts.engine {
+                    FlowEngine::Dinic => dinic.re_max_flow(&mut prev.net, prev.source, prev.sink),
+                    FlowEngine::PushRelabel => {
+                        push_relabel.re_max_flow(&mut prev.net, prev.source, prev.sink)
+                    }
+                };
+                fm = prev;
+            } else {
+                fm = FlowModel::build(instance, &intervals, &cur, &m_j, speed);
+                if opts.warm_start {
+                    let mut seeded = T::zero();
+                    if let Some(sp) = seed {
+                        // Map instance-job spans to candidate order.
+                        let per_candidate: Vec<Vec<(T, T)>> = fm
+                            .jobs
+                            .iter()
+                            .map(|&id| sp.spans.get(id).cloned().unwrap_or_default())
+                            .collect();
+                        seeded += fm.seed_from_spans(&intervals, &per_candidate);
+                    }
+                    seeded += fm.seed_greedy();
+                    if seeded.is_strictly_positive() {
+                        obs.count("maxflow.warm.reused_flow", 1);
+                    }
+                    flow = match opts.engine {
+                        FlowEngine::Dinic => dinic.re_max_flow(&mut fm.net, fm.source, fm.sink),
+                        FlowEngine::PushRelabel => {
+                            push_relabel.re_max_flow(&mut fm.net, fm.source, fm.sink)
+                        }
+                    };
+                } else {
+                    flow = match opts.engine {
+                        FlowEngine::Dinic => dinic.max_flow(&mut fm.net, fm.source, fm.sink),
+                        FlowEngine::PushRelabel => {
+                            push_relabel.max_flow(&mut fm.net, fm.source, fm.sink)
+                        }
+                    };
+                }
+            }
             flow_computations += 1;
             obs.count("offline.maxflow.invocations", 1);
             if obs.enabled() {
@@ -258,7 +357,7 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
             }
 
             // Deficient round: drop the job of Lemma 4's removal rule.
-            let removed = select_removal(&fm, &intervals);
+            let removed = select_removal(&fm, opts.eps);
             obs.count("offline.jobs_removed", 1);
             if opts.record_trace {
                 trace.push(RoundTrace {
@@ -284,6 +383,18 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
                 flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
                 obs.span_end("offline.optimal_schedule");
                 return Err(ModelError::NoReservableTime);
+            }
+            if opts.warm_start {
+                // Drain the removed job in place and keep the network for
+                // the next round instead of rebuilding it from scratch.
+                let k = fm
+                    .jobs
+                    .iter()
+                    .position(|&id| id == removed)
+                    .expect("removed job is a candidate of this phase");
+                fm.remove_job(k);
+                obs.count("maxflow.warm.drained", 1);
+                warm_fm = Some(fm);
             }
         };
 
@@ -368,35 +479,69 @@ fn flush_engine_stats<T: FlowNum, C: Collector>(obs: &mut C, dinic: &Dinic, pr: 
     obs.count("maxflow.pr.gap_events", p.gap_events);
 }
 
-/// Lemma 4's removal rule: find the interval vertex with the largest sink
-/// deficit, then the active job whose edge into it carries the least flow.
-fn select_removal<T: FlowNum>(fm: &FlowModel<T>, intervals: &Intervals<T>) -> JobId {
-    let _ = intervals;
-    // Largest-deficit sink edge.
-    let mut best_x = 0usize;
-    let mut best_deficit: Option<T> = None;
-    for (x, &e) in fm.sink_edges.iter().enumerate() {
-        let deficit = fm.net.capacity(e) - fm.net.flow(e);
-        if best_deficit.is_none_or(|d| deficit > d) {
-            best_deficit = Some(deficit);
-            best_x = x;
-        }
-    }
-    let j_star = fm.intervals_used[best_x];
+/// Lemma 4's removal rule, made engine- and history-invariant.
+///
+/// A rule that reads per-edge *flow values* (the previous implementation
+/// took the least-loaded edge into the most deficient interval) depends on
+/// which particular maximum flow the engine happened to find — max-flow
+/// values are unique, flows are not — so Dinic and push–relabel, or a warm
+/// and a cold run, could remove different (equally valid) jobs and then
+/// walk different repair traces. Instead we read only the canonical min-cut
+/// certificate: the set `S*` of vertices residual-reachable from the
+/// source, which is identical for *every* maximum flow.
+///
+/// Rule: among candidate jobs whose vertex lies outside `S*` and that have
+/// an edge into a reserved interval (`m_j > 0`) whose vertex also lies
+/// outside `S*`, remove the smallest job id. Such a job's supply edge is
+/// saturated in every maximum flow while the cut still separates it from a
+/// deficient interval — exactly the Lemma 4 witness. When the flow is
+/// deficient, some reserved interval's sink edge is unsaturated, putting
+/// that interval outside `S*` (else an augmenting path would exist), and
+/// every job active there is outside `S*` too, so a witness always exists;
+/// the fallbacks below only guard tolerance degeneracies on the `f64` path
+/// and stay deterministic and flow-invariant themselves.
+fn select_removal<T: FlowNum>(fm: &FlowModel<T>, eps: f64) -> JobId {
+    let reach = residual_reachable_tol(&fm.net, fm.source, eps);
+    // Reserved intervals on the sink side of the cut.
+    let cut_interval: Vec<bool> = fm
+        .sink_edges
+        .iter()
+        .enumerate()
+        .map(|(x, &e)| fm.net.capacity(e).is_strictly_positive() && !reach[fm.interval_vertex(x)])
+        .collect();
 
-    // Least-flow job edge into the deficient interval.
-    let mut best_job: Option<(JobId, T)> = None;
+    let mut best: Option<JobId> = None;
     for (k, edges) in fm.job_edges.iter().enumerate() {
-        if let Some((_, e)) = edges.iter().find(|(jj, _)| *jj == j_star) {
-            let fl = fm.net.flow(*e);
-            if best_job.is_none_or(|(_, bf)| fl < bf) {
-                best_job = Some((fm.jobs[k], fl));
+        if !fm.alive[k] || reach[1 + k] {
+            continue;
+        }
+        let witnesses = edges
+            .iter()
+            .any(|&(j, _)| fm.interval_pos(j).is_some_and(|x| cut_interval[x]));
+        if witnesses {
+            let id = fm.jobs[k];
+            if best.is_none_or(|b| id < b) {
+                best = Some(id);
             }
         }
     }
-    best_job
-        .expect("a deficient interval has at least one active job (n_j ≥ m_j > 0)")
-        .0
+    if let Some(id) = best {
+        return id;
+    }
+    // Tolerance degeneracy: fall back to the smallest unreachable candidate,
+    // then to the smallest candidate outright.
+    let alive = || {
+        fm.jobs
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| fm.alive[k])
+            .map(|(k, &id)| (k, id))
+    };
+    alive()
+        .find(|&(k, _)| !reach[1 + k])
+        .or_else(|| alive().next())
+        .expect("candidate set is non-empty in a deficient round")
+        .1
 }
 
 /// McNaughton wrap-around packing of `assignments` (job, time) onto
@@ -625,10 +770,28 @@ mod tests {
         );
         // Two phases here, and phase 1 removed the relaxed job once.
         assert_eq!(rec.counter("offline.jobs_removed"), 1);
-        // Dinic (the default engine) did real work; push–relabel none.
+        // Dinic (the default engine) did real work; push–relabel none. With
+        // warm start on (the default) the greedy seed can satisfy a round
+        // outright, so only the BFS certification is guaranteed.
         assert!(rec.counter("maxflow.dinic.bfs_phases") >= 1);
-        assert!(rec.counter("maxflow.dinic.augmenting_paths") >= 1);
         assert_eq!(rec.counter("maxflow.pr.pushes"), 0);
+        // The warm path reported seeded/retained flow, and the one repair
+        // round of phase 1 was served warm instead of rebuilt cold.
+        assert!(rec.counter("maxflow.warm.reused_flow") >= 1);
+        assert_eq!(rec.counter("offline.cold_rounds_avoided"), 1);
+        assert!(rec.counter("maxflow.warm.drained") >= 1);
+
+        // The cold oracle does the same rounds but augments every unit.
+        let mut cold = RecordingCollector::new();
+        let cold_opts = OfflineOptions {
+            warm_start: false,
+            ..Default::default()
+        };
+        let cold_res = optimal_schedule_observed(&ins, &cold_opts, &mut cold).unwrap();
+        assert_eq!(cold_res.flow_computations, res.flow_computations);
+        assert!(cold.counter("maxflow.dinic.augmenting_paths") >= 1);
+        assert_eq!(cold.counter("offline.cold_rounds_avoided"), 0);
+        assert_eq!(cold.counter("maxflow.warm.reused_flow"), 0);
         // Span tree: one root per phase, plus the wrapping span.
         assert_eq!(rec.spans().len(), 1);
         assert_eq!(rec.spans()[0].name, "offline.optimal_schedule");

@@ -310,3 +310,59 @@ fn both_flow_engines_yield_identical_optima() {
         }
     }
 }
+
+/// The Lemma 4 removal rule reads only the flow-invariant min-cut
+/// certificate, so the *entire repair trace* — which job was removed in
+/// which round, at which conjectured speed — must be identical across both
+/// engines and across the warm/cold paths, not just the final phases.
+#[test]
+fn removal_traces_are_identical_across_engines_and_warm_modes() {
+    use crate::optimal::{optimal_schedule_with, FlowEngine, OfflineOptions};
+    for seed in 900..925u64 {
+        let n = 3 + (seed as usize % 8);
+        let m = 1 + (seed as usize % 4);
+        let ins = random_instance(n, m, 10, seed);
+        let configs = [
+            (FlowEngine::Dinic, true),
+            (FlowEngine::Dinic, false),
+            (FlowEngine::PushRelabel, true),
+            (FlowEngine::PushRelabel, false),
+        ];
+        let runs: Vec<_> = configs
+            .iter()
+            .map(|&(engine, warm_start)| {
+                let opts = OfflineOptions {
+                    record_trace: true,
+                    engine,
+                    warm_start,
+                    ..Default::default()
+                };
+                optimal_schedule_with(&ins, &opts).unwrap()
+            })
+            .collect();
+        let base = &runs[0];
+        for (run, &(engine, warm)) in runs.iter().zip(&configs).skip(1) {
+            assert_eq!(
+                run.flow_computations, base.flow_computations,
+                "seed {seed} {engine:?} warm {warm}: different round counts"
+            );
+            let key = |r: &crate::optimal::RoundTrace| (r.phase, r.candidate_size, r.removed);
+            assert_eq!(
+                run.trace.iter().map(key).collect::<Vec<_>>(),
+                base.trace.iter().map(key).collect::<Vec<_>>(),
+                "seed {seed} {engine:?} warm {warm}: repair traces diverged"
+            );
+            assert_eq!(run.phases.len(), base.phases.len(), "seed {seed}");
+            for (a, b) in run.phases.iter().zip(&base.phases) {
+                assert_eq!(
+                    a.speed.to_bits(),
+                    b.speed.to_bits(),
+                    "seed {seed} {engine:?} warm {warm}: speeds not bit-identical"
+                );
+                assert_eq!(a.jobs, b.jobs, "seed {seed}: phase membership");
+                assert_eq!(a.procs, b.procs, "seed {seed}: reservations");
+                assert_eq!(a.rounds, b.rounds, "seed {seed}: rounds");
+            }
+        }
+    }
+}

@@ -72,6 +72,9 @@ pub use bkp::bkp_schedule;
 pub use driver::{
     competitive_report, competitive_report_observed, record_energy_trajectory, RatioReport,
 };
-pub use oa::{oa_schedule, oa_schedule_observed, oa_schedule_with_plans};
+pub use oa::{
+    oa_schedule, oa_schedule_observed, oa_schedule_observed_with, oa_schedule_with_options,
+    oa_schedule_with_plans, OaOptions,
+};
 pub use potential::{audit_oa_potential, PotentialAudit};
 pub use session::{OaSession, SessionError};

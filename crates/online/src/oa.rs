@@ -16,7 +16,30 @@
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule};
 use mpss_numeric::FlowNum;
 use mpss_obs::{Collector, NoopCollector};
-use mpss_offline::optimal::{optimal_schedule_observed, OfflineOptions, OptimalResult};
+use mpss_offline::optimal::{optimal_schedule_seeded, OfflineOptions, OptimalResult, SeedPlan};
+
+/// Tuning knobs for the OA(m) driver.
+#[derive(Clone, Debug)]
+pub struct OaOptions {
+    /// Options forwarded to every nested offline solve.
+    pub offline: OfflineOptions,
+    /// Seed each replan's flow networks from the surviving jobs' execution
+    /// spans in the previous plan (default `true`; requires
+    /// `offline.warm_start`). Replans differ from the previous plan by one
+    /// arrival, so most of the previous flow routes unchanged — the offline
+    /// solver only performs the corrective augmentation. Purely a work
+    /// optimisation: the computed plans are identical either way.
+    pub reseed: bool,
+}
+
+impl Default for OaOptions {
+    fn default() -> Self {
+        OaOptions {
+            offline: OfflineOptions::default(),
+            reseed: true,
+        }
+    }
+}
 
 /// Outcome of an OA(m) run.
 #[derive(Clone, Debug)]
@@ -44,7 +67,17 @@ pub struct PlanRecord<T: FlowNum = f64> {
 /// Works in either numeric mode — in exact rationals the whole online run,
 /// including every replanned optimal schedule, is bit-exact.
 pub fn oa_schedule<T: FlowNum>(instance: &Instance<T>) -> Result<OaOutcome<T>, ModelError> {
-    let (outcome, _) = oa_run(instance, false, &mut NoopCollector)?;
+    let (outcome, _) = oa_run(instance, &OaOptions::default(), false, &mut NoopCollector)?;
+    Ok(outcome)
+}
+
+/// [`oa_schedule`] with explicit [`OaOptions`] (engine choice, warm start,
+/// replan reseeding).
+pub fn oa_schedule_with_options<T: FlowNum>(
+    instance: &Instance<T>,
+    opts: &OaOptions,
+) -> Result<OaOutcome<T>, ModelError> {
+    let (outcome, _) = oa_run(instance, opts, false, &mut NoopCollector)?;
     Ok(outcome)
 }
 
@@ -55,12 +88,25 @@ pub fn oa_schedule<T: FlowNum>(instance: &Instance<T>) -> Result<OaOutcome<T>, M
 /// replanning latency into the histogram `span.oa.replan.ms`. The nested
 /// offline run reports through the same collector (its spans appear as
 /// children of `oa.replan`). Counters: `oa.replans` (recomputations actually
-/// performed) and `oa.maxflow.invocations`.
+/// performed), `oa.maxflow.invocations`, and — when reseeding is on —
+/// `oa.reseed.replans` (replans that received a span seed) and
+/// `oa.reseed.jobs` (surviving jobs whose previous execution spans were
+/// transplanted).
 pub fn oa_schedule_observed<T: FlowNum, C: Collector>(
     instance: &Instance<T>,
     obs: &mut C,
 ) -> Result<OaOutcome<T>, ModelError> {
-    let (outcome, _) = oa_run(instance, false, obs)?;
+    let (outcome, _) = oa_run(instance, &OaOptions::default(), false, obs)?;
+    Ok(outcome)
+}
+
+/// [`oa_schedule_observed`] with explicit [`OaOptions`].
+pub fn oa_schedule_observed_with<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    opts: &OaOptions,
+    obs: &mut C,
+) -> Result<OaOutcome<T>, ModelError> {
+    let (outcome, _) = oa_run(instance, opts, false, obs)?;
     Ok(outcome)
 }
 
@@ -70,11 +116,12 @@ pub fn oa_schedule_observed<T: FlowNum, C: Collector>(
 pub fn oa_schedule_with_plans<T: FlowNum>(
     instance: &Instance<T>,
 ) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
-    oa_run(instance, true, &mut NoopCollector)
+    oa_run(instance, &OaOptions::default(), true, &mut NoopCollector)
 }
 
 fn oa_run<T: FlowNum, C: Collector>(
     instance: &Instance<T>,
+    opts: &OaOptions,
     record: bool,
     obs: &mut C,
 ) -> Result<(OaOutcome<T>, Vec<PlanRecord<T>>), ModelError> {
@@ -91,6 +138,8 @@ fn oa_run<T: FlowNum, C: Collector>(
     events.dedup_by(|a, b| a == b);
     let replans = events.len();
     let horizon = instance.max_deadline().unwrap_or_else(T::zero);
+    // Previous plan (job map + schedule), kept to seed the next replan.
+    let mut prev: Option<(Vec<JobId>, Schedule<T>)> = None;
 
     for (ei, &t) in events.iter().enumerate() {
         // Sub-instance: released, unfinished work; availability from `t`.
@@ -110,10 +159,41 @@ fn oa_run<T: FlowNum, C: Collector>(
         if sub_jobs.is_empty() {
             continue;
         }
+        // Seed the replan from the surviving jobs' execution spans in the
+        // previous plan (clipped to the future): the new instance differs
+        // from the previous one by a single arrival, so most of the
+        // previous flow routes unchanged through the new networks.
+        let seed = if opts.reseed && opts.offline.warm_start {
+            prev.as_ref().and_then(|(pmap, psched)| {
+                let mut spans: Vec<Vec<(T, T)>> = vec![Vec::new(); job_map.len()];
+                let mut seeded_jobs = 0u64;
+                for (i, &orig) in job_map.iter().enumerate() {
+                    let Some(pi) = pmap.iter().position(|&o| o == orig) else {
+                        continue;
+                    };
+                    for seg in &psched.segments {
+                        if seg.job == pi && t < seg.end {
+                            spans[i].push((seg.start.max2(t), seg.end));
+                        }
+                    }
+                    if !spans[i].is_empty() {
+                        seeded_jobs += 1;
+                    }
+                }
+                if seeded_jobs == 0 {
+                    return None;
+                }
+                obs.count("oa.reseed.replans", 1);
+                obs.count("oa.reseed.jobs", seeded_jobs);
+                Some(SeedPlan { spans })
+            })
+        } else {
+            None
+        };
         obs.span_start("oa.replan");
         let plan = (|| {
             let sub = Instance::new(instance.m, sub_jobs)?;
-            optimal_schedule_observed(&sub, &OfflineOptions::default(), obs)
+            optimal_schedule_seeded(&sub, &opts.offline, seed.as_ref(), obs)
         })();
         let plan = match plan {
             Ok(plan) => plan,
@@ -135,6 +215,7 @@ fn oa_run<T: FlowNum, C: Collector>(
             schedule.push(mpss_core::Segment { job: orig, ..*seg });
         }
         obs.span_end("oa.replan");
+        prev = Some((job_map.clone(), plan.schedule.clone()));
         if record {
             plans.push(PlanRecord {
                 time: t,
@@ -330,6 +411,51 @@ mod tests {
         let oa = oa_schedule(&ins).unwrap();
         assert!(oa.schedule.is_empty());
         assert_eq!(oa.replans, 0);
+    }
+
+    #[test]
+    fn reseeded_replans_produce_identical_schedules() {
+        use mpss_obs::RecordingCollector;
+        // Seeding transplants the previous plan's flow, but the solved
+        // problems are identical, so the phase structure (the part of the
+        // optimum that is unique) and hence the energy must agree with the
+        // unseeded and the fully cold drivers. Only the segment-level flow
+        // split — non-unique even between the two cold engines — may
+        // differ, and then only in packing positions.
+        let p = Polynomial::new(2.0);
+        for seed in 300..312u64 {
+            let ins = random_instance(6, 2, 10, seed);
+            let base = oa_schedule(&ins).unwrap();
+            let e_base = schedule_energy(&base.schedule, &p);
+            for (reseed, warm) in [(false, true), (false, false), (true, true)] {
+                let opts = OaOptions {
+                    offline: OfflineOptions {
+                        warm_start: warm,
+                        ..Default::default()
+                    },
+                    reseed,
+                };
+                let out = oa_schedule_with_options(&ins, &opts).unwrap();
+                assert_feasible(&ins, &out.schedule, 1e-6);
+                let e = schedule_energy(&out.schedule, &p);
+                assert!(
+                    (e - e_base).abs() <= 1e-9 * e_base.max(1.0),
+                    "seed {seed} reseed {reseed} warm {warm}: energy {e} vs {e_base}"
+                );
+                assert_eq!(out.flow_computations, base.flow_computations);
+                assert_eq!(out.replans, base.replans);
+            }
+        }
+        // Multi-arrival instance: the second replan gets a span seed.
+        let ins = Instance::new(
+            1,
+            vec![job(0.0, 4.0, 2.0), job(1.0, 4.0, 1.0), job(2.0, 4.0, 1.0)],
+        )
+        .unwrap();
+        let mut rec = RecordingCollector::new();
+        oa_schedule_observed_with(&ins, &OaOptions::default(), &mut rec).unwrap();
+        assert!(rec.counter("oa.reseed.replans") >= 1);
+        assert!(rec.counter("oa.reseed.jobs") >= 1);
     }
 
     #[test]

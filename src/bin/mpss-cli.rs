@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! mpss-cli generate --family uniform --n 20 --m 4 [--horizon 48] [--seed 1] -o trace.json
-//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--save-schedule out.json] [--report out.json]
-//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--report out.json]
+//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--cold-flow] [--save-schedule out.json] [--report out.json]
+//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--cold-flow] [--report out.json]
 //! mpss-cli bounds trace.json [--alpha 3]
 //! mpss-cli check trace.json schedule.json
 //! ```
 //!
 //! `--report <path>` attaches a [`RecordingCollector`] to the run and writes
 //! the JSON run report (per-phase spans, max-flow work counters, latency
-//! histograms) it collected.
+//! histograms) it collected. `--cold-flow` disables the warm-start max-flow
+//! path (and OA replan reseeding), running every repair round from a freshly
+//! built network — the differential oracle the warm path is validated
+//! against.
 
 use mpss::prelude::*;
 use mpss::sim::{fleet_stats, job_stats, render_gantt, render_svg, SvgOptions};
@@ -48,8 +51,8 @@ fn print_usage() {
         "mpss-cli — multi-processor speed scaling with migration (SPAA 2011)\n\n\
          USAGE:\n\
          \u{20}  mpss-cli generate --family <name> --n <jobs> --m <procs> [--horizon H] [--seed S] -o <trace.json>\n\
-         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--save-schedule <out.json>] [--report <out.json>]\n\
-         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--report <out.json>]\n\
+         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--cold-flow] [--save-schedule <out.json>] [--report <out.json>]\n\
+         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--cold-flow] [--report <out.json>]\n\
          \u{20}  mpss-cli bounds <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli check <trace.json> <schedule.json>\n\n\
@@ -171,16 +174,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let a = parse(args, &["gantt"]);
+    let a = parse(args, &["gantt", "cold-flow"]);
     let path = a.positional.first().ok_or("trace path required")?;
     let instance = load(path)?;
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
+    let opts = OfflineOptions {
+        warm_start: !a.switches.contains(&"cold-flow"),
+        ..Default::default()
+    };
     let mut rec = RecordingCollector::new();
     let res = if a.flag("report").is_some() {
-        optimal_schedule_observed(&instance, &OfflineOptions::default(), &mut rec)
+        optimal_schedule_observed(&instance, &opts, &mut rec)
     } else {
-        optimal_schedule(&instance)
+        mpss::offline::optimal_schedule_with(&instance, &opts)
     }
     .map_err(|e| e.to_string())?;
     validate_schedule(&instance, &res.schedule, 1e-9)
@@ -238,20 +245,28 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_online(args: &[String]) -> Result<(), String> {
-    let a = parse(args, &[]);
+    let a = parse(args, &["cold-flow"]);
     let path = a.positional.first().ok_or("trace path required")?;
     let instance = load(path)?;
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
     let algo = a.flag("algo").ok_or("--algo oa|avr|bkp required")?;
+    let warm = !a.switches.contains(&"cold-flow");
+    let oa_opts = OaOptions {
+        offline: OfflineOptions {
+            warm_start: warm,
+            ..Default::default()
+        },
+        reseed: warm,
+    };
     let mut rec = RecordingCollector::new();
     let observing = a.flag("report").is_some();
     let (schedule, bound, name) = match algo {
         "oa" => {
             let oa = if observing {
-                oa_schedule_observed(&instance, &mut rec)
+                oa_schedule_observed_with(&instance, &oa_opts, &mut rec)
             } else {
-                oa_schedule(&instance)
+                oa_schedule_with_options(&instance, &oa_opts)
             }
             .map_err(|e| e.to_string())?;
             (oa.schedule, p.oa_bound(), "OA(m)")

@@ -69,12 +69,14 @@ pub mod prelude {
     pub use mpss_offline::non_migratory::{non_migratory_schedule, AssignPolicy};
     pub use mpss_offline::speed_bound::{feasible_at_cap, minimum_peak_speed};
     pub use mpss_offline::{
-        optimal_schedule, optimal_schedule_observed, yds_schedule, FlowEngine, OfflineOptions,
+        optimal_schedule, optimal_schedule_observed, optimal_schedule_seeded, yds_schedule,
+        FlowEngine, OfflineOptions, SeedPlan,
     };
     pub use mpss_online::{
         audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed, bkp_schedule,
         competitive_report, competitive_report_observed, oa_schedule, oa_schedule_observed,
-        record_energy_trajectory, OaSession,
+        oa_schedule_observed_with, oa_schedule_with_options, record_energy_trajectory, OaOptions,
+        OaSession,
     };
     pub use mpss_workloads::{instance_stats, Family, WorkloadSpec};
 }

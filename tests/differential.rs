@@ -1,0 +1,145 @@
+//! Differential testing of the warm-start incremental solver against the
+//! cold oracle.
+//!
+//! The warm path (`OfflineOptions::warm_start`, the default) reuses the
+//! residual network across repair rounds and speed probes instead of
+//! rebuilding it; by construction it must be a pure work optimisation. The
+//! properties here pin exactly that: on random instances the warm and cold
+//! solvers — under *both* max-flow engines — produce bit-identical phase
+//! partitions, speeds, reservations and repair traces, and the resulting
+//! energy is sandwiched by the independent `lp_baseline` discretisation.
+
+use mpss::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random fractional instance in the ISSUE-mandated differential envelope
+/// (`n ≤ 24`, `m ≤ 6`).
+fn differential_instance(n: usize, m: usize, seed: u64) -> Instance<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen_range(0.0..12.0);
+            let span: f64 = rng.gen_range(0.4..8.0);
+            let w: f64 = rng.gen_range(0.2..9.0);
+            job(r, r + span, w)
+        })
+        .collect();
+    Instance::new(m, jobs).unwrap()
+}
+
+fn solve(ins: &Instance<f64>, engine: FlowEngine, warm_start: bool) -> OptimalResult<f64> {
+    let opts = OfflineOptions {
+        record_trace: true,
+        engine,
+        warm_start,
+        ..Default::default()
+    };
+    mpss::offline::optimal_schedule_with(ins, &opts).unwrap()
+}
+
+use mpss::offline::optimal::OptimalResult;
+
+/// Phases must agree bit-for-bit: same job partition, same `f64` speed
+/// bits, same reservations, same number of repair rounds. Plain asserts —
+/// proptest catches the panic and shrinks as usual.
+fn assert_phases_bit_identical(a: &OptimalResult<f64>, b: &OptimalResult<f64>, ctx: &str) {
+    assert_eq!(a.phases.len(), b.phases.len(), "{ctx}: phase count");
+    for (i, (pa, pb)) in a.phases.iter().zip(&b.phases).enumerate() {
+        assert_eq!(
+            pa.speed.to_bits(),
+            pb.speed.to_bits(),
+            "{ctx}: phase {i} speed {} vs {}",
+            pa.speed,
+            pb.speed
+        );
+        assert_eq!(pa.jobs, pb.jobs, "{ctx}: phase {i} jobs");
+        assert_eq!(pa.procs, pb.procs, "{ctx}: phase {i} procs");
+        assert_eq!(pa.rounds, pb.rounds, "{ctx}: phase {i} rounds");
+    }
+    assert_eq!(
+        a.flow_computations, b.flow_computations,
+        "{ctx}: flow computations"
+    );
+    let key: fn(&mpss::offline::optimal::RoundTrace) -> (usize, usize, Option<usize>) =
+        |r| (r.phase, r.candidate_size, r.removed);
+    assert_eq!(
+        a.trace.iter().map(key).collect::<Vec<_>>(),
+        b.trace.iter().map(key).collect::<Vec<_>>(),
+        "{ctx}: repair traces"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Warm ≡ cold, under both engines, on the full differential envelope.
+    #[test]
+    fn warm_and_cold_solvers_agree_bit_for_bit(
+        seed in 0u64..1_000_000, n in 2usize..25, m in 1usize..7
+    ) {
+        let ins = differential_instance(n, m, seed);
+        let cold = solve(&ins, FlowEngine::Dinic, false);
+        prop_assert!(validate_schedule(&ins, &cold.schedule, 1e-6).is_ok());
+        let warm = solve(&ins, FlowEngine::Dinic, true);
+        prop_assert!(validate_schedule(&ins, &warm.schedule, 1e-6).is_ok());
+        assert_phases_bit_identical(&warm, &cold, "dinic warm vs cold");
+        let pr_warm = solve(&ins, FlowEngine::PushRelabel, true);
+        assert_phases_bit_identical(&pr_warm, &cold, "push-relabel warm vs dinic cold");
+        let pr_cold = solve(&ins, FlowEngine::PushRelabel, false);
+        assert_phases_bit_identical(&pr_cold, &cold, "push-relabel cold vs dinic cold");
+    }
+
+    /// On small instances both solvers' energy matches the independent LP
+    /// discretisation baseline within its convergence tolerance.
+    #[test]
+    fn both_solvers_match_the_lp_baseline(
+        seed in 0u64..1_000_000, n in 2usize..7, m in 1usize..4
+    ) {
+        let ins = differential_instance(n, m, seed);
+        let p = Polynomial::new(2.0);
+        let lp = lp_baseline(&ins, &p, 24).unwrap().energy;
+        for warm_start in [true, false] {
+            let res = solve(&ins, FlowEngine::Dinic, warm_start);
+            let opt = schedule_energy(&res.schedule, &p);
+            // The LP restricts speeds to a finite grid, so it upper-bounds
+            // OPT (up to discretisation), and OPT can undercut it only
+            // slightly.
+            prop_assert!(opt <= lp * 1.05 + 1e-9,
+                "warm {warm_start}: OPT {opt} far above LP {lp}");
+            prop_assert!(lp >= opt - 1e-6 * opt,
+                "warm {warm_start}: LP {lp} below OPT {opt}");
+        }
+    }
+}
+
+/// The seeded entry point with an empty / nonsense seed still reproduces
+/// the cold phases — seeding is capacity-clamped, so it can never change
+/// the answer.
+#[test]
+fn arbitrary_seed_spans_cannot_change_the_result() {
+    use mpss::obs::NoopCollector;
+    for seed in 0..40u64 {
+        let ins = differential_instance(3 + (seed as usize % 9), 1 + (seed as usize % 3), seed);
+        let cold = solve(&ins, FlowEngine::Dinic, false);
+        // Garbage spans: every job claims to have run over the whole horizon.
+        let horizon = ins.max_deadline().unwrap_or(1.0);
+        let garbage = SeedPlan {
+            spans: vec![vec![(0.0, horizon)]; ins.n()],
+        };
+        let opts = OfflineOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let seeded =
+            optimal_schedule_seeded(&ins, &opts, Some(&garbage), &mut NoopCollector).unwrap();
+        assert_eq!(seeded.phases.len(), cold.phases.len(), "seed {seed}");
+        for (pa, pb) in seeded.phases.iter().zip(&cold.phases) {
+            assert_eq!(pa.speed.to_bits(), pb.speed.to_bits(), "seed {seed}");
+            assert_eq!(pa.jobs, pb.jobs, "seed {seed}");
+        }
+        assert_eq!(seeded.flow_computations, cold.flow_computations);
+        assert!(validate_schedule(&ins, &seeded.schedule, 1e-6).is_ok());
+    }
+}

@@ -2,12 +2,192 @@
 //! (non-integer) random instances — the regime where float tolerance
 //! actually gets exercised — plus validator failure-injection: random
 //! corruptions of correct schedules must be caught.
+//!
+//! Failing instances are persisted as JSON fixtures under `tests/fixtures/`
+//! (same format as the workload traces, written and parsed by hand so the
+//! harness has no serializer dependency) and replayed by
+//! [`replay_persisted_fixtures`]; interesting historical failures get
+//! promoted to named `fixture_*` regression tests.
 
 use mpss::model::validate::ScheduleViolation;
 use mpss::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+mod fixtures {
+    use mpss::prelude::*;
+    use std::fmt::Write as _;
+    use std::path::{Path, PathBuf};
+
+    pub fn dir() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+    }
+
+    /// Serializes `ins` in the workload-trace JSON format
+    /// (`{"m": .., "jobs": [{"release", "deadline", "volume"}, ..]}`) —
+    /// hand-rolled so fixture IO works without any serializer.
+    pub fn write_fixture(tag: &str, ins: &Instance<f64>) -> PathBuf {
+        let mut text = format!("{{\n  \"m\": {},\n  \"jobs\": [\n", ins.m);
+        for (i, j) in ins.jobs.iter().enumerate() {
+            let comma = if i + 1 == ins.jobs.len() { "" } else { "," };
+            let _ = writeln!(
+                text,
+                "    {{\"release\": {:?}, \"deadline\": {:?}, \"volume\": {:?}}}{comma}",
+                j.release, j.deadline, j.volume
+            );
+        }
+        text.push_str("  ]\n}\n");
+        let path = dir().join(format!("{tag}.json"));
+        std::fs::create_dir_all(dir()).expect("create fixture dir");
+        std::fs::write(&path, text).expect("write fixture");
+        path
+    }
+
+    /// Minimal parser for the same format. Tolerates whitespace and key
+    /// order within a job object; anything else is a panic — fixtures are
+    /// test inputs, not user data.
+    pub fn read_fixture(path: &Path) -> Instance<f64> {
+        let text = std::fs::read_to_string(path).expect("read fixture");
+        let m = number_after(&text, "\"m\"") as usize;
+        let mut jobs = Vec::new();
+        // Each job object lives between braces after the "jobs" key.
+        let body = text.split_once("\"jobs\"").expect("jobs key").1;
+        for obj in body.split('{').skip(1) {
+            let obj = obj.split('}').next().expect("closing brace");
+            jobs.push(job(
+                number_after(obj, "\"release\""),
+                number_after(obj, "\"deadline\""),
+                number_after(obj, "\"volume\""),
+            ));
+        }
+        Instance::new(m, jobs).expect("fixture instance is valid")
+    }
+
+    fn number_after(text: &str, key: &str) -> f64 {
+        let tail = text.split_once(key).expect("key present").1;
+        let tail = tail.split_once(':').expect("colon").1;
+        let tail = tail.trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(tail.len());
+        tail[..end].parse().expect("numeric value")
+    }
+}
+
+/// The invariant bundle every fixture (and every fuzz case) must satisfy:
+/// warm and cold solvers agree bit-for-bit on the phase structure and the
+/// repair trace, the schedule is feasible, and the energy is sandwiched
+/// between the per-job lower bound and the non-migratory upper bound.
+fn check_offline_properties(ins: &Instance<f64>) {
+    let run = |warm_start: bool| {
+        let opts = OfflineOptions {
+            record_trace: true,
+            warm_start,
+            ..Default::default()
+        };
+        mpss::offline::optimal_schedule_with(ins, &opts).unwrap()
+    };
+    let cold = run(false);
+    let warm = run(true);
+    assert!(validate_schedule(ins, &cold.schedule, 1e-7).is_ok());
+    assert!(validate_schedule(ins, &warm.schedule, 1e-7).is_ok());
+    assert_eq!(warm.phases.len(), cold.phases.len(), "phase count");
+    for (pa, pb) in warm.phases.iter().zip(&cold.phases) {
+        assert_eq!(pa.speed.to_bits(), pb.speed.to_bits(), "phase speed");
+        assert_eq!(pa.jobs, pb.jobs, "phase jobs");
+        assert_eq!(pa.procs, pb.procs, "phase reservations");
+        assert_eq!(pa.rounds, pb.rounds, "phase rounds");
+    }
+    assert_eq!(
+        warm.trace
+            .iter()
+            .map(|r| (r.phase, r.candidate_size, r.removed))
+            .collect::<Vec<_>>(),
+        cold.trace
+            .iter()
+            .map(|r| (r.phase, r.candidate_size, r.removed))
+            .collect::<Vec<_>>(),
+        "repair traces"
+    );
+    let p = Polynomial::new(2.0);
+    let opt = schedule_energy(&warm.schedule, &p);
+    let lb = per_job_lower_bound(ins, &p);
+    assert!(lb <= opt * (1.0 + 1e-6) + 1e-9, "LB {lb} > OPT {opt}");
+    let nm = non_migratory_schedule(ins, 2.0, AssignPolicy::LeastLoaded);
+    let ub = schedule_energy(&nm.schedule, &p);
+    assert!(opt <= ub * (1.0 + 1e-6) + 1e-9, "OPT {opt} > UB {ub}");
+}
+
+/// Runs the invariant bundle; on failure persists the instance as a JSON
+/// fixture (so the exact case replays forever via
+/// [`replay_persisted_fixtures`]) before re-raising the panic.
+fn check_with_persistence(tag: &str, ins: &Instance<f64>) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check_offline_properties(ins)
+    }));
+    if let Err(panic) = outcome {
+        let path = fixtures::write_fixture(tag, ins);
+        eprintln!(
+            "fuzz case failed — instance persisted to {} (replayed by replay_persisted_fixtures)",
+            path.display()
+        );
+        std::panic::resume_unwind(panic);
+    }
+}
+
+/// Replays every fixture under `tests/fixtures/` — the committed regression
+/// corpus plus anything a failing fuzz run persisted locally.
+#[test]
+fn replay_persisted_fixtures() {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(fixtures::dir())
+        .expect("tests/fixtures exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "the committed fixture corpus must not be empty"
+    );
+    for path in names {
+        let ins = fixtures::read_fixture(&path);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_offline_properties(&ins)
+        }));
+        if let Err(panic) = outcome {
+            eprintln!("fixture {} failed", path.display());
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+use std::path::PathBuf;
+
+/// Historical repair-cascade shape: nested windows force phase 1 through
+/// multiple Lemma 4 removals, exercising the warm drain/retarget path.
+#[test]
+fn fixture_repair_cascade() {
+    let ins = fixtures::read_fixture(&fixtures::dir().join("repair_cascade.json"));
+    check_offline_properties(&ins);
+    // The shape exists to drive repeated removals: the two dense jobs pin a
+    // fast first phase and the wide jobs must be relaxed out one by one.
+    let opts = OfflineOptions {
+        record_trace: true,
+        ..Default::default()
+    };
+    let res = mpss::offline::optimal_schedule_with(&ins, &opts).unwrap();
+    let removals = res.trace.iter().filter(|r| r.removed.is_some()).count();
+    assert!(removals >= 2, "expected a removal cascade, saw {removals}");
+}
+
+/// Fractional capacities with a tight window pair — the shape that first
+/// exposed conservation dust in the warm cancellation walks.
+#[test]
+fn fixture_fractional_tight_pair() {
+    let ins = fixtures::read_fixture(&fixtures::dir().join("fractional_tight_pair.json"));
+    check_offline_properties(&ins);
+}
 
 /// Random instance with fractional coordinates (not exactly representable
 /// on any grid).
@@ -28,21 +208,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The optimal schedule stays feasible and sandwiched on fractional
-    /// instances.
+    /// instances, with warm ≡ cold bit-identity. Failing cases are
+    /// persisted as JSON fixtures under `tests/fixtures/` and replayed
+    /// forever by `replay_persisted_fixtures`.
     #[test]
     fn fractional_instances_stay_feasible_and_sandwiched(
         seed in 0u64..100_000, n in 2usize..10, m in 1usize..4
     ) {
         let ins = fractional_instance(n, m, seed);
-        let res = optimal_schedule(&ins).unwrap();
-        prop_assert!(validate_schedule(&ins, &res.schedule, 1e-7).is_ok());
-        let p = Polynomial::new(2.0);
-        let opt = schedule_energy(&res.schedule, &p);
-        let lb = per_job_lower_bound(&ins, &p);
-        prop_assert!(lb <= opt * (1.0 + 1e-6) + 1e-9, "LB {lb} > OPT {opt}");
-        let nm = non_migratory_schedule(&ins, 2.0, AssignPolicy::LeastLoaded);
-        let ub = schedule_energy(&nm.schedule, &p);
-        prop_assert!(opt <= ub * (1.0 + 1e-6) + 1e-9, "OPT {opt} > UB {ub}");
+        check_with_persistence(&format!("fuzz_sandwich_s{seed}_n{n}_m{m}"), &ins);
     }
 
     /// Scaling all volumes by c scales optimal energy by c^α

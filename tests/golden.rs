@@ -9,7 +9,7 @@ use mpss::numeric::rational::rat;
 use mpss::numeric::Rational;
 use mpss::offline::optimal_schedule;
 use mpss::online::{avr_schedule, oa_schedule};
-use mpss::prelude::{job, Instance};
+use mpss::prelude::{job, FlowEngine, Instance, OfflineOptions};
 
 /// The Fig. 2-trace instance: 5 jobs, 2 processors, 4 speed levels.
 fn fig2_instance() -> Instance<Rational> {
@@ -98,6 +98,90 @@ fn golden_online_runs() {
     // Theorem bounds, exactly.
     assert!(e_oa <= rat(4, 1) * e_opt);
     assert!(e_avr <= rat(9, 1) * e_opt);
+}
+
+/// The warm-start smoke gate: on the whole golden corpus, in *exact*
+/// rational arithmetic, the warm incremental solver must reproduce the cold
+/// oracle's phases — same speeds (exact equality), memberships,
+/// reservations, repair-round counts, and the same total number of flow
+/// computations — under both engines. CI runs this as the warm-vs-cold
+/// smoke check.
+#[test]
+fn golden_corpus_warm_equals_cold() {
+    let staircase: Instance<Rational> = Instance::new(
+        2,
+        vec![
+            job(rat(0, 1), rat(1, 1), rat(5, 1)),
+            job(rat(0, 1), rat(2, 1), rat(2, 1)),
+            job(rat(0, 1), rat(4, 1), rat(1, 1)),
+            job(rat(0, 1), rat(8, 1), rat(1, 1)),
+        ],
+    )
+    .unwrap();
+    let three: Instance<Rational> =
+        Instance::new(2, vec![job(rat(0, 1), rat(3, 1), rat(3, 1)); 3]).unwrap();
+    for (name, ins) in [
+        ("fig2", fig2_instance()),
+        ("staircase", staircase),
+        ("three-jobs", three),
+    ] {
+        let solve = |engine: FlowEngine, warm_start: bool| {
+            let opts = OfflineOptions {
+                record_trace: true,
+                engine,
+                warm_start,
+                ..Default::default()
+            };
+            mpss::offline::optimal_schedule_with(&ins, &opts).unwrap()
+        };
+        let cold = solve(FlowEngine::Dinic, false);
+        for (tag, engine) in [
+            ("dinic", FlowEngine::Dinic),
+            ("pr", FlowEngine::PushRelabel),
+        ] {
+            for warm_start in [true, false] {
+                let res = solve(engine, warm_start);
+                assert_feasible(&ins, &res.schedule, 0.0);
+                assert_eq!(
+                    res.phases.len(),
+                    cold.phases.len(),
+                    "{name}/{tag} warm={warm_start}: phase count"
+                );
+                for (i, (pa, pb)) in res.phases.iter().zip(&cold.phases).enumerate() {
+                    assert_eq!(
+                        pa.speed, pb.speed,
+                        "{name}/{tag} warm={warm_start}: phase {i} speed"
+                    );
+                    assert_eq!(pa.jobs, pb.jobs, "{name}/{tag} warm={warm_start}: jobs");
+                    assert_eq!(pa.procs, pb.procs, "{name}/{tag} warm={warm_start}: procs");
+                    assert_eq!(
+                        pa.rounds, pb.rounds,
+                        "{name}/{tag} warm={warm_start}: rounds"
+                    );
+                }
+                assert_eq!(
+                    res.flow_computations, cold.flow_computations,
+                    "{name}/{tag} warm={warm_start}: flow computations"
+                );
+                assert_eq!(
+                    res.trace
+                        .iter()
+                        .map(|r| (r.phase, r.candidate_size, r.removed))
+                        .collect::<Vec<_>>(),
+                    cold.trace
+                        .iter()
+                        .map(|r| (r.phase, r.candidate_size, r.removed))
+                        .collect::<Vec<_>>(),
+                    "{name}/{tag} warm={warm_start}: repair traces"
+                );
+                assert_eq!(
+                    schedule_energy_exact(&res.schedule, 2),
+                    schedule_energy_exact(&cold.schedule, 2),
+                    "{name}/{tag} warm={warm_start}: exact energy"
+                );
+            }
+        }
+    }
 }
 
 #[test]
