@@ -131,49 +131,17 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Maps `f` over `items` on scoped worker threads (the harness's
-/// parameter sweeps are embarrassingly parallel; `rayon` is not available
-/// offline, so this is a minimal work-queue fan-out). Output order matches
-/// input order.
+/// Maps `f` over `items` on the shared worker pool ([`mpss_par::ThreadPool`]
+/// sized from `MPSS_THREADS` / available parallelism), returning outputs in
+/// input order. Kept as a thin re-wrap so every `exp_*` binary's sweeps go
+/// through the same pool the library hot paths use.
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in items.into_iter().enumerate() {
-        queue.push(item);
-    }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, O)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            scope.spawn(|| {
-                let tx = tx; // move the clone into this worker
-                while let Some((idx, item)) = queue.pop() {
-                    let _ = tx.send((idx, f(item)));
-                }
-            });
-        }
-        drop(tx);
-    });
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    for (idx, out) in rx {
-        slots[idx] = Some(out);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    mpss_par::ThreadPool::from_env().scope_map(items, f)
 }
 
 /// Simple summary statistics.

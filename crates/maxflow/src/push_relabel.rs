@@ -10,6 +10,7 @@
 use crate::network::{FlowNetwork, NodeId};
 use crate::{EngineStats, MaxFlow};
 use mpss_numeric::FlowNum;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Highest-label push–relabel engine.
 #[derive(Default)]
@@ -39,10 +40,20 @@ impl PushRelabel {
             }
         }
     }
-}
 
-impl<T: FlowNum> MaxFlow<T> for PushRelabel {
-    fn max_flow(&mut self, net: &mut FlowNetwork<T>, s: NodeId, t: NodeId) -> T {
+    /// Shared driver behind [`MaxFlow::max_flow`] and
+    /// [`MaxFlow::max_flow_cancelable`]: the cancellation flag is polled once
+    /// per highest-label selection (i.e. per discharge), and a cancelled run
+    /// bails out *before* the trapped-excess cancellation phase — the network
+    /// is left capacity-feasible but non-conservative, which is fine because
+    /// the racing caller discards the loser's network.
+    fn run<T: FlowNum>(
+        &mut self,
+        net: &mut FlowNetwork<T>,
+        s: NodeId,
+        t: NodeId,
+        cancel: Option<&AtomicBool>,
+    ) -> Option<T> {
         assert!(s != t, "source and sink must differ");
         let n = net.num_nodes();
         self.height.clear();
@@ -78,6 +89,9 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
         // Highest-label selection.
         let mut hi = 2 * n;
         loop {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                return None;
+            }
             while hi > 0 && self.buckets[hi].is_empty() {
                 hi -= 1;
             }
@@ -164,7 +178,24 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
         // phase).
         cancel_trapped_excess(net, &mut excess, s, t);
 
-        excess[t]
+        Some(excess[t])
+    }
+}
+
+impl<T: FlowNum> MaxFlow<T> for PushRelabel {
+    fn max_flow(&mut self, net: &mut FlowNetwork<T>, s: NodeId, t: NodeId) -> T {
+        self.run(net, s, t, None)
+            .expect("uncancellable run cannot be cancelled")
+    }
+
+    fn max_flow_cancelable(
+        &mut self,
+        net: &mut FlowNetwork<T>,
+        s: NodeId,
+        t: NodeId,
+        cancel: &AtomicBool,
+    ) -> Option<T> {
+        self.run(net, s, t, Some(cancel))
     }
 
     fn name(&self) -> &'static str {
@@ -177,6 +208,10 @@ impl<T: FlowNum> MaxFlow<T> for PushRelabel {
 
     fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+    }
+
+    fn restore_stats(&mut self, stats: EngineStats) {
+        self.stats = stats;
     }
 }
 

@@ -27,9 +27,12 @@
 
 use crate::flow_model::FlowModel;
 use mpss_core::{Instance, Intervals, JobId, ModelError, Schedule, Segment};
-use mpss_maxflow::{residual_reachable_tol, Dinic, MaxFlow, PushRelabel, WarmStartable};
+use mpss_maxflow::{
+    residual_reachable_tol, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, WarmStartable,
+};
 use mpss_numeric::FlowNum;
 use mpss_obs::{Collector, NoopCollector};
+use mpss_par::{race2, RaceWinner};
 
 /// Which max-flow engine the offline algorithm runs internally.
 ///
@@ -64,6 +67,20 @@ pub struct OfflineOptions {
     /// optimisation. Set to `false` to get the cold solver as a differential
     /// oracle (`--cold-flow` in the CLI).
     pub warm_start: bool,
+    /// Race Dinic and push–relabel on every max-flow probe (default
+    /// `false`), keeping whichever finishes first and cancelling the other
+    /// cooperatively. When set, [`OfflineOptions::engine`] is ignored.
+    ///
+    /// Racing is *sound*, not just fast-on-average: the value of a maximum
+    /// flow is unique, and the only decision the solver hangs on the flow —
+    /// Lemma 4's removal rule — reads the canonical min-cut certificate
+    /// ([`residual_reachable_tol`]), which is identical for every maximum
+    /// flow. So phases, speeds and energy are bit-identical whichever engine
+    /// wins; only the segment-level packing within an accepted interval may
+    /// differ (it is free to, up to the chosen maximum flow). Each race
+    /// clones the probe network once; the loser's network and partial work
+    /// counters are discarded (see [`MaxFlow::restore_stats`]).
+    pub race_engines: bool,
 }
 
 impl Default for OfflineOptions {
@@ -73,6 +90,7 @@ impl Default for OfflineOptions {
             record_trace: false,
             engine: FlowEngine::Dinic,
             warm_start: true,
+            race_engines: false,
         }
     }
 }
@@ -294,10 +312,24 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
                     obs.count("maxflow.warm.reused_flow", 1);
                 }
                 obs.count("offline.cold_rounds_avoided", 1);
-                flow = match opts.engine {
-                    FlowEngine::Dinic => dinic.re_max_flow(&mut prev.net, prev.source, prev.sink),
-                    FlowEngine::PushRelabel => {
-                        push_relabel.re_max_flow(&mut prev.net, prev.source, prev.sink)
+                flow = if opts.race_engines {
+                    race_flow(
+                        &mut dinic,
+                        &mut push_relabel,
+                        &mut prev.net,
+                        prev.source,
+                        prev.sink,
+                        true,
+                        obs,
+                    )
+                } else {
+                    match opts.engine {
+                        FlowEngine::Dinic => {
+                            dinic.re_max_flow(&mut prev.net, prev.source, prev.sink)
+                        }
+                        FlowEngine::PushRelabel => {
+                            push_relabel.re_max_flow(&mut prev.net, prev.source, prev.sink)
+                        }
                     }
                 };
                 fm = prev;
@@ -318,17 +350,41 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
                     if seeded.is_strictly_positive() {
                         obs.count("maxflow.warm.reused_flow", 1);
                     }
-                    flow = match opts.engine {
-                        FlowEngine::Dinic => dinic.re_max_flow(&mut fm.net, fm.source, fm.sink),
-                        FlowEngine::PushRelabel => {
-                            push_relabel.re_max_flow(&mut fm.net, fm.source, fm.sink)
+                    flow = if opts.race_engines {
+                        race_flow(
+                            &mut dinic,
+                            &mut push_relabel,
+                            &mut fm.net,
+                            fm.source,
+                            fm.sink,
+                            true,
+                            obs,
+                        )
+                    } else {
+                        match opts.engine {
+                            FlowEngine::Dinic => dinic.re_max_flow(&mut fm.net, fm.source, fm.sink),
+                            FlowEngine::PushRelabel => {
+                                push_relabel.re_max_flow(&mut fm.net, fm.source, fm.sink)
+                            }
                         }
                     };
                 } else {
-                    flow = match opts.engine {
-                        FlowEngine::Dinic => dinic.max_flow(&mut fm.net, fm.source, fm.sink),
-                        FlowEngine::PushRelabel => {
-                            push_relabel.max_flow(&mut fm.net, fm.source, fm.sink)
+                    flow = if opts.race_engines {
+                        race_flow(
+                            &mut dinic,
+                            &mut push_relabel,
+                            &mut fm.net,
+                            fm.source,
+                            fm.sink,
+                            false,
+                            obs,
+                        )
+                    } else {
+                        match opts.engine {
+                            FlowEngine::Dinic => dinic.max_flow(&mut fm.net, fm.source, fm.sink),
+                            FlowEngine::PushRelabel => {
+                                push_relabel.max_flow(&mut fm.net, fm.source, fm.sink)
+                            }
                         }
                     };
                 }
@@ -460,6 +516,67 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
         flow_computations,
         trace,
     })
+}
+
+/// One engine-portfolio race: Dinic and push–relabel run concurrently on
+/// clones of `net`, the first finisher's network replaces `net`, the loser
+/// is cancelled and fully discarded.
+///
+/// `warm` selects [`WarmStartable::re_max_flow_cancelable`] (the network
+/// already carries a feasible flow to keep) over the cold
+/// [`MaxFlow::max_flow_cancelable`]. The loser's work counters are rolled
+/// back to their pre-race snapshot so run totals count each probe exactly
+/// once, by the engine that actually served it; `par.race.dinic_wins` /
+/// `par.race.pr_wins` record who did.
+#[allow(clippy::too_many_arguments)]
+fn race_flow<T: FlowNum, C: Collector>(
+    dinic: &mut Dinic,
+    push_relabel: &mut PushRelabel,
+    net: &mut FlowNetwork<T>,
+    source: NodeId,
+    sink: NodeId,
+    warm: bool,
+    obs: &mut C,
+) -> T {
+    let dinic_snap = MaxFlow::<T>::stats(dinic);
+    let pr_snap = MaxFlow::<T>::stats(push_relabel);
+    // One clone per race: steal the probe network for one contender, clone
+    // it for the other, move the winner's copy back.
+    let base = std::mem::replace(net, FlowNetwork::new(2));
+    let mut dinic_net = base.clone();
+    let mut pr_net = base;
+    let dinic_ref = &mut *dinic;
+    let pr_ref = &mut *push_relabel;
+    let (winner, (flow, winning_net)) = race2(
+        move |cancel| {
+            let f = if warm {
+                dinic_ref.re_max_flow_cancelable(&mut dinic_net, source, sink, cancel)
+            } else {
+                dinic_ref.max_flow_cancelable(&mut dinic_net, source, sink, cancel)
+            }?;
+            Some((f, dinic_net))
+        },
+        move |cancel| {
+            let f = if warm {
+                pr_ref.re_max_flow_cancelable(&mut pr_net, source, sink, cancel)
+            } else {
+                pr_ref.max_flow_cancelable(&mut pr_net, source, sink, cancel)
+            }?;
+            Some((f, pr_net))
+        },
+    );
+    *net = winning_net;
+    match winner {
+        RaceWinner::First => {
+            obs.count("par.race.dinic_wins", 1);
+            MaxFlow::<T>::restore_stats(push_relabel, pr_snap);
+        }
+        RaceWinner::Second => {
+            obs.count("par.race.pr_wins", 1);
+            MaxFlow::<T>::restore_stats(dinic, dinic_snap);
+        }
+    }
+    flow
 }
 
 /// Copies the engines' accumulated work counters
@@ -818,6 +935,62 @@ mod tests {
         assert_eq!(plain.flow_computations, observed.flow_computations);
         assert_eq!(plain.phases.len(), observed.phases.len());
         assert_eq!(plain.schedule.segments, observed.schedule.segments);
+    }
+
+    #[test]
+    fn racing_matches_single_engine_phases_and_energy() {
+        use mpss_obs::RecordingCollector;
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 1.0, 4.0),
+                job(0.0, 1.0, 4.0),
+                job(0.0, 4.0, 2.0),
+                job(2.0, 6.0, 1.0),
+            ],
+        )
+        .unwrap();
+        for warm in [true, false] {
+            let solo = optimal_schedule_with(
+                &ins,
+                &OfflineOptions {
+                    warm_start: warm,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut rec = RecordingCollector::new();
+            let raced = optimal_schedule_observed(
+                &ins,
+                &OfflineOptions {
+                    warm_start: warm,
+                    race_engines: true,
+                    ..Default::default()
+                },
+                &mut rec,
+            )
+            .unwrap();
+            assert_feasible(&ins, &raced.schedule, 1e-9);
+            // Phases, speeds, and repair traces are race-invariant...
+            assert_eq!(solo.flow_computations, raced.flow_computations);
+            assert_eq!(solo.phases.len(), raced.phases.len());
+            for (a, b) in solo.phases.iter().zip(&raced.phases) {
+                assert_eq!(a.speed.to_bits(), b.speed.to_bits());
+                assert_eq!(a.jobs, b.jobs);
+                assert_eq!(a.procs, b.procs);
+                assert_eq!(a.rounds, b.rounds);
+            }
+            // ...and so is the energy (packing may differ, energy cannot).
+            let p = Polynomial::new(2.0);
+            let e_solo = schedule_energy(&solo.schedule, &p);
+            let e_race = schedule_energy(&raced.schedule, &p);
+            assert!((e_solo - e_race).abs() < 1e-12, "{e_solo} vs {e_race}");
+            // Every probe was served by exactly one winner.
+            assert_eq!(
+                rec.counter("par.race.dinic_wins") + rec.counter("par.race.pr_wins"),
+                raced.flow_computations as u64
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use mpss_core::{Instance, Intervals, Schedule, Segment};
 use mpss_numeric::FlowNum;
 use mpss_obs::{Collector, NoopCollector};
+use mpss_par::{chunk_ranges, ThreadPool};
 
 /// Runs AVR(m) on the event-interval partition. Works for either numeric
 /// mode; decisions are fully online (densities of active jobs only).
@@ -47,6 +48,90 @@ pub fn avr_schedule_observed<T: FlowNum, C: Collector>(
     }
     schedule.normalize();
     schedule
+}
+
+/// [`avr_schedule`] with the per-interval work spread over `pool`.
+///
+/// Bit-identical to the sequential schedule: AVR's decisions in interval
+/// `I_j` depend only on the jobs active in `I_j`, so the intervals are
+/// embarrassingly parallel; each worker computes its contiguous chunk of
+/// intervals into a private segment buffer and the buffers are spliced back
+/// in interval order, reproducing the exact segment sequence the sequential
+/// loop feeds into [`Schedule::normalize`] (a stable sort).
+pub fn avr_schedule_parallel<T: FlowNum>(instance: &Instance<T>, pool: &ThreadPool) -> Schedule<T> {
+    avr_schedule_parallel_observed(instance, pool, &mut NoopCollector)
+}
+
+/// [`avr_schedule_parallel`] with an instrumentation [`Collector`].
+///
+/// Emits the same `avr.intervals` / `avr.peeled` counters as the sequential
+/// [`avr_schedule_observed`] (each worker tallies locally; the tallies are
+/// merged in the caller after the join, so totals are deterministic), plus
+/// `par.tasks` (chunks dispatched) and `par.pool.threads`.
+pub fn avr_schedule_parallel_observed<T: FlowNum, C: Collector>(
+    instance: &Instance<T>,
+    pool: &ThreadPool,
+    obs: &mut C,
+) -> Schedule<T> {
+    let intervals = Intervals::from_instance(instance);
+    // Below a few intervals per worker the splice bookkeeping costs more
+    // than it saves; fall back to the sequential loop (same output).
+    if pool.threads() <= 1 || intervals.len() < 2 * pool.threads() {
+        return avr_schedule_observed(instance, obs);
+    }
+    let chunks = chunk_ranges(intervals.len(), pool.threads());
+    obs.count("par.tasks", chunks.len() as u64);
+    obs.count("par.pool.threads", pool.threads() as u64);
+    let parts = pool.scope_map(chunks, |range| {
+        let mut local = Schedule::new(instance.m);
+        let mut tally = AvrTally::default();
+        for j in range {
+            let (start, end) = intervals.bounds(j);
+            schedule_interval(instance, &mut local, start, end, &mut tally);
+        }
+        (local.segments, tally)
+    });
+    let mut schedule = Schedule::new(instance.m);
+    for (segments, tally) in parts {
+        schedule.segments.extend(segments);
+        tally.merge_into(obs);
+    }
+    schedule.normalize();
+    schedule
+}
+
+/// Per-worker counter tally: [`Collector`] is `&mut` state, so workers
+/// cannot share the caller's collector; they count into this fixed-size
+/// struct and the caller merges after the deterministic join.
+#[derive(Default)]
+struct AvrTally {
+    intervals: u64,
+    peeled: u64,
+}
+
+impl AvrTally {
+    fn merge_into<C: Collector>(&self, obs: &mut C) {
+        if self.intervals > 0 {
+            obs.count("avr.intervals", self.intervals);
+        }
+        if self.peeled > 0 {
+            obs.count("avr.peeled", self.peeled);
+        }
+    }
+}
+
+impl Collector for AvrTally {
+    fn count(&mut self, counter: &'static str, by: u64) {
+        match counter {
+            "avr.intervals" => self.intervals += by,
+            "avr.peeled" => self.peeled += by,
+            _ => {}
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// Runs AVR(m) exactly as in the paper's Fig. 3: over unit intervals
@@ -315,6 +400,55 @@ mod tests {
         assert_eq!(rec.counter("avr.intervals"), 1);
         assert_eq!(rec.counter("avr.peeled"), 1);
         assert_eq!(s.segments, avr_schedule(&ins).segments);
+    }
+
+    #[test]
+    fn parallel_avr_is_bit_identical_to_sequential() {
+        for seed in 0..30u64 {
+            let ins =
+                random_int_instance(4 + (seed as usize % 8), 1 + (seed as usize % 4), 16, seed);
+            let seq = avr_schedule(&ins);
+            for threads in [1, 2, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let par = avr_schedule_parallel(&ins, &pool);
+                assert_eq!(
+                    seq.segments, par.segments,
+                    "seed {seed}, {threads} threads: parallel AVR diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_avr_merges_worker_tallies() {
+        use mpss_obs::RecordingCollector;
+        let ins = random_int_instance(10, 3, 20, 7);
+        let mut seq_rec = RecordingCollector::new();
+        avr_schedule_observed(&ins, &mut seq_rec);
+        let mut par_rec = RecordingCollector::new();
+        let pool = ThreadPool::new(4);
+        avr_schedule_parallel_observed(&ins, &pool, &mut par_rec);
+        assert_eq!(
+            seq_rec.counter("avr.intervals"),
+            par_rec.counter("avr.intervals")
+        );
+        assert_eq!(seq_rec.counter("avr.peeled"), par_rec.counter("avr.peeled"));
+        assert_eq!(par_rec.counter("par.pool.threads"), 4);
+        assert!(par_rec.counter("par.tasks") >= 1);
+    }
+
+    #[test]
+    fn parallel_avr_exact_rational() {
+        let ins: Instance<Rational> = {
+            let jobs = (0..12i128)
+                .map(|k| job(rat(k, 2), rat(k + 3, 2), rat(1 + (k % 4) * 2, 1 + (k % 3))))
+                .collect();
+            Instance::new(2, jobs).unwrap()
+        };
+        let seq = avr_schedule(&ins);
+        let par = avr_schedule_parallel(&ins, &ThreadPool::new(3));
+        assert_eq!(seq.segments, par.segments);
+        assert_feasible(&ins, &par, 0.0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Deterministic scoped-thread parallelism for the `mpss` workspace.
+//!
+//! The workspace's hot paths are embarrassingly parallel at three different
+//! granularities — independent *instances* (the batched serving shape),
+//! independent *intervals* (AVR(m)'s per-interval peel + wrap-around), and
+//! independent *engines* racing on the same max-flow probe — yet none of
+//! them may change a single output byte when parallelised. This crate
+//! provides the two primitives all of them share, built on `std` only
+//! (the build environment is offline; like `mpss-numeric` and `mpss-obs`,
+//! it depends on nothing outside the standard library):
+//!
+//! * [`ThreadPool`] with [`ThreadPool::scope_map`] — fan a `Vec` of items
+//!   over scoped worker threads and join **in submission order**, whatever
+//!   order the workers finish in. With one thread (or one item) it degrades
+//!   to the plain sequential iterator, so `MPSS_THREADS=1` is a bit-exact
+//!   oracle for any parallel run.
+//! * [`race2`] — run two closures concurrently, return the first finisher's
+//!   output, and cancel the loser through an [`AtomicBool`] it is expected
+//!   to poll. The max-flow engines poll it in their outer loops, which is
+//!   what makes engine-portfolio racing (Dinic vs push–relabel on clones of
+//!   the same network) a pure latency optimisation.
+//!
+//! Thread-count policy lives here too: [`ThreadPool::from_env`] reads the
+//! `MPSS_THREADS` environment variable and falls back to
+//! [`std::thread::available_parallelism`], and every consumer (CLI
+//! `--threads`, batch API, experiment harness) routes through it so one
+//! knob controls the whole workspace.
+//!
+//! ```
+//! use mpss_par::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.scope_map((0..8).collect::<Vec<_>>(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]); // submission order
+//! ```
+
+mod pool;
+mod race;
+
+pub use pool::{chunk_ranges, ThreadPool};
+pub use race::{race2, RaceWinner};
+
+pub use std::sync::atomic::AtomicBool;

@@ -1,0 +1,109 @@
+//! Two-contender racing with cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Which contender of a [`race2`] produced the returned output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RaceWinner {
+    /// The first closure finished first.
+    First,
+    /// The second closure finished first.
+    Second,
+}
+
+/// Runs two closures concurrently and returns the first finisher's output,
+/// cancelling the other.
+///
+/// Each contender receives a *cancellation flag* that the **other**
+/// contender's victory sets; it is expected to poll the flag at its outer
+/// loop and bail out with `None` once set (returning `None` without being
+/// cancelled is a contract violation and panics — a contender that can fail
+/// must encode the failure inside `O`). The loser's output, partial or
+/// complete, is dropped: callers that maintain per-contender state (work
+/// counters, network clones) must keep only the winner's.
+///
+/// The race is sound for the mpss engines because the *value* of a maximum
+/// flow is unique and every downstream decision (the offline solver's
+/// removal rule) reads only flow-invariant certificates — whichever engine
+/// wins, the observable result is the same. Which contender wins is
+/// nevertheless timing-dependent; treat [`RaceWinner`] as observability,
+/// never as data.
+///
+/// One contender runs on the calling thread, so a race costs a single
+/// spawned (scoped) thread.
+pub fn race2<O, A, B>(first: A, second: B) -> (RaceWinner, O)
+where
+    O: Send,
+    A: FnOnce(&AtomicBool) -> Option<O> + Send,
+    B: FnOnce(&AtomicBool) -> Option<O> + Send,
+{
+    let cancel_first = AtomicBool::new(false);
+    let cancel_second = AtomicBool::new(false);
+    let podium: Mutex<Option<(RaceWinner, O)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            if let Some(out) = first(&cancel_first) {
+                let mut slot = podium.lock().expect("podium poisoned");
+                if slot.is_none() {
+                    *slot = Some((RaceWinner::First, out));
+                    cancel_second.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        if let Some(out) = second(&cancel_second) {
+            let mut slot = podium.lock().expect("podium poisoned");
+            if slot.is_none() {
+                *slot = Some((RaceWinner::Second, out));
+                cancel_first.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    podium
+        .into_inner()
+        .expect("podium poisoned")
+        .expect("a contender returned None without being cancelled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontested_contender_wins() {
+        // The second contender refuses to finish until cancelled, so the
+        // first always wins, whatever the thread interleaving.
+        let (winner, out) = race2(
+            |_c| Some(42),
+            |c: &AtomicBool| {
+                while !c.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                None
+            },
+        );
+        assert_eq!(winner, RaceWinner::First);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn symmetric_race_returns_some_result() {
+        let (_, out) = race2(|_| Some("a"), |_| Some("a"));
+        assert_eq!(out, "a");
+    }
+
+    #[test]
+    fn loser_output_is_dropped_not_merged() {
+        let (winner, out) = race2(
+            |c: &AtomicBool| {
+                while !c.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                None
+            },
+            |_c| Some(7),
+        );
+        assert_eq!(winner, RaceWinner::Second);
+        assert_eq!(out, 7);
+    }
+}

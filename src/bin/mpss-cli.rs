@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! mpss-cli generate --family uniform --n 20 --m 4 [--horizon 48] [--seed 1] -o trace.json
-//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--cold-flow] [--save-schedule out.json] [--report out.json]
-//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--cold-flow] [--report out.json]
+//! mpss-cli solve trace.json [--alpha 3] [--gantt] [--cold-flow] [--race] [--save-schedule out.json] [--report out.json]
+//! mpss-cli solve-batch --dir traces/ [--alpha 3] [--threads N] [--race] [--report-dir reports/]
+//! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--cold-flow] [--threads N] [--report out.json]
 //! mpss-cli bounds trace.json [--alpha 3]
 //! mpss-cli check trace.json schedule.json
 //! ```
@@ -14,6 +15,13 @@
 //! path (and OA replan reseeding), running every repair round from a freshly
 //! built network — the differential oracle the warm path is validated
 //! against.
+//!
+//! Parallelism: `--threads N` sizes the worker pool explicitly; without it
+//! the `MPSS_THREADS` environment variable, then the machine's available
+//! parallelism, decide. The effective count is recorded in every `--report`
+//! as the `par.pool.threads` counter. `--race` runs both max-flow engines on
+//! each probe and keeps the first finisher (identical phases and energy —
+//! see the "Parallel execution" section of DESIGN.md).
 
 use mpss::prelude::*;
 use mpss::sim::{fleet_stats, job_stats, render_gantt, render_svg, SvgOptions};
@@ -27,6 +35,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("solve-batch") => cmd_solve_batch(&args[1..]),
         Some("online") => cmd_online(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -51,8 +60,9 @@ fn print_usage() {
         "mpss-cli — multi-processor speed scaling with migration (SPAA 2011)\n\n\
          USAGE:\n\
          \u{20}  mpss-cli generate --family <name> --n <jobs> --m <procs> [--horizon H] [--seed S] -o <trace.json>\n\
-         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--cold-flow] [--save-schedule <out.json>] [--report <out.json>]\n\
-         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--cold-flow] [--report <out.json>]\n\
+         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--cold-flow] [--race] [--save-schedule <out.json>] [--report <out.json>]\n\
+         \u{20}  mpss-cli solve-batch --dir <traces/> [--alpha A] [--threads N] [--race] [--cold-flow] [--report-dir <reports/>]\n\
+         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--cold-flow] [--threads N] [--report <out.json>]\n\
          \u{20}  mpss-cli bounds <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli check <trace.json> <schedule.json>\n\n\
@@ -117,6 +127,13 @@ impl Args<'_> {
         }
         Ok(a)
     }
+    /// `--threads N` as an explicit pool-size override; `None` defers to the
+    /// `MPSS_THREADS` environment variable / available parallelism.
+    fn threads(&self) -> Result<Option<usize>, String> {
+        self.flag("threads")
+            .map(|v| v.parse().map_err(|_| "bad --threads".to_string()))
+            .transpose()
+    }
 }
 
 fn family_by_name(name: &str) -> Result<Family, String> {
@@ -174,16 +191,21 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let a = parse(args, &["gantt", "cold-flow"]);
+    let a = parse(args, &["gantt", "cold-flow", "race"]);
     let path = a.positional.first().ok_or("trace path required")?;
     let instance = load(path)?;
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
     let opts = OfflineOptions {
         warm_start: !a.switches.contains(&"cold-flow"),
+        race_engines: a.switches.contains(&"race"),
         ..Default::default()
     };
     let mut rec = RecordingCollector::new();
+    rec.count(
+        "par.pool.threads",
+        ThreadPool::with_threads(a.threads()?).threads() as u64,
+    );
     let res = if a.flag("report").is_some() {
         optimal_schedule_observed(&instance, &opts, &mut rec)
     } else {
@@ -244,22 +266,108 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_solve_batch(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &["cold-flow", "race"]);
+    let dir = a
+        .flag("dir")
+        .or_else(|| a.positional.first().copied())
+        .ok_or("--dir <traces/> required")?;
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+        .filter(|path| path.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .json traces in {dir}"));
+    }
+    let mut instances = Vec::with_capacity(paths.len());
+    for path in &paths {
+        instances.push(load(path.to_str().ok_or("non-UTF-8 trace path")?)?);
+    }
+
+    let opts = OfflineOptions {
+        warm_start: !a.switches.contains(&"cold-flow"),
+        race_engines: a.switches.contains(&"race"),
+        ..Default::default()
+    };
+    let pool = ThreadPool::with_threads(a.threads()?);
+    let mut obs = RecordingCollector::new();
+    let started = std::time::Instant::now();
+    let outputs = solve_many_observed(&instances, &opts, &pool, &mut obs);
+    let elapsed = started.elapsed();
+
+    println!(
+        "solved {} instances on {} threads in {:.1} ms",
+        outputs.len(),
+        pool.threads(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    let report_dir = a.flag("report-dir");
+    if let Some(rd) = report_dir {
+        std::fs::create_dir_all(rd).map_err(|e| format!("creating {rd}: {e}"))?;
+    }
+    let mut failures = 0usize;
+    for ((path, instance), out) in paths.iter().zip(&instances).zip(&outputs) {
+        let name = path
+            .file_stem()
+            .and_then(|stem| stem.to_str())
+            .unwrap_or("<trace>");
+        match &out.result {
+            Ok(res) => {
+                validate_schedule(instance, &res.schedule, 1e-9)
+                    .map_err(|v| format!("{name}: infeasible optimum: {v:?}"))?;
+                println!(
+                    "  {name}: {} jobs / {} procs, {} phases, {} flows, energy {:.4}",
+                    instance.n(),
+                    instance.m,
+                    res.phases.len(),
+                    res.flow_computations,
+                    schedule_energy(&res.schedule, &p)
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {name}: FAILED ({e})");
+            }
+        }
+        if let Some(rd) = report_dir {
+            let target = Path::new(rd).join(format!("{name}.report.json"));
+            out.report
+                .write_json(&target)
+                .map_err(|e| format!("writing {}: {e}", target.display()))?;
+        }
+    }
+    if let Some(rd) = report_dir {
+        println!("  per-instance reports saved to {rd}/");
+    }
+    if failures > 0 {
+        return Err(format!("{failures} instance(s) failed to solve"));
+    }
+    Ok(())
+}
+
 fn cmd_online(args: &[String]) -> Result<(), String> {
-    let a = parse(args, &["cold-flow"]);
+    let a = parse(args, &["cold-flow", "race"]);
     let path = a.positional.first().ok_or("trace path required")?;
     let instance = load(path)?;
     let alpha = a.alpha()?;
     let p = Polynomial::new(alpha);
     let algo = a.flag("algo").ok_or("--algo oa|avr|bkp required")?;
     let warm = !a.switches.contains(&"cold-flow");
+    let pool = ThreadPool::with_threads(a.threads()?);
     let oa_opts = OaOptions {
         offline: OfflineOptions {
             warm_start: warm,
+            race_engines: a.switches.contains(&"race"),
             ..Default::default()
         },
         reseed: warm,
     };
     let mut rec = RecordingCollector::new();
+    rec.count("par.pool.threads", pool.threads() as u64);
     let observing = a.flag("report").is_some();
     let (schedule, bound, name) = match algo {
         "oa" => {
@@ -273,9 +381,9 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
         }
         "avr" => {
             let avr = if observing {
-                avr_schedule_observed(&instance, &mut rec)
+                avr_schedule_parallel_observed(&instance, &pool, &mut rec)
             } else {
-                avr_schedule(&instance)
+                avr_schedule_parallel(&instance, &pool)
             };
             (avr, p.avr_bound(), "AVR(m)")
         }

@@ -49,8 +49,11 @@ pub use mpss_numeric as numeric;
 pub use mpss_obs as obs;
 pub use mpss_offline as offline;
 pub use mpss_online as online;
+pub use mpss_par as par;
 pub use mpss_sim as sim;
 pub use mpss_workloads as workloads;
+
+pub mod batch;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -69,14 +72,17 @@ pub mod prelude {
     pub use mpss_offline::non_migratory::{non_migratory_schedule, AssignPolicy};
     pub use mpss_offline::speed_bound::{feasible_at_cap, minimum_peak_speed};
     pub use mpss_offline::{
-        optimal_schedule, optimal_schedule_observed, optimal_schedule_seeded, yds_schedule,
-        FlowEngine, OfflineOptions, SeedPlan,
+        optimal_schedule, optimal_schedule_observed, optimal_schedule_seeded,
+        optimal_schedule_with, yds_schedule, FlowEngine, OfflineOptions, SeedPlan,
     };
     pub use mpss_online::{
-        audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed, bkp_schedule,
-        competitive_report, competitive_report_observed, oa_schedule, oa_schedule_observed,
-        oa_schedule_observed_with, oa_schedule_with_options, record_energy_trajectory, OaOptions,
-        OaSession,
+        audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed,
+        avr_schedule_parallel, avr_schedule_parallel_observed, bkp_schedule, competitive_report,
+        competitive_report_observed, oa_schedule, oa_schedule_observed, oa_schedule_observed_with,
+        oa_schedule_with_options, record_energy_trajectory, OaOptions, OaSession,
     };
+    pub use mpss_par::ThreadPool;
     pub use mpss_workloads::{instance_stats, Family, WorkloadSpec};
+
+    pub use crate::batch::{solve_many, solve_many_observed, BatchOutput};
 }

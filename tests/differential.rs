@@ -1,5 +1,5 @@
-//! Differential testing of the warm-start incremental solver against the
-//! cold oracle.
+//! Differential testing of the warm-start incremental solver — and the
+//! engine-racing portfolio — against the cold oracle.
 //!
 //! The warm path (`OfflineOptions::warm_start`, the default) reuses the
 //! residual network across repair rounds and speed probes instead of
@@ -34,6 +34,16 @@ fn solve(ins: &Instance<f64>, engine: FlowEngine, warm_start: bool) -> OptimalRe
         record_trace: true,
         engine,
         warm_start,
+        ..Default::default()
+    };
+    mpss::offline::optimal_schedule_with(ins, &opts).unwrap()
+}
+
+fn solve_raced(ins: &Instance<f64>, warm_start: bool) -> OptimalResult<f64> {
+    let opts = OfflineOptions {
+        record_trace: true,
+        warm_start,
+        race_engines: true,
         ..Default::default()
     };
     mpss::offline::optimal_schedule_with(ins, &opts).unwrap()
@@ -89,6 +99,23 @@ proptest! {
         assert_phases_bit_identical(&pr_warm, &cold, "push-relabel warm vs dinic cold");
         let pr_cold = solve(&ins, FlowEngine::PushRelabel, false);
         assert_phases_bit_identical(&pr_cold, &cold, "push-relabel cold vs dinic cold");
+    }
+
+    /// Engine racing ≡ solo Dinic on the same envelope: whichever engine
+    /// wins each probe, the flow *value* (and hence every speed, phase and
+    /// repair decision) is identical, so the raced solver's output — warm
+    /// and cold — matches the single-engine oracle bit-for-bit.
+    #[test]
+    fn raced_and_solo_solvers_agree_bit_for_bit(
+        seed in 0u64..1_000_000, n in 2usize..25, m in 1usize..7
+    ) {
+        let ins = differential_instance(n, m, seed);
+        let cold = solve(&ins, FlowEngine::Dinic, false);
+        let raced_warm = solve_raced(&ins, true);
+        prop_assert!(validate_schedule(&ins, &raced_warm.schedule, 1e-6).is_ok());
+        assert_phases_bit_identical(&raced_warm, &cold, "raced warm vs dinic cold");
+        let raced_cold = solve_raced(&ins, false);
+        assert_phases_bit_identical(&raced_cold, &cold, "raced cold vs dinic cold");
     }
 
     /// On small instances both solvers' energy matches the independent LP

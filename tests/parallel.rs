@@ -1,0 +1,202 @@
+//! Determinism of the `mpss-par` hot paths: every parallel entry point must
+//! be a pure work optimisation, producing bit-identical output to its
+//! sequential oracle at any thread count — and engine racing must reproduce
+//! the single-engine solve exactly, including in exact rational arithmetic
+//! on the golden corpus.
+
+use mpss::numeric::rational::rat;
+use mpss::numeric::Rational;
+use mpss::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(n: usize, m: usize, seed: u64) -> Instance<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen_range(0.0..15.0);
+            let span: f64 = rng.gen_range(0.3..7.0);
+            let w: f64 = rng.gen_range(0.1..8.0);
+            job(r, r + span, w)
+        })
+        .collect();
+    Instance::new(m, jobs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parallel AVR is bit-identical to the sequential loop at every thread
+    /// count: chunking per-interval work and splicing in order must not
+    /// change a single segment.
+    #[test]
+    fn parallel_avr_is_bit_identical(
+        seed in 0u64..1_000_000, n in 2usize..40, m in 1usize..7
+    ) {
+        let ins = random_instance(n, m, seed);
+        let seq = avr_schedule(&ins);
+        for threads in [1usize, 2, 3, 8] {
+            let par = avr_schedule_parallel(&ins, &ThreadPool::new(threads));
+            prop_assert_eq!(&seq.segments, &par.segments,
+                "AVR diverged at {} threads", threads);
+        }
+    }
+
+    /// Batched solves shard over the pool but return outputs in submission
+    /// order, each bit-identical to a solo solve of the same instance.
+    #[test]
+    fn batched_solves_match_solo_in_order(
+        seed in 0u64..1_000_000, k in 2usize..6
+    ) {
+        let batch: Vec<Instance<f64>> = (0..k)
+            .map(|i| random_instance(3 + i, 1 + i % 3, seed.wrapping_add(i as u64)))
+            .collect();
+        let opts = OfflineOptions::default();
+        let outputs = solve_many(&batch, &opts, &ThreadPool::new(8));
+        prop_assert_eq!(outputs.len(), batch.len());
+        for (ins, out) in batch.iter().zip(&outputs) {
+            let solo = optimal_schedule_with(ins, &opts).unwrap();
+            let res = out.result.as_ref().unwrap();
+            prop_assert_eq!(&solo.schedule.segments, &res.schedule.segments);
+            prop_assert_eq!(solo.flow_computations, res.flow_computations);
+        }
+    }
+}
+
+/// Engine racing on the golden corpus, in exact rational arithmetic: the
+/// raced solve (Dinic vs push–relabel per probe, first finisher kept) must
+/// reproduce the solo-Dinic phases, repair traces and exact energies
+/// whichever engine wins each probe — the soundness claim of
+/// DESIGN.md's "Parallel execution" section, pinned on exact numbers.
+#[test]
+fn golden_corpus_racing_equals_single_engine() {
+    let fig2: Instance<Rational> = Instance::new(
+        2,
+        vec![
+            job(rat(0, 1), rat(1, 1), rat(6, 1)),
+            job(rat(0, 1), rat(2, 1), rat(3, 1)),
+            job(rat(0, 1), rat(2, 1), rat(3, 1)),
+            job(rat(0, 1), rat(6, 1), rat(2, 1)),
+            job(rat(2, 1), rat(8, 1), rat(2, 1)),
+        ],
+    )
+    .unwrap();
+    let staircase: Instance<Rational> = Instance::new(
+        2,
+        vec![
+            job(rat(0, 1), rat(1, 1), rat(5, 1)),
+            job(rat(0, 1), rat(2, 1), rat(2, 1)),
+            job(rat(0, 1), rat(4, 1), rat(1, 1)),
+            job(rat(0, 1), rat(8, 1), rat(1, 1)),
+        ],
+    )
+    .unwrap();
+    let three: Instance<Rational> =
+        Instance::new(2, vec![job(rat(0, 1), rat(3, 1), rat(3, 1)); 3]).unwrap();
+    for (name, ins) in [
+        ("fig2", fig2),
+        ("staircase", staircase),
+        ("three-jobs", three),
+    ] {
+        let solve = |race_engines: bool, warm_start: bool| {
+            let opts = OfflineOptions {
+                record_trace: true,
+                race_engines,
+                warm_start,
+                ..Default::default()
+            };
+            optimal_schedule_with(&ins, &opts).unwrap()
+        };
+        let solo = solve(false, false);
+        // The fig2 ladder is the paper's: 6 > 2 > 1/2 > 1/3.
+        if name == "fig2" {
+            let speeds: Vec<Rational> = solo.phases.iter().map(|p| p.speed).collect();
+            assert_eq!(speeds, vec![rat(6, 1), rat(2, 1), rat(1, 2), rat(1, 3)]);
+        }
+        for warm_start in [true, false] {
+            let raced = solve(true, warm_start);
+            assert_feasible(&ins, &raced.schedule, 0.0);
+            assert_eq!(
+                raced.phases.len(),
+                solo.phases.len(),
+                "{name} warm={warm_start}: phase count under racing"
+            );
+            for (i, (pa, pb)) in raced.phases.iter().zip(&solo.phases).enumerate() {
+                assert_eq!(
+                    pa.speed, pb.speed,
+                    "{name} warm={warm_start}: phase {i} exact speed"
+                );
+                assert_eq!(pa.jobs, pb.jobs, "{name} warm={warm_start}: phase {i} jobs");
+                assert_eq!(
+                    pa.procs, pb.procs,
+                    "{name} warm={warm_start}: phase {i} procs"
+                );
+                assert_eq!(
+                    pa.rounds, pb.rounds,
+                    "{name} warm={warm_start}: phase {i} rounds"
+                );
+            }
+            assert_eq!(
+                raced.flow_computations, solo.flow_computations,
+                "{name} warm={warm_start}: flow computations"
+            );
+            assert_eq!(
+                raced
+                    .trace
+                    .iter()
+                    .map(|r| (r.phase, r.candidate_size, r.removed))
+                    .collect::<Vec<_>>(),
+                solo.trace
+                    .iter()
+                    .map(|r| (r.phase, r.candidate_size, r.removed))
+                    .collect::<Vec<_>>(),
+                "{name} warm={warm_start}: repair traces"
+            );
+            assert_eq!(
+                schedule_energy_exact(&raced.schedule, 2),
+                schedule_energy_exact(&solo.schedule, 2),
+                "{name} warm={warm_start}: exact energy"
+            );
+        }
+    }
+}
+
+/// Every probe in a raced solve is won by exactly one engine, and the win
+/// counters add up to the probe count.
+#[test]
+fn race_win_counters_partition_the_probes() {
+    let ins = random_instance(12, 3, 7);
+    let opts = OfflineOptions {
+        race_engines: true,
+        ..Default::default()
+    };
+    let mut rec = RecordingCollector::new();
+    let res = mpss::offline::optimal_schedule_observed(&ins, &opts, &mut rec).unwrap();
+    let dinic = rec.counter("par.race.dinic_wins");
+    let pr = rec.counter("par.race.pr_wins");
+    assert_eq!(
+        dinic + pr,
+        res.flow_computations as u64,
+        "every probe must have exactly one race winner"
+    );
+}
+
+/// The pool honours explicit sizes and `MPSS_THREADS`, and both the batch
+/// API and parallel AVR report the effective pool width via obs counters.
+#[test]
+fn pool_width_is_observable() {
+    let ins = random_instance(30, 4, 3);
+    let pool = ThreadPool::new(4);
+    assert_eq!(pool.threads(), 4);
+    let mut rec = RecordingCollector::new();
+    let _ = avr_schedule_parallel_observed(&ins, &pool, &mut rec);
+    assert_eq!(rec.counter("par.pool.threads"), 4);
+    assert!(rec.counter("par.tasks") >= 1);
+
+    let batch = vec![random_instance(4, 2, 1), random_instance(5, 2, 2)];
+    let mut rec = RecordingCollector::new();
+    let outs = solve_many_observed(&batch, &OfflineOptions::default(), &pool, &mut rec);
+    assert_eq!(outs.len(), 2);
+    assert_eq!(rec.counter("par.tasks"), 2);
+}
