@@ -19,11 +19,12 @@
 //! part of this experiment, wall clock is not.
 //!
 //! Run: `cargo run -p mpss-bench --release --bin exp_par_scaling`
-//! `--smoke` shrinks every size for CI; a path argument writes the tables
-//! as an experiment JSON document.
+//! `--smoke` shrinks every size for CI and records a snapshot (wall time +
+//! key counters) into `BENCH_PR5.json` in the working directory; a path
+//! argument writes the tables as an experiment JSON document.
 
 use mpss::batch::solve_many;
-use mpss_bench::{timed, write_experiment_report, Table};
+use mpss_bench::{record_bench_snapshot, timed, write_experiment_report, Table};
 use mpss_core::energy::schedule_energy;
 use mpss_core::power::Polynomial;
 use mpss_obs::{Collector, RecordingCollector};
@@ -37,6 +38,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args.iter().find(|a| !a.starts_with("--"));
+    let started = std::time::Instant::now();
     let mut rec = RecordingCollector::new();
     let threads_available = std::thread::available_parallelism()
         .map(|t| t.get())
@@ -209,5 +211,20 @@ fn main() {
         )
         .expect("writing experiment report");
         println!("\nexperiment JSON written to {out}");
+    }
+    if smoke {
+        let bench = Path::new("BENCH_PR5.json");
+        record_bench_snapshot(
+            bench,
+            "par_scaling_smoke",
+            started.elapsed().as_secs_f64() * 1e3,
+            &[
+                ("par.tasks", rec.counter("par.tasks")),
+                ("par.race.dinic_wins", rec.counter("par.race.dinic_wins")),
+                ("par.race.pr_wins", rec.counter("par.race.pr_wins")),
+            ],
+        )
+        .expect("writing bench snapshot");
+        println!("bench snapshot recorded in {}", bench.display());
     }
 }

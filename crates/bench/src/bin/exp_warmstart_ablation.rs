@@ -11,10 +11,11 @@
 //! the ablation is void if the optimisation is observable in the output.
 //!
 //! Run: `cargo run -p mpss-bench --release --bin exp_warmstart_ablation`
-//! Pass a path argument to also write the tables as an experiment JSON
-//! document.
+//! `--smoke` shrinks the sweep for CI and records a snapshot (wall time +
+//! augmentation counters) into `BENCH_PR5.json` in the working directory;
+//! a path argument writes the tables as an experiment JSON document.
 
-use mpss_bench::{timed, write_experiment_report, Table};
+use mpss_bench::{record_bench_snapshot, timed, write_experiment_report, Table};
 use mpss_obs::{Collector, RecordingCollector};
 use mpss_offline::{optimal_schedule_observed, OfflineOptions, OptimalResult};
 use mpss_online::{oa_schedule_observed_with, OaOptions};
@@ -33,6 +34,10 @@ fn assert_same_phases(a: &OptimalResult<f64>, b: &OptimalResult<f64>, ctx: &str)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args.iter().find(|a| !a.starts_with("--"));
+    let started = std::time::Instant::now();
     let mut rec = RecordingCollector::new();
 
     println!("(a) offline solver: cold rebuild vs warm retained residual network\n");
@@ -50,8 +55,14 @@ fn main() {
     ]);
     let mut total_cold_aug = 0u64;
     let mut total_warm_aug = 0u64;
-    for family in [Family::Uniform, Family::Bursty, Family::Laminar] {
-        for n in [40usize, 80, 160] {
+    let families: &[Family] = if smoke {
+        &[Family::Uniform, Family::Bursty]
+    } else {
+        &[Family::Uniform, Family::Bursty, Family::Laminar]
+    };
+    let offline_sizes: &[usize] = if smoke { &[40, 80] } else { &[40, 80, 160] };
+    for &family in families {
+        for &n in offline_sizes {
             let instance = WorkloadSpec {
                 family,
                 n,
@@ -129,7 +140,8 @@ fn main() {
         "jobs seeded",
         "energy rel diff",
     ]);
-    for n in [25usize, 50, 100] {
+    let oa_sizes: &[usize] = if smoke { &[25, 50] } else { &[25, 50, 100] };
+    for &n in oa_sizes {
         let instance = WorkloadSpec {
             family: Family::Uniform,
             n,
@@ -191,14 +203,33 @@ fn main() {
          rounds' augmentation work."
     );
 
-    if let Some(out) = std::env::args().nth(1) {
+    if let Some(out) = out {
         write_experiment_report(
-            Path::new(&out),
+            Path::new(out),
             "warmstart_ablation",
             &[("offline_warm_vs_cold", &t), ("oa_reseed", &t2)],
             Some(&rec),
         )
         .expect("writing experiment report");
         println!("\nexperiment JSON written to {out}");
+    }
+    if smoke {
+        let bench = Path::new("BENCH_PR5.json");
+        record_bench_snapshot(
+            bench,
+            "warmstart_ablation_smoke",
+            started.elapsed().as_secs_f64() * 1e3,
+            &[
+                ("exp.cold.augmenting_paths", total_cold_aug),
+                ("exp.warm.augmenting_paths", total_warm_aug),
+                (
+                    "offline.cold_rounds_avoided",
+                    rec.counter("offline.cold_rounds_avoided"),
+                ),
+                ("maxflow.warm.drained", rec.counter("maxflow.warm.drained")),
+            ],
+        )
+        .expect("writing bench snapshot");
+        println!("bench snapshot recorded in {}", bench.display());
     }
 }

@@ -124,6 +124,39 @@ pub fn write_experiment_report(
     )
 }
 
+/// Records one benchmark snapshot — experiment name, wall time, and the
+/// work counters worth tracking across commits — into a JSON trajectory
+/// file (an array of one object per experiment, e.g. `BENCH_PR5.json` at
+/// the repo root). An existing entry with the same name is replaced, so
+/// reruns are idempotent; other experiments' entries are preserved.
+pub fn record_bench_snapshot(
+    path: &Path,
+    name: &str,
+    wall_ms: f64,
+    counters: &[(&str, u64)],
+) -> std::io::Result<()> {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items
+                .into_iter()
+                .filter(|e| e.get("name") != Some(&Json::from(name)))
+                .collect(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let mut entry = Json::object();
+    entry.push("name", Json::from(name));
+    entry.push("wall_ms", Json::Num(wall_ms));
+    let mut cs = Json::object();
+    for (key, value) in counters {
+        cs.push(key, Json::UInt(*value));
+    }
+    entry.push("counters", cs);
+    entries.push(entry);
+    std::fs::write(path, Json::Arr(entries).render_pretty())
+}
+
 /// Wall-clock time of `f`, in milliseconds, together with its result.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -216,6 +249,35 @@ mod tests {
         // Without a collector the observability section is absent.
         let bare = experiment_report("ablation", &[("real", &t)], None);
         assert!(bare.get("observability").is_none());
+    }
+
+    #[test]
+    fn bench_snapshot_appends_and_replaces_by_name() {
+        let dir = std::env::temp_dir().join("mpss-bench-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_TEST.json");
+        let _ = std::fs::remove_file(&path);
+
+        record_bench_snapshot(&path, "alpha", 1.5, &[("offline.phases", 4)]).unwrap();
+        record_bench_snapshot(&path, "beta", 2.5, &[]).unwrap();
+        // Rerunning `alpha` replaces its entry but keeps `beta`.
+        record_bench_snapshot(&path, "alpha", 9.25, &[("offline.phases", 5)]).unwrap();
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Json::Arr(entries) = &doc else {
+            panic!("expected array")
+        };
+        assert_eq!(entries.len(), 2);
+        let alpha = entries
+            .iter()
+            .find(|e| e.get("name") == Some(&Json::from("alpha")))
+            .unwrap();
+        assert_eq!(alpha.get("wall_ms"), Some(&Json::Num(9.25)));
+        assert_eq!(
+            alpha.get("counters").unwrap().get("offline.phases"),
+            Some(&Json::UInt(5))
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

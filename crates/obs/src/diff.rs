@@ -1,0 +1,419 @@
+//! Structured diffing of two JSON run reports — the `report-diff` gate.
+//!
+//! A run report (see [`RecordingCollector::to_json`](crate::RecordingCollector::to_json))
+//! carries counters (deterministic work measures: phases, augmenting paths,
+//! repair rounds), histograms (latency/energy distributions), and the span
+//! tree (wall time). [`diff_reports`] compares two of them key by key and
+//! classifies each counter increase against a regression threshold:
+//! counters measure *work*, so "candidate did more work than baseline by
+//! more than X%" is the gate CI trips on. Wall time and histogram quantiles
+//! shift with machine load, so they are reported but gate only on request
+//! ([`DiffOptions::gate_wall`]).
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// What to compare and what counts as a regression.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOptions {
+    /// Maximum tolerated counter increase, in percent (`0.0` = any increase
+    /// regresses). `None` reports deltas without gating.
+    pub max_regress_pct: Option<f64>,
+    /// Only gate keys starting with this prefix (all keys are still
+    /// *reported*). Lets CI gate `offline.*` work counters while ignoring
+    /// nondeterministic `par.race.*` win splits.
+    pub only_prefix: Option<String>,
+    /// Also gate the wall-time delta against `max_regress_pct`.
+    pub gate_wall: bool,
+}
+
+/// One counter compared across the two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterDelta {
+    /// Counter key.
+    pub name: String,
+    /// Baseline value (0 if absent).
+    pub a: u64,
+    /// Candidate value (0 if absent).
+    pub b: u64,
+}
+
+impl CounterDelta {
+    /// Relative change in percent; +∞ for a counter that appeared from 0.
+    pub fn pct(&self) -> f64 {
+        if self.a == 0 {
+            if self.b == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.b as f64 - self.a as f64) / self.a as f64 * 100.0
+        }
+    }
+}
+
+/// One histogram statistic compared across the two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatShift {
+    /// Histogram key.
+    pub name: String,
+    /// Which statistic (`count`, `mean`, `p50`, `p90`, `p99`).
+    pub stat: &'static str,
+    /// Baseline value.
+    pub a: f64,
+    /// Candidate value.
+    pub b: f64,
+}
+
+/// The outcome of [`diff_reports`].
+#[derive(Clone, Debug, Default)]
+pub struct ReportDiff {
+    /// Counters whose values differ, sorted by key.
+    pub counters: Vec<CounterDelta>,
+    /// Counters present (in either report) that did not change.
+    pub counters_unchanged: usize,
+    /// Histogram statistics that differ, sorted by key then statistic.
+    pub histograms: Vec<StatShift>,
+    /// Total root-span wall time of each report, if spans are present.
+    pub wall_ms: Option<(f64, f64)>,
+    /// Human-readable regression descriptions; non-empty fails the gate.
+    pub regressions: Vec<String>,
+}
+
+impl ReportDiff {
+    /// `true` if any gated delta exceeded the threshold.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// The diff as human-readable text, one finding per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let pct = c.pct();
+            let pct = if pct.is_finite() {
+                format!("{pct:+.1}%")
+            } else {
+                "new".to_string()
+            };
+            out.push_str(&format!(
+                "counter   {} : {} -> {} ({pct})\n",
+                c.name, c.a, c.b
+            ));
+        }
+        if self.counters_unchanged > 0 {
+            out.push_str(&format!(
+                "counters  {} unchanged\n",
+                self.counters_unchanged
+            ));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram {}.{} : {:.4} -> {:.4}\n",
+                h.name, h.stat, h.a, h.b
+            ));
+        }
+        if let Some((a, b)) = self.wall_ms {
+            out.push_str(&format!("wall_ms   {a:.3} -> {b:.3}\n"));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION: {r}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("reports are identical\n");
+        }
+        out
+    }
+}
+
+fn counters_of(report: &Json) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = report.get("counters") {
+        for (key, value) in fields {
+            let v = match value {
+                Json::UInt(v) => *v,
+                Json::Num(v) if *v >= 0.0 => *v as u64,
+                _ => continue,
+            };
+            out.insert(key.clone(), v);
+        }
+    }
+    out
+}
+
+fn num(value: Option<&Json>) -> Option<f64> {
+    match value {
+        Some(Json::Num(x)) => Some(*x),
+        Some(Json::UInt(n)) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn histograms_of(report: &Json) -> BTreeMap<String, Vec<(&'static str, f64)>> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = report.get("histograms") {
+        for (key, summary) in fields {
+            let stats: Vec<(&'static str, f64)> = ["count", "mean", "p50", "p90", "p99"]
+                .into_iter()
+                .filter_map(|stat| num(summary.get(stat)).map(|v| (stat, v)))
+                .collect();
+            out.insert(key.clone(), stats);
+        }
+    }
+    out
+}
+
+fn wall_of(report: &Json) -> Option<f64> {
+    // A run report carries its wall time as the root spans' durations; a
+    // bench record carries an explicit "wall_ms" number.
+    if let Some(wall) = num(report.get("wall_ms")) {
+        return Some(wall);
+    }
+    match report.get("spans") {
+        Some(Json::Arr(spans)) if !spans.is_empty() => {
+            Some(spans.iter().filter_map(|s| num(s.get("ms"))).sum())
+        }
+        _ => None,
+    }
+}
+
+/// Diffs candidate report `b` against baseline `a`. See [`DiffOptions`] for
+/// gating; the returned [`ReportDiff`] always contains the full comparison.
+pub fn diff_reports(a: &Json, b: &Json, opts: &DiffOptions) -> ReportDiff {
+    let gated = |name: &str| match &opts.only_prefix {
+        Some(prefix) => name.starts_with(prefix.as_str()),
+        None => true,
+    };
+    let mut diff = ReportDiff::default();
+
+    let ca = counters_of(a);
+    let cb = counters_of(b);
+    let keys: Vec<&String> = ca.keys().chain(cb.keys()).collect();
+    let mut keys: Vec<&String> = keys;
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let delta = CounterDelta {
+            name: key.clone(),
+            a: ca.get(key).copied().unwrap_or(0),
+            b: cb.get(key).copied().unwrap_or(0),
+        };
+        if delta.a == delta.b {
+            diff.counters_unchanged += 1;
+            continue;
+        }
+        if let Some(max) = opts.max_regress_pct {
+            if gated(key) && delta.b > delta.a && delta.pct() > max {
+                diff.regressions.push(format!(
+                    "counter {} grew {} -> {} (limit {max}%)",
+                    delta.name, delta.a, delta.b
+                ));
+            }
+        }
+        diff.counters.push(delta);
+    }
+
+    let ha = histograms_of(a);
+    let hb = histograms_of(b);
+    let mut hkeys: Vec<&String> = ha.keys().chain(hb.keys()).collect();
+    hkeys.sort();
+    hkeys.dedup();
+    let empty = Vec::new();
+    for key in hkeys {
+        let sa = ha.get(key).unwrap_or(&empty);
+        let sb = hb.get(key).unwrap_or(&empty);
+        for stat in ["count", "mean", "p50", "p90", "p99"] {
+            let va = sa.iter().find(|(s, _)| *s == stat).map(|(_, v)| *v);
+            let vb = sb.iter().find(|(s, _)| *s == stat).map(|(_, v)| *v);
+            if let (Some(va), Some(vb)) = (va.or(Some(0.0)), vb.or(Some(0.0))) {
+                if va != vb {
+                    diff.histograms.push(StatShift {
+                        name: key.clone(),
+                        stat,
+                        a: va,
+                        b: vb,
+                    });
+                }
+            }
+        }
+    }
+
+    if let (Some(wa), Some(wb)) = (wall_of(a), wall_of(b)) {
+        diff.wall_ms = Some((wa, wb));
+        if let (Some(max), true) = (opts.max_regress_pct, opts.gate_wall) {
+            if wa > 0.0 && (wb - wa) / wa * 100.0 > max {
+                diff.regressions
+                    .push(format!("wall_ms grew {wa:.3} -> {wb:.3} (limit {max}%)"));
+            }
+        }
+    }
+
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(counters: &[(&str, u64)], hist_mean: Option<f64>) -> Json {
+        let mut c = Json::object();
+        for (k, v) in counters {
+            c.push(k, Json::UInt(*v));
+        }
+        let mut doc = Json::object();
+        doc.push("counters", c);
+        if let Some(mean) = hist_mean {
+            let mut h = Json::object();
+            let mut s = Json::object();
+            s.push("count", Json::UInt(2));
+            s.push("mean", Json::Num(mean));
+            s.push("p50", Json::Num(mean));
+            s.push("p90", Json::Num(mean));
+            s.push("p99", Json::Num(mean));
+            h.push("latency", s);
+            doc.push("histograms", h);
+        }
+        doc
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let a = report(&[("offline.phases", 3)], Some(1.5));
+        let diff = diff_reports(
+            &a,
+            &a,
+            &DiffOptions {
+                max_regress_pct: Some(0.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!diff.is_regression());
+        assert!(diff.counters.is_empty());
+        assert!(diff.histograms.is_empty());
+        assert_eq!(diff.counters_unchanged, 1);
+        assert!(diff.render_text().contains("1 unchanged"));
+    }
+
+    #[test]
+    fn counter_growth_past_threshold_regresses() {
+        let a = report(&[("offline.phases", 10)], None);
+        let b = report(&[("offline.phases", 12)], None);
+        let loose = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(25.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!loose.is_regression());
+        assert_eq!(loose.counters.len(), 1);
+        assert!((loose.counters[0].pct() - 20.0).abs() < 1e-9);
+        let tight = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(10.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(tight.is_regression());
+        assert!(tight.render_text().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let a = report(&[("offline.phases", 10)], None);
+        let b = report(&[("offline.phases", 5)], None);
+        let diff = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(0.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!diff.is_regression());
+        assert_eq!(diff.counters.len(), 1);
+    }
+
+    #[test]
+    fn prefix_filter_gates_but_still_reports() {
+        let a = report(&[("offline.phases", 1), ("par.race.pr_wins", 1)], None);
+        let b = report(&[("offline.phases", 1), ("par.race.pr_wins", 9)], None);
+        let diff = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(0.0),
+                only_prefix: Some("offline.".to_string()),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!diff.is_regression());
+        // The nondeterministic counter is still in the textual diff.
+        assert_eq!(diff.counters.len(), 1);
+        assert_eq!(diff.counters[0].name, "par.race.pr_wins");
+    }
+
+    #[test]
+    fn counters_appearing_from_zero_regress_at_any_threshold() {
+        let a = report(&[], None);
+        let b = report(&[("offline.phases", 1)], None);
+        let diff = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(1000.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(diff.is_regression());
+        assert_eq!(diff.counters[0].pct(), f64::INFINITY);
+    }
+
+    #[test]
+    fn histogram_shifts_are_reported_not_gated() {
+        let a = report(&[], Some(1.0));
+        let b = report(&[], Some(2.0));
+        let diff = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(0.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!diff.is_regression());
+        assert!(diff.histograms.iter().any(|h| h.stat == "mean"));
+    }
+
+    #[test]
+    fn wall_gates_only_when_asked() {
+        let mut a = report(&[], None);
+        a.push("wall_ms", Json::Num(100.0));
+        let mut b = report(&[], None);
+        b.push("wall_ms", Json::Num(200.0));
+        let silent = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(10.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!silent.is_regression());
+        assert_eq!(silent.wall_ms, Some((100.0, 200.0)));
+        let gated = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(10.0),
+                gate_wall: true,
+                ..DiffOptions::default()
+            },
+        );
+        assert!(gated.is_regression());
+    }
+}

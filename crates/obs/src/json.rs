@@ -2,10 +2,10 @@
 //!
 //! The build environment is offline, so run reports cannot lean on
 //! `serde_json`; this module is the few dozen lines of JSON the workspace
-//! actually needs — building a document tree and rendering it with correct
-//! string escaping and round-trippable numbers. No parsing: reports are
-//! write-only from this side (tests parse them with whatever JSON reader the
-//! consuming environment has).
+//! actually needs — building a document tree, rendering it with correct
+//! string escaping and round-trippable numbers, and parsing documents back
+//! ([`Json::parse`]) so `report-diff` can compare two previously written run
+//! reports.
 
 use std::fmt::Write as _;
 
@@ -54,6 +54,24 @@ impl Json {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
+    }
+
+    /// Parses a JSON document. Numbers that are plain non-negative integers
+    /// fitting `u64` parse as [`Json::UInt`] (so counters written as `UInt`
+    /// round-trip); everything else numeric parses as [`Json::Num`]. Errors
+    /// carry the byte offset of the offending input.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing data after document"));
+        }
+        Ok(value)
     }
 
     /// Renders compactly (no whitespace).
@@ -130,6 +148,241 @@ impl From<&str> for Json {
 impl From<String> for Json {
     fn from(s: String) -> Json {
         Json::Str(s)
+    }
+}
+
+/// A [`Json::parse`] failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => Err(self.error(&format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input is &str, so slicing
+                    // at the next char boundary is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("truncated \\u escape"));
+            };
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("bad hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let integral_end = self.pos;
+        if self.eat(b'.') {
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if !self.eat(b'-') {
+                let _ = self.eat(b'+');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number chars are single-byte");
+        if self.pos == integral_end && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("malformed number"))
     }
 }
 
@@ -240,5 +493,67 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn push_on_array_panics() {
         Json::Arr(vec![]).push("k", Json::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let mut obj = Json::object();
+        obj.push("counters", {
+            let mut c = Json::object();
+            c.push("offline.phases", Json::UInt(12));
+            c.push("huge", Json::UInt(u64::MAX));
+            c
+        });
+        obj.push("wall_ms", Json::Num(1.25));
+        obj.push("neg", Json::Num(-3.0));
+        obj.push("text", Json::from("a\"b\\c\nd"));
+        obj.push("flags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        for text in [obj.render(), obj.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), obj);
+        }
+    }
+
+    #[test]
+    fn parse_number_shapes() {
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Num(-42.0));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("2.5e-1").unwrap(), Json::Num(0.25));
+        // Too big for u64 → falls back to f64.
+        assert_eq!(
+            Json::parse("99999999999999999999999").unwrap(),
+            Json::Num(1e23)
+        );
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""é😀""#).unwrap(),
+            Json::Str("é😀".to_string())
+        );
+        // Escaped forms decode to the same characters (incl. surrogate pair).
+        assert_eq!(
+            Json::parse("\"\\u00e9 \\ud83d\\ude00\"").unwrap(),
+            Json::Str("é 😀".to_string())
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "01x", "\"abc", "{} extra", "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 }

@@ -1,0 +1,249 @@
+//! The instrumentation-key manifest.
+//!
+//! Every counter, histogram, span, and instant name the workspace emits is
+//! listed here, in one place. Two things hang off the manifest:
+//!
+//! * a coverage test (`tests/obs.rs` in the root crate) runs the solvers
+//!   end-to-end and asserts every *recorded* key is listed — so a typo'd key
+//!   at an instrumentation point fails CI instead of silently forking a new
+//!   counter;
+//! * the DESIGN.md observability table is generated from
+//!   [`markdown_table`], so docs cannot drift from code.
+//!
+//! When adding an instrumentation point, add its key here (the arrays are
+//! sorted; keep them that way).
+
+/// Every counter key, sorted. Instants are listed separately in
+/// [`INSTANTS`] but also land here logically when an aggregating collector
+/// folds them into counters — [`known_counter`] accepts both.
+pub const COUNTERS: &[(&str, &str)] = &[
+    (
+        "avr.intervals",
+        "AVR density intervals summed into the profile",
+    ),
+    ("avr.peeled", "AVR per-job segments peeled off the profile"),
+    (
+        "driver.segments",
+        "schedule segments emitted by the online driver",
+    ),
+    (
+        "exp.cold.augmenting_paths",
+        "ablation: augmenting paths, cold max-flow",
+    ),
+    (
+        "exp.warm.augmenting_paths",
+        "ablation: augmenting paths, warm-started",
+    ),
+    (
+        "maxflow.dinic.augmenting_paths",
+        "Dinic augmenting paths found",
+    ),
+    (
+        "maxflow.dinic.bfs_phases",
+        "Dinic level-graph (BFS) phases built",
+    ),
+    (
+        "maxflow.pr.gap_events",
+        "push-relabel gap heuristic firings",
+    ),
+    ("maxflow.pr.pushes", "push-relabel push operations"),
+    ("maxflow.pr.relabels", "push-relabel relabel operations"),
+    (
+        "maxflow.warm.drained",
+        "warm-start flow units drained on rebuild",
+    ),
+    (
+        "maxflow.warm.reused_flow",
+        "warm-start flow units carried over",
+    ),
+    (
+        "oa.maxflow.invocations",
+        "max-flow calls made by OA replans",
+    ),
+    ("oa.replans", "OA replan events (one per arrival)"),
+    ("oa.reseed.jobs", "jobs carried into reseeded OA replans"),
+    (
+        "oa.reseed.replans",
+        "OA replans that reused the previous plan as seed",
+    ),
+    (
+        "obs.span_mismatch",
+        "span_end calls that did not match the open span",
+    ),
+    ("obs.span_unclosed", "spans force-closed at report time"),
+    (
+        "offline.cold_rounds_avoided",
+        "repair rounds served from the warm model",
+    ),
+    (
+        "offline.jobs_removed",
+        "jobs fixed at peak speed by the repair loop",
+    ),
+    ("offline.maxflow.invocations", "max-flow computations run"),
+    ("offline.phases", "phases of the optimal offline algorithm"),
+    (
+        "offline.repair_rounds",
+        "repair-loop iterations across all phases",
+    ),
+    ("par.pool.threads", "worker threads the pool fanned out to"),
+    ("par.race.dinic_wins", "engine races won by Dinic"),
+    ("par.race.pr_wins", "engine races won by push-relabel"),
+    ("par.tasks", "tasks submitted to the worker pool"),
+];
+
+/// Every histogram key, sorted. Span-duration histograms (`span.<name>.ms`)
+/// are derived from [`SPANS`] and not repeated here.
+pub const HISTOGRAMS: &[(&str, &str)] = &[
+    (
+        "driver.energy_trajectory",
+        "online/OPT energy ratio per prefix",
+    ),
+    ("driver.online_energy", "online algorithm energy per run"),
+    ("driver.opt_energy", "optimal offline energy per run"),
+    (
+        "offline.flow_vs_target",
+        "max-flow value vs. demand target per probe",
+    ),
+    ("offline.jobs_removed_per_phase", "jobs fixed per phase"),
+];
+
+/// Every span name, sorted. Each span `s` implies a derived histogram
+/// `span.<s>.ms`.
+pub const SPANS: &[(&str, &str)] = &[
+    ("avr.chunk", "one AVR worker's contiguous interval chunk"),
+    ("batch.solve", "one instance solved inside a batch shard"),
+    ("oa.replan", "one OA arrival replan, end to end"),
+    ("offline.optimal_schedule", "the whole offline solve"),
+    ("offline.phase", "one phase: repair loop + extraction"),
+    (
+        "race.probe",
+        "one engine's attempt at a raced max-flow probe",
+    ),
+];
+
+/// Every instant-event name, sorted. Aggregating collectors fold instants
+/// into same-named counters, so [`known_counter`] accepts these too.
+pub const INSTANTS: &[(&str, &str)] = &[
+    ("oa.arrival", "a job arrived and triggered a replan"),
+    (
+        "offline.job_removed",
+        "the repair loop fixed a job at peak speed",
+    ),
+    (
+        "race.bail",
+        "a racing engine observed the cancel flag and bailed",
+    ),
+    ("race.cancelled", "the losing engine's result was discarded"),
+];
+
+fn listed(table: &[(&str, &str)], name: &str) -> bool {
+    table.iter().any(|(key, _)| *key == name)
+}
+
+/// `true` if `name` is a manifest counter — including instant names, which
+/// aggregating collectors record as counters.
+pub fn known_counter(name: &str) -> bool {
+    listed(COUNTERS, name) || listed(INSTANTS, name)
+}
+
+/// `true` if `name` is a manifest histogram — including the derived
+/// `span.<name>.ms` duration histograms of manifest spans.
+pub fn known_histogram(name: &str) -> bool {
+    if listed(HISTOGRAMS, name) {
+        return true;
+    }
+    name.strip_prefix("span.")
+        .and_then(|rest| rest.strip_suffix(".ms"))
+        .is_some_and(|span| listed(SPANS, span))
+}
+
+/// `true` if `name` is a manifest span.
+pub fn known_span(name: &str) -> bool {
+    listed(SPANS, name)
+}
+
+/// Filters recorded keys down to the ones the manifest does not know —
+/// the coverage test asserts this comes back empty.
+pub fn unknown_keys<'a>(
+    counters: impl IntoIterator<Item = &'a str>,
+    histograms: impl IntoIterator<Item = &'a str>,
+) -> Vec<String> {
+    let mut unknown: Vec<String> = counters
+        .into_iter()
+        .filter(|name| !known_counter(name))
+        .map(|name| format!("counter {name}"))
+        .chain(
+            histograms
+                .into_iter()
+                .filter(|name| !known_histogram(name))
+                .map(|name| format!("histogram {name}")),
+        )
+        .collect();
+    unknown.sort();
+    unknown
+}
+
+/// The manifest as a Markdown table (DESIGN.md embeds this verbatim; the
+/// `obs_manifest` test in the root crate keeps the two in sync).
+pub fn markdown_table() -> String {
+    let mut out = String::from("| kind | key | meaning |\n|---|---|---|\n");
+    let sections: [(&str, &[(&str, &str)]); 4] = [
+        ("counter", COUNTERS),
+        ("histogram", HISTOGRAMS),
+        ("span", SPANS),
+        ("instant", INSTANTS),
+    ];
+    for (kind, table) in sections {
+        for (key, meaning) in table {
+            out.push_str(&format!("| {kind} | `{key}` | {meaning} |\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_and_unique() {
+        for table in [COUNTERS, HISTOGRAMS, SPANS, INSTANTS] {
+            for pair in table.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "{} !< {}", pair[0].0, pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_cover_derived_and_folded_names() {
+        assert!(known_counter("offline.phases"));
+        assert!(known_counter("race.bail")); // instant folded to counter
+        assert!(!known_counter("offline.phasez"));
+        assert!(known_histogram("driver.online_energy"));
+        assert!(known_histogram("span.offline.phase.ms")); // derived
+        assert!(!known_histogram("span.not.a.span.ms"));
+        assert!(known_span("oa.replan"));
+    }
+
+    #[test]
+    fn unknown_keys_reports_only_strays() {
+        let unknown = unknown_keys(
+            ["offline.phases", "typo.counter"],
+            ["span.oa.replan.ms", "typo.hist"],
+        );
+        assert_eq!(unknown, vec!["counter typo.counter", "histogram typo.hist"]);
+    }
+
+    #[test]
+    fn markdown_table_lists_every_key() {
+        let table = markdown_table();
+        for (key, _) in COUNTERS
+            .iter()
+            .chain(HISTOGRAMS)
+            .chain(SPANS)
+            .chain(INSTANTS)
+        {
+            assert!(table.contains(&format!("`{key}`")), "missing {key}");
+        }
+    }
+}

@@ -2,10 +2,21 @@
 
 use crate::hist::Histogram;
 use crate::json::Json;
-use crate::Collector;
+use crate::{Collector, TrackedCollector};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
+
+/// Counter recording instrumentation bugs: a [`Collector::span_end`] whose
+/// name does not match the innermost open span, or one with no open span at
+/// all. Recorded instead of asserting so a buggy instrumentation point
+/// degrades the report (with a warning) rather than aborting the run.
+pub const SPAN_MISMATCH_COUNTER: &str = "obs.span_mismatch";
+
+/// Counter recording spans still open when the report was produced (an error
+/// return unwound past their `span_end`); see
+/// [`RecordingCollector::close_open_spans`].
+pub const SPAN_UNCLOSED_COUNTER: &str = "obs.span_unclosed";
 
 /// One completed span: a named, timed region with nested children.
 #[derive(Clone, Debug)]
@@ -63,13 +74,14 @@ impl Collector for RecordingCollector {
 
     fn span_end(&mut self, name: &'static str) {
         let Some((mut node, started)) = self.open.pop() else {
-            debug_assert!(false, "span_end(\"{name}\") without a matching span_start");
+            // Instrumentation bug, not a data bug: record it and keep going
+            // so the rest of the run still produces a report.
+            self.count(SPAN_MISMATCH_COUNTER, 1);
             return;
         };
-        debug_assert_eq!(
-            node.name, name,
-            "span_end name does not match the innermost open span"
-        );
+        if node.name != name {
+            self.count(SPAN_MISMATCH_COUNTER, 1);
+        }
         node.duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.histograms
             .entry(format!("span.{}.ms", node.name))
@@ -92,8 +104,26 @@ impl Collector for RecordingCollector {
             .record(value);
     }
 
+    fn instant(&mut self, name: &'static str) {
+        // An aggregating collector has no timeline; instants fold into the
+        // counter of the same name so they still show up in reports.
+        self.count(name, 1);
+    }
+
     fn enabled(&self) -> bool {
         true
+    }
+}
+
+impl TrackedCollector for RecordingCollector {
+    type Track = RecordingCollector;
+
+    fn fork(&mut self, _name: &str) -> RecordingCollector {
+        RecordingCollector::new()
+    }
+
+    fn adopt(&mut self, track: RecordingCollector) {
+        self.merge(track);
     }
 }
 
@@ -118,18 +148,42 @@ impl RecordingCollector {
         self.histograms.get(name)
     }
 
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Completed top-level spans, in completion order.
     pub fn spans(&self) -> &[SpanNode] {
         &self.roots
     }
 
     /// Closes any spans left open (e.g. by an error return unwinding past
-    /// their `span_end`), so a report can still be produced.
+    /// their `span_end`), so a report can still be produced. Each forced
+    /// close is recorded under [`SPAN_UNCLOSED_COUNTER`] and surfaces as a
+    /// report warning.
     pub fn close_open_spans(&mut self) {
         while let Some((node, _)) = self.open.last() {
             let name = node.name;
+            self.count(SPAN_UNCLOSED_COUNTER, 1);
             self.span_end(name);
         }
+    }
+
+    /// Merges another collector's recordings into this one: counters add,
+    /// histograms merge (exact moments, concatenated quantile samples), and
+    /// `other`'s completed top-level spans append after `self`'s. Open spans
+    /// of `other` are force-closed first (a forked worker track should have
+    /// none). This is [`TrackedCollector::adopt`] for recording collectors.
+    pub fn merge(&mut self, mut other: RecordingCollector) {
+        other.close_open_spans();
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, hist) in other.histograms {
+            self.histograms.entry(name).or_default().merge(&hist);
+        }
+        self.roots.extend(other.roots);
     }
 
     /// The run report as a JSON document:
@@ -167,7 +221,39 @@ impl RecordingCollector {
         );
         report.push("counters", counters);
         report.push("histograms", histograms);
+        let warnings = self.warnings();
+        if !warnings.is_empty() {
+            report.push(
+                "warnings",
+                Json::Arr(warnings.into_iter().map(Json::Str).collect()),
+            );
+        }
         report
+    }
+
+    /// Instrumentation-health warnings for the report: span begin/end
+    /// mismatches, spans force-closed at report time, and spans still open.
+    fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mismatched = self.counter(SPAN_MISMATCH_COUNTER);
+        if mismatched > 0 {
+            out.push(format!(
+                "{mismatched} span_end call(s) did not match the innermost open span"
+            ));
+        }
+        let unclosed = self.counter(SPAN_UNCLOSED_COUNTER);
+        if unclosed > 0 {
+            out.push(format!(
+                "{unclosed} span(s) were still open and force-closed at report time"
+            ));
+        }
+        if !self.open.is_empty() {
+            out.push(format!(
+                "{} span(s) still open (report produced without close_open_spans)",
+                self.open.len()
+            ));
+        }
+        out
     }
 
     /// Writes the pretty-printed run report to `path`.
@@ -223,6 +309,71 @@ mod tests {
         assert_eq!(rec.spans().len(), 1);
         assert_eq!(rec.spans()[0].name, "a");
         assert_eq!(rec.spans()[0].children[0].name, "b");
+        // Both forced closes were recorded and warn in the report.
+        assert_eq!(rec.counter(SPAN_UNCLOSED_COUNTER), 2);
+        let report = rec.to_json().render();
+        assert!(report.contains("force-closed"));
+    }
+
+    #[test]
+    fn unmatched_span_end_is_recorded_not_fatal() {
+        let mut rec = RecordingCollector::new();
+        // Ending with no span open: counted, otherwise ignored.
+        rec.span_end("ghost");
+        assert_eq!(rec.counter(SPAN_MISMATCH_COUNTER), 1);
+        assert!(rec.spans().is_empty());
+        // Ending under the wrong name: counted, span still closes under the
+        // name it was opened with.
+        rec.span_start("real");
+        rec.span_end("wrong");
+        assert_eq!(rec.counter(SPAN_MISMATCH_COUNTER), 2);
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "real");
+        let report = rec.to_json();
+        let warnings = report.get("warnings").unwrap();
+        assert!(warnings.render().contains("did not match"));
+    }
+
+    #[test]
+    fn clean_runs_report_no_warnings() {
+        let mut rec = RecordingCollector::new();
+        rec.span_start("a");
+        rec.span_end("a");
+        assert_eq!(rec.to_json().get("warnings"), None);
+    }
+
+    #[test]
+    fn merge_combines_counters_histograms_and_spans() {
+        let mut a = RecordingCollector::new();
+        a.count("shared", 1);
+        a.count("only_a", 5);
+        a.observe("h", 1.0);
+        a.span_start("a_span");
+        a.span_end("a_span");
+
+        let mut b = RecordingCollector::new();
+        b.count("shared", 2);
+        b.observe("h", 3.0);
+        b.span_start("b_span");
+        b.span_end("b_span");
+
+        a.merge(b);
+        assert_eq!(a.counter("shared"), 3);
+        assert_eq!(a.counter("only_a"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 4.0);
+        let names: Vec<_> = a.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a_span", "b_span"]);
+    }
+
+    #[test]
+    fn adopt_is_merge_for_recording_collectors() {
+        use crate::TrackedCollector;
+        let mut root = RecordingCollector::new();
+        let mut track = root.fork("worker-0");
+        track.count("work", 4);
+        root.adopt(track);
+        assert_eq!(root.counter("work"), 4);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use mpss_maxflow::{
     residual_reachable_tol, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, WarmStartable,
 };
 use mpss_numeric::FlowNum;
-use mpss_obs::{Collector, NoopCollector};
+use mpss_obs::{Collector, NoopCollector, TrackedCollector};
 use mpss_par::{race2, RaceWinner};
 
 /// Which max-flow engine the offline algorithm runs internally.
@@ -214,9 +214,16 @@ pub fn optimal_schedule_with<T: FlowNum>(
 ///   target `F_G`, one observation per round — 1.0 means the conjectured
 ///   speed was accepted) and `offline.jobs_removed_per_phase`.
 ///
+/// When `opts.race_engines` is on, the two contenders additionally record
+/// onto forked tracks named `race.dinic` / `race.pr` (span `race.probe` per
+/// attempt, instant `race.bail` on a cooperative cancel, instant
+/// `race.cancelled` on the discarded loser), adopted back into `obs` at the
+/// end of the solve — which is why the collector bound is
+/// [`TrackedCollector`] rather than plain [`Collector`].
+///
 /// Passing [`NoopCollector`] makes this identical to
 /// [`optimal_schedule_with`]: every instrumentation point inlines to nothing.
-pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
+pub fn optimal_schedule_observed<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     opts: &OfflineOptions,
     obs: &mut C,
@@ -237,13 +244,18 @@ pub fn optimal_schedule_observed<T: FlowNum, C: Collector>(
 /// events — job removals plus retarget cancellations), and
 /// `offline.cold_rounds_avoided` (repair rounds served by a retained network
 /// instead of a cold rebuild).
-pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
+pub fn optimal_schedule_seeded<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     opts: &OfflineOptions,
     seed: Option<&SeedPlan<T>>,
     obs: &mut C,
 ) -> Result<OptimalResult<T>, ModelError> {
     obs.span_start("offline.optimal_schedule");
+    // Each race contender records onto its own track for the whole solve
+    // (one fork per solve, not per probe); adopted at every exit point.
+    let mut race_tracks = opts
+        .race_engines
+        .then(|| (obs.fork("race.dinic"), obs.fork("race.pr")));
     let intervals = Intervals::from_instance(instance);
     let nj = intervals.len();
     let mut used = vec![0usize; nj];
@@ -293,6 +305,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
             }
             if !p_total.is_strictly_positive() {
                 obs.span_end("offline.phase");
+                adopt_race_tracks(obs, &mut race_tracks);
                 flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
                 obs.span_end("offline.optimal_schedule");
                 return Err(ModelError::NoReservableTime);
@@ -320,6 +333,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
                         prev.source,
                         prev.sink,
                         true,
+                        race_tracks.as_mut().expect("racing forks tracks"),
                         obs,
                     )
                 } else {
@@ -358,6 +372,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
                             fm.source,
                             fm.sink,
                             true,
+                            race_tracks.as_mut().expect("racing forks tracks"),
                             obs,
                         )
                     } else {
@@ -377,6 +392,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
                             fm.source,
                             fm.sink,
                             false,
+                            race_tracks.as_mut().expect("racing forks tracks"),
                             obs,
                         )
                     } else {
@@ -415,6 +431,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
             // Deficient round: drop the job of Lemma 4's removal rule.
             let removed = select_removal(&fm, opts.eps);
             obs.count("offline.jobs_removed", 1);
+            obs.instant("offline.job_removed");
             if opts.record_trace {
                 trace.push(RoundTrace {
                     phase: phase_index,
@@ -436,6 +453,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
             );
             if cur.is_empty() {
                 obs.span_end("offline.phase");
+                adopt_race_tracks(obs, &mut race_tracks);
                 flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
                 obs.span_end("offline.optimal_schedule");
                 return Err(ModelError::NoReservableTime);
@@ -506,6 +524,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
         obs.span_end("offline.phase");
     }
 
+    adopt_race_tracks(obs, &mut race_tracks);
     flush_engine_stats::<T, C>(obs, &dinic, &push_relabel);
     obs.span_end("offline.optimal_schedule");
     schedule.normalize();
@@ -528,14 +547,21 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: Collector>(
 /// back to their pre-race snapshot so run totals count each probe exactly
 /// once, by the engine that actually served it; `par.race.dinic_wins` /
 /// `par.race.pr_wins` record who did.
+///
+/// Each contender records a `race.probe` span onto its own track in
+/// `tracks` (timestamped on the thread that ran it), plus a `race.bail`
+/// instant if it observed the cancel flag; after the join the loser's track
+/// gets a `race.cancelled` instant, so traces show exactly one discarded
+/// attempt per probe even when the loser finished without polling.
 #[allow(clippy::too_many_arguments)]
-fn race_flow<T: FlowNum, C: Collector>(
+fn race_flow<T: FlowNum, C: TrackedCollector>(
     dinic: &mut Dinic,
     push_relabel: &mut PushRelabel,
     net: &mut FlowNetwork<T>,
     source: NodeId,
     sink: NodeId,
     warm: bool,
+    tracks: &mut (C::Track, C::Track),
     obs: &mut C,
 ) -> T {
     let dinic_snap = MaxFlow::<T>::stats(dinic);
@@ -547,36 +573,58 @@ fn race_flow<T: FlowNum, C: Collector>(
     let mut pr_net = base;
     let dinic_ref = &mut *dinic;
     let pr_ref = &mut *push_relabel;
+    let (dinic_track, pr_track) = (&mut tracks.0, &mut tracks.1);
     let (winner, (flow, winning_net)) = race2(
         move |cancel| {
+            dinic_track.span_start("race.probe");
             let f = if warm {
                 dinic_ref.re_max_flow_cancelable(&mut dinic_net, source, sink, cancel)
             } else {
                 dinic_ref.max_flow_cancelable(&mut dinic_net, source, sink, cancel)
-            }?;
-            Some((f, dinic_net))
+            };
+            if f.is_none() {
+                dinic_track.instant("race.bail");
+            }
+            dinic_track.span_end("race.probe");
+            Some((f?, dinic_net))
         },
         move |cancel| {
+            pr_track.span_start("race.probe");
             let f = if warm {
                 pr_ref.re_max_flow_cancelable(&mut pr_net, source, sink, cancel)
             } else {
                 pr_ref.max_flow_cancelable(&mut pr_net, source, sink, cancel)
-            }?;
-            Some((f, pr_net))
+            };
+            if f.is_none() {
+                pr_track.instant("race.bail");
+            }
+            pr_track.span_end("race.probe");
+            Some((f?, pr_net))
         },
     );
     *net = winning_net;
     match winner {
         RaceWinner::First => {
             obs.count("par.race.dinic_wins", 1);
+            tracks.1.instant("race.cancelled");
             MaxFlow::<T>::restore_stats(push_relabel, pr_snap);
         }
         RaceWinner::Second => {
             obs.count("par.race.pr_wins", 1);
+            tracks.0.instant("race.cancelled");
             MaxFlow::<T>::restore_stats(dinic, dinic_snap);
         }
     }
     flow
+}
+
+/// Adopts the race contenders' tracks back into the run's collector (in
+/// fixed dinic-then-pr order, once per solve). No-op when not racing.
+fn adopt_race_tracks<C: TrackedCollector>(obs: &mut C, tracks: &mut Option<(C::Track, C::Track)>) {
+    if let Some((dinic_track, pr_track)) = tracks.take() {
+        obs.adopt(dinic_track);
+        obs.adopt(pr_track);
+    }
 }
 
 /// Copies the engines' accumulated work counters

@@ -22,7 +22,7 @@
 
 use mpss_core::{Instance, Intervals, Schedule, Segment};
 use mpss_numeric::FlowNum;
-use mpss_obs::{Collector, NoopCollector};
+use mpss_obs::{Collector, NoopCollector, TrackedCollector};
 use mpss_par::{chunk_ranges, ThreadPool};
 
 /// Runs AVR(m) on the event-interval partition. Works for either numeric
@@ -65,10 +65,13 @@ pub fn avr_schedule_parallel<T: FlowNum>(instance: &Instance<T>, pool: &ThreadPo
 /// [`avr_schedule_parallel`] with an instrumentation [`Collector`].
 ///
 /// Emits the same `avr.intervals` / `avr.peeled` counters as the sequential
-/// [`avr_schedule_observed`] (each worker tallies locally; the tallies are
-/// merged in the caller after the join, so totals are deterministic), plus
-/// `par.tasks` (chunks dispatched) and `par.pool.threads`.
-pub fn avr_schedule_parallel_observed<T: FlowNum, C: Collector>(
+/// [`avr_schedule_observed`], plus `par.tasks` (chunks dispatched) and
+/// `par.pool.threads`. Each worker records onto its own forked track
+/// (`worker-0`, `worker-1`, …) wrapped in one `avr.chunk` span per chunk;
+/// [`ThreadPool::scope_map_tracked`] adopts the tracks back in worker order,
+/// so merged totals are deterministic and streaming traces show per-worker
+/// timelines.
+pub fn avr_schedule_parallel_observed<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     pool: &ThreadPool,
     obs: &mut C,
@@ -82,56 +85,22 @@ pub fn avr_schedule_parallel_observed<T: FlowNum, C: Collector>(
     let chunks = chunk_ranges(intervals.len(), pool.threads());
     obs.count("par.tasks", chunks.len() as u64);
     obs.count("par.pool.threads", pool.threads() as u64);
-    let parts = pool.scope_map(chunks, |range| {
+    let parts = pool.scope_map_tracked(chunks, obs, |_, range, track| {
+        track.span_start("avr.chunk");
         let mut local = Schedule::new(instance.m);
-        let mut tally = AvrTally::default();
         for j in range {
             let (start, end) = intervals.bounds(j);
-            schedule_interval(instance, &mut local, start, end, &mut tally);
+            schedule_interval(instance, &mut local, start, end, track);
         }
-        (local.segments, tally)
+        track.span_end("avr.chunk");
+        local.segments
     });
     let mut schedule = Schedule::new(instance.m);
-    for (segments, tally) in parts {
+    for segments in parts {
         schedule.segments.extend(segments);
-        tally.merge_into(obs);
     }
     schedule.normalize();
     schedule
-}
-
-/// Per-worker counter tally: [`Collector`] is `&mut` state, so workers
-/// cannot share the caller's collector; they count into this fixed-size
-/// struct and the caller merges after the deterministic join.
-#[derive(Default)]
-struct AvrTally {
-    intervals: u64,
-    peeled: u64,
-}
-
-impl AvrTally {
-    fn merge_into<C: Collector>(&self, obs: &mut C) {
-        if self.intervals > 0 {
-            obs.count("avr.intervals", self.intervals);
-        }
-        if self.peeled > 0 {
-            obs.count("avr.peeled", self.peeled);
-        }
-    }
-}
-
-impl Collector for AvrTally {
-    fn count(&mut self, counter: &'static str, by: u64) {
-        match counter {
-            "avr.intervals" => self.intervals += by,
-            "avr.peeled" => self.peeled += by,
-            _ => {}
-        }
-    }
-
-    fn enabled(&self) -> bool {
-        true
-    }
 }
 
 /// Runs AVR(m) exactly as in the paper's Fig. 3: over unit intervals

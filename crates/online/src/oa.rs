@@ -15,7 +15,7 @@
 
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule};
 use mpss_numeric::FlowNum;
-use mpss_obs::{Collector, NoopCollector};
+use mpss_obs::{NoopCollector, TrackedCollector};
 use mpss_offline::optimal::{optimal_schedule_seeded, OfflineOptions, OptimalResult, SeedPlan};
 
 /// Tuning knobs for the OA(m) driver.
@@ -92,7 +92,7 @@ pub fn oa_schedule_with_options<T: FlowNum>(
 /// `oa.reseed.replans` (replans that received a span seed) and
 /// `oa.reseed.jobs` (surviving jobs whose previous execution spans were
 /// transplanted).
-pub fn oa_schedule_observed<T: FlowNum, C: Collector>(
+pub fn oa_schedule_observed<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     obs: &mut C,
 ) -> Result<OaOutcome<T>, ModelError> {
@@ -101,7 +101,7 @@ pub fn oa_schedule_observed<T: FlowNum, C: Collector>(
 }
 
 /// [`oa_schedule_observed`] with explicit [`OaOptions`].
-pub fn oa_schedule_observed_with<T: FlowNum, C: Collector>(
+pub fn oa_schedule_observed_with<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     opts: &OaOptions,
     obs: &mut C,
@@ -119,7 +119,7 @@ pub fn oa_schedule_with_plans<T: FlowNum>(
     oa_run(instance, &OaOptions::default(), true, &mut NoopCollector)
 }
 
-fn oa_run<T: FlowNum, C: Collector>(
+fn oa_run<T: FlowNum, C: TrackedCollector>(
     instance: &Instance<T>,
     opts: &OaOptions,
     record: bool,
@@ -190,6 +190,7 @@ fn oa_run<T: FlowNum, C: Collector>(
         } else {
             None
         };
+        obs.instant("oa.arrival");
         obs.span_start("oa.replan");
         let plan = (|| {
             let sub = Instance::new(instance.m, sub_jobs)?;

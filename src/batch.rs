@@ -14,7 +14,7 @@
 
 use mpss_core::{Instance, ModelError};
 use mpss_numeric::FlowNum;
-use mpss_obs::{Collector, NoopCollector, RecordingCollector};
+use mpss_obs::{Collector, NoopCollector, RecordingCollector, Tee, TrackedCollector};
 use mpss_offline::{optimal_schedule_observed, OfflineOptions, OptimalResult};
 use mpss_par::ThreadPool;
 
@@ -40,11 +40,16 @@ pub fn solve_many<T: FlowNum>(
 
 /// [`solve_many`] with a batch-level [`Collector`].
 ///
-/// The caller's collector receives only the pool-level counters `par.tasks`
-/// (instances dispatched) and `par.pool.threads`; the per-instance solver
-/// counters land in each [`BatchOutput::report`], which keeps them exactly
-/// equal to what a solo observed run of that instance would record.
-pub fn solve_many_observed<T: FlowNum, C: Collector>(
+/// The caller's collector receives the pool-level counters `par.tasks`
+/// (instances dispatched) and `par.pool.threads`, plus — through forked
+/// per-worker tracks (`worker-0`, `worker-1`, …) adopted back in worker
+/// order — every solver event, each instance wrapped in a `batch.solve`
+/// span. The per-instance solver counters *also* land in each
+/// [`BatchOutput::report`] (the solver reports through a [`Tee`]), which
+/// keeps those reports exactly equal to what a solo observed run of that
+/// instance would record: the `batch.solve` span and worker tracks exist
+/// only on the batch-level collector.
+pub fn solve_many_observed<T: FlowNum, C: TrackedCollector>(
     batch: &[Instance<T>],
     opts: &OfflineOptions,
     pool: &ThreadPool,
@@ -53,10 +58,15 @@ pub fn solve_many_observed<T: FlowNum, C: Collector>(
     obs.count("par.tasks", batch.len() as u64);
     obs.count("par.pool.threads", pool.threads() as u64);
     let items: Vec<&Instance<T>> = batch.iter().collect();
-    pool.scope_map(items, |instance| {
+    pool.scope_map_tracked(items, obs, |_, instance, track| {
+        track.span_start("batch.solve");
         let mut report = RecordingCollector::new();
-        let result = optimal_schedule_observed(instance, opts, &mut report);
+        let result = {
+            let mut tee = Tee(&mut *track, &mut report);
+            optimal_schedule_observed(instance, opts, &mut tee)
+        };
         report.close_open_spans();
+        track.span_end("batch.solve");
         BatchOutput { result, report }
     })
 }

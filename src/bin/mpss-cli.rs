@@ -7,14 +7,27 @@
 //! mpss-cli online trace.json --algo oa|avr|bkp [--alpha 3] [--cold-flow] [--threads N] [--report out.json]
 //! mpss-cli bounds trace.json [--alpha 3]
 //! mpss-cli check trace.json schedule.json
+//! mpss-cli report-diff a.report.json b.report.json [--max-regress 5] [--only offline.] [--gate-wall]
+//! mpss-cli trace-check run.trace.json
 //! ```
 //!
 //! `--report <path>` attaches a [`RecordingCollector`] to the run and writes
 //! the JSON run report (per-phase spans, max-flow work counters, latency
-//! histograms) it collected. `--cold-flow` disables the warm-start max-flow
+//! histograms) it collected. `--trace <path>` additionally streams every
+//! span/instant/counter event into a [`TraceCollector`] and exports Chrome
+//! Trace Event JSON — load it in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing` to see per-worker and per-race-contender tracks on one
+//! time axis. `--flame <path>` writes the same trace as collapsed stacks
+//! (`track;outer;inner weight_ns` lines) for flamegraph tooling.
+//! `--cold-flow` disables the warm-start max-flow
 //! path (and OA replan reseeding), running every repair round from a freshly
 //! built network — the differential oracle the warm path is validated
 //! against.
+//!
+//! `report-diff` compares two run reports counter by counter and exits
+//! non-zero when any gated counter increased by more than `--max-regress`
+//! percent — the CI drift gate. `trace-check` validates a Chrome Trace
+//! Event file (well-nested spans and monotone timestamps per track).
 //!
 //! Parallelism: `--threads N` sizes the worker pool explicitly; without it
 //! the `MPSS_THREADS` environment variable, then the machine's available
@@ -40,6 +53,8 @@ fn main() -> ExitCode {
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("report-diff") => cmd_report_diff(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -60,12 +75,14 @@ fn print_usage() {
         "mpss-cli — multi-processor speed scaling with migration (SPAA 2011)\n\n\
          USAGE:\n\
          \u{20}  mpss-cli generate --family <name> --n <jobs> --m <procs> [--horizon H] [--seed S] -o <trace.json>\n\
-         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--cold-flow] [--race] [--save-schedule <out.json>] [--report <out.json>]\n\
-         \u{20}  mpss-cli solve-batch --dir <traces/> [--alpha A] [--threads N] [--race] [--cold-flow] [--report-dir <reports/>]\n\
-         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--cold-flow] [--threads N] [--report <out.json>]\n\
+         \u{20}  mpss-cli solve <trace.json> [--alpha A] [--gantt] [--cold-flow] [--race] [--save-schedule <out.json>] [--report <out.json>] [--trace <out.trace.json>] [--flame <out.folded>]\n\
+         \u{20}  mpss-cli solve-batch --dir <traces/> [--alpha A] [--threads N] [--race] [--cold-flow] [--report-dir <reports/>] [--trace <out.trace.json>]\n\
+         \u{20}  mpss-cli online <trace.json> --algo <oa|avr|bkp> [--alpha A] [--cold-flow] [--threads N] [--report <out.json>] [--trace <out.trace.json>] [--flame <out.folded>]\n\
          \u{20}  mpss-cli bounds <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
-         \u{20}  mpss-cli check <trace.json> <schedule.json>\n\n\
+         \u{20}  mpss-cli check <trace.json> <schedule.json>\n\
+         \u{20}  mpss-cli report-diff <a.report.json> <b.report.json> [--max-regress PCT] [--only PREFIX] [--gate-wall]\n\
+         \u{20}  mpss-cli trace-check <run.trace.json>\n\n\
          families: uniform bursty laminar agreeable tight-load avr-adversarial poisson heavy-tail periodic"
     );
 }
@@ -147,6 +164,22 @@ fn load(path: &str) -> Result<Instance<f64>, String> {
     read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
+/// Writes the `--trace` (Chrome Trace Event JSON) and `--flame` (collapsed
+/// stacks) exports of a finished [`TraceCollector`], if requested.
+fn write_trace_outputs(a: &Args<'_>, trace: &TraceCollector) -> Result<(), String> {
+    if let Some(out) = a.flag("trace") {
+        trace
+            .write_chrome_trace(Path::new(out))
+            .map_err(|e| e.to_string())?;
+        println!("  trace saved to {out} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(out) = a.flag("flame") {
+        std::fs::write(out, trace.collapsed_stacks()).map_err(|e| e.to_string())?;
+        println!("  collapsed stacks saved to {out}");
+    }
+    Ok(())
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let a = parse(args, &[]);
     let family = family_by_name(a.flag("family").ok_or("--family required")?)?;
@@ -206,8 +239,12 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         "par.pool.threads",
         ThreadPool::with_threads(a.threads()?).threads() as u64,
     );
-    let res = if a.flag("report").is_some() {
-        optimal_schedule_observed(&instance, &opts, &mut rec)
+    let mut trace = TraceCollector::new("main");
+    let observing =
+        a.flag("report").is_some() || a.flag("trace").is_some() || a.flag("flame").is_some();
+    let res = if observing {
+        let mut tee = Tee(&mut rec, &mut trace);
+        optimal_schedule_observed(&instance, &opts, &mut tee)
     } else {
         mpss::offline::optimal_schedule_with(&instance, &opts)
     }
@@ -263,6 +300,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         rec.write_json(Path::new(out)).map_err(|e| e.to_string())?;
         println!("  run report saved to {out}");
     }
+    write_trace_outputs(&a, &trace)?;
     Ok(())
 }
 
@@ -295,8 +333,12 @@ fn cmd_solve_batch(args: &[String]) -> Result<(), String> {
     };
     let pool = ThreadPool::with_threads(a.threads()?);
     let mut obs = RecordingCollector::new();
+    let mut trace = TraceCollector::new("main");
     let started = std::time::Instant::now();
-    let outputs = solve_many_observed(&instances, &opts, &pool, &mut obs);
+    let outputs = {
+        let mut tee = Tee(&mut obs, &mut trace);
+        solve_many_observed(&instances, &opts, &pool, &mut tee)
+    };
     let elapsed = started.elapsed();
 
     println!(
@@ -343,6 +385,7 @@ fn cmd_solve_batch(args: &[String]) -> Result<(), String> {
     if let Some(rd) = report_dir {
         println!("  per-instance reports saved to {rd}/");
     }
+    write_trace_outputs(&a, &trace)?;
     if failures > 0 {
         return Err(format!("{failures} instance(s) failed to solve"));
     }
@@ -368,11 +411,14 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     };
     let mut rec = RecordingCollector::new();
     rec.count("par.pool.threads", pool.threads() as u64);
-    let observing = a.flag("report").is_some();
+    let mut trace = TraceCollector::new("main");
+    let observing =
+        a.flag("report").is_some() || a.flag("trace").is_some() || a.flag("flame").is_some();
     let (schedule, bound, name) = match algo {
         "oa" => {
             let oa = if observing {
-                oa_schedule_observed_with(&instance, &oa_opts, &mut rec)
+                let mut tee = Tee(&mut rec, &mut trace);
+                oa_schedule_observed_with(&instance, &oa_opts, &mut tee)
             } else {
                 oa_schedule_with_options(&instance, &oa_opts)
             }
@@ -381,7 +427,8 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
         }
         "avr" => {
             let avr = if observing {
-                avr_schedule_parallel_observed(&instance, &pool, &mut rec)
+                let mut tee = Tee(&mut rec, &mut trace);
+                avr_schedule_parallel_observed(&instance, &pool, &mut tee)
             } else {
                 avr_schedule_parallel(&instance, &pool)
             };
@@ -399,8 +446,9 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     validate_schedule(&instance, &schedule, 1e-6)
         .map_err(|v| format!("{name} produced an infeasible schedule: {v:?}"))?;
     let report = if observing {
-        record_energy_trajectory(&schedule, &p, &mut rec);
-        competitive_report_observed(&instance, &schedule, &p, bound, &mut rec)
+        let mut tee = Tee(&mut rec, &mut trace);
+        record_energy_trajectory(&schedule, &p, &mut tee);
+        competitive_report_observed(&instance, &schedule, &p, bound, &mut tee)
     } else {
         competitive_report(&instance, &schedule, &p, bound)
     }
@@ -426,6 +474,7 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
         rec.write_json(Path::new(out)).map_err(|e| e.to_string())?;
         println!("  run report saved to {out}");
     }
+    write_trace_outputs(&a, &trace)?;
     Ok(())
 }
 
@@ -489,6 +538,52 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  mean flow time : {:.3}", fleet.mean_flow_time);
     println!("  max stretch    : {:.3}", fleet.max_stretch);
     println!("  migrating jobs : {}", fleet.migrating_jobs);
+    Ok(())
+}
+
+fn cmd_report_diff(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &["gate-wall"]);
+    let path_a = a
+        .positional
+        .first()
+        .ok_or("baseline report path required")?;
+    let path_b = a
+        .positional
+        .get(1)
+        .ok_or("candidate report path required")?;
+    let opts = DiffOptions {
+        max_regress_pct: a
+            .flag("max-regress")
+            .map(|v| v.parse().map_err(|_| "bad --max-regress".to_string()))
+            .transpose()?,
+        only_prefix: a.flag("only").map(str::to_string),
+        gate_wall: a.switches.contains(&"gate-wall"),
+    };
+    let read = |path: &str| -> Result<mpss::obs::json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        mpss::obs::json::Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let diff = diff_reports(&read(path_a)?, &read(path_b)?, &opts);
+    print!("{}", diff.render_text());
+    if diff.is_regression() {
+        return Err(format!(
+            "{} regression(s) past the threshold",
+            diff.regressions.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let check = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid Chrome Trace Event JSON — {} events across {} tracks ({} instants, max span depth {})",
+        check.events, check.tracks, check.instants, check.max_depth
+    );
+    println!("  tracks: {}", check.track_names.join(", "));
     Ok(())
 }
 

@@ -63,7 +63,10 @@ pub mod prelude {
     pub use mpss_core::validate::{assert_feasible, validate_schedule};
     pub use mpss_core::{Instance, Intervals, Job, JobId, PowerFunction, Schedule, Segment};
     pub use mpss_numeric::{FlowNum, Rational};
-    pub use mpss_obs::{Collector, NoopCollector, RecordingCollector};
+    pub use mpss_obs::{
+        diff_reports, validate_chrome_trace, Collector, DiffOptions, NoopCollector,
+        RecordingCollector, Tee, TraceCollector, TrackedCollector,
+    };
     pub use mpss_offline::canonical::canonicalize;
     pub use mpss_offline::certificate::verify_certificate;
     pub use mpss_offline::discrete::discretize_speeds;
