@@ -19,9 +19,11 @@
 //! part of this experiment, wall clock is not.
 //!
 //! Run: `cargo run -p mpss-bench --release --bin exp_par_scaling`
-//! `--smoke` shrinks every size for CI and records a snapshot (wall time +
-//! key counters) into `BENCH_PR5.json` in the working directory; a path
-//! argument writes the tables as an experiment JSON document.
+//! `--smoke` shrinks every size for CI and appends a snapshot (wall time +
+//! key counters, stamped with the git revision) to the cumulative
+//! `BENCH_TRAJECTORY.json` in the working directory — gate it with
+//! `mpss-cli report-diff --bench`; a path argument writes the tables as an
+//! experiment JSON document.
 
 use mpss::batch::solve_many;
 use mpss_bench::{record_bench_snapshot, timed, write_experiment_report, Table};
@@ -213,7 +215,7 @@ fn main() {
         println!("\nexperiment JSON written to {out}");
     }
     if smoke {
-        let bench = Path::new("BENCH_PR5.json");
+        let bench = Path::new("BENCH_TRAJECTORY.json");
         record_bench_snapshot(
             bench,
             "par_scaling_smoke",

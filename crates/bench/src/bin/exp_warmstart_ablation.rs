@@ -11,9 +11,11 @@
 //! the ablation is void if the optimisation is observable in the output.
 //!
 //! Run: `cargo run -p mpss-bench --release --bin exp_warmstart_ablation`
-//! `--smoke` shrinks the sweep for CI and records a snapshot (wall time +
-//! augmentation counters) into `BENCH_PR5.json` in the working directory;
-//! a path argument writes the tables as an experiment JSON document.
+//! `--smoke` shrinks the sweep for CI and appends a snapshot (wall time +
+//! augmentation counters, stamped with the git revision) to the cumulative
+//! `BENCH_TRAJECTORY.json` in the working directory — gate it with
+//! `mpss-cli report-diff --bench`; a path argument writes the tables as an
+//! experiment JSON document.
 
 use mpss_bench::{record_bench_snapshot, timed, write_experiment_report, Table};
 use mpss_obs::{Collector, RecordingCollector};
@@ -214,7 +216,7 @@ fn main() {
         println!("\nexperiment JSON written to {out}");
     }
     if smoke {
-        let bench = Path::new("BENCH_PR5.json");
+        let bench = Path::new("BENCH_TRAJECTORY.json");
         record_bench_snapshot(
             bench,
             "warmstart_ablation_smoke",

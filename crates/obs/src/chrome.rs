@@ -143,6 +143,11 @@ pub struct TraceCheck {
     pub max_depth: usize,
     /// Track names from `thread_name` metadata, in `tid` order.
     pub track_names: Vec<String>,
+    /// Total `obs.span_mismatch` count carried by the trace (the last
+    /// cumulative `"C"` sample per track, summed). Non-zero means some
+    /// `span_end` closed the wrong span — `mpss-cli trace-check` fails on
+    /// it.
+    pub span_mismatches: u64,
 }
 
 /// Parses `text` as Chrome Trace Event JSON and checks the invariants the
@@ -157,6 +162,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let mut names: BTreeMap<u64, String> = BTreeMap::new();
     let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
     let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut mismatches: BTreeMap<u64, u64> = BTreeMap::new();
     let mut check = TraceCheck::default();
     for (i, event) in events.iter().enumerate() {
         let ph = match event.get("ph") {
@@ -220,12 +226,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
             }
             "i" => check.instants += 1,
             "C" => {
-                let has_value = matches!(
-                    event.get("args").and_then(|a| a.get("value")),
-                    Some(Json::UInt(_) | Json::Num(_))
-                );
-                if !has_value {
-                    return Err(format!("event {i}: C without numeric args.value"));
+                let value = match event.get("args").and_then(|a| a.get("value")) {
+                    Some(Json::UInt(v)) => *v as f64,
+                    Some(Json::Num(v)) => *v,
+                    _ => return Err(format!("event {i}: C without numeric args.value")),
+                };
+                if name == crate::record::SPAN_MISMATCH_COUNTER {
+                    // "C" samples are cumulative per track; keep the latest.
+                    mismatches.insert(tid, value.max(0.0) as u64);
                 }
             }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
@@ -238,6 +246,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     }
     check.tracks = last_ts.len();
     check.track_names = names.into_values().collect();
+    check.span_mismatches = mismatches.values().sum();
     Ok(check)
 }
 
@@ -329,6 +338,24 @@ mod tests {
         assert!(validate_chrome_trace(text)
             .unwrap_err()
             .contains("never closed"));
+    }
+
+    #[test]
+    fn span_mismatch_counters_surface_in_the_check() {
+        let clean = sample_trace().chrome_trace().render();
+        assert_eq!(
+            validate_chrome_trace(&clean).unwrap().span_mismatches,
+            0,
+            "clean traces carry no mismatches"
+        );
+        // Two tracks, each with cumulative samples: latest-per-track summed.
+        let text = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":0,"ts":1.0,"name":"obs.span_mismatch","args":{"value":1}},
+            {"ph":"C","pid":1,"tid":0,"ts":2.0,"name":"obs.span_mismatch","args":{"value":2}},
+            {"ph":"C","pid":1,"tid":1,"ts":1.5,"name":"obs.span_mismatch","args":{"value":3}}
+        ]}"#;
+        let check = validate_chrome_trace(text).unwrap();
+        assert_eq!(check.span_mismatches, 5);
     }
 
     #[test]

@@ -252,6 +252,118 @@ pub fn diff_reports(a: &Json, b: &Json, opts: &DiffOptions) -> ReportDiff {
     diff
 }
 
+/// One snapshot name's newest-vs-previous comparison inside a bench
+/// trajectory.
+#[derive(Clone, Debug)]
+pub struct BenchComparison {
+    /// Snapshot name (e.g. `warmstart_ablation_smoke`).
+    pub name: String,
+    /// `git_rev` of the baseline (second-newest) entry.
+    pub baseline_rev: String,
+    /// `git_rev` of the candidate (newest) entry.
+    pub candidate_rev: String,
+    /// The counter/wall diff between them.
+    pub diff: ReportDiff,
+}
+
+/// The outcome of [`diff_bench_trajectory`]: per-name comparisons plus the
+/// names that had no baseline yet.
+#[derive(Clone, Debug, Default)]
+pub struct BenchGate {
+    /// Newest-vs-previous diffs, one per snapshot name with ≥ 2 entries.
+    pub comparisons: Vec<BenchComparison>,
+    /// Snapshot names with a single entry — nothing to gate against yet.
+    pub skipped: Vec<String>,
+}
+
+impl BenchGate {
+    /// `true` if any comparison tripped its gate.
+    pub fn is_regression(&self) -> bool {
+        self.comparisons.iter().any(|c| c.diff.is_regression())
+    }
+
+    /// Human-readable gate outcome, one section per snapshot name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comparisons {
+            out.push_str(&format!(
+                "bench {} : {} -> {}\n",
+                c.name, c.baseline_rev, c.candidate_rev
+            ));
+            for line in c.diff.render_text().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        for name in &self.skipped {
+            out.push_str(&format!("bench {name} : single entry, no baseline yet\n"));
+        }
+        if out.is_empty() {
+            out.push_str("bench trajectory is empty\n");
+        }
+        out
+    }
+}
+
+fn str_field(entry: &Json, key: &str) -> Option<String> {
+    match entry.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Gates a cumulative bench trajectory (a JSON array of
+/// `{name, git_rev, wall_ms, counters}` entries, chronological): for each
+/// snapshot name — or just `name`, if given — diffs the newest entry
+/// against the previous one with [`diff_reports`]. Names with fewer than
+/// two entries are reported as skipped, not failed: the first run of a new
+/// snapshot has no baseline.
+pub fn diff_bench_trajectory(
+    doc: &Json,
+    name: Option<&str>,
+    opts: &DiffOptions,
+) -> Result<BenchGate, String> {
+    let Json::Arr(entries) = doc else {
+        return Err("bench trajectory must be a JSON array".to_string());
+    };
+    // Group by name, keeping file (chronological) order within each group.
+    let mut groups: Vec<(String, Vec<&Json>)> = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let Some(entry_name) = str_field(entry, "name") else {
+            return Err(format!("trajectory entry {i} has no \"name\""));
+        };
+        if name.is_some_and(|want| want != entry_name) {
+            continue;
+        }
+        match groups.iter_mut().find(|(n, _)| *n == entry_name) {
+            Some((_, group)) => group.push(entry),
+            None => groups.push((entry_name, vec![entry])),
+        }
+    }
+    if let Some(want) = name {
+        if groups.is_empty() {
+            return Err(format!("no trajectory entries named {want:?}"));
+        }
+    }
+    let mut gate = BenchGate::default();
+    for (group_name, group) in groups {
+        if group.len() < 2 {
+            gate.skipped.push(group_name);
+            continue;
+        }
+        let baseline = group[group.len() - 2];
+        let candidate = group[group.len() - 1];
+        gate.comparisons.push(BenchComparison {
+            name: group_name,
+            baseline_rev: str_field(baseline, "git_rev").unwrap_or_else(|| "?".to_string()),
+            candidate_rev: str_field(candidate, "git_rev").unwrap_or_else(|| "?".to_string()),
+            diff: diff_reports(baseline, candidate, opts),
+        });
+    }
+    Ok(gate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +499,52 @@ mod tests {
         );
         assert!(!diff.is_regression());
         assert!(diff.histograms.iter().any(|h| h.stat == "mean"));
+    }
+
+    fn bench_entry(name: &str, rev: &str, wall: f64, phases: u64) -> Json {
+        let mut counters = Json::object();
+        counters.push("offline.phases", Json::UInt(phases));
+        let mut entry = Json::object();
+        entry.push("name", Json::from(name));
+        entry.push("git_rev", Json::from(rev));
+        entry.push("wall_ms", Json::Num(wall));
+        entry.push("counters", counters);
+        entry
+    }
+
+    #[test]
+    fn bench_trajectory_gates_newest_against_previous() {
+        let doc = Json::Arr(vec![
+            bench_entry("smoke", "aaa", 10.0, 100),
+            bench_entry("other", "aaa", 5.0, 7),
+            bench_entry("smoke", "bbb", 11.0, 150),
+        ]);
+        let opts = DiffOptions {
+            max_regress_pct: Some(25.0),
+            ..DiffOptions::default()
+        };
+        let gate = diff_bench_trajectory(&doc, None, &opts).unwrap();
+        assert_eq!(gate.comparisons.len(), 1);
+        assert_eq!(gate.comparisons[0].name, "smoke");
+        assert_eq!(gate.comparisons[0].baseline_rev, "aaa");
+        assert_eq!(gate.comparisons[0].candidate_rev, "bbb");
+        assert!(gate.is_regression(), "100 -> 150 is past 25%");
+        assert_eq!(gate.skipped, vec!["other".to_string()]);
+        assert!(gate.render_text().contains("no baseline yet"));
+
+        // Name filter narrows the gate to one group.
+        let only_other = diff_bench_trajectory(&doc, Some("other"), &opts).unwrap();
+        assert!(only_other.comparisons.is_empty());
+        assert!(!only_other.is_regression());
+        assert!(diff_bench_trajectory(&doc, Some("nope"), &opts).is_err());
+    }
+
+    #[test]
+    fn bench_trajectory_single_entry_passes() {
+        let doc = Json::Arr(vec![bench_entry("smoke", "aaa", 10.0, 100)]);
+        let gate = diff_bench_trajectory(&doc, Some("smoke"), &DiffOptions::default()).unwrap();
+        assert!(!gate.is_regression());
+        assert_eq!(gate.skipped, vec!["smoke".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! A hand-rolled parser for the Prometheus text exposition format.
+//!
+//! [`MetricsHub::render`](crate::MetricsHub::render) emits the format; this
+//! module reads it back, which buys two things:
+//!
+//! * the **round-trip test** — whatever the hub renders must parse to the
+//!   same names, labels, and bucket counts, so a formatting bug (bad
+//!   escaping, non-cumulative buckets) fails in-repo instead of in a
+//!   scraper;
+//! * **endpoint validation** — `mpss-cli scrape` fetches a live `/metrics`,
+//!   parses it with this parser, and checks every family against the
+//!   [`names`](crate::names::known_metric) manifest.
+//!
+//! The parser is deliberately stricter than a forgiving scraper: every
+//! sample must belong to a `# TYPE`d family, duplicate series are an error
+//! (that is how label-escaping collisions surface), and histogram families
+//! must have non-decreasing cumulative buckets ending in a `+Inf` bucket
+//! that equals `_count`.
+
+use std::collections::BTreeMap;
+
+/// One `name{labels} value` sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpoSample {
+    /// The sample name as written — for histograms this carries the
+    /// `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in written order (including `le` on bucket samples).
+    pub labels: Vec<(String, String)>,
+    /// The parsed value (`+Inf`/`-Inf`/`NaN` spellings accepted).
+    pub value: f64,
+}
+
+impl ExpoSample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn series_key(&self) -> String {
+        let mut labels = self.labels.clone();
+        labels.sort();
+        let mut key = self.name.clone();
+        for (k, v) in labels {
+            key.push('\u{1}');
+            key.push_str(&k);
+            key.push('\u{2}');
+            key.push_str(&v);
+        }
+        key
+    }
+}
+
+/// One metric family: the `# HELP`/`# TYPE` header plus its samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpoFamily {
+    /// Family name (without histogram suffixes).
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram` (whatever `# TYPE` declared).
+    pub kind: String,
+    /// The `# HELP` text (escapes decoded).
+    pub help: String,
+    /// Samples belonging to this family.
+    pub samples: Vec<ExpoSample>,
+}
+
+impl ExpoFamily {
+    /// The first sample with the exact suffixed `name` whose labels are a
+    /// superset of `labels`.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&ExpoSample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.label(k).is_some_and(|found| found == *v))
+        })
+    }
+}
+
+/// A parsed, validated exposition document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Exposition {
+    /// Families in document order.
+    pub families: Vec<ExpoFamily>,
+}
+
+impl Exposition {
+    /// The family named `name`, if present.
+    pub fn family(&self, name: &str) -> Option<&ExpoFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value {other:?}")),
+    }
+}
+
+fn decode_escapes(raw: &str, line_no: usize) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("line {line_no}: bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Label pairs plus the unparsed remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `{k="v",…}` starting after the `{`; returns labels and the rest of
+/// the line after the closing `}`.
+fn parse_labels(mut rest: &str, line_no: usize) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        if rest.is_empty() {
+            return Err(format!("line {line_no}: unterminated label set"));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let name = rest[..eq].trim().to_string();
+        if name.is_empty() {
+            return Err(format!("line {line_no}: empty label name"));
+        }
+        let quoted = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {line_no}: label value not quoted"))?;
+        // Scan for the closing quote, honoring escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in quoted.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((name, decode_escapes(&quoted[..end], line_no)?));
+        rest = &quoted[end + 1..];
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma;
+        } else if !rest.starts_with('}') {
+            return Err(format!("line {line_no}: expected ',' or '}}' after label"));
+        }
+    }
+}
+
+fn metric_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses and validates a text-exposition document.
+///
+/// Validation beyond grammar: every sample must belong to a declared family
+/// (histogram families own their `_bucket`/`_sum`/`_count` series),
+/// duplicate `(name, label set)` samples are an error, and every histogram
+/// series must have increasing `le` bounds, non-decreasing cumulative
+/// counts, and a `+Inf` bucket equal to its `_count`.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut families: Vec<ExpoFamily> = Vec::new();
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut seen_series: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (no, raw_line) in text.lines().enumerate() {
+        let line_no = no + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let (keyword, rest) = match comment.split_once(' ') {
+                Some(split) => split,
+                None => continue, // bare comment
+            };
+            if keyword != "HELP" && keyword != "TYPE" {
+                continue; // free-form comment
+            }
+            let (name, payload) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: # {keyword} without payload"))?;
+            if !metric_name_ok(name) {
+                return Err(format!("line {line_no}: bad metric name {name:?}"));
+            }
+            let idx = *index.entry(name.to_string()).or_insert_with(|| {
+                families.push(ExpoFamily {
+                    name: name.to_string(),
+                    kind: String::new(),
+                    help: String::new(),
+                    samples: Vec::new(),
+                });
+                families.len() - 1
+            });
+            if keyword == "HELP" {
+                families[idx].help = decode_escapes(payload, line_no)?
+            } else {
+                let kind = payload.trim();
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {line_no}: unknown TYPE {kind:?}"));
+                }
+                families[idx].kind = kind.to_string();
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+        let name = &line[..name_end];
+        if !metric_name_ok(name) {
+            return Err(format!("line {line_no}: bad sample name {name:?}"));
+        }
+        let (labels, value_part) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end + 1..], line_no)?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let value_text = value_part.trim();
+        // Ignore an optional timestamp (second whitespace-separated token).
+        let value_text = value_text
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+        let value = parse_value(value_text).map_err(|e| format!("line {line_no}: {e}"))?;
+
+        // Attribute to a family: exact name, else histogram suffixes.
+        let owner = index.get(name).copied().or_else(|| {
+            ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .and_then(|base| index.get(base))
+                    .copied()
+                    .filter(|&i| families[i].kind == "histogram")
+            })
+        });
+        let Some(owner) = owner else {
+            return Err(format!(
+                "line {line_no}: sample {name:?} has no # TYPE family"
+            ));
+        };
+        let sample = ExpoSample {
+            name: name.to_string(),
+            labels,
+            value,
+        };
+        if let Some(first) = seen_series.insert(sample.series_key(), line_no) {
+            return Err(format!(
+                "line {line_no}: duplicate series {name:?} (first at line {first}) — \
+                 label sets must be distinct after escaping"
+            ));
+        }
+        families[owner].samples.push(sample);
+    }
+
+    for family in &families {
+        if family.kind.is_empty() {
+            return Err(format!("family {:?} has # HELP but no # TYPE", family.name));
+        }
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(Exposition { families })
+}
+
+/// Groups a histogram family's samples by their non-`le` label set and
+/// checks cumulative-bucket semantics per series.
+fn validate_histogram(family: &ExpoFamily) -> Result<(), String> {
+    let bucket_name = format!("{}_bucket", family.name);
+    let sum_name = format!("{}_sum", family.name);
+    let count_name = format!("{}_count", family.name);
+
+    let series_of = |s: &ExpoSample| -> String {
+        let mut labels: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        labels.sort();
+        format!("{labels:?}")
+    };
+
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut sums: BTreeMap<String, bool> = BTreeMap::new();
+    for s in &family.samples {
+        if s.name == bucket_name {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{bucket_name}: bucket without le label"))?;
+            let bound = parse_value(le).map_err(|e| format!("{bucket_name}: {e}"))?;
+            buckets
+                .entry(series_of(s))
+                .or_default()
+                .push((bound, s.value));
+        } else if s.name == count_name {
+            counts.insert(series_of(s), s.value);
+        } else if s.name == sum_name {
+            sums.insert(series_of(s), true);
+        }
+    }
+
+    for (series, entries) in &buckets {
+        for pair in entries.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!(
+                    "{}: series {series} bucket bounds not increasing ({} then {})",
+                    family.name, pair[0].0, pair[1].0
+                ));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(format!(
+                    "{}: series {series} bucket counts decrease ({} then {})",
+                    family.name, pair[0].1, pair[1].1
+                ));
+            }
+        }
+        let Some(&(last_bound, last_count)) = entries.last() else {
+            continue;
+        };
+        if last_bound != f64::INFINITY {
+            return Err(format!(
+                "{}: series {series} is missing the +Inf bucket",
+                family.name
+            ));
+        }
+        let Some(&total) = counts.get(series) else {
+            return Err(format!(
+                "{}: series {series} has buckets but no _count",
+                family.name
+            ));
+        };
+        if last_count != total {
+            return Err(format!(
+                "{}: series {series} +Inf bucket ({last_count}) != _count ({total})",
+                family.name
+            ));
+        }
+        if !sums.contains_key(series) {
+            return Err(format!(
+                "{}: series {series} has buckets but no _sum",
+                family.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_labels() {
+        let doc = "\
+# HELP mpss_x_total things\n\
+# TYPE mpss_x_total counter\n\
+mpss_x_total{track=\"main\"} 5\n\
+mpss_x_total{track=\"worker-0\"} 2\n\
+# HELP mpss_g a gauge\n\
+# TYPE mpss_g gauge\n\
+mpss_g 1.5\n";
+        let expo = parse_exposition(doc).unwrap();
+        assert_eq!(expo.families.len(), 2);
+        let x = expo.family("mpss_x_total").unwrap();
+        assert_eq!(x.kind, "counter");
+        assert_eq!(x.help, "things");
+        assert_eq!(x.samples.len(), 2);
+        assert_eq!(
+            x.sample("mpss_x_total", &[("track", "main")])
+                .unwrap()
+                .value,
+            5.0
+        );
+        assert_eq!(expo.family("mpss_g").unwrap().samples[0].value, 1.5);
+    }
+
+    #[test]
+    fn decodes_escaped_label_values() {
+        let doc = "\
+# HELP m h\n\
+# TYPE m gauge\n\
+m{v=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let expo = parse_exposition(doc).unwrap();
+        let sample = &expo.family("m").unwrap().samples[0];
+        assert_eq!(sample.label("v"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn duplicate_series_is_an_error() {
+        let doc = "\
+# HELP m h\n\
+# TYPE m counter\n\
+m{a=\"1\"} 1\n\
+m{a=\"1\"} 2\n";
+        let err = parse_exposition(doc).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn orphan_samples_are_an_error() {
+        let err = parse_exposition("mystery_metric 1\n").unwrap_err();
+        assert!(err.contains("no # TYPE family"), "{err}");
+    }
+
+    #[test]
+    fn histogram_counts_must_be_cumulative() {
+        let doc = "\
+# HELP h x\n\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"2\"} 3\n\
+h_bucket{le=\"+Inf\"} 3\n\
+h_sum 4\n\
+h_count 3\n";
+        let err = parse_exposition(doc).unwrap_err();
+        assert!(err.contains("counts decrease"), "{err}");
+    }
+
+    #[test]
+    fn histogram_needs_inf_bucket_matching_count() {
+        let missing_inf = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 2\n\
+h_sum 1\n\
+h_count 2\n";
+        assert!(parse_exposition(missing_inf)
+            .unwrap_err()
+            .contains("+Inf bucket"));
+        let mismatched = "\
+# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 2\n\
+h_sum 1\n\
+h_count 3\n";
+        assert!(parse_exposition(mismatched)
+            .unwrap_err()
+            .contains("!= _count"));
+    }
+
+    #[test]
+    fn special_values_parse() {
+        let doc = "\
+# TYPE g gauge\n\
+g{k=\"inf\"} +Inf\n\
+g{k=\"ninf\"} -Inf\n\
+g{k=\"nan\"} NaN\n";
+        let expo = parse_exposition(doc).unwrap();
+        let g = expo.family("g").unwrap();
+        assert_eq!(g.sample("g", &[("k", "inf")]).unwrap().value, f64::INFINITY);
+        assert!(g.sample("g", &[("k", "nan")]).unwrap().value.is_nan());
+    }
+}

@@ -45,8 +45,11 @@
 //! ```
 
 pub mod diff;
+pub mod expo;
 pub mod json;
+pub mod metrics;
 pub mod names;
+pub mod serve;
 
 mod chrome;
 mod hist;
@@ -54,9 +57,15 @@ mod record;
 mod trace;
 
 pub use chrome::{validate_chrome_trace, TraceCheck};
-pub use diff::{diff_reports, DiffOptions, ReportDiff};
+pub use diff::{diff_bench_trajectory, diff_reports, BenchGate, DiffOptions, ReportDiff};
+pub use expo::{parse_exposition, ExpoFamily, ExpoSample, Exposition};
 pub use hist::{Histogram, HistogramSummary};
+pub use metrics::{
+    Counter, Gauge, MetricKind, MetricsCollector, MetricsHub, RingSampler, SnapshotRow,
+    SnapshotValue, WindowHistogram,
+};
 pub use record::{RecordingCollector, SpanNode, SPAN_MISMATCH_COUNTER, SPAN_UNCLOSED_COUNTER};
+pub use serve::{http_get, MetricsServer};
 pub use trace::{TraceCollector, TraceEvent, TraceEventKind};
 
 /// A sink for instrumentation events.

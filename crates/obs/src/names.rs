@@ -23,6 +23,10 @@ pub const COUNTERS: &[(&str, &str)] = &[
     ),
     ("avr.peeled", "AVR per-job segments peeled off the profile"),
     (
+        "batch.solved",
+        "instances a batch shard finished (shard-level progress)",
+    ),
+    (
         "driver.segments",
         "schedule segments emitted by the online driver",
     ),
@@ -89,6 +93,10 @@ pub const COUNTERS: &[(&str, &str)] = &[
     ("par.race.dinic_wins", "engine races won by Dinic"),
     ("par.race.pr_wins", "engine races won by push-relabel"),
     ("par.tasks", "tasks submitted to the worker pool"),
+    (
+        "par.worker.items",
+        "items one pool worker claimed (per-worker track)",
+    ),
 ];
 
 /// Every histogram key, sorted. Span-duration histograms (`span.<name>.ms`)
@@ -136,8 +144,88 @@ pub const INSTANTS: &[(&str, &str)] = &[
     ("race.cancelled", "the losing engine's result was discarded"),
 ];
 
+/// Every *explicitly registered* live-metric family name, sorted. These are
+/// the `{algo, proc, …}`-labeled series the sessions publish directly into a
+/// [`MetricsHub`](crate::MetricsHub); the bridged families derived from
+/// [`COUNTERS`]/[`HISTOGRAMS`]/[`INSTANTS`] via [`prom_counter`] /
+/// [`prom_histogram`] are *not* repeated here — [`known_metric`] accepts
+/// both.
+pub const METRICS: &[(&str, &str)] = &[
+    (
+        "mpss_session_active_jobs",
+        "gauge: jobs with remaining work in a live session, by algo",
+    ),
+    (
+        "mpss_session_arrivals_total",
+        "counter: jobs accepted by a live session, by algo",
+    ),
+    (
+        "mpss_session_clock",
+        "gauge: a live session's current model time, by algo",
+    ),
+    (
+        "mpss_session_queued_volume",
+        "gauge: unfinished work volume queued in a live session, by algo",
+    ),
+    (
+        "mpss_session_replan_seconds",
+        "histogram: wall-clock replan latency of a live session, by algo",
+    ),
+    (
+        "mpss_session_replans_total",
+        "counter: replans a live session has run, by algo",
+    ),
+    (
+        "mpss_session_speed",
+        "gauge: a live session's current per-processor speed, by algo and proc",
+    ),
+    (
+        "mpss_span_seconds",
+        "histogram: wall-clock span durations bridged from collectors, by span and track",
+    ),
+];
+
+/// The bridged span-duration histogram family
+/// ([`MetricsCollector`](crate::MetricsCollector) observes every closed span
+/// here, labeled `{span, track}`).
+pub const PROM_SPAN_SECONDS: &str = "mpss_span_seconds";
+
 fn listed(table: &[(&str, &str)], name: &str) -> bool {
     table.iter().any(|(key, _)| *key == name)
+}
+
+/// Rewrites a dotted instrumentation key into a Prometheus-legal name chunk:
+/// every character outside `[A-Za-z0-9]` becomes `_`.
+pub fn prom_sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The live-metric family name a bridged counter or instant lands in:
+/// `offline.phases` → `mpss_offline_phases_total`.
+pub fn prom_counter(key: &str) -> String {
+    format!("mpss_{}_total", prom_sanitize(key))
+}
+
+/// The live-metric family name a bridged histogram lands in:
+/// `driver.online_energy` → `mpss_driver_online_energy`.
+pub fn prom_histogram(key: &str) -> String {
+    format!("mpss_{}", prom_sanitize(key))
+}
+
+/// `true` if `family` is a manifest live-metric family — either listed in
+/// [`METRICS`] or derived from a manifest counter/instant/histogram by the
+/// [`prom_counter`]/[`prom_histogram`] bridge mapping.
+pub fn known_metric(family: &str) -> bool {
+    listed(METRICS, family)
+        || COUNTERS
+            .iter()
+            .chain(INSTANTS)
+            .any(|(key, _)| prom_counter(key) == family)
+        || HISTOGRAMS
+            .iter()
+            .any(|(key, _)| prom_histogram(key) == family)
 }
 
 /// `true` if `name` is a manifest counter — including instant names, which
@@ -187,11 +275,12 @@ pub fn unknown_keys<'a>(
 /// `obs_manifest` test in the root crate keeps the two in sync).
 pub fn markdown_table() -> String {
     let mut out = String::from("| kind | key | meaning |\n|---|---|---|\n");
-    let sections: [(&str, &[(&str, &str)]); 4] = [
+    let sections: [(&str, &[(&str, &str)]); 5] = [
         ("counter", COUNTERS),
         ("histogram", HISTOGRAMS),
         ("span", SPANS),
         ("instant", INSTANTS),
+        ("metric", METRICS),
     ];
     for (kind, table) in sections {
         for (key, meaning) in table {
@@ -207,7 +296,7 @@ mod tests {
 
     #[test]
     fn tables_are_sorted_and_unique() {
-        for table in [COUNTERS, HISTOGRAMS, SPANS, INSTANTS] {
+        for table in [COUNTERS, HISTOGRAMS, SPANS, INSTANTS, METRICS] {
             for pair in table.windows(2) {
                 assert!(pair[0].0 < pair[1].0, "{} !< {}", pair[0].0, pair[1].0);
             }
@@ -242,8 +331,29 @@ mod tests {
             .chain(HISTOGRAMS)
             .chain(SPANS)
             .chain(INSTANTS)
+            .chain(METRICS)
         {
             assert!(table.contains(&format!("`{key}`")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn prom_names_follow_the_bridge_mapping() {
+        assert_eq!(prom_sanitize("offline.phases"), "offline_phases");
+        assert_eq!(prom_counter("offline.phases"), "mpss_offline_phases_total");
+        assert_eq!(
+            prom_histogram("driver.online_energy"),
+            "mpss_driver_online_energy"
+        );
+    }
+
+    #[test]
+    fn known_metric_accepts_listed_and_bridged_families() {
+        assert!(known_metric("mpss_session_replan_seconds")); // listed
+        assert!(known_metric(PROM_SPAN_SECONDS)); // listed
+        assert!(known_metric("mpss_offline_phases_total")); // bridged counter
+        assert!(known_metric("mpss_oa_arrival_total")); // bridged instant
+        assert!(known_metric("mpss_driver_online_energy")); // bridged histogram
+        assert!(!known_metric("mpss_totally_made_up"));
     }
 }

@@ -1,0 +1,223 @@
+//! A hand-rolled `/metrics` endpoint on `std::net::TcpListener`.
+//!
+//! No HTTP crate — the build environment is offline, and a Prometheus
+//! scrape needs almost nothing from HTTP: read one request line, answer
+//! with a fixed header and the rendered exposition body, close. In the same
+//! spirit as the hand-rolled Chrome-trace JSON in [`crate::chrome`], this
+//! module implements exactly that much:
+//!
+//! * `GET /metrics` (or `GET /`) → `200 OK`,
+//!   `Content-Type: text/plain; version=0.0.4`, the output of
+//!   [`MetricsHub::render`](crate::MetricsHub::render);
+//! * anything else → `404 Not Found`;
+//! * one request per connection (`Connection: close`), short read/write
+//!   timeouts so a stuck client cannot wedge the serving thread.
+//!
+//! [`MetricsServer::bind`] accepts `host:0` and reports the actual bound
+//! port through [`addr`](MetricsServer::addr), which is what the tests use
+//! to avoid fixed-port flakiness. Dropping the server wakes the accept loop
+//! with a self-connection and joins the thread.
+
+use crate::MetricsHub;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A background thread serving a [`MetricsHub`] over HTTP text exposition.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, or port `0` for an ephemeral
+    /// port) and starts the serving thread.
+    pub fn bind(addr: impl ToSocketAddrs, hub: &MetricsHub) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let hub = hub.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("mpss-metrics-serve".into())
+                .spawn(move || serve_loop(listener, hub, stop))?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit. Called by `Drop`;
+    /// explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, hub: MetricsHub, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Serve inline: scrapes are rare (seconds apart) and tiny, so one
+        // connection at a time keeps the server a single bounded thread.
+        let _ = handle_connection(stream, &hub);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or 8 KiB, whichever first).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(|line| String::from_utf8_lossy(line).into_owned())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            hub.render(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "only GET /metrics lives here\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal scrape client: `GET {path}` from `addr`, returning the response
+/// body. Used by `mpss-cli scrape` and the round-trip tests; errors on
+/// non-200 statuses.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<String, String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(format!("non-200 response: {status_line}"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo::parse_exposition;
+
+    #[test]
+    fn serves_the_hub_and_shuts_down() {
+        let hub = MetricsHub::new();
+        hub.counter(
+            "mpss_serve_test_total",
+            "served requests",
+            &[("who", "test")],
+        )
+        .add(3);
+        let mut server = MetricsServer::bind("127.0.0.1:0", &hub).expect("bind");
+        let addr = server.addr();
+
+        let body = http_get(addr, "/metrics").expect("scrape");
+        let expo = parse_exposition(&body).expect("parse");
+        let family = expo.family("mpss_serve_test_total").expect("family");
+        assert_eq!(family.kind, "counter");
+        assert_eq!(
+            family
+                .sample("mpss_serve_test_total", &[("who", "test")])
+                .expect("sample")
+                .value,
+            3.0
+        );
+
+        // Unknown paths 404 (http_get reports the status line).
+        let err = http_get(addr, "/nope").unwrap_err();
+        assert!(err.contains("404"), "{err}");
+
+        server.shutdown();
+        // After shutdown the port stops answering.
+        assert!(http_get(addr, "/metrics").is_err());
+    }
+
+    #[test]
+    fn scrapes_observe_live_updates() {
+        let hub = MetricsHub::new();
+        let counter = hub.counter("mpss_live_total", "live", &[]);
+        let server = MetricsServer::bind("127.0.0.1:0", &hub).expect("bind");
+        counter.inc();
+        let first = http_get(server.addr(), "/metrics").expect("scrape 1");
+        assert!(first.contains("mpss_live_total 1"), "{first}");
+        counter.add(4);
+        let second = http_get(server.addr(), "/metrics").expect("scrape 2");
+        assert!(second.contains("mpss_live_total 5"), "{second}");
+    }
+}

@@ -7,6 +7,7 @@
 //! for controllers that cannot afford OA's optimal replans.
 
 use crate::avr::avr_schedule;
+use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
 
 /// A live AVR(m) scheduling session.
@@ -15,6 +16,7 @@ pub struct AvrSession {
     now: f64,
     jobs: Vec<Job<f64>>,
     executed: Schedule<f64>,
+    metrics: Option<SessionMetrics>,
 }
 
 impl AvrSession {
@@ -26,6 +28,30 @@ impl AvrSession {
             now: start,
             jobs: Vec::new(),
             executed: Schedule::new(m),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a live metrics bundle (see [`SessionMetrics::register`]).
+    /// AVR is memoryless, so there is no replan latency to report; the
+    /// bundle's replan counter still ticks once per arrival (each arrival
+    /// changes the Fig. 3 decision) and the gauges track the active set.
+    pub fn attach_metrics(&mut self, metrics: SessionMetrics) {
+        self.metrics = Some(metrics);
+        self.publish_metrics();
+    }
+
+    fn publish_metrics(&self) {
+        if let Some(metrics) = &self.metrics {
+            let active: Vec<&Job<f64>> = self
+                .jobs
+                .iter()
+                .filter(|j| j.release <= self.now && self.now < j.deadline)
+                .collect();
+            // AVR does not track per-job progress; "queued" is the total
+            // volume of jobs whose windows are still open.
+            let queued = active.iter().map(|j| j.volume).sum();
+            metrics.publish(self.now, active.len(), queued, &self.current_speeds());
         }
     }
 
@@ -39,6 +65,11 @@ impl AvrSession {
         let job = Job::new(self.now, deadline, volume);
         Instance::new(self.m, vec![job])?;
         self.jobs.push(job);
+        if let Some(metrics) = &self.metrics {
+            metrics.on_arrival();
+            metrics.on_replan(0.0);
+        }
+        self.publish_metrics();
         Ok(self.jobs.len() - 1)
     }
 
@@ -85,6 +116,7 @@ impl AvrSession {
             }
         }
         self.now = t;
+        self.publish_metrics();
         Ok(())
     }
 
@@ -160,6 +192,37 @@ mod tests {
         assert_eq!(s.current_speeds(), vec![0.0]);
         s.arrive(4.0, 2.0).unwrap();
         assert_eq!(s.current_speeds(), vec![1.0]);
+    }
+
+    #[test]
+    fn attached_metrics_track_the_active_set() {
+        use mpss_obs::{MetricsHub, SnapshotValue};
+        let hub = MetricsHub::new();
+        let mut s = AvrSession::new(2, 0.0);
+        s.attach_metrics(crate::SessionMetrics::register(&hub, "avr", 2));
+        s.arrive(1.0, 4.0).unwrap();
+        s.arrive(1.0, 1.0).unwrap();
+        s.advance_to(2.0).unwrap(); // both windows closed
+
+        let value = |name: &str| {
+            hub.snapshot()
+                .into_iter()
+                .find(|row| row.name == name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .value
+        };
+        match value("mpss_session_arrivals_total") {
+            SnapshotValue::Counter(n) => assert_eq!(n, 2),
+            other => panic!("arrivals: {other:?}"),
+        }
+        match value("mpss_session_active_jobs") {
+            SnapshotValue::Gauge(n) => assert_eq!(n, 0.0),
+            other => panic!("active: {other:?}"),
+        }
+        match value("mpss_session_queued_volume") {
+            SnapshotValue::Gauge(v) => assert_eq!(v, 0.0),
+            other => panic!("queued: {other:?}"),
+        }
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod driver;
 pub mod oa;
 pub mod potential;
 pub mod session;
+pub mod session_metrics;
 
 pub use avr::{
     avr_schedule, avr_schedule_observed, avr_schedule_parallel, avr_schedule_parallel_observed,
@@ -81,3 +82,4 @@ pub use oa::{
 };
 pub use potential::{audit_oa_potential, PotentialAudit};
 pub use session::{OaSession, SessionError};
+pub use session_metrics::SessionMetrics;

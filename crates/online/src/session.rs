@@ -9,6 +9,7 @@
 //! tests), and the committed schedule equals the batch `oa_schedule` run on
 //! the same arrival sequence.
 
+use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
 use mpss_offline::optimal::{optimal_schedule, OptimalResult};
 
@@ -24,6 +25,7 @@ pub struct OaSession {
     /// The plan currently being followed (over session job ids).
     plan: Option<PlanView>,
     replans: usize,
+    metrics: Option<SessionMetrics>,
 }
 
 struct PlanView {
@@ -80,6 +82,30 @@ impl OaSession {
             executed: Schedule::new(m),
             plan: None,
             replans: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a live metrics bundle (see [`SessionMetrics::register`]).
+    /// From now on arrivals, replans (with wall-clock latency), and every
+    /// clock movement publish to the bundle's gauges; an unattached session
+    /// touches no metrics at all.
+    pub fn attach_metrics(&mut self, metrics: SessionMetrics) {
+        self.metrics = Some(metrics);
+        self.publish_metrics();
+    }
+
+    fn publish_metrics(&self) {
+        if let Some(metrics) = &self.metrics {
+            let mut active = 0usize;
+            let mut queued = 0.0;
+            for (k, job) in self.jobs.iter().enumerate() {
+                if self.remaining[k] > 1e-9 * job.volume.max(1.0) {
+                    active += 1;
+                    queued += self.remaining[k];
+                }
+            }
+            metrics.publish(self.now, active, queued, &self.current_speeds());
         }
     }
 
@@ -102,6 +128,9 @@ impl OaSession {
         Instance::new(self.m, vec![job]).map_err(SessionError::BadJob)?;
         self.jobs.push(job);
         self.remaining.push(volume);
+        if let Some(metrics) = &self.metrics {
+            metrics.on_arrival();
+        }
         self.replan()?;
         Ok(self.jobs.len() - 1)
     }
@@ -124,6 +153,7 @@ impl OaSession {
             }
         }
         self.now = t;
+        self.publish_metrics();
         Ok(())
     }
 
@@ -170,6 +200,7 @@ impl OaSession {
     }
 
     fn replan(&mut self) -> Result<(), SessionError> {
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let mut job_map = Vec::new();
         let mut sub_jobs = Vec::new();
         for (k, job) in self.jobs.iter().enumerate() {
@@ -181,11 +212,15 @@ impl OaSession {
         self.replans += 1;
         if sub_jobs.is_empty() {
             self.plan = None;
-            return Ok(());
+        } else {
+            let sub = Instance::new(self.m, sub_jobs).map_err(SessionError::Planning)?;
+            let result = optimal_schedule(&sub).map_err(SessionError::Planning)?;
+            self.plan = Some(PlanView { job_map, result });
         }
-        let sub = Instance::new(self.m, sub_jobs).map_err(SessionError::Planning)?;
-        let result = optimal_schedule(&sub).map_err(SessionError::Planning)?;
-        self.plan = Some(PlanView { job_map, result });
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.on_replan(started.elapsed().as_secs_f64());
+        }
+        self.publish_metrics();
         Ok(())
     }
 }
@@ -278,6 +313,63 @@ mod tests {
         let session = OaSession::new(3, 0.0);
         assert_eq!(session.current_speeds(), vec![0.0, 0.0, 0.0]);
         assert_eq!(session.replans(), 0);
+    }
+
+    #[test]
+    fn attached_metrics_track_arrivals_replans_and_the_clock() {
+        use mpss_obs::{MetricsHub, SnapshotValue};
+        let hub = MetricsHub::new();
+        let mut session = OaSession::new(2, 0.0);
+        session.attach_metrics(crate::SessionMetrics::register(&hub, "oa", 2));
+        session.arrive(4.0, 3.0).unwrap();
+        session.arrive(2.0, 2.0).unwrap();
+        session.advance_to(1.0).unwrap();
+
+        let value = |name: &str| {
+            hub.snapshot()
+                .into_iter()
+                .find(|row| row.name == name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .value
+        };
+        match value("mpss_session_arrivals_total") {
+            SnapshotValue::Counter(n) => assert_eq!(n, 2),
+            other => panic!("arrivals: {other:?}"),
+        }
+        match value("mpss_session_replans_total") {
+            SnapshotValue::Counter(n) => assert_eq!(n, session.replans() as u64),
+            other => panic!("replans: {other:?}"),
+        }
+        match value("mpss_session_clock") {
+            SnapshotValue::Gauge(t) => assert_eq!(t, 1.0),
+            other => panic!("clock: {other:?}"),
+        }
+        match value("mpss_session_active_jobs") {
+            SnapshotValue::Gauge(n) => assert_eq!(n, 2.0),
+            other => panic!("active: {other:?}"),
+        }
+        match value("mpss_session_replan_seconds") {
+            SnapshotValue::Histogram { count, .. } => {
+                assert_eq!(count, session.replans() as u64)
+            }
+            other => panic!("latency: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metered_and_unmetered_sessions_schedule_identically() {
+        let drive = |metered: bool| {
+            let mut session = OaSession::new(2, 0.0);
+            if metered {
+                let hub = mpss_obs::MetricsHub::new();
+                session.attach_metrics(crate::SessionMetrics::register(&hub, "oa", 2));
+            }
+            session.arrive(4.0, 3.0).unwrap();
+            session.advance_to(1.0).unwrap();
+            session.arrive(3.0, 2.0).unwrap();
+            session.finish().unwrap()
+        };
+        assert_eq!(drive(false).segments, drive(true).segments);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Live telemetry handles for online sessions.
+//!
+//! A [`SessionMetrics`] bundle registers one labeled series per session
+//! quantity on an [`mpss_obs::MetricsHub`] — arrivals, replans, active jobs,
+//! queued volume, the session clock, per-processor speeds, and a windowed
+//! replan-latency histogram — all labeled `{algo="oa"|"avr"}` (speeds add
+//! `proc`). Sessions run unmetered by default: a session only publishes
+//! after [`OaSession::attach_metrics`](crate::OaSession::attach_metrics) /
+//! [`AvrSession::attach_metrics`](crate::AvrSession::attach_metrics) hands
+//! it a bundle, so the unattached paths stay exactly as cheap as before.
+//!
+//! The metric names live in `mpss_obs::names::METRICS`; the manifest
+//! coverage test cross-checks that everything registered here is listed.
+
+use mpss_obs::{Counter, Gauge, MetricsHub, WindowHistogram};
+
+/// Labeled series handles for one online session. Cloning shares the
+/// underlying series (handles are `Arc`s into the hub).
+#[derive(Clone)]
+pub struct SessionMetrics {
+    arrivals: Counter,
+    replans: Counter,
+    active_jobs: Gauge,
+    queued_volume: Gauge,
+    clock: Gauge,
+    /// One speed gauge per processor, labeled `proc="0"..proc="m-1"`.
+    speeds: Vec<Gauge>,
+    replan_seconds: WindowHistogram,
+}
+
+impl SessionMetrics {
+    /// Registers (or re-attaches to) the session series for algorithm
+    /// `algo` on `m` processors. Registration is idempotent: two sessions
+    /// with the same `algo` label share series, which is what you want
+    /// when restarting a session against a long-lived hub.
+    pub fn register(hub: &MetricsHub, algo: &str, m: usize) -> SessionMetrics {
+        let algo_labels: [(&str, &str); 1] = [("algo", algo)];
+        SessionMetrics {
+            arrivals: hub.counter(
+                "mpss_session_arrivals_total",
+                "jobs announced to the session",
+                &algo_labels,
+            ),
+            replans: hub.counter(
+                "mpss_session_replans_total",
+                "plan recomputations (OA replans on every arrival)",
+                &algo_labels,
+            ),
+            active_jobs: hub.gauge(
+                "mpss_session_active_jobs",
+                "jobs with remaining volume at the current clock",
+                &algo_labels,
+            ),
+            queued_volume: hub.gauge(
+                "mpss_session_queued_volume",
+                "total unfinished volume at the current clock",
+                &algo_labels,
+            ),
+            clock: hub.gauge(
+                "mpss_session_clock",
+                "the session clock (model time, not wall time)",
+                &algo_labels,
+            ),
+            speeds: (0..m)
+                .map(|p| {
+                    let proc = p.to_string();
+                    hub.gauge(
+                        "mpss_session_speed",
+                        "current speed of one processor",
+                        &[("algo", algo), ("proc", &proc)],
+                    )
+                })
+                .collect(),
+            replan_seconds: hub.histogram(
+                "mpss_session_replan_seconds",
+                "wall-clock latency of one replan",
+                &algo_labels,
+            ),
+        }
+    }
+
+    /// Counts one job announcement.
+    pub fn on_arrival(&self) {
+        self.arrivals.inc();
+    }
+
+    /// Counts one replan and records its wall-clock latency.
+    pub fn on_replan(&self, seconds: f64) {
+        self.replans.inc();
+        self.replan_seconds.observe(seconds);
+    }
+
+    /// Publishes the session's current state: clock, live-job count,
+    /// unfinished volume, and per-processor speeds (extra speeds beyond
+    /// the registered processor count are ignored).
+    pub fn publish(&self, now: f64, active_jobs: usize, queued_volume: f64, speeds: &[f64]) {
+        self.clock.set(now);
+        self.active_jobs.set(active_jobs as f64);
+        self.queued_volume.set(queued_volume.max(0.0));
+        for (gauge, &s) in self.speeds.iter().zip(speeds) {
+            gauge.set(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_publish_and_render_round_trip() {
+        let hub = MetricsHub::new();
+        let metrics = SessionMetrics::register(&hub, "oa", 2);
+        metrics.on_arrival();
+        metrics.on_arrival();
+        metrics.on_replan(0.002);
+        metrics.publish(1.5, 1, 3.25, &[2.0, 0.5]);
+
+        let text = hub.render();
+        let expo = mpss_obs::parse_exposition(&text).expect("render must parse");
+        let arrivals = expo
+            .family("mpss_session_arrivals_total")
+            .and_then(|f| f.sample("mpss_session_arrivals_total", &[("algo", "oa")]))
+            .expect("arrivals series");
+        assert_eq!(arrivals.value, 2.0);
+        let speed1 = expo
+            .family("mpss_session_speed")
+            .and_then(|f| f.sample("mpss_session_speed", &[("algo", "oa"), ("proc", "1")]))
+            .expect("per-proc speed series");
+        assert_eq!(speed1.value, 0.5);
+        let count = expo
+            .family("mpss_session_replan_seconds")
+            .and_then(|f| f.sample("mpss_session_replan_seconds_count", &[("algo", "oa")]))
+            .expect("replan histogram count");
+        assert_eq!(count.value, 1.0);
+    }
+
+    #[test]
+    fn registration_is_shared_between_sessions_of_one_algo() {
+        let hub = MetricsHub::new();
+        let a = SessionMetrics::register(&hub, "avr", 1);
+        let b = SessionMetrics::register(&hub, "avr", 1);
+        a.on_arrival();
+        b.on_arrival();
+        let rows = hub.snapshot();
+        let row = rows
+            .iter()
+            .find(|r| r.name == "mpss_session_arrivals_total")
+            .unwrap();
+        match &row.value {
+            mpss_obs::SnapshotValue::Counter(n) => assert_eq!(*n, 2),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_registered_family_is_in_the_manifest() {
+        let hub = MetricsHub::new();
+        let metrics = SessionMetrics::register(&hub, "oa", 1);
+        metrics.publish(0.0, 0, 0.0, &[0.0]);
+        for row in hub.snapshot() {
+            assert!(
+                mpss_obs::names::known_metric(&row.name),
+                "{} missing from mpss_obs::names::METRICS",
+                row.name
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The ordered-join scoped worker pool.
 
-use mpss_obs::TrackedCollector;
+use mpss_obs::{Collector, TrackedCollector};
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -153,7 +153,10 @@ impl ThreadPool {
             let out = items
                 .into_iter()
                 .enumerate()
-                .map(|(idx, item)| f(idx, item, &mut track))
+                .map(|(idx, item)| {
+                    track.count("par.worker.items", 1);
+                    f(idx, item, &mut track)
+                })
                 .collect();
             obs.adopt(track);
             return out;
@@ -190,6 +193,7 @@ impl ThreadPool {
                             .expect("input slot poisoned")
                             .take()
                             .expect("each item is claimed exactly once");
+                        track.count("par.worker.items", 1);
                         let out = f(idx, item, &mut track);
                         *output[idx].lock().expect("output slot poisoned") = Some(out);
                     }
@@ -323,8 +327,18 @@ mod tests {
             x * 2
         });
         assert_eq!(out, (0..40u64).map(|x| x * 2).collect::<Vec<_>>());
-        // Every item counted exactly once, whichever worker took it.
+        // Every item counted exactly once, whichever worker took it — both
+        // by the closure and by the pool's own per-worker claim counter.
         assert_eq!(rec.counter("work.items"), 40);
+        assert_eq!(rec.counter("par.worker.items"), 40);
+    }
+
+    #[test]
+    fn worker_item_claims_cover_sequential_runs_too() {
+        use mpss_obs::RecordingCollector;
+        let mut rec = RecordingCollector::new();
+        ThreadPool::new(1).scope_map_tracked((0..7).collect::<Vec<i32>>(), &mut rec, |_, x, _| x);
+        assert_eq!(rec.counter("par.worker.items"), 7);
     }
 
     #[test]
@@ -341,7 +355,11 @@ mod tests {
             ["main", "worker-0", "worker-1", "worker-2"]
         );
         // All nine instants landed on worker tracks (none on main).
-        let on_workers = trace.events().iter().filter(|e| e.track >= 1).count();
+        let on_workers = trace
+            .events()
+            .iter()
+            .filter(|e| e.track >= 1 && matches!(e.kind, mpss_obs::TraceEventKind::Instant(_)))
+            .count();
         assert_eq!(on_workers, 9);
 
         // The sequential pool still forks a single worker track.

@@ -67,6 +67,10 @@ pub fn solve_many_observed<T: FlowNum, C: TrackedCollector>(
         };
         report.close_open_spans();
         track.span_end("batch.solve");
+        // Shard progress lives on the batch-level collector only (a live
+        // metrics bridge sees it as per-worker completion), keeping each
+        // per-instance report equal to a solo observed run.
+        track.count("batch.solved", 1);
         BatchOutput { result, report }
     })
 }

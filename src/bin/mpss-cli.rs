@@ -8,7 +8,10 @@
 //! mpss-cli bounds trace.json [--alpha 3]
 //! mpss-cli check trace.json schedule.json
 //! mpss-cli report-diff a.report.json b.report.json [--max-regress 5] [--only offline.] [--gate-wall]
+//! mpss-cli report-diff --bench BENCH_TRAJECTORY.json [--name snapshot] [--max-regress 5]
 //! mpss-cli trace-check run.trace.json
+//! mpss-cli watch trace.json [--algo oa|avr] [--loops N] [--listen 127.0.0.1:9184] [--hold-ms MS]
+//! mpss-cli scrape 127.0.0.1:9184 [--out metrics.txt]
 //! ```
 //!
 //! `--report <path>` attaches a [`RecordingCollector`] to the run and writes
@@ -26,8 +29,22 @@
 //!
 //! `report-diff` compares two run reports counter by counter and exits
 //! non-zero when any gated counter increased by more than `--max-regress`
-//! percent — the CI drift gate. `trace-check` validates a Chrome Trace
-//! Event file (well-nested spans and monotone timestamps per track).
+//! percent — the CI drift gate; with `--bench` it instead reads a cumulative
+//! `BENCH_TRAJECTORY.json` (written by the experiment binaries) and gates
+//! each snapshot's newest entry against its predecessor. `trace-check`
+//! validates a Chrome Trace Event file (well-nested spans and monotone
+//! timestamps per track) and fails when the trace recorded any
+//! `obs.span_mismatch` events.
+//!
+//! `watch` drives an online session ([`OaSession`] / [`AvrSession`]) over a
+//! trace while publishing live labeled metrics to an in-process
+//! [`MetricsHub`] — arrivals, replans, queued volume, per-processor speeds,
+//! replan-latency quantiles. By default it prints a snapshot table; with
+//! `--listen addr:port` it also serves Prometheus text exposition on
+//! `GET /metrics` (hand-rolled, `std::net` only) so `curl` or `scrape` can
+//! watch the run from outside. `scrape` fetches one exposition from such an
+//! endpoint, validates it with the workspace parser, and checks every
+//! `mpss_`-prefixed family against the `mpss_obs::names` manifest.
 //!
 //! Parallelism: `--threads N` sizes the worker pool explicitly; without it
 //! the `MPSS_THREADS` environment variable, then the machine's available
@@ -55,6 +72,8 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("report-diff") => cmd_report_diff(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("scrape") => cmd_scrape(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -82,7 +101,10 @@ fn print_usage() {
          \u{20}  mpss-cli stats <trace.json> [--alpha A]\n\
          \u{20}  mpss-cli check <trace.json> <schedule.json>\n\
          \u{20}  mpss-cli report-diff <a.report.json> <b.report.json> [--max-regress PCT] [--only PREFIX] [--gate-wall]\n\
-         \u{20}  mpss-cli trace-check <run.trace.json>\n\n\
+         \u{20}  mpss-cli report-diff --bench <BENCH_TRAJECTORY.json> [--name SNAPSHOT] [--max-regress PCT] [--gate-wall]\n\
+         \u{20}  mpss-cli trace-check <run.trace.json>\n\
+         \u{20}  mpss-cli watch <trace.json> [--algo oa|avr] [--alpha A] [--loops N] [--pace-ms MS] [--interval-ms MS] [--listen HOST:PORT] [--hold-ms MS] [--metrics-out <file>]\n\
+         \u{20}  mpss-cli scrape <HOST:PORT> [--out <file>]\n\n\
          families: uniform bursty laminar agreeable tight-load avr-adversarial poisson heavy-tail periodic"
     );
 }
@@ -542,15 +564,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report_diff(args: &[String]) -> Result<(), String> {
-    let a = parse(args, &["gate-wall"]);
-    let path_a = a
-        .positional
-        .first()
-        .ok_or("baseline report path required")?;
-    let path_b = a
-        .positional
-        .get(1)
-        .ok_or("candidate report path required")?;
+    let a = parse(args, &["gate-wall", "bench"]);
     let opts = DiffOptions {
         max_regress_pct: a
             .flag("max-regress")
@@ -563,6 +577,26 @@ fn cmd_report_diff(args: &[String]) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         mpss::obs::json::Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
     };
+    if a.switches.contains(&"bench") {
+        let path = a
+            .positional
+            .first()
+            .ok_or("bench trajectory path required")?;
+        let gate = diff_bench_trajectory(&read(path)?, a.flag("name"), &opts)?;
+        print!("{}", gate.render_text());
+        if gate.is_regression() {
+            return Err("bench trajectory regression past the threshold".into());
+        }
+        return Ok(());
+    }
+    let path_a = a
+        .positional
+        .first()
+        .ok_or("baseline report path required")?;
+    let path_b = a
+        .positional
+        .get(1)
+        .ok_or("candidate report path required")?;
     let diff = diff_reports(&read(path_a)?, &read(path_b)?, &opts);
     print!("{}", diff.render_text());
     if diff.is_regression() {
@@ -584,6 +618,188 @@ fn cmd_trace_check(args: &[String]) -> Result<(), String> {
         check.events, check.tracks, check.instants, check.max_depth
     );
     println!("  tracks: {}", check.track_names.join(", "));
+    if check.span_mismatches > 0 {
+        return Err(format!(
+            "{path}: trace records {} span mismatch(es) (obs.span_mismatch > 0) — \
+             the run closed spans out of order",
+            check.span_mismatches
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the hub's current snapshot as an aligned stdout table — the
+/// no-network way to watch a run (the `--listen` endpoint serves the same
+/// state as Prometheus text exposition).
+fn print_metrics_table(hub: &mpss::obs::MetricsHub) {
+    use mpss::obs::SnapshotValue;
+    for row in hub.snapshot() {
+        let labels = row
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let series = if labels.is_empty() {
+            row.name.clone()
+        } else {
+            format!("{}{{{labels}}}", row.name)
+        };
+        match row.value {
+            SnapshotValue::Counter(n) => println!("  {series:<52} {n}"),
+            SnapshotValue::Gauge(v) => println!("  {series:<52} {v:.4}"),
+            SnapshotValue::Histogram {
+                count,
+                sum,
+                p50,
+                p90,
+                p99,
+                window,
+            } => println!(
+                "  {series:<52} n={count} sum={sum:.6} p50={p50:.6} p90={p90:.6} p99={p99:.6} (window {window})"
+            ),
+        }
+    }
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let path = a.positional.first().ok_or("trace path required")?;
+    let instance = load(path)?;
+    let algo = a.flag("algo").unwrap_or("oa");
+    if algo != "oa" && algo != "avr" {
+        return Err(format!(
+            "unknown algorithm `{algo}` (watch supports oa|avr)"
+        ));
+    }
+    let alpha = a.alpha()?;
+    let p = Polynomial::new(alpha);
+    let ms_flag = |name: &str, default: &str| -> Result<u64, String> {
+        a.flag(name)
+            .unwrap_or(default)
+            .parse()
+            .map_err(|_| format!("bad --{name}"))
+    };
+    let loops: usize = a
+        .flag("loops")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --loops")?;
+    let pace = ms_flag("pace-ms", "0")?;
+    let interval = ms_flag("interval-ms", "1000")?;
+    let hold = ms_flag("hold-ms", "0")?;
+
+    let hub = MetricsHub::new();
+    let _server = match a.flag("listen") {
+        Some(addr) => {
+            let server =
+                MetricsServer::bind(addr, &hub).map_err(|e| format!("binding {addr}: {e}"))?;
+            // Announce the endpoint immediately (and flushed) so wrapper
+            // scripts polling stdout can start scraping before the run ends.
+            println!("serving /metrics on http://{}/metrics", server.addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            Some(server)
+        }
+        None => None,
+    };
+
+    let mut arrivals: Vec<Job<f64>> = instance.jobs.clone();
+    arrivals.sort_by(|x, y| x.release.partial_cmp(&y.release).unwrap());
+    let start = instance.min_release().unwrap_or(0.0);
+    let horizon = instance.max_deadline().unwrap_or(start);
+    let metrics = SessionMetrics::register(&hub, algo, instance.m);
+
+    println!(
+        "watching {algo} on {} jobs / {} processors ({loops} loop(s))",
+        instance.n(),
+        instance.m
+    );
+    let mut last_print = std::time::Instant::now();
+    let mut pace_and_sample = |hub: &MetricsHub| {
+        if pace > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace));
+        }
+        if interval > 0 && last_print.elapsed().as_millis() >= u128::from(interval) {
+            print_metrics_table(hub);
+            last_print = std::time::Instant::now();
+        }
+    };
+    let mut total_energy = 0.0;
+    for _ in 0..loops {
+        let schedule = match algo {
+            "oa" => {
+                let mut session = OaSession::new(instance.m, start);
+                session.attach_metrics(metrics.clone());
+                for job in &arrivals {
+                    session.advance_to(job.release).map_err(|e| e.to_string())?;
+                    session
+                        .arrive(job.deadline, job.volume)
+                        .map_err(|e| e.to_string())?;
+                    pace_and_sample(&hub);
+                }
+                session.advance_to(horizon).map_err(|e| e.to_string())?;
+                session.finish().map_err(|e| e.to_string())?
+            }
+            _ => {
+                let mut session = AvrSession::new(instance.m, start);
+                session.attach_metrics(metrics.clone());
+                for job in &arrivals {
+                    session.advance_to(job.release).map_err(|e| e.to_string())?;
+                    session
+                        .arrive(job.deadline, job.volume)
+                        .map_err(|e| e.to_string())?;
+                    pace_and_sample(&hub);
+                }
+                session.advance_to(horizon).map_err(|e| e.to_string())?;
+                session.finish().map_err(|e| e.to_string())?
+            }
+        };
+        total_energy += schedule_energy(&schedule, &p);
+    }
+    println!("final metrics snapshot:");
+    print_metrics_table(&hub);
+    println!("  energy across {loops} loop(s) (P = s^{alpha}): {total_energy:.4}");
+    if let Some(out) = a.flag("metrics-out") {
+        std::fs::write(out, hub.render()).map_err(|e| e.to_string())?;
+        println!("  exposition saved to {out}");
+    }
+    if hold > 0 {
+        println!("holding the endpoint open for {hold} ms");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(hold));
+    }
+    Ok(())
+}
+
+fn cmd_scrape(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let addr = a.positional.first().ok_or("endpoint HOST:PORT required")?;
+    let text = http_get(addr, "/metrics")?;
+    let expo =
+        parse_exposition(&text).map_err(|e| format!("invalid exposition from {addr}: {e}"))?;
+    let samples: usize = expo.families.iter().map(|f| f.samples.len()).sum();
+    let unknown: Vec<&str> = expo
+        .families
+        .iter()
+        .filter(|f| f.name.starts_with("mpss_") && !mpss::obs::names::known_metric(&f.name))
+        .map(|f| f.name.as_str())
+        .collect();
+    println!(
+        "{addr}: exposition parses cleanly — {} families, {samples} samples",
+        expo.families.len()
+    );
+    if let Some(out) = a.flag("out") {
+        std::fs::write(out, &text).map_err(|e| e.to_string())?;
+        println!("  exposition saved to {out}");
+    }
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown mpss_ metric families (not in the mpss_obs::names manifest): {}",
+            unknown.join(", ")
+        ));
+    }
     Ok(())
 }
 

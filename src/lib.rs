@@ -64,8 +64,9 @@ pub mod prelude {
     pub use mpss_core::{Instance, Intervals, Job, JobId, PowerFunction, Schedule, Segment};
     pub use mpss_numeric::{FlowNum, Rational};
     pub use mpss_obs::{
-        diff_reports, validate_chrome_trace, Collector, DiffOptions, NoopCollector,
-        RecordingCollector, Tee, TraceCollector, TrackedCollector,
+        diff_bench_trajectory, diff_reports, http_get, parse_exposition, validate_chrome_trace,
+        BenchGate, Collector, DiffOptions, MetricsCollector, MetricsHub, MetricsServer,
+        NoopCollector, RecordingCollector, Tee, TraceCollector, TrackedCollector,
     };
     pub use mpss_offline::canonical::canonicalize;
     pub use mpss_offline::certificate::verify_certificate;
@@ -82,7 +83,8 @@ pub mod prelude {
         audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed,
         avr_schedule_parallel, avr_schedule_parallel_observed, bkp_schedule, competitive_report,
         competitive_report_observed, oa_schedule, oa_schedule_observed, oa_schedule_observed_with,
-        oa_schedule_with_options, record_energy_trajectory, OaOptions, OaSession,
+        oa_schedule_with_options, record_energy_trajectory, AvrSession, OaOptions, OaSession,
+        SessionMetrics,
     };
     pub use mpss_par::ThreadPool;
     pub use mpss_workloads::{instance_stats, Family, WorkloadSpec};
