@@ -9,12 +9,24 @@
 //! paths for Dinic, pushes/relabels for push–relabel — machine-independent
 //! measures that separate "did less work" from "ran on a faster machine".
 //!
+//! Section (c) is the heuristics ablation the CSR rewrite is gated on:
+//! flat-arc push–relabel with current-arc pointers, the gap heuristic and
+//! periodic global relabeling versus the retained legacy `Vec<Edge>`
+//! engines, on Genrmf-style frame networks (Goldberg's rmf family) — the
+//! standard shape where exact distance labels beat label-climbing by a
+//! wide margin. The run aborts unless the heuristics cut total
+//! push–relabel work by ≥3x.
+//!
 //! Run: `cargo run -p mpss-bench --release --bin exp_maxflow_ablation`
-//! Pass a path argument to also write the tables (with the work counters)
+//! `--smoke` shrinks sections (a)/(b) for CI and appends a snapshot of the
+//! section-(c) work counters (stamped with the git revision) to the
+//! cumulative `BENCH_TRAJECTORY.json` in the working directory — gate it
+//! with `mpss-cli report-diff --bench`. A path argument writes the tables
 //! as an experiment JSON document.
 
-use mpss_bench::{timed, write_experiment_report, Table};
+use mpss_bench::{record_bench_snapshot, timed, write_experiment_report, Table};
 use mpss_core::Intervals;
+use mpss_maxflow::reference::{self, RefNetwork};
 use mpss_maxflow::{Dinic, FlowNetwork, MaxFlow, PushRelabel};
 use mpss_obs::{Collector, RecordingCollector};
 use mpss_offline::flow_model::FlowModel;
@@ -49,7 +61,63 @@ fn race(
     )
 }
 
+/// Deterministic splitmix64 stream. The rmf inter-frame capacities must be
+/// identical on every machine and rand version — the ≥3x gate is an exact
+/// work-count comparison, so the workload cannot float with a dependency.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Genrmf-style frame network: `b` square frames of `a × a` grid nodes,
+/// huge-capacity edges inside each frame, small random capacities between
+/// consecutive frames. Flow crosses every frame boundary, so height fields
+/// that track true distances (global relabeling) pay off maximally.
+fn rmf_network(a: usize, b: usize, rng: &mut SplitMix) -> FlowNetwork<f64> {
+    let frame = a * a;
+    let n = frame * b;
+    let node = |f: usize, x: usize, y: usize| f * frame + x * a + y;
+    let big = (frame * b) as f64 * 4.0;
+    let mut net = FlowNetwork::new(n);
+    for f in 0..b {
+        for x in 0..a {
+            for y in 0..a {
+                if x + 1 < a {
+                    net.add_edge(node(f, x, y), node(f, x + 1, y), big);
+                    net.add_edge(node(f, x + 1, y), node(f, x, y), big);
+                }
+                if y + 1 < a {
+                    net.add_edge(node(f, x, y), node(f, x, y + 1), big);
+                    net.add_edge(node(f, x, y + 1), node(f, x, y), big);
+                }
+            }
+        }
+        if f + 1 < b {
+            for x in 0..a {
+                for y in 0..a {
+                    let tx = (rng.next_u64() as usize) % a;
+                    let ty = (rng.next_u64() as usize) % a;
+                    let cap = 1.0 + (rng.next_u64() % 100) as f64 / 10.0;
+                    net.add_edge(node(f, x, y), node(f + 1, tx, ty), cap);
+                }
+            }
+        }
+    }
+    net
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let started = std::time::Instant::now();
     let mut rec = RecordingCollector::new();
 
     println!("(a) real scheduling networks G(J, m⃗, s) — all jobs as candidate set\n");
@@ -65,7 +133,8 @@ fn main() {
         "relabels",
         "values agree",
     ]);
-    for n in [20usize, 40, 80, 160] {
+    let real_sizes: &[usize] = if smoke { &[20, 40] } else { &[20, 40, 80, 160] };
+    for &n in real_sizes {
         let instance = WorkloadSpec {
             family: Family::Uniform,
             n,
@@ -125,7 +194,12 @@ fn main() {
         "relabels",
         "values agree",
     ]);
-    for nodes in [50usize, 100, 200, 400] {
+    let dense_sizes: &[usize] = if smoke {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    for &nodes in dense_sizes {
         let mut rng = StdRng::seed_from_u64(17);
         let mut net: FlowNetwork<f64> = FlowNetwork::new(nodes);
         for u in 0..nodes {
@@ -162,14 +236,107 @@ fn main() {
          paths stay near the bipartite matching bound on the scheduling networks."
     );
 
-    if let Some(out) = std::env::args().nth(1) {
+    println!("\n(c) heuristics ablation — CSR PR (current-arc + gap + global relabel) vs legacy engines, rmf networks\n");
+    let mut t3 = Table::new(&[
+        "a×a×b",
+        "nodes",
+        "edges",
+        "legacy pr ops",
+        "csr pr ops",
+        "pr ratio",
+        "legacy dinic ops",
+        "csr dinic ops",
+        "values agree",
+    ]);
+    let mut rng = SplitMix(777);
+    let mut legacy_pr_ops = 0u64;
+    let mut csr_pr_ops = 0u64;
+    for &(a, b) in &[(4usize, 64usize), (6, 48), (6, 24), (8, 16)] {
+        let net = rmf_network(a, b, &mut rng);
+        let (s, t) = (0, net.num_nodes() - 1);
+
+        let mut csr_net = net.clone();
+        let mut pr = PushRelabel::new();
+        let f_csr_pr = pr.max_flow(&mut csr_net, s, t);
+        let pr_ops = MaxFlow::<f64>::stats(&pr).total_ops();
+
+        let mut legacy: RefNetwork<f64> = RefNetwork::from_network(&net);
+        let (f_legacy_pr, legacy_pr) = reference::push_relabel(&mut legacy, s, t);
+
+        let mut dinic_net = net.clone();
+        let mut dinic = Dinic::new();
+        let f_csr_dinic = dinic.max_flow(&mut dinic_net, s, t);
+        let dinic_ops = MaxFlow::<f64>::stats(&dinic).total_ops();
+
+        let mut legacy_d: RefNetwork<f64> = RefNetwork::from_network(&net);
+        let (f_legacy_dinic, legacy_ds) = reference::dinic(&mut legacy_d, s, t);
+
+        for (x, y) in [
+            (f_csr_pr, f_legacy_pr),
+            (f_csr_dinic, f_legacy_dinic),
+            (f_csr_pr, f_csr_dinic),
+        ] {
+            assert!(
+                (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                "rmf {a}x{a}x{b}: engines disagree ({x} vs {y})"
+            );
+        }
+        legacy_pr_ops += legacy_pr.total_ops();
+        csr_pr_ops += pr_ops;
+        t3.row(vec![
+            format!("{a}x{a}x{b}"),
+            net.num_nodes().to_string(),
+            net.num_edges().to_string(),
+            legacy_pr.total_ops().to_string(),
+            pr_ops.to_string(),
+            format!(
+                "{:.2}x",
+                legacy_pr.total_ops() as f64 / pr_ops.max(1) as f64
+            ),
+            legacy_ds.total_ops().to_string(),
+            dinic_ops.to_string(),
+            "✓".into(),
+        ]);
+    }
+    t3.print();
+    rec.count("exp.legacy.pr_ops", legacy_pr_ops);
+    rec.count("exp.csr.pr_ops", csr_pr_ops);
+    let ratio = legacy_pr_ops as f64 / csr_pr_ops.max(1) as f64;
+    println!(
+        "\ntotal push-relabel work: legacy {legacy_pr_ops}, csr+heuristics {csr_pr_ops} \
+         ({ratio:.2}x reduction)"
+    );
+    assert!(
+        ratio >= 3.0,
+        "heuristics must cut push-relabel work ≥3x on the rmf family, got {ratio:.2}x"
+    );
+
+    if let Some(out) = out {
         write_experiment_report(
             Path::new(&out),
             "maxflow_ablation",
-            &[("real_networks", &t), ("random_networks", &t2)],
+            &[
+                ("real_networks", &t),
+                ("random_networks", &t2),
+                ("rmf_heuristics", &t3),
+            ],
             Some(&rec),
         )
         .expect("writing experiment report");
         println!("\nexperiment JSON written to {out}");
+    }
+    if smoke {
+        let bench = Path::new("BENCH_TRAJECTORY.json");
+        record_bench_snapshot(
+            bench,
+            "maxflow_ablation_smoke",
+            started.elapsed().as_secs_f64() * 1e3,
+            &[
+                ("exp.legacy.pr_ops", legacy_pr_ops),
+                ("exp.csr.pr_ops", csr_pr_ops),
+            ],
+        )
+        .expect("writing bench snapshot");
+        println!("bench snapshot recorded in {}", bench.display());
     }
 }

@@ -8,12 +8,14 @@
 //! explicit horizon.
 
 use crate::{PowerFunction, Schedule};
-use mpss_numeric::{FlowNum, KahanSum, Rational};
+use mpss_numeric::{FlowNum, KahanLanes, Rational};
 
 /// Energy of `schedule` under power function `p`, ignoring idle power
-/// (exact for `P(0) = 0`, e.g. `P(s) = s^α`). Uses compensated summation.
+/// (exact for `P(0) = 0`, e.g. `P(s) = s^α`). Uses lane-split compensated
+/// summation: four independent Kahan lanes, so long schedules accumulate
+/// without one serial add chain and without giving up error compensation.
 pub fn schedule_energy(schedule: &Schedule<f64>, p: &impl PowerFunction) -> f64 {
-    let mut sum = KahanSum::new();
+    let mut sum = KahanLanes::new();
     for s in &schedule.segments {
         sum.add(p.power(s.speed) * s.duration());
     }
@@ -29,8 +31,8 @@ pub fn schedule_energy_with_idle(
     t1: f64,
 ) -> f64 {
     let idle_power = p.power(0.0);
-    let mut sum = KahanSum::new();
-    let mut busy = KahanSum::new();
+    let mut sum = KahanLanes::new();
+    let mut busy = KahanLanes::new();
     for s in &schedule.segments {
         sum.add(p.power(s.speed) * s.duration());
         busy.add(s.duration());
@@ -41,26 +43,32 @@ pub fn schedule_energy_with_idle(
 }
 
 /// Exact energy of a rational schedule under `P(s) = s^α` for integer `α`.
+/// Rational addition is associative, so the lane-split order is free
+/// throughput here, not a rounding choice.
 pub fn schedule_energy_exact(schedule: &Schedule<Rational>, alpha: u32) -> Rational {
-    let mut total = Rational::ZERO;
-    for s in &schedule.segments {
-        total += s.speed.pow(alpha) * s.duration();
-    }
-    total
+    let terms: Vec<Rational> = schedule
+        .segments
+        .iter()
+        .map(|s| s.speed.pow(alpha) * s.duration())
+        .collect();
+    mpss_numeric::sum_lanes(&terms)
 }
 
 /// Generic energy under `P(s) = s^α` for integer `α`, usable with both
 /// numeric modes (integer powers only).
 pub fn schedule_energy_poly<T: FlowNum>(schedule: &Schedule<T>, alpha: u32) -> T {
-    let mut total = T::zero();
-    for s in &schedule.segments {
-        let mut p = T::one();
-        for _ in 0..alpha {
-            p = p * s.speed;
-        }
-        total += p * s.duration();
-    }
-    total
+    let terms: Vec<T> = schedule
+        .segments
+        .iter()
+        .map(|s| {
+            let mut p = T::one();
+            for _ in 0..alpha {
+                p = p * s.speed;
+            }
+            p * s.duration()
+        })
+        .collect();
+    mpss_numeric::sum_lanes(&terms)
 }
 
 #[cfg(test)]

@@ -7,8 +7,16 @@
 //! On the bipartite job × interval networks produced by the offline
 //! scheduler (unit-style capacities, 3 levels), Dinic behaves like
 //! Hopcroft–Karp and is effectively `O(E √V)`.
+//!
+//! The engine iterates the network's flat CSR arc arena directly: `it[u]`
+//! is an absolute position into `arc_order`, initialised from `first_arc`
+//! each phase, so the inner loops touch three contiguous `u32` arrays
+//! instead of chasing per-node `Vec`s. Because the CSR lists each node's
+//! arcs in insertion order, the traversal — and therefore every flow
+//! assignment — is bit-identical to the legacy adjacency-list engine
+//! (asserted by the differential tests against [`crate::reference`]).
 
-use crate::network::{Edge, FlowNetwork, NodeId};
+use crate::network::{FlowNetwork, NodeId};
 use crate::{EngineStats, MaxFlow};
 use mpss_numeric::FlowNum;
 use std::collections::VecDeque;
@@ -22,6 +30,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 #[derive(Default)]
 pub struct Dinic {
     level: Vec<u32>,
+    /// Per-node cursor into `arc_order` (absolute CSR positions).
     it: Vec<u32>,
     queue: VecDeque<u32>,
     stats: EngineStats,
@@ -46,10 +55,10 @@ impl Dinic {
         self.queue.push_back(s as u32);
         while let Some(u) = self.queue.pop_front() {
             let u = u as usize;
-            for &eid in &net.adj[u] {
-                let e = &net.edges[eid as usize];
-                let v = e.to as usize;
-                if self.level[v] == UNREACHED && e.residual.is_strictly_positive() {
+            for &aid in net.arcs(u) {
+                let a = aid as usize;
+                let v = net.head[a] as usize;
+                if self.level[v] == UNREACHED && net.res[a].is_strictly_positive() {
                     self.level[v] = self.level[u] + 1;
                     if v == t {
                         // Early exit is safe: we only need levels on
@@ -75,18 +84,18 @@ impl Dinic {
         if u == t {
             return pushed;
         }
-        while (self.it[u] as usize) < net.adj[u].len() {
-            let eid = net.adj[u][self.it[u] as usize] as usize;
-            let Edge { to, residual } = net.edges[eid];
-            let v = to as usize;
+        while self.it[u] < net.first_arc[u + 1] {
+            let a = net.arc_order[self.it[u] as usize] as usize;
+            let v = net.head[a] as usize;
+            let residual = net.res[a];
             if residual.is_strictly_positive() && self.level[v] == self.level[u] + 1 {
                 let bottleneck = match pushed {
                     Some(p) => Some(p.min2(residual)),
                     None => Some(residual),
                 };
                 if let Some(got) = self.dfs(net, v, t, bottleneck) {
-                    net.edges[eid].residual -= got;
-                    net.edges[eid ^ 1].residual += got;
+                    net.res[a] -= got;
+                    net.res[a ^ 1] += got;
                     return Some(got);
                 }
             }
@@ -110,6 +119,7 @@ impl Dinic {
         cancel: Option<&AtomicBool>,
     ) -> Option<T> {
         assert!(s != t, "source and sink must differ");
+        net.ensure_csr();
         let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
         let mut total = T::zero();
         loop {
@@ -120,7 +130,7 @@ impl Dinic {
                 break;
             }
             self.it.clear();
-            self.it.resize(net.num_nodes(), 0);
+            self.it.extend_from_slice(&net.first_arc[..net.num_nodes()]);
             loop {
                 if cancelled() {
                     return None;
@@ -295,5 +305,19 @@ mod tests {
         let f2 = crate::max_flow_dinic(&mut net, 0, 3);
         assert_eq!(f1, f2);
         assert_eq!(f1, 2.0);
+    }
+
+    #[test]
+    fn incremental_edge_between_runs_is_picked_up() {
+        // The CSR must be rebuilt transparently when the topology changed
+        // between two runs on the same network.
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 1.0);
+        assert_eq!(crate::max_flow_dinic(&mut net, 0, 2), 1.0);
+        net.add_edge(0, 2, 2.0);
+        // The second run augments on top of the retained flow of 1.
+        assert_eq!(crate::max_flow_dinic(&mut net, 0, 2), 2.0);
+        assert_eq!(net.net_out_flow(0), 3.0);
     }
 }

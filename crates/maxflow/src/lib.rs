@@ -48,6 +48,7 @@ pub mod dinic;
 pub mod dot;
 pub mod network;
 pub mod push_relabel;
+pub mod reference;
 pub mod validate;
 pub mod warm;
 
@@ -66,7 +67,7 @@ use std::sync::atomic::AtomicBool;
 /// Wall time alone cannot separate "the algorithm did less work" from "the
 /// machine was faster"; these counters are the engine-level work measures the
 /// ablation experiments and run reports compare. Dinic fills the first two
-/// fields, push–relabel the last three; a field an engine never touches stays
+/// fields, push–relabel the rest; a field an engine never touches stays
 /// zero.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -81,13 +82,28 @@ pub struct EngineStats {
     /// Push–relabel: gap-heuristic firings (a height level emptied and
     /// everything above it was lifted past `n`).
     pub gap_events: u64,
+    /// Push–relabel: global-relabel passes (backward BFS from the sink
+    /// recomputing exact distance labels; fired once at initialization and
+    /// again after every `n` relabels).
+    pub global_relabels: u64,
+    /// Push–relabel: current-arc pointer resets driven by a (non-stuck)
+    /// relabel of the node. Bulk resets done by a global relabel are
+    /// accounted under `global_relabels`, not here.
+    pub current_arc_resets: u64,
 }
 
 impl EngineStats {
     /// Total primitive operations — a single scalar "work done" figure for
-    /// cross-engine tables.
+    /// cross-engine tables. Pointer resets are bookkeeping, not graph work,
+    /// so they are excluded; global relabels count once each (their BFS cost
+    /// is amortized against the relabels they replace).
     pub fn total_ops(&self) -> u64 {
-        self.bfs_phases + self.augmenting_paths + self.pushes + self.relabels + self.gap_events
+        self.bfs_phases
+            + self.augmenting_paths
+            + self.pushes
+            + self.relabels
+            + self.gap_events
+            + self.global_relabels
     }
 }
 

@@ -1,11 +1,20 @@
-//! Residual flow-network representation.
+//! Residual flow-network representation on a flat CSR arc arena.
 //!
-//! Edges are stored in an arena with the classic pairing trick: the edge
+//! Arcs are stored struct-of-arrays with the classic pairing trick: the arc
 //! with index `2k` is the forward edge, `2k + 1` its residual twin, so
-//! `id ^ 1` flips between them without any lookup. Adjacency lists hold edge
-//! indices. All capacities/flows are a [`FlowNum`] instantiation.
+//! `id ^ 1` flips between them without any lookup, and the tail of arc `a`
+//! is `head[a ^ 1]`. Adjacency is a compressed sparse row (CSR) over arc
+//! ids: `arc_order[first_arc[u]..first_arc[u + 1]]` lists `u`'s incident
+//! arcs in insertion order (a stable counting sort by tail reproduces the
+//! old per-node `Vec` order exactly, which keeps Dinic's traversal — and
+//! hence every golden flow assignment — bit-identical). The CSR is rebuilt
+//! lazily after topology edits (`add_node` / `add_edge` mark it dirty);
+//! engines and warm-start walks call [`FlowNetwork::ensure_csr`] before
+//! iterating, and `&self` traversals fall back to a temporary CSR when the
+//! arena is dirty. All capacities/flows are a [`FlowNum`] instantiation.
 
 use mpss_numeric::FlowNum;
+use std::borrow::Cow;
 
 /// Index of a node in a [`FlowNetwork`].
 pub type NodeId = usize;
@@ -15,46 +24,79 @@ pub type NodeId = usize;
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EdgeId(pub(crate) u32);
 
-#[derive(Copy, Clone, Debug)]
-pub(crate) struct Edge<T> {
-    pub to: u32,
-    /// Remaining residual capacity (original capacity minus flow for forward
-    /// edges; current flow for residual twins).
-    pub residual: T,
+/// Builds the CSR adjacency (`first_arc` offsets + arc ids grouped by tail
+/// node) for the given arc arena. The counting sort is stable in arc-id
+/// order, so each node's arcs appear exactly in insertion order.
+fn build_csr(nodes: usize, head: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let m = head.len();
+    let mut first_arc = vec![0u32; nodes + 1];
+    for a in 0..m {
+        // tail(a) = head[a ^ 1]
+        first_arc[head[a ^ 1] as usize + 1] += 1;
+    }
+    for u in 0..nodes {
+        first_arc[u + 1] += first_arc[u];
+    }
+    let mut arc_order = vec![0u32; m];
+    let mut cursor: Vec<u32> = first_arc[..nodes].to_vec();
+    for a in 0..m {
+        let tail = head[a ^ 1] as usize;
+        arc_order[cursor[tail] as usize] = a as u32;
+        cursor[tail] += 1;
+    }
+    (first_arc, arc_order)
 }
 
-/// A directed flow network with paired residual edges.
+/// A directed flow network with paired residual arcs in a flat SoA arena.
 #[derive(Clone, Debug)]
 pub struct FlowNetwork<T: FlowNum> {
-    pub(crate) edges: Vec<Edge<T>>,
+    /// Head (target node) of every arc; the twin's head is the tail.
+    pub(crate) head: Vec<u32>,
+    /// Remaining residual capacity per arc (original capacity minus flow for
+    /// forward arcs; current flow for residual twins).
+    pub(crate) res: Vec<T>,
     /// Original capacity of every *forward* edge, indexed by `EdgeId.0 / 2`.
     pub(crate) caps: Vec<T>,
-    pub(crate) adj: Vec<Vec<u32>>,
+    nodes: usize,
+    /// CSR offsets: node `u`'s arcs are `arc_order[first_arc[u] as usize..
+    /// first_arc[u + 1] as usize]`. Valid only when `!csr_dirty`.
+    pub(crate) first_arc: Vec<u32>,
+    /// Arc ids grouped by tail node, insertion order within each node.
+    pub(crate) arc_order: Vec<u32>,
+    csr_dirty: bool,
 }
 
 impl<T: FlowNum> FlowNetwork<T> {
     /// Creates a network with `n` nodes and no edges.
     pub fn new(n: usize) -> FlowNetwork<T> {
         FlowNetwork {
-            edges: Vec::new(),
+            head: Vec::new(),
+            res: Vec::new(),
             caps: Vec::new(),
-            adj: vec![Vec::new(); n],
+            nodes: n,
+            first_arc: Vec::new(),
+            arc_order: Vec::new(),
+            csr_dirty: true,
         }
     }
 
     /// Creates a network with `n` nodes, reserving space for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> FlowNetwork<T> {
         FlowNetwork {
-            edges: Vec::with_capacity(2 * m),
+            head: Vec::with_capacity(2 * m),
+            res: Vec::with_capacity(2 * m),
             caps: Vec::with_capacity(m),
-            adj: vec![Vec::new(); n],
+            nodes: n,
+            first_arc: Vec::with_capacity(n + 1),
+            arc_order: Vec::with_capacity(2 * m),
+            csr_dirty: true,
         }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.nodes
     }
 
     /// Number of forward edges.
@@ -63,10 +105,17 @@ impl<T: FlowNum> FlowNetwork<T> {
         self.caps.len()
     }
 
+    /// Number of arcs (forward edges plus residual twins).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.head.len()
+    }
+
     /// Appends a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        self.nodes += 1;
+        self.csr_dirty = true;
+        self.nodes - 1
     }
 
     /// Adds a directed edge `from → to` with the given capacity.
@@ -76,24 +125,68 @@ impl<T: FlowNum> FlowNetwork<T> {
     /// negative capacity.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: T) -> EdgeId {
         assert!(
-            from < self.adj.len() && to < self.adj.len(),
+            from < self.nodes && to < self.nodes,
             "edge endpoint out of range"
         );
         assert!(from != to, "self-loops are not allowed in a flow network");
         assert!(!(cap < T::zero()), "negative capacity");
-        let id = self.edges.len() as u32;
-        self.edges.push(Edge {
-            to: to as u32,
-            residual: cap,
-        });
-        self.edges.push(Edge {
-            to: from as u32,
-            residual: T::zero(),
-        });
+        let id = self.head.len() as u32;
+        self.head.push(to as u32);
+        self.res.push(cap);
+        self.head.push(from as u32);
+        self.res.push(T::zero());
         self.caps.push(cap);
-        self.adj[from].push(id);
-        self.adj[to].push(id + 1);
+        self.csr_dirty = true;
         EdgeId(id)
+    }
+
+    /// Rebuilds the CSR adjacency if topology edits left it stale. Engines
+    /// call this on entry; `FlowModel` calls it (via [`finish`]) right after
+    /// construction so the rebuild cost never lands inside a timed solve.
+    ///
+    /// [`finish`]: FlowNetwork::finish
+    pub(crate) fn ensure_csr(&mut self) {
+        if !self.csr_dirty {
+            return;
+        }
+        let (first_arc, arc_order) = build_csr(self.nodes, &self.head);
+        self.first_arc = first_arc;
+        self.arc_order = arc_order;
+        self.csr_dirty = false;
+    }
+
+    /// Eagerly (re)builds the CSR adjacency after a batch of topology edits.
+    pub fn finish(&mut self) {
+        self.ensure_csr();
+    }
+
+    /// Whether the CSR adjacency is current (no topology edits since the
+    /// last [`finish`](FlowNetwork::finish) / engine run).
+    #[inline]
+    pub fn csr_ready(&self) -> bool {
+        !self.csr_dirty
+    }
+
+    /// Arc ids incident to `u` (outgoing forward arcs and residual twins of
+    /// incoming ones), in insertion order. Requires a current CSR.
+    #[inline]
+    pub(crate) fn arcs(&self, u: NodeId) -> &[u32] {
+        debug_assert!(!self.csr_dirty, "CSR adjacency queried while dirty");
+        &self.arc_order[self.first_arc[u] as usize..self.first_arc[u + 1] as usize]
+    }
+
+    /// CSR adjacency, borrowing the cached arrays when current and building
+    /// a temporary copy when dirty — the fallback for `&self` traversals.
+    pub(crate) fn csr_view(&self) -> (Cow<'_, [u32]>, Cow<'_, [u32]>) {
+        if self.csr_dirty {
+            let (first_arc, arc_order) = build_csr(self.nodes, &self.head);
+            (Cow::Owned(first_arc), Cow::Owned(arc_order))
+        } else {
+            (
+                Cow::Borrowed(&self.first_arc[..]),
+                Cow::Borrowed(&self.arc_order[..]),
+            )
+        }
     }
 
     /// Original capacity of a forward edge.
@@ -105,28 +198,28 @@ impl<T: FlowNum> FlowNetwork<T> {
     /// Current flow on a forward edge (the residual of its twin).
     #[inline]
     pub fn flow(&self, e: EdgeId) -> T {
-        self.edges[(e.0 ^ 1) as usize].residual
+        self.res[(e.0 ^ 1) as usize]
     }
 
     /// Remaining residual capacity of a forward edge.
     #[inline]
     pub fn residual(&self, e: EdgeId) -> T {
-        self.edges[e.0 as usize].residual
+        self.res[e.0 as usize]
     }
 
     /// Endpoints `(from, to)` of a forward edge.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        let to = self.edges[e.0 as usize].to as NodeId;
-        let from = self.edges[(e.0 ^ 1) as usize].to as NodeId;
+        let to = self.head[e.0 as usize] as NodeId;
+        let from = self.head[(e.0 ^ 1) as usize] as NodeId;
         (from, to)
     }
 
     /// Resets all flows to zero, keeping the topology and capacities.
     pub fn reset_flows(&mut self) {
         for (k, cap) in self.caps.iter().enumerate() {
-            self.edges[2 * k].residual = *cap;
-            self.edges[2 * k + 1].residual = T::zero();
+            self.res[2 * k] = *cap;
+            self.res[2 * k + 1] = T::zero();
         }
     }
 
@@ -134,13 +227,27 @@ impl<T: FlowNum> FlowNetwork<T> {
     /// incoming forward edges). For the source this equals the flow value.
     pub fn net_out_flow(&self, node: NodeId) -> T {
         let mut total = T::zero();
-        for &eid in &self.adj[node] {
-            if eid % 2 == 0 {
+        if self.csr_dirty {
+            // No adjacency yet: one pass over the forward arcs.
+            for k in 0..self.caps.len() {
+                let id = EdgeId((2 * k) as u32);
+                let (from, to) = self.endpoints(id);
+                if from == node {
+                    total += self.flow(id);
+                }
+                if to == node {
+                    total -= self.flow(id);
+                }
+            }
+            return total;
+        }
+        for &aid in self.arcs(node) {
+            if aid % 2 == 0 {
                 // Forward edge leaving `node`.
-                total += self.flow(EdgeId(eid));
+                total += self.flow(EdgeId(aid));
             } else {
                 // Residual twin stored at `node` ⇒ forward edge enters `node`.
-                total -= self.flow(EdgeId(eid ^ 1));
+                total -= self.flow(EdgeId(aid ^ 1));
             }
         }
         total
@@ -159,14 +266,14 @@ impl<T: FlowNum> FlowNetwork<T> {
     /// residual capacity). After a max-flow run from the source this is the
     /// source side of a minimum cut.
     pub fn residual_reachable(&self, from: NodeId) -> Vec<bool> {
+        let (first_arc, arc_order) = self.csr_view();
         let mut seen = vec![false; self.num_nodes()];
         let mut stack = vec![from];
         seen[from] = true;
         while let Some(u) = stack.pop() {
-            for &eid in &self.adj[u] {
-                let e = &self.edges[eid as usize];
-                let v = e.to as usize;
-                if !seen[v] && e.residual.is_strictly_positive() {
+            for &aid in &arc_order[first_arc[u] as usize..first_arc[u + 1] as usize] {
+                let v = self.head[aid as usize] as usize;
+                if !seen[v] && self.res[aid as usize].is_strictly_positive() {
                     seen[v] = true;
                     stack.push(v);
                 }
@@ -257,5 +364,48 @@ mod tests {
         net.add_edge(1, 2, 2.0);
         assert_eq!(net.net_out_flow(0), 0.0);
         assert_eq!(net.net_out_flow(1), 0.0);
+    }
+
+    #[test]
+    fn csr_groups_arcs_by_tail_in_insertion_order() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0); // arcs 0 (0→1), 1 (1→0)
+        net.add_edge(2, 1, 1.0); // arcs 2 (2→1), 3 (1→2)
+        net.add_edge(1, 3, 1.0); // arcs 4 (1→3), 5 (3→1)
+        net.finish();
+        assert!(net.csr_ready());
+        assert_eq!(net.arcs(0), &[0]);
+        assert_eq!(net.arcs(1), &[1, 3, 4]);
+        assert_eq!(net.arcs(2), &[2]);
+        assert_eq!(net.arcs(3), &[5]);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_topology_edit() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0);
+        net.finish();
+        assert!(net.csr_ready());
+        let v = net.add_node();
+        assert!(!net.csr_ready());
+        net.add_edge(1, v, 1.0);
+        net.finish();
+        assert_eq!(net.arcs(1), &[1, 2]);
+        assert_eq!(net.arcs(v), &[3]);
+    }
+
+    #[test]
+    fn dirty_fallbacks_agree_with_finished_csr() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        net.add_edge(2, 3, 2.0);
+        crate::max_flow_dinic(&mut net, 0, 3);
+        net.add_edge(0, 3, 1.0); // dirty the CSR, keep the flow
+        let dirty_out = net.net_out_flow(0);
+        let dirty_reach = net.residual_reachable(0);
+        net.finish();
+        assert_eq!(dirty_out, net.net_out_flow(0));
+        assert_eq!(dirty_reach, net.residual_reachable(0));
     }
 }

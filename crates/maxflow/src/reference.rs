@@ -1,0 +1,469 @@
+//! Legacy adjacency-list max-flow oracle.
+//!
+//! This module preserves the pre-CSR representation (`Vec<Edge>` arena plus
+//! per-node `Vec<u32>` adjacency lists) and the exact engine code that ran
+//! on it, as an independent differential oracle for the flat-arena kernels:
+//!
+//! * [`RefNetwork`] — the old pointer-chasing representation;
+//! * [`dinic`] — the old Dinic. Both Dinics visit arcs in insertion order,
+//!   so the CSR engine must reproduce its per-edge flows **bit-identically**
+//!   (asserted by `tests/differential.rs` and the crate proptests);
+//! * [`push_relabel`] — the old highest-label + gap engine *without*
+//!   current-arc/global-relabel heuristics; its work counters are the
+//!   baseline the `exp_maxflow_ablation` speedup gate divides by.
+//!
+//! The module is test/bench infrastructure: nothing in the solver stack
+//! links against it.
+
+use crate::EngineStats;
+use mpss_numeric::FlowNum;
+use std::collections::VecDeque;
+
+#[derive(Copy, Clone, Debug)]
+struct Edge<T> {
+    to: u32,
+    residual: T,
+}
+
+/// Flow network in the legacy adjacency-list representation.
+#[derive(Clone, Debug)]
+pub struct RefNetwork<T: FlowNum> {
+    edges: Vec<Edge<T>>,
+    caps: Vec<T>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl<T: FlowNum> RefNetwork<T> {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> RefNetwork<T> {
+        RefNetwork {
+            edges: Vec::new(),
+            caps: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Copies the topology and capacities of a CSR network (zero flow).
+    pub fn from_network(net: &crate::FlowNetwork<T>) -> RefNetwork<T> {
+        let mut out = RefNetwork::new(net.num_nodes());
+        for (_, from, to, cap, _) in net.iter_edges() {
+            out.add_edge(from, to, cap);
+        }
+        out
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    pub fn num_edges(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: T) -> u32 {
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        assert!(from != to, "self-loops are not allowed in a flow network");
+        assert!(!(cap < T::zero()), "negative capacity");
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge {
+            to: to as u32,
+            residual: cap,
+        });
+        self.edges.push(Edge {
+            to: from as u32,
+            residual: T::zero(),
+        });
+        self.caps.push(cap);
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Zeroes forward edge `edge`'s capacity on an *unsolved* network (edge
+    /// index, not arc id) — the differential tests' tool for mirroring a
+    /// CSR-side `set_capacity` onto a fresh legacy copy before its cold
+    /// solve. Not flow-aware: calling it after a solve leaves stale flow.
+    pub fn zero_capacity(&mut self, edge: u32) {
+        self.caps[edge as usize] = T::zero();
+        self.edges[(2 * edge) as usize].residual = T::zero();
+    }
+
+    /// Current flow on forward edge `2k` (pass the forward arc id).
+    pub fn flow(&self, id: u32) -> T {
+        self.edges[(id ^ 1) as usize].residual
+    }
+
+    /// Flows of all forward edges, in edge order — the bit-comparison
+    /// payload for CSR-vs-legacy differential checks.
+    pub fn flows(&self) -> Vec<T> {
+        (0..self.caps.len())
+            .map(|k| self.flow(2 * k as u32))
+            .collect()
+    }
+
+    /// Net flow out of `node`.
+    pub fn net_out_flow(&self, node: usize) -> T {
+        let mut total = T::zero();
+        for &eid in &self.adj[node] {
+            if eid % 2 == 0 {
+                total += self.flow(eid);
+            } else {
+                total -= self.flow(eid ^ 1);
+            }
+        }
+        total
+    }
+
+    /// Nodes reachable from `from` through strictly positive residual arcs.
+    pub fn residual_reachable(&self, from: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid as usize];
+                let v = e.to as usize;
+                if !seen[v] && e.residual.is_strictly_positive() {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+const UNREACHED: u32 = u32::MAX;
+
+struct RefDinic {
+    level: Vec<u32>,
+    it: Vec<u32>,
+    queue: VecDeque<u32>,
+    stats: EngineStats,
+}
+
+impl RefDinic {
+    fn bfs<T: FlowNum>(&mut self, net: &RefNetwork<T>, s: usize, t: usize) -> bool {
+        self.stats.bfs_phases += 1;
+        self.level.clear();
+        self.level.resize(net.num_nodes(), UNREACHED);
+        self.queue.clear();
+        self.level[s] = 0;
+        self.queue.push_back(s as u32);
+        while let Some(u) = self.queue.pop_front() {
+            let u = u as usize;
+            for &eid in &net.adj[u] {
+                let e = &net.edges[eid as usize];
+                let v = e.to as usize;
+                if self.level[v] == UNREACHED && e.residual.is_strictly_positive() {
+                    self.level[v] = self.level[u] + 1;
+                    if v == t {
+                        continue;
+                    }
+                    self.queue.push_back(v as u32);
+                }
+            }
+        }
+        self.level[t] != UNREACHED
+    }
+
+    fn dfs<T: FlowNum>(
+        &mut self,
+        net: &mut RefNetwork<T>,
+        u: usize,
+        t: usize,
+        pushed: Option<T>,
+    ) -> Option<T> {
+        if u == t {
+            return pushed;
+        }
+        while (self.it[u] as usize) < net.adj[u].len() {
+            let eid = net.adj[u][self.it[u] as usize] as usize;
+            let Edge { to, residual } = net.edges[eid];
+            let v = to as usize;
+            if residual.is_strictly_positive() && self.level[v] == self.level[u] + 1 {
+                let bottleneck = match pushed {
+                    Some(p) => Some(p.min2(residual)),
+                    None => Some(residual),
+                };
+                if let Some(got) = self.dfs(net, v, t, bottleneck) {
+                    net.edges[eid].residual -= got;
+                    net.edges[eid ^ 1].residual += got;
+                    return Some(got);
+                }
+            }
+            self.it[u] += 1;
+        }
+        self.level[u] = UNREACHED;
+        None
+    }
+}
+
+/// Runs the legacy Dinic to completion; returns the flow value and the work
+/// counters of this single run.
+pub fn dinic<T: FlowNum>(net: &mut RefNetwork<T>, s: usize, t: usize) -> (T, EngineStats) {
+    assert!(s != t, "source and sink must differ");
+    let mut engine = RefDinic {
+        level: Vec::new(),
+        it: Vec::new(),
+        queue: VecDeque::new(),
+        stats: EngineStats::default(),
+    };
+    let mut total = T::zero();
+    loop {
+        if !engine.bfs(net, s, t) {
+            break;
+        }
+        engine.it.clear();
+        engine.it.resize(net.num_nodes(), 0);
+        while let Some(got) = engine.dfs(net, s, t, None) {
+            engine.stats.augmenting_paths += 1;
+            total += got;
+        }
+    }
+    (total, engine.stats)
+}
+
+/// Runs the legacy highest-label push–relabel (gap heuristic only, no
+/// current-arc reuse across discharges beyond the original cursor, no
+/// global relabeling); returns the flow value and the work counters.
+pub fn push_relabel<T: FlowNum>(net: &mut RefNetwork<T>, s: usize, t: usize) -> (T, EngineStats) {
+    assert!(s != t, "source and sink must differ");
+    let mut stats = EngineStats::default();
+    let n = net.num_nodes();
+    let mut height = vec![0u32; n];
+    height[s] = n as u32;
+    let mut cur_arc = vec![0u32; n];
+    let mut in_bucket = vec![false; n];
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 2 * n + 1];
+    let mut height_count = vec![0u32; 2 * n + 1];
+    height_count[0] = (n - 1) as u32;
+    height_count[n] = 1;
+    let mut excess: Vec<T> = vec![T::zero(); n];
+
+    macro_rules! enqueue {
+        ($v:expr) => {{
+            let v = $v;
+            if v != s && v != t && !in_bucket[v] && excess[v].is_strictly_positive() {
+                in_bucket[v] = true;
+                let h = height[v] as usize;
+                if h < buckets.len() {
+                    buckets[h].push(v as u32);
+                }
+            }
+        }};
+    }
+
+    for k in 0..net.adj[s].len() {
+        let eid = net.adj[s][k] as usize;
+        let cap = net.edges[eid].residual;
+        if cap.is_strictly_positive() {
+            let v = net.edges[eid].to as usize;
+            net.edges[eid].residual -= cap;
+            net.edges[eid ^ 1].residual += cap;
+            excess[v] += cap;
+            excess[s] -= cap;
+            enqueue!(v);
+        }
+    }
+
+    let mut hi = 2 * n;
+    loop {
+        while hi > 0 && buckets[hi].is_empty() {
+            hi -= 1;
+        }
+        if hi == 0 && buckets[0].is_empty() {
+            break;
+        }
+        let u = match buckets[hi].pop() {
+            Some(u) => u as usize,
+            None => break,
+        };
+        in_bucket[u] = false;
+        if !excess[u].is_strictly_positive() {
+            continue;
+        }
+
+        while excess[u].is_strictly_positive() {
+            if (cur_arc[u] as usize) >= net.adj[u].len() {
+                stats.relabels += 1;
+                let old_h = height[u] as usize;
+                let mut min_h = u32::MAX;
+                for &eid in &net.adj[u] {
+                    let e = &net.edges[eid as usize];
+                    if e.residual.is_strictly_positive() {
+                        min_h = min_h.min(height[e.to as usize] + 1);
+                    }
+                }
+                if min_h == u32::MAX || min_h as usize > 2 * n {
+                    height[u] = (2 * n) as u32 + 1;
+                    break;
+                }
+                height_count[old_h] -= 1;
+                if height_count[old_h] == 0 && old_h < n {
+                    stats.gap_events += 1;
+                    // Indexed loop: the body mutates `height` and
+                    // `height_count` together, which iter_mut can't split.
+                    #[allow(clippy::needless_range_loop)]
+                    for v in 0..n {
+                        let hv = height[v] as usize;
+                        if hv > old_h && hv <= n && v != s {
+                            height_count[hv] -= 1;
+                            height[v] = (n + 1) as u32;
+                            height_count[n + 1] += 1;
+                        }
+                    }
+                }
+                height[u] = min_h;
+                if (min_h as usize) <= 2 * n {
+                    height_count[min_h as usize] += 1;
+                }
+                cur_arc[u] = 0;
+                continue;
+            }
+            let eid = net.adj[u][cur_arc[u] as usize] as usize;
+            let e = net.edges[eid];
+            let v = e.to as usize;
+            if e.residual.is_strictly_positive() && height[u] == height[v] + 1 {
+                stats.pushes += 1;
+                let delta = excess[u].min2(e.residual);
+                net.edges[eid].residual -= delta;
+                net.edges[eid ^ 1].residual += delta;
+                excess[u] -= delta;
+                excess[v] += delta;
+                enqueue!(v);
+            } else {
+                cur_arc[u] += 1;
+            }
+        }
+        if excess[u].is_strictly_positive() {
+            continue;
+        }
+        hi = 2 * n;
+    }
+
+    cancel_trapped_excess(net, &mut excess, s, t);
+    (excess[t], stats)
+}
+
+fn cancel_trapped_excess<T: FlowNum>(
+    net: &mut RefNetwork<T>,
+    excess: &mut [T],
+    s: usize,
+    t: usize,
+) {
+    let n = net.num_nodes();
+    for u in 0..n {
+        if u == s || u == t {
+            continue;
+        }
+        while excess[u].is_strictly_positive() {
+            let mut mark = vec![false; n];
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = u;
+            mark[u] = true;
+            let mut bottleneck = excess[u];
+            'walk: loop {
+                if cur == s {
+                    break 'walk;
+                }
+                let mut advanced = false;
+                for &eid in &net.adj[cur] {
+                    if eid % 2 == 1 {
+                        let fwd = (eid ^ 1) as usize;
+                        let from = net.edges[eid as usize].to as usize;
+                        let carried = net.edges[eid as usize].residual;
+                        if carried.is_strictly_positive() && !mark[from] {
+                            bottleneck = bottleneck.min2(carried);
+                            path.push(fwd);
+                            mark[from] = true;
+                            cur = from;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                }
+                if !advanced {
+                    let eid = match path.pop() {
+                        Some(e) => e,
+                        None => return,
+                    };
+                    let carried = net.edges[eid ^ 1].residual;
+                    net.edges[eid].residual += carried;
+                    net.edges[eid ^ 1].residual -= carried;
+                    path.clear();
+                    mark.iter_mut().for_each(|m| *m = false);
+                    mark[u] = true;
+                    cur = u;
+                    bottleneck = excess[u];
+                    continue 'walk;
+                }
+            }
+            for &eid in &path {
+                net.edges[eid].residual += bottleneck;
+                net.edges[eid ^ 1].residual -= bottleneck;
+            }
+            excess[u] -= bottleneck;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_flow_dinic, max_flow_push_relabel, FlowNetwork};
+
+    /// CLRS Fig. 26.6.
+    fn clrs() -> FlowNetwork<f64> {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        net
+    }
+
+    #[test]
+    fn legacy_dinic_flows_are_bit_identical_to_csr() {
+        let mut csr = clrs();
+        let mut legacy = RefNetwork::from_network(&csr);
+        let f_csr = max_flow_dinic(&mut csr, 0, 5);
+        let (f_ref, _) = dinic(&mut legacy, 0, 5);
+        assert_eq!(f_csr.to_bits(), f_ref.to_bits());
+        for (k, (id, _, _, _, flow)) in csr.iter_edges().enumerate() {
+            assert_eq!(
+                flow.to_bits(),
+                legacy.flow(2 * k as u32).to_bits(),
+                "edge {id:?} flow diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_push_relabel_value_matches_csr() {
+        let mut csr = clrs();
+        let mut legacy = RefNetwork::from_network(&csr);
+        let f_csr = max_flow_push_relabel(&mut csr, 0, 5);
+        let (f_ref, stats) = push_relabel(&mut legacy, 0, 5);
+        assert_eq!(f_csr, 23.0);
+        assert_eq!(f_ref, 23.0);
+        assert!(
+            stats.global_relabels == 0,
+            "legacy engine has no heuristics"
+        );
+        // The min-cut certificate is flow-invariant across engines.
+        assert_eq!(csr.residual_reachable(0), legacy.residual_reachable(0));
+    }
+}

@@ -208,7 +208,7 @@ fn stats_accumulate_across_runs_until_reset() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     /// Engines agree and both satisfy conservation on arbitrary small
     /// networks drawn by proptest.
@@ -246,6 +246,71 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
+
+    /// The CSR build round-trips the adjacency structure: `first_arc` is a
+    /// monotone prefix-sum frame, every arc id appears in exactly one
+    /// node's slice (grouped under its tail, in insertion order), and the
+    /// `xor 1` pairing keeps each forward/backward residual pair summing to
+    /// the edge capacity on an unaugmented network.
+    #[test]
+    fn prop_csr_round_trips_adjacency(seed in 0u64..10_000, n in 3usize..14, density in 0.1f64..0.6) {
+        let mut net: FlowNetwork<f64> = random_network(n, density, seed);
+        net.finish();
+        let m2 = net.num_arcs();
+        // first_arc is monotone and spans exactly the arc arena.
+        prop_assert_eq!(net.first_arc[0], 0);
+        prop_assert_eq!(net.first_arc[n] as usize, m2);
+        for u in 0..n {
+            prop_assert!(net.first_arc[u] <= net.first_arc[u + 1]);
+        }
+        // Every arc id shows up exactly once, under its tail, and each
+        // node's slice is in insertion (ascending arc-id) order.
+        let mut seen = vec![false; m2];
+        for u in 0..n {
+            let slice = net.arcs(u);
+            for w in slice.windows(2) {
+                prop_assert!(w[0] < w[1], "node {}'s arcs out of insertion order", u);
+            }
+            for &aid in slice {
+                let a = aid as usize;
+                prop_assert!(!seen[a], "arc {} listed twice", a);
+                seen[a] = true;
+                prop_assert_eq!(net.head[a ^ 1] as usize, u, "arc {} grouped under a non-tail", a);
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x), "arc missing from the CSR");
+        // xor-1 pairing: with zero flow, forward residual = capacity and
+        // backward residual = 0, so each pair sums to the edge capacity.
+        for e in 0..net.num_edges() {
+            let a = 2 * e;
+            prop_assert_eq!(net.res[a] + net.res[a ^ 1], net.caps[e]);
+        }
+    }
+
+    /// A global relabel never raises a reachable node's label above `2n`:
+    /// BFS distances are < `n`, unreachable nodes go to `n + 1`, and the
+    /// engine's own relabels stop below `2n` (the stuck sentinel `2n + 1`
+    /// is the only exception, and only for excess the sink and source both
+    /// cannot take).
+    #[test]
+    fn prop_global_relabel_label_bound(seed in 0u64..10_000, n in 4usize..12, density in 0.2f64..0.6) {
+        let mut net: FlowNetwork<f64> = random_network(n, density, seed);
+        let mut engine = PushRelabel::new();
+        engine.max_flow(&mut net, 0, n - 1);
+        let stats = MaxFlow::<f64>::stats(&engine);
+        prop_assert!(stats.global_relabels >= 1, "initial global relabel always fires");
+        for (v, &h) in engine.heights().iter().enumerate() {
+            prop_assert!(
+                h as usize <= 2 * n || h as usize == 2 * n + 1,
+                "node {} at height {} exceeds 2n = {} without being stuck",
+                v, h, 2 * n
+            );
+        }
+    }
+}
+
 /// Random *layered* network (source → jobs → intervals → sink) — the shape
 /// of every `G(J, m⃗, s)` instance and the shape the warm-start cancellation
 /// walks require (flow-carrying edges form a DAG).
@@ -270,7 +335,7 @@ fn random_layered(seed: u64, a: usize, b: usize) -> FlowNetwork<f64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     /// Warm-start removal invariants: after draining a job vertex the
     /// remaining flow conserves at every node and respects every capacity

@@ -81,6 +81,7 @@ fn cancel_through_edge<T: FlowNum>(
     source: NodeId,
     sink: NodeId,
 ) -> T {
+    net.ensure_csr();
     let (from, to) = net.endpoints(e);
     let mut cancelled = T::zero();
     // Each pass removes one path's worth; the bottleneck edge of each pass
@@ -108,16 +109,17 @@ fn cancel_through_edge<T: FlowNum>(
         while cur != source {
             hops += 1;
             assert!(hops <= net.num_nodes(), "flow cycle in backward walk");
-            let Some(twin) = net.adj[cur]
+            let Some(twin) = net
+                .arcs(cur)
                 .iter()
                 .copied()
-                .find(|&id| id % 2 == 1 && net.edges[id as usize].residual.is_strictly_positive())
+                .find(|&id| id % 2 == 1 && net.res[id as usize].is_strictly_positive())
             else {
                 break 'passes;
             };
-            delta = delta.min2(net.edges[twin as usize].residual);
+            delta = delta.min2(net.res[twin as usize]);
             path.push(twin ^ 1);
-            cur = net.edges[twin as usize].to as NodeId;
+            cur = net.head[twin as usize] as NodeId;
         }
 
         // Forward: follow flow-carrying forward edges from `to` down to the
@@ -127,7 +129,8 @@ fn cancel_through_edge<T: FlowNum>(
         while cur != sink {
             hops += 1;
             assert!(hops <= net.num_nodes(), "flow cycle in forward walk");
-            let Some(fwd) = net.adj[cur]
+            let Some(fwd) = net
+                .arcs(cur)
                 .iter()
                 .copied()
                 .find(|&id| id % 2 == 0 && net.flow(EdgeId(id)).is_strictly_positive())
@@ -136,12 +139,12 @@ fn cancel_through_edge<T: FlowNum>(
             };
             delta = delta.min2(net.flow(EdgeId(fwd)));
             path.push(fwd);
-            cur = net.edges[fwd as usize].to as NodeId;
+            cur = net.head[fwd as usize] as NodeId;
         }
 
         for &fid in &path {
-            net.edges[fid as usize].residual += delta;
-            net.edges[(fid ^ 1) as usize].residual -= delta;
+            net.res[fid as usize] += delta;
+            net.res[(fid ^ 1) as usize] -= delta;
         }
         cancelled += delta;
     }
@@ -168,8 +171,10 @@ pub fn drain_node<T: FlowNum>(
         node != source && node != sink,
         "cannot drain the source or the sink"
     );
+    net.ensure_csr();
     let mut total = T::zero();
-    let outgoing: Vec<u32> = net.adj[node]
+    let outgoing: Vec<u32> = net
+        .arcs(node)
         .iter()
         .copied()
         .filter(|&id| id % 2 == 0)
@@ -215,7 +220,7 @@ pub fn set_capacity<T: FlowNum>(
     // Re-derive the forward residual from the (possibly dusty) flow; clamp
     // so traversals never see a negative residual.
     let resid = new_cap - net.flow(e);
-    net.edges[e.0 as usize].residual = resid.max2(T::zero());
+    net.res[e.0 as usize] = resid.max2(T::zero());
     drained
 }
 
@@ -249,8 +254,8 @@ pub fn push_path<T: FlowNum>(net: &mut FlowNetwork<T>, path: &[EdgeId], amount: 
         return T::zero();
     }
     for &e in path {
-        net.edges[e.0 as usize].residual -= delta;
-        net.edges[(e.0 ^ 1) as usize].residual += delta;
+        net.res[e.0 as usize] -= delta;
+        net.res[(e.0 ^ 1) as usize] += delta;
     }
     delta
 }
@@ -270,18 +275,18 @@ pub fn residual_reachable_tol<T: FlowNum>(
     from: NodeId,
     eps: f64,
 ) -> Vec<bool> {
+    let (first_arc, arc_order) = net.csr_view();
     let mut seen = vec![false; net.num_nodes()];
     let mut stack = vec![from];
     seen[from] = true;
     while let Some(u) = stack.pop() {
-        for &eid in &net.adj[u] {
-            let edge = &net.edges[eid as usize];
-            let v = edge.to as NodeId;
+        for &aid in &arc_order[first_arc[u] as usize..first_arc[u + 1] as usize] {
+            let v = net.head[aid as usize] as NodeId;
             if seen[v] {
                 continue;
             }
-            let scale = net.caps[(eid / 2) as usize].max2(T::one());
-            if T::definitely_lt(T::zero(), edge.residual, scale, eps) {
+            let scale = net.caps[(aid / 2) as usize].max2(T::one());
+            if T::definitely_lt(T::zero(), net.res[aid as usize], scale, eps) {
                 seen[v] = true;
                 stack.push(v);
             }

@@ -37,10 +37,12 @@
 // partial_cmp would obscure the tolerance-free intent.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod batch;
 pub mod float;
 pub mod flownum;
 pub mod rational;
 
+pub use batch::{sum_lanes, KahanLanes};
 pub use float::{FloatTol, KahanSum};
 pub use flownum::FlowNum;
 pub use rational::Rational;

@@ -35,6 +35,14 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "ablation: augmenting paths, cold max-flow",
     ),
     (
+        "exp.csr.pr_ops",
+        "ablation: push-relabel work, CSR engine with heuristics",
+    ),
+    (
+        "exp.legacy.pr_ops",
+        "ablation: push-relabel work, legacy Vec<Edge> engine",
+    ),
+    (
         "exp.warm.augmenting_paths",
         "ablation: augmenting paths, warm-started",
     ),
@@ -47,8 +55,16 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "Dinic level-graph (BFS) phases built",
     ),
     (
+        "maxflow.pr.current_arc_resets",
+        "push-relabel current-arc pointer resets after relabels",
+    ),
+    (
         "maxflow.pr.gap_events",
         "push-relabel gap heuristic firings",
+    ),
+    (
+        "maxflow.pr.global_relabels",
+        "push-relabel global-relabel (backward BFS) passes",
     ),
     ("maxflow.pr.pushes", "push-relabel push operations"),
     ("maxflow.pr.relabels", "push-relabel relabel operations"),

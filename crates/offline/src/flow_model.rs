@@ -93,6 +93,9 @@ impl<T: FlowNum> FlowModel<T> {
             target += cap;
             sink_edges.push(net.add_edge(interval_vertex(x), sink, cap));
         }
+        // Seal the topology: build the CSR index once here so the engines and
+        // warm-start walks never pay a rebuild mid-phase.
+        net.finish();
 
         FlowModel {
             net,

@@ -642,6 +642,8 @@ fn flush_engine_stats<T: FlowNum, C: Collector>(obs: &mut C, dinic: &Dinic, pr: 
     obs.count("maxflow.pr.pushes", p.pushes);
     obs.count("maxflow.pr.relabels", p.relabels);
     obs.count("maxflow.pr.gap_events", p.gap_events);
+    obs.count("maxflow.pr.global_relabels", p.global_relabels);
+    obs.count("maxflow.pr.current_arc_resets", p.current_arc_resets);
 }
 
 /// Lemma 4's removal rule, made engine- and history-invariant.

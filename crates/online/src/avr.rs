@@ -157,10 +157,10 @@ fn schedule_interval<T: FlowNum, C: Collector>(
             .then(a.0.cmp(&b.0))
     });
 
-    let mut total_density = T::zero();
-    for &(_, d) in &active {
-        total_density += d;
-    }
+    // Lane-split sum: no serial dependence chain, so wide intervals with
+    // hundreds of active jobs vectorize; short slices keep the legacy order.
+    let densities: Vec<T> = active.iter().map(|&(_, d)| d).collect();
+    let mut total_density = mpss_numeric::sum_lanes(&densities);
     let mut m_left = instance.m;
     let mut next_proc = 0usize;
     let mut idx = 0usize;

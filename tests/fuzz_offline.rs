@@ -189,6 +189,59 @@ fn fixture_fractional_tight_pair() {
     check_offline_properties(&ins);
 }
 
+/// Solves `ins` with the push-relabel engine and returns the heuristic
+/// counters `(global_relabels, current_arc_resets, gap_events)`.
+fn pr_heuristic_counters(ins: &Instance<f64>) -> (u64, u64, u64) {
+    let opts = OfflineOptions {
+        engine: FlowEngine::PushRelabel,
+        warm_start: false,
+        ..Default::default()
+    };
+    let mut obs = mpss::obs::RecordingCollector::default();
+    mpss::offline::optimal_schedule_observed(ins, &opts, &mut obs).unwrap();
+    (
+        obs.counter("maxflow.pr.global_relabels"),
+        obs.counter("maxflow.pr.current_arc_resets"),
+        obs.counter("maxflow.pr.gap_events"),
+    )
+}
+
+/// 20 tightly overlapping fractional jobs on 2 processors: push-relabel's
+/// current-arc pointers sweep each node's CSR slice to exhaustion thousands
+/// of times, so every relabel-driven reset re-walks a wrapped pointer back
+/// to `first_arc[u]`. Guards the pointer-reset bookkeeping (a stale pointer
+/// after relabel is the classic current-arc soundness bug).
+#[test]
+fn fixture_csr_current_arc_wraparound() {
+    let ins = fixtures::read_fixture(&fixtures::dir().join("csr_current_arc_wraparound.json"));
+    check_offline_properties(&ins);
+    let (globals, resets, _) = pr_heuristic_counters(&ins);
+    assert!(
+        globals >= 10,
+        "expected periodic global relabels, saw {globals}"
+    );
+    assert!(
+        resets >= 500,
+        "expected heavy current-arc resets, saw {resets}"
+    );
+}
+
+/// Companion shape where the gap heuristic keeps firing *after* periodic
+/// global relabels have rebuilt exact distance labels — the interleaving
+/// that once risked lifting a node below its BFS height. Guards the
+/// `max(old, bfs)` lift rule and the gap/global ordering.
+#[test]
+fn fixture_csr_gap_after_global_relabel() {
+    let ins = fixtures::read_fixture(&fixtures::dir().join("csr_gap_after_global_relabel.json"));
+    check_offline_properties(&ins);
+    let (globals, _, gaps) = pr_heuristic_counters(&ins);
+    assert!(
+        globals >= 10,
+        "expected periodic global relabels, saw {globals}"
+    );
+    assert!(gaps >= 50, "expected gap-heuristic events, saw {gaps}");
+}
+
 /// Random instance with fractional coordinates (not exactly representable
 /// on any grid).
 fn fractional_instance(n: usize, m: usize, seed: u64) -> Instance<f64> {
