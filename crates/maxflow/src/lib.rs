@@ -6,7 +6,7 @@
 //! paper's Fig. 1. This crate provides that substrate from scratch:
 //!
 //! * [`FlowNetwork`] — a residual-edge-paired network representation,
-//!   generic over [`FlowNum`](mpss_numeric::FlowNum) so it runs in both
+//!   generic over [`FlowNum`] so it runs in both
 //!   guarded `f64` and exact rational arithmetic;
 //! * [`dinic::Dinic`] — Dinic's blocking-flow algorithm (`O(V²E)`
 //!   augmentations independent of capacity values, hence safe for real

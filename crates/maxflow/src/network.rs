@@ -9,7 +9,7 @@
 //! old per-node `Vec` order exactly, which keeps Dinic's traversal — and
 //! hence every golden flow assignment — bit-identical). The CSR is rebuilt
 //! lazily after topology edits (`add_node` / `add_edge` mark it dirty);
-//! engines and warm-start walks call [`FlowNetwork::ensure_csr`] before
+//! engines and warm-start walks call `FlowNetwork::ensure_csr` before
 //! iterating, and `&self` traversals fall back to a temporary CSR when the
 //! arena is dirty. All capacities/flows are a [`FlowNum`] instantiation.
 

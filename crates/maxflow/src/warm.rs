@@ -194,7 +194,7 @@ pub fn drain_node<T: FlowNum>(
 ///
 /// This is the `retarget` primitive for speed probes: raising a capacity
 /// only grows the residual; lowering it below the current flow first
-/// cancels the excess through [`cancel_through_edge`]. Returns the amount
+/// cancels the excess through `cancel_through_edge`. Returns the amount
 /// of flow drained (zero when the capacity grew or still covers the flow).
 ///
 /// # Panics

@@ -2,7 +2,7 @@
 //! throughout the max-flow engines and the offline scheduling algorithm.
 //!
 //! Two implementations ship with the workspace:
-//! `f64` (tolerance-aware, production path) and [`Rational`](crate::Rational)
+//! `f64` (tolerance-aware, production path) and [`crate::Rational`]
 //! (exact, ground-truth path). The trait deliberately bundles *comparison
 //! policy* (`close`, `definitely_lt`) with arithmetic so algorithms written
 //! against it are correct under both semantics: the exact type ignores the

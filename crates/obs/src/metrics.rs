@@ -12,8 +12,8 @@
 //!
 //! * **Zero dependencies.** Handles are `Arc<AtomicU64>` (counters, and
 //!   gauges as f64 bit patterns) or `Arc<Mutex<…>>` (histograms); the text
-//!   exposition is hand-rolled like the Chrome trace JSON in
-//!   [`chrome`](crate::chrome).
+//!   exposition is hand-rolled like the Chrome trace JSON in the `chrome`
+//!   module.
 //! * **Bounded memory.** Histograms keep exact lifetime `count`/`sum` and
 //!   cumulative bucket counts, plus a fixed-capacity [`RingSampler`] of the
 //!   most recent observations for live quantiles — a process that runs for a

@@ -113,6 +113,15 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "par.worker.items",
         "items one pool worker claimed (per-worker track)",
     ),
+    (
+        "serve.arrivals",
+        "jobs the soak harness pushed through daemon tenants",
+    ),
+    (
+        "serve.checkpoint_ms",
+        "milliseconds the soak harness spent in checkpoint requests",
+    ),
+    ("serve.tenants", "tenant sessions the soak harness opened"),
 ];
 
 /// Every histogram key, sorted. Span-duration histograms (`span.<name>.ms`)
@@ -167,6 +176,22 @@ pub const INSTANTS: &[(&str, &str)] = &[
 /// [`prom_histogram`] are *not* repeated here — [`known_metric`] accepts
 /// both.
 pub const METRICS: &[(&str, &str)] = &[
+    (
+        "mpss_serve_checkpoint_seconds",
+        "histogram: wall-clock latency of one daemon checkpoint request",
+    ),
+    (
+        "mpss_serve_errors_total",
+        "counter: daemon requests that failed, by error kind",
+    ),
+    (
+        "mpss_serve_requests_total",
+        "counter: daemon requests handled, by op",
+    ),
+    (
+        "mpss_serve_tenants",
+        "gauge: live tenant sessions in the daemon",
+    ),
     (
         "mpss_session_active_jobs",
         "gauge: jobs with remaining work in a live session, by algo",

@@ -3,7 +3,7 @@
 //! No HTTP crate — the build environment is offline, and a Prometheus
 //! scrape needs almost nothing from HTTP: read one request line, answer
 //! with a fixed header and the rendered exposition body, close. In the same
-//! spirit as the hand-rolled Chrome-trace JSON in [`crate::chrome`], this
+//! spirit as the hand-rolled Chrome-trace JSON in the `chrome` module, this
 //! module implements exactly that much:
 //!
 //! * `GET /metrics` (or `GET /`) → `200 OK`,

@@ -7,15 +7,32 @@
 //! for controllers that cannot afford OA's optimal replans.
 
 use crate::avr::avr_schedule;
+use crate::checkpoint::{AvrCheckpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
 
 /// A live AVR(m) scheduling session.
+///
+/// ```
+/// use mpss_online::AvrSession;
+///
+/// let mut session = AvrSession::new(2, 0.0);
+/// session.arrive(1.0, 4.0).unwrap();          // density 4: gets peeled
+/// session.arrive(1.0, 1.0).unwrap();          // density 1
+/// session.arrive(1.0, 1.0).unwrap();          // density 1
+/// assert_eq!(session.current_speeds(), vec![4.0, 2.0]);
+/// let schedule = session.finish().unwrap();
+/// assert!((schedule.total_work() - 6.0).abs() < 1e-9);
+/// ```
 pub struct AvrSession {
     m: usize,
     now: f64,
     jobs: Vec<Job<f64>>,
     executed: Schedule<f64>,
+    /// Everything executed strictly before this time was compacted away.
+    compaction_watermark: Option<f64>,
+    compacted_segments: usize,
+    compacted_work: f64,
     metrics: Option<SessionMetrics>,
 }
 
@@ -28,6 +45,9 @@ impl AvrSession {
             now: start,
             jobs: Vec::new(),
             executed: Schedule::new(m),
+            compaction_watermark: None,
+            compacted_segments: 0,
+            compacted_work: 0.0,
             metrics: None,
         }
     }
@@ -58,6 +78,16 @@ impl AvrSession {
     /// Current clock.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Number of processors.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of jobs announced so far (session job ids are `0..job_count()`).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Announces a job arriving now. Returns its session id.
@@ -120,9 +150,88 @@ impl AvrSession {
         Ok(())
     }
 
-    /// Committed history so far.
+    /// Committed history so far (from the compaction watermark on, once
+    /// [`compact_history`](AvrSession::compact_history) has run).
     pub fn executed(&self) -> &Schedule<f64> {
         &self.executed
+    }
+
+    /// Drops executed history strictly before `watermark` (clamped to
+    /// `now`), bounding memory for long-running sessions. Same contract as
+    /// [`OaSession::compact_history`](crate::OaSession::compact_history):
+    /// only whole segments ending at or before the watermark drop, the
+    /// dropped count and work stay available via
+    /// [`compacted_segments`](AvrSession::compacted_segments) /
+    /// [`compacted_work`](AvrSession::compacted_work), and scheduling
+    /// decisions are unaffected (AVR is memoryless).
+    pub fn compact_history(&mut self, watermark: f64) -> usize {
+        let effective = watermark
+            .min(self.now)
+            .max(self.compaction_watermark.unwrap_or(f64::MIN));
+        let before = self.executed.segments.len();
+        let mut dropped_work = 0.0;
+        self.executed.segments.retain(|seg| {
+            if seg.end <= effective {
+                dropped_work += seg.work();
+                false
+            } else {
+                true
+            }
+        });
+        let dropped = before - self.executed.segments.len();
+        self.compacted_segments += dropped;
+        self.compacted_work += dropped_work;
+        self.compaction_watermark = Some(effective);
+        dropped
+    }
+
+    /// Everything executed strictly before this time has been compacted
+    /// away (`None`: never compacted, the history is complete).
+    pub fn compaction_watermark(&self) -> Option<f64> {
+        self.compaction_watermark
+    }
+
+    /// Segments dropped by compaction over the session's lifetime.
+    pub fn compacted_segments(&self) -> usize {
+        self.compacted_segments
+    }
+
+    /// Work (volume units) carried by the compacted segments.
+    pub fn compacted_work(&self) -> f64 {
+        self.compacted_work
+    }
+
+    /// Freezes the full session state into a serializable, versioned
+    /// [`AvrCheckpoint`]. Metrics handles are not part of the state —
+    /// re-attach after [`restore`](AvrSession::restore).
+    pub fn checkpoint(&self) -> AvrCheckpoint {
+        AvrCheckpoint {
+            version: CHECKPOINT_VERSION,
+            m: self.m,
+            now: self.now,
+            jobs: self.jobs.clone(),
+            executed: self.executed.clone(),
+            compaction_watermark: self.compaction_watermark,
+            compacted_segments: self.compacted_segments,
+            compacted_work: self.compacted_work,
+        }
+    }
+
+    /// Resumes a session from a checkpoint, bit-identically: AVR's
+    /// decisions are a pure function of the job set and the clock, both of
+    /// which the checkpoint carries in full.
+    pub fn restore(checkpoint: AvrCheckpoint) -> Result<AvrSession, CheckpointError> {
+        checkpoint.validate()?;
+        Ok(AvrSession {
+            m: checkpoint.m,
+            now: checkpoint.now,
+            jobs: checkpoint.jobs,
+            executed: checkpoint.executed,
+            compaction_watermark: checkpoint.compaction_watermark,
+            compacted_segments: checkpoint.compacted_segments,
+            compacted_work: checkpoint.compacted_work,
+            metrics: None,
+        })
     }
 
     /// Runs to the last deadline and returns the full schedule.
@@ -223,6 +332,52 @@ mod tests {
             SnapshotValue::Gauge(v) => assert_eq!(v, 0.0),
             other => panic!("queued: {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let drive_prefix = |s: &mut AvrSession| {
+            s.arrive(4.0, 4.0).unwrap();
+            s.arrive(2.0, 2.0).unwrap();
+            s.advance_to(1.0).unwrap();
+        };
+        let drive_suffix = |mut s: AvrSession| {
+            s.arrive(3.0, 2.0).unwrap();
+            s.advance_to(2.5).unwrap();
+            s.finish().unwrap()
+        };
+
+        let mut uninterrupted = AvrSession::new(2, 0.0);
+        drive_prefix(&mut uninterrupted);
+        let expected = drive_suffix(uninterrupted);
+
+        let mut killed = AvrSession::new(2, 0.0);
+        drive_prefix(&mut killed);
+        let frozen = killed.checkpoint().to_json().render();
+        drop(killed);
+        let thawed =
+            AvrCheckpoint::from_json(&mpss_obs::json::Json::parse(&frozen).unwrap()).unwrap();
+        let restored = AvrSession::restore(thawed).unwrap();
+        let actual = drive_suffix(restored);
+        assert_eq!(expected.segments, actual.segments);
+    }
+
+    #[test]
+    fn compaction_conserves_work_in_the_tally() {
+        let mut s = AvrSession::new(1, 0.0);
+        s.arrive(1.0, 3.0).unwrap();
+        s.advance_to(2.0).unwrap();
+        s.arrive(4.0, 2.0).unwrap();
+        s.advance_to(3.0).unwrap();
+        let full = s.executed().total_work();
+        let dropped = s.compact_history(2.0);
+        assert!(dropped > 0);
+        assert!((s.compacted_work() + s.executed().total_work() - full).abs() < 1e-9);
+        assert_eq!(s.compaction_watermark(), Some(2.0));
+        // Restore keeps the watermark.
+        let back = AvrSession::restore(s.checkpoint()).unwrap();
+        assert_eq!(back.compaction_watermark(), Some(2.0));
+        assert_eq!(back.compacted_segments(), dropped);
     }
 
     #[test]

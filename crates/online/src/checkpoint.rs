@@ -1,0 +1,657 @@
+//! Versioned, serializable session state for checkpoint/restore.
+//!
+//! A long-running service (see the `mpss-serve` daemon) must survive being
+//! killed: it periodically serializes every live session to disk and, on
+//! restart, resumes each one **bit-identically** — the restored session
+//! produces exactly the executed schedule and work counters the
+//! uninterrupted session would have produced. That property is only
+//! achievable if the checkpoint captures *all* decision-relevant state, so
+//! the structs here mirror the sessions field by field, including the
+//! currently-followed plan (recomputing the plan on restore would be
+//! mathematically equivalent but not guaranteed bit-identical in floating
+//! point) and the max-flow engine the session replans with.
+//!
+//! The format is versioned by [`CHECKPOINT_VERSION`]. Versioning rules
+//! (also documented in `PROTOCOL.md` at the repo root):
+//!
+//! * a reader MUST reject a checkpoint whose `version` it does not know
+//!   (restoring across formats silently would break bit-identity);
+//! * unknown *fields* are ignored on read, so additive extensions bump the
+//!   version only when old readers would misinterpret the state;
+//! * every field that influences scheduling decisions — jobs, remaining
+//!   volumes, the clock, the plan, the engine — is required; counters and
+//!   compaction bookkeeping default to their empty values.
+//!
+//! Checkpoints serialize through [`mpss_obs::json::Json`], the workspace's
+//! offline JSON codec. `f64` fields render in shortest-round-trip form
+//! (`{}` on `f64`), so reading the text back yields bit-identical doubles —
+//! which is what makes JSON an acceptable carrier for a bit-identity
+//! guarantee.
+//!
+//! ```
+//! use mpss_obs::json::Json;
+//! use mpss_online::{OaCheckpoint, OaSession};
+//!
+//! let mut session = OaSession::new(2, 0.0);
+//! session.arrive(4.0, 3.0).unwrap();
+//! session.advance_to(1.0).unwrap();
+//!
+//! // Kill…
+//! let frozen = session.checkpoint().to_json().render();
+//! drop(session);
+//!
+//! // …and resume, bit-identically.
+//! let thawed = OaCheckpoint::from_json(&Json::parse(&frozen).unwrap()).unwrap();
+//! let mut session = OaSession::restore(thawed).unwrap();
+//! assert_eq!(session.now(), 1.0);
+//! session.advance_to(4.0).unwrap();
+//! ```
+
+use mpss_core::schedule::Segment;
+use mpss_core::{Job, JobId, Schedule};
+use mpss_obs::json::Json;
+use mpss_offline::FlowEngine;
+
+/// The current checkpoint format version. Bump when a change would make an
+/// old reader misinterpret the state; see the module docs for the rules.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Errors raised by [`OaSession::restore`](crate::OaSession::restore) /
+/// [`AvrSession::restore`](crate::AvrSession::restore) on a checkpoint that
+/// cannot be resumed, and by [`OaCheckpoint::from_json`] /
+/// [`AvrCheckpoint::from_json`] on a document that is not a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError(pub String);
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn bad(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError(msg.into())
+}
+
+/// The plan an [`OaSession`](crate::OaSession) is currently following,
+/// frozen in serializable form: the sub-instance schedule, the mapping from
+/// plan-internal job indices back to session job ids, and each plan job's
+/// assigned speed (in plan-internal index order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanSnapshot {
+    /// Maps plan-internal job indices to session job ids.
+    pub job_map: Vec<JobId>,
+    /// The plan schedule, over plan-internal job ids.
+    pub schedule: Schedule<f64>,
+    /// Per plan-internal job: the speed the plan assigned it (`None` if it
+    /// landed in no phase, which validated inputs never produce).
+    pub speeds: Vec<Option<f64>>,
+}
+
+/// Serializable spelling of the max-flow engine a session replans with.
+/// A restored session must replan with the same engine the checkpointed
+/// one used — the schedules agree in energy but not bit for bit.
+fn engine_name(engine: FlowEngine) -> &'static str {
+    match engine {
+        FlowEngine::Dinic => "dinic",
+        FlowEngine::PushRelabel => "push-relabel",
+    }
+}
+
+fn engine_from_name(name: &str) -> Result<FlowEngine, CheckpointError> {
+    match name {
+        "dinic" => Ok(FlowEngine::Dinic),
+        "push-relabel" => Ok(FlowEngine::PushRelabel),
+        other => Err(bad(format!("unknown flow engine `{other}`"))),
+    }
+}
+
+// ---- field-level JSON codec helpers -----------------------------------
+
+fn num(doc: &Json, key: &str) -> Result<f64, CheckpointError> {
+    match doc.get(key) {
+        Some(Json::Num(x)) => Ok(*x),
+        Some(Json::UInt(n)) => Ok(*n as f64),
+        Some(other) => Err(bad(format!("`{key}` is not a number: {other:?}"))),
+        None => Err(bad(format!("missing field `{key}`"))),
+    }
+}
+
+fn uint(doc: &Json, key: &str) -> Result<u64, CheckpointError> {
+    match doc.get(key) {
+        Some(Json::UInt(n)) => Ok(*n),
+        Some(other) => Err(bad(format!(
+            "`{key}` is not an unsigned integer: {other:?}"
+        ))),
+        None => Err(bad(format!("missing field `{key}`"))),
+    }
+}
+
+fn uint_or_zero(doc: &Json, key: &str) -> Result<u64, CheckpointError> {
+    match doc.get(key) {
+        None => Ok(0),
+        _ => uint(doc, key),
+    }
+}
+
+fn num_or_zero(doc: &Json, key: &str) -> Result<f64, CheckpointError> {
+    match doc.get(key) {
+        None => Ok(0.0),
+        _ => num(doc, key),
+    }
+}
+
+fn arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], CheckpointError> {
+    match doc.get(key) {
+        Some(Json::Arr(items)) => Ok(items),
+        Some(other) => Err(bad(format!("`{key}` is not an array: {other:?}"))),
+        None => Err(bad(format!("missing field `{key}`"))),
+    }
+}
+
+fn any_num(value: &Json, what: &str) -> Result<f64, CheckpointError> {
+    match value {
+        Json::Num(x) => Ok(*x),
+        Json::UInt(n) => Ok(*n as f64),
+        other => Err(bad(format!("{what} is not a number: {other:?}"))),
+    }
+}
+
+fn job_to_json(job: &Job<f64>) -> Json {
+    let mut doc = Json::object();
+    doc.push("release", Json::Num(job.release));
+    doc.push("deadline", Json::Num(job.deadline));
+    doc.push("volume", Json::Num(job.volume));
+    doc
+}
+
+fn job_from_json(doc: &Json) -> Result<Job<f64>, CheckpointError> {
+    Ok(Job::new(
+        num(doc, "release")?,
+        num(doc, "deadline")?,
+        num(doc, "volume")?,
+    ))
+}
+
+fn schedule_to_json(schedule: &Schedule<f64>) -> Json {
+    let mut doc = Json::object();
+    doc.push("m", Json::UInt(schedule.m as u64));
+    doc.push(
+        "segments",
+        Json::Arr(
+            schedule
+                .segments
+                .iter()
+                .map(|seg| {
+                    let mut s = Json::object();
+                    s.push("job", Json::UInt(seg.job as u64));
+                    s.push("proc", Json::UInt(seg.proc as u64));
+                    s.push("start", Json::Num(seg.start));
+                    s.push("end", Json::Num(seg.end));
+                    s.push("speed", Json::Num(seg.speed));
+                    s
+                })
+                .collect(),
+        ),
+    );
+    doc
+}
+
+fn schedule_from_json(doc: &Json) -> Result<Schedule<f64>, CheckpointError> {
+    let mut schedule = Schedule::new(uint(doc, "m")? as usize);
+    for seg in arr(doc, "segments")? {
+        schedule.push(Segment {
+            job: uint(seg, "job")? as JobId,
+            proc: uint(seg, "proc")? as usize,
+            start: num(seg, "start")?,
+            end: num(seg, "end")?,
+            speed: num(seg, "speed")?,
+        });
+    }
+    Ok(schedule)
+}
+
+fn watermark_to_json(watermark: Option<f64>) -> Json {
+    match watermark {
+        Some(t) => Json::Num(t),
+        None => Json::Null,
+    }
+}
+
+fn watermark_from_json(doc: &Json) -> Result<Option<f64>, CheckpointError> {
+    match doc.get("compaction_watermark") {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => any_num(value, "`compaction_watermark`").map(Some),
+    }
+}
+
+/// Full state of an [`OaSession`](crate::OaSession), ready to serialize.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OaCheckpoint {
+    /// Format version; restore rejects versions it does not know.
+    pub version: u64,
+    /// Max-flow engine the session replans with (`"dinic"` /
+    /// `"push-relabel"`); bit-identity requires restoring with the same one.
+    pub engine: String,
+    /// Processor count.
+    pub m: usize,
+    /// The session clock.
+    pub now: f64,
+    /// Every job announced so far, in arrival order (session job ids).
+    pub jobs: Vec<Job<f64>>,
+    /// Remaining volume per job, parallel to `jobs`.
+    pub remaining: Vec<f64>,
+    /// Committed history (everything at or after the compaction watermark).
+    pub executed: Schedule<f64>,
+    /// The plan being followed, if any.
+    pub plan: Option<PlanSnapshot>,
+    /// Replans performed so far.
+    pub replans: usize,
+    /// Max-flow computations performed across all replans.
+    pub flow_computations: usize,
+    /// Everything executed up to this time has been compacted away from
+    /// `executed` (see
+    /// [`OaSession::compact_history`](crate::OaSession::compact_history)).
+    pub compaction_watermark: Option<f64>,
+    /// Segments dropped by compaction so far.
+    pub compacted_segments: usize,
+    /// Work (volume units) carried by the compacted segments.
+    pub compacted_work: f64,
+}
+
+/// Full state of an [`AvrSession`](crate::AvrSession), ready to serialize.
+/// AVR is memoryless — no plan to freeze — so the checkpoint is just jobs,
+/// clock, history, and compaction bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvrCheckpoint {
+    /// Format version; restore rejects versions it does not know.
+    pub version: u64,
+    /// Processor count.
+    pub m: usize,
+    /// The session clock.
+    pub now: f64,
+    /// Every job announced so far, in arrival order (session job ids).
+    pub jobs: Vec<Job<f64>>,
+    /// Committed history (everything at or after the compaction watermark).
+    pub executed: Schedule<f64>,
+    /// See [`OaCheckpoint::compaction_watermark`].
+    pub compaction_watermark: Option<f64>,
+    /// Segments dropped by compaction so far.
+    pub compacted_segments: usize,
+    /// Work carried by the compacted segments.
+    pub compacted_work: f64,
+}
+
+impl OaCheckpoint {
+    /// Renders the checkpoint as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.push("version", Json::UInt(self.version));
+        doc.push("engine", Json::from(self.engine.as_str()));
+        doc.push("m", Json::UInt(self.m as u64));
+        doc.push("now", Json::Num(self.now));
+        doc.push(
+            "jobs",
+            Json::Arr(self.jobs.iter().map(job_to_json).collect()),
+        );
+        doc.push(
+            "remaining",
+            Json::Arr(self.remaining.iter().map(|&w| Json::Num(w)).collect()),
+        );
+        doc.push("executed", schedule_to_json(&self.executed));
+        doc.push(
+            "plan",
+            match &self.plan {
+                None => Json::Null,
+                Some(plan) => {
+                    let mut p = Json::object();
+                    p.push(
+                        "job_map",
+                        Json::Arr(
+                            plan.job_map
+                                .iter()
+                                .map(|&id| Json::UInt(id as u64))
+                                .collect(),
+                        ),
+                    );
+                    p.push("schedule", schedule_to_json(&plan.schedule));
+                    p.push(
+                        "speeds",
+                        Json::Arr(
+                            plan.speeds
+                                .iter()
+                                .map(|s| match s {
+                                    Some(v) => Json::Num(*v),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        ),
+                    );
+                    p
+                }
+            },
+        );
+        doc.push("replans", Json::UInt(self.replans as u64));
+        doc.push(
+            "flow_computations",
+            Json::UInt(self.flow_computations as u64),
+        );
+        doc.push(
+            "compaction_watermark",
+            watermark_to_json(self.compaction_watermark),
+        );
+        doc.push(
+            "compacted_segments",
+            Json::UInt(self.compacted_segments as u64),
+        );
+        doc.push("compacted_work", Json::Num(self.compacted_work));
+        doc
+    }
+
+    /// Reads a checkpoint back from a JSON document. Unknown fields are
+    /// ignored; missing counters default to zero; everything
+    /// decision-relevant is required. Structural invariants are checked by
+    /// [`validate`](OaCheckpoint::validate) (which
+    /// [`OaSession::restore`](crate::OaSession::restore) calls), not here.
+    pub fn from_json(doc: &Json) -> Result<OaCheckpoint, CheckpointError> {
+        let engine = match doc.get("engine") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(other) => return Err(bad(format!("`engine` is not a string: {other:?}"))),
+            None => return Err(bad("missing field `engine`")),
+        };
+        let jobs = arr(doc, "jobs")?
+            .iter()
+            .map(job_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let remaining = arr(doc, "remaining")?
+            .iter()
+            .map(|w| any_num(w, "`remaining` entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let plan = match doc.get("plan") {
+            None | Some(Json::Null) => None,
+            Some(plan) => {
+                let job_map = arr(plan, "job_map")?
+                    .iter()
+                    .map(|id| match id {
+                        Json::UInt(n) => Ok(*n as JobId),
+                        other => Err(bad(format!("`job_map` entry is not an id: {other:?}"))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let schedule = schedule_from_json(
+                    plan.get("schedule")
+                        .ok_or_else(|| bad("missing field `plan.schedule`"))?,
+                )?;
+                let speeds = arr(plan, "speeds")?
+                    .iter()
+                    .map(|s| match s {
+                        Json::Null => Ok(None),
+                        value => any_num(value, "`speeds` entry").map(Some),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(PlanSnapshot {
+                    job_map,
+                    schedule,
+                    speeds,
+                })
+            }
+        };
+        Ok(OaCheckpoint {
+            version: uint(doc, "version")?,
+            engine,
+            m: uint(doc, "m")? as usize,
+            now: num(doc, "now")?,
+            jobs,
+            remaining,
+            executed: schedule_from_json(
+                doc.get("executed")
+                    .ok_or_else(|| bad("missing field `executed`"))?,
+            )?,
+            plan,
+            replans: uint_or_zero(doc, "replans")? as usize,
+            flow_computations: uint_or_zero(doc, "flow_computations")? as usize,
+            compaction_watermark: watermark_from_json(doc)?,
+            compacted_segments: uint_or_zero(doc, "compacted_segments")? as usize,
+            compacted_work: num_or_zero(doc, "compacted_work")?,
+        })
+    }
+
+    /// Validates structural invariants and decodes the engine name.
+    /// Called by [`OaSession::restore`](crate::OaSession::restore).
+    pub fn validate(&self) -> Result<FlowEngine, CheckpointError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {} (this build reads {})",
+                self.version, CHECKPOINT_VERSION
+            )));
+        }
+        if self.m == 0 {
+            return Err(bad("zero processors"));
+        }
+        if self.jobs.len() != self.remaining.len() {
+            return Err(bad(format!(
+                "{} jobs but {} remaining volumes",
+                self.jobs.len(),
+                self.remaining.len()
+            )));
+        }
+        if !self.now.is_finite() {
+            return Err(bad("non-finite clock"));
+        }
+        if let Some(plan) = &self.plan {
+            if plan.speeds.len() != plan.job_map.len() {
+                return Err(bad("plan speeds do not match its job map"));
+            }
+            if let Some(&bad_id) = plan.job_map.iter().find(|&&id| id >= self.jobs.len()) {
+                return Err(bad(format!("plan references unknown session job {bad_id}")));
+            }
+        }
+        engine_from_name(&self.engine)
+    }
+
+    /// The engine name [`OaSession::checkpoint`](crate::OaSession::checkpoint)
+    /// writes for `engine`.
+    pub fn name_of(engine: FlowEngine) -> &'static str {
+        engine_name(engine)
+    }
+}
+
+impl AvrCheckpoint {
+    /// Renders the checkpoint as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.push("version", Json::UInt(self.version));
+        doc.push("m", Json::UInt(self.m as u64));
+        doc.push("now", Json::Num(self.now));
+        doc.push(
+            "jobs",
+            Json::Arr(self.jobs.iter().map(job_to_json).collect()),
+        );
+        doc.push("executed", schedule_to_json(&self.executed));
+        doc.push(
+            "compaction_watermark",
+            watermark_to_json(self.compaction_watermark),
+        );
+        doc.push(
+            "compacted_segments",
+            Json::UInt(self.compacted_segments as u64),
+        );
+        doc.push("compacted_work", Json::Num(self.compacted_work));
+        doc
+    }
+
+    /// Reads a checkpoint back from a JSON document; same field rules as
+    /// [`OaCheckpoint::from_json`].
+    pub fn from_json(doc: &Json) -> Result<AvrCheckpoint, CheckpointError> {
+        Ok(AvrCheckpoint {
+            version: uint(doc, "version")?,
+            m: uint(doc, "m")? as usize,
+            now: num(doc, "now")?,
+            jobs: arr(doc, "jobs")?
+                .iter()
+                .map(job_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            executed: schedule_from_json(
+                doc.get("executed")
+                    .ok_or_else(|| bad("missing field `executed`"))?,
+            )?,
+            compaction_watermark: watermark_from_json(doc)?,
+            compacted_segments: uint_or_zero(doc, "compacted_segments")? as usize,
+            compacted_work: num_or_zero(doc, "compacted_work")?,
+        })
+    }
+
+    /// Validates structural invariants. Called by
+    /// [`AvrSession::restore`](crate::AvrSession::restore).
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {} (this build reads {})",
+                self.version, CHECKPOINT_VERSION
+            )));
+        }
+        if self.m == 0 {
+            return Err(bad("zero processors"));
+        }
+        if !self.now.is_finite() {
+            return Err(bad("non-finite clock"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let cp = AvrCheckpoint {
+            version: CHECKPOINT_VERSION + 1,
+            m: 1,
+            now: 0.0,
+            jobs: vec![],
+            executed: Schedule::new(1),
+            compaction_watermark: None,
+            compacted_segments: 0,
+            compacted_work: 0.0,
+        };
+        let err = cp.validate().unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oa_validation_catches_structural_rot() {
+        let mut cp = OaCheckpoint {
+            version: CHECKPOINT_VERSION,
+            engine: "dinic".into(),
+            m: 2,
+            now: 1.0,
+            jobs: vec![mpss_core::job::job(0.0, 2.0, 1.0)],
+            remaining: vec![1.0],
+            executed: Schedule::new(2),
+            plan: None,
+            replans: 1,
+            flow_computations: 1,
+            compaction_watermark: None,
+            compacted_segments: 0,
+            compacted_work: 0.0,
+        };
+        assert_eq!(cp.validate().unwrap(), FlowEngine::Dinic);
+        cp.engine = "push-relabel".into();
+        assert_eq!(cp.validate().unwrap(), FlowEngine::PushRelabel);
+        cp.engine = "simplex".into();
+        assert!(cp.validate().is_err());
+        cp.engine = "dinic".into();
+        cp.remaining.clear();
+        assert!(cp.validate().is_err());
+        cp.remaining = vec![1.0];
+        cp.plan = Some(PlanSnapshot {
+            job_map: vec![7],
+            schedule: Schedule::new(2),
+            speeds: vec![Some(1.0)],
+        });
+        assert!(cp.validate().is_err(), "dangling plan job id");
+    }
+
+    #[test]
+    fn oa_checkpoints_round_trip_bit_for_bit() {
+        let mut executed = Schedule::new(2);
+        executed.push(Segment {
+            job: 0,
+            proc: 1,
+            start: 0.0,
+            end: 0.5,
+            speed: 1.0 / 3.0,
+        });
+        let cp = OaCheckpoint {
+            version: CHECKPOINT_VERSION,
+            engine: "push-relabel".into(),
+            m: 2,
+            now: 0.5,
+            jobs: vec![mpss_core::job::job(0.0, 2.0, 0.1 + 0.2)],
+            remaining: vec![0.3 - 0.5 / 3.0],
+            executed,
+            plan: Some(PlanSnapshot {
+                job_map: vec![0],
+                schedule: Schedule::new(2),
+                speeds: vec![Some(1e-12), None],
+            }),
+            replans: 3,
+            flow_computations: 7,
+            compaction_watermark: Some(0.25),
+            compacted_segments: 2,
+            compacted_work: 1.0 / 7.0,
+        };
+        let text = cp.to_json().render();
+        let back = OaCheckpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cp);
+        // Pretty rendering carries the same document.
+        let pretty = cp.to_json().render_pretty();
+        assert_eq!(
+            OaCheckpoint::from_json(&Json::parse(&pretty).unwrap()).unwrap(),
+            cp
+        );
+    }
+
+    #[test]
+    fn avr_checkpoints_round_trip_bit_for_bit() {
+        let cp = AvrCheckpoint {
+            version: CHECKPOINT_VERSION,
+            m: 3,
+            now: 1.0 / 3.0,
+            jobs: vec![mpss_core::job::job(0.0, 1.0, 2.0)],
+            executed: Schedule::new(3),
+            compaction_watermark: None,
+            compacted_segments: 0,
+            compacted_work: 0.0,
+        };
+        let text = cp.to_json().render();
+        let back = AvrCheckpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_but_missing_counters_default() {
+        let text = r#"{
+            "version": 1, "m": 1, "now": 0.5,
+            "jobs": [], "executed": {"m": 1, "segments": []},
+            "a_future_extension": true
+        }"#;
+        let cp = AvrCheckpoint::from_json(&Json::parse(text).unwrap()).unwrap();
+        cp.validate().unwrap();
+        assert_eq!(cp.compacted_segments, 0);
+        assert_eq!(cp.compaction_watermark, None);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_field_names() {
+        let missing = Json::parse(r#"{"version": 1, "m": 2}"#).unwrap();
+        let err = AvrCheckpoint::from_json(&missing).unwrap_err();
+        assert!(err.to_string().contains("now"), "{err}");
+        let wrong_type = Json::parse(r#"{"version": "one"}"#).unwrap();
+        let err = AvrCheckpoint::from_json(&wrong_type).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -60,6 +60,7 @@ pub mod avr;
 pub mod avr_analysis;
 pub mod avr_session;
 pub mod bkp;
+pub mod checkpoint;
 pub mod driver;
 pub mod oa;
 pub mod potential;
@@ -73,6 +74,9 @@ pub use avr::{
 pub use avr_analysis::{avr_proof_terms, AvrProofTerms};
 pub use avr_session::AvrSession;
 pub use bkp::bkp_schedule;
+pub use checkpoint::{
+    AvrCheckpoint, CheckpointError, OaCheckpoint, PlanSnapshot, CHECKPOINT_VERSION,
+};
 pub use driver::{
     competitive_report, competitive_report_observed, record_energy_trajectory, RatioReport,
 };

@@ -81,7 +81,7 @@ pub fn oa_schedule_with_options<T: FlowNum>(
     Ok(outcome)
 }
 
-/// [`oa_schedule`] with an instrumentation [`Collector`].
+/// [`oa_schedule`] with an instrumentation [`Collector`](mpss_obs::Collector).
 ///
 /// Every arrival that triggers a recomputation is wrapped in a span
 /// `oa.replan` — a recording collector therefore aggregates the per-arrival

@@ -9,29 +9,50 @@
 //! tests), and the committed schedule equals the batch `oa_schedule` run on
 //! the same arrival sequence.
 
+use crate::checkpoint::{CheckpointError, OaCheckpoint, PlanSnapshot, CHECKPOINT_VERSION};
 use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
-use mpss_offline::optimal::{optimal_schedule, OptimalResult};
+use mpss_offline::optimal::{optimal_schedule_with, FlowEngine, OfflineOptions};
 
 /// A live OA(m) scheduling session.
+///
+/// ```
+/// use mpss_online::OaSession;
+///
+/// let mut session = OaSession::new(2, 0.0);
+/// session.arrive(4.0, 3.0).unwrap();   // (deadline, volume), released now
+/// session.advance_to(1.0).unwrap();    // execute the plan over [0, 1)
+/// session.arrive(3.0, 2.0).unwrap();   // a surprise arrival replans
+/// assert_eq!(session.replans(), 2);
+/// let schedule = session.finish().unwrap();
+/// assert!(schedule.total_work() > 4.9);
+/// ```
 pub struct OaSession {
     m: usize,
     now: f64,
     /// All jobs seen so far, in arrival order (the session's job ids).
     jobs: Vec<Job<f64>>,
     remaining: Vec<f64>,
-    /// Committed (executed) history up to `now`.
+    /// Committed (executed) history up to `now` (from the compaction
+    /// watermark on, once [`compact_history`](OaSession::compact_history)
+    /// has run).
     executed: Schedule<f64>,
     /// The plan currently being followed (over session job ids).
-    plan: Option<PlanView>,
+    plan: Option<PlanSnapshot>,
+    /// The max-flow engine replans solve with (fixed per session: a
+    /// checkpointed session must resume on the same engine to stay
+    /// bit-identical).
+    engine: FlowEngine,
     replans: usize,
+    /// Max-flow computations across all replans (the session-level view of
+    /// the `offline.maxflow.invocations` / `oa.maxflow.invocations` work
+    /// counters).
+    flow_computations: usize,
+    /// Everything executed strictly before this time was compacted away.
+    compaction_watermark: Option<f64>,
+    compacted_segments: usize,
+    compacted_work: f64,
     metrics: Option<SessionMetrics>,
-}
-
-struct PlanView {
-    /// Maps plan-internal job indices to session job ids.
-    job_map: Vec<JobId>,
-    result: OptimalResult<f64>,
 }
 
 /// Errors from driving a session.
@@ -45,6 +66,9 @@ pub enum SessionError {
     BadJob(ModelError),
     /// Internal planning failure (defensive; unreachable for valid input).
     Planning(ModelError),
+    /// A checkpoint could not be restored (wrong version, unknown engine,
+    /// or structurally inconsistent state).
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -64,6 +88,7 @@ impl std::fmt::Display for SessionError {
             }
             SessionError::BadJob(e) => write!(f, "bad job: {e}"),
             SessionError::Planning(e) => write!(f, "planning failed: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -71,8 +96,16 @@ impl std::fmt::Display for SessionError {
 impl std::error::Error for SessionError {}
 
 impl OaSession {
-    /// Opens a session on `m` processors with the clock at `start`.
+    /// Opens a session on `m` processors with the clock at `start`,
+    /// replanning on the default max-flow engine (Dinic).
     pub fn new(m: usize, start: f64) -> OaSession {
+        OaSession::with_engine(m, start, FlowEngine::default())
+    }
+
+    /// Opens a session replanning on a specific max-flow engine. The engine
+    /// is fixed for the session's lifetime and recorded in checkpoints:
+    /// bit-identical restore requires resuming on the same engine.
+    pub fn with_engine(m: usize, start: f64, engine: FlowEngine) -> OaSession {
         assert!(m >= 1, "need at least one processor");
         OaSession {
             m,
@@ -81,7 +114,12 @@ impl OaSession {
             remaining: Vec::new(),
             executed: Schedule::new(m),
             plan: None,
+            engine,
             replans: 0,
+            flow_computations: 0,
+            compaction_watermark: None,
+            compacted_segments: 0,
+            compacted_work: 0.0,
             metrics: None,
         }
     }
@@ -114,24 +152,54 @@ impl OaSession {
         self.now
     }
 
+    /// Number of processors.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of jobs announced so far (session job ids are `0..job_count()`).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
     /// Number of replans so far.
     pub fn replans(&self) -> usize {
         self.replans
     }
 
+    /// Total max-flow computations performed by the session's replans.
+    pub fn flow_computations(&self) -> usize {
+        self.flow_computations
+    }
+
+    /// The max-flow engine this session replans with.
+    pub fn engine(&self) -> FlowEngine {
+        self.engine
+    }
+
     /// Announces a job arriving *now* (its release must equal or precede
     /// the current clock by at most a rounding hair) and replans. Returns
     /// the session id assigned to the job.
+    ///
+    /// Error paths are metrics-neutral: a rejected arrival (bad job,
+    /// planning failure) leaves the session — job list, replan counter,
+    /// and every attached metric — exactly as it was.
     pub fn arrive(&mut self, deadline: f64, volume: f64) -> Result<JobId, SessionError> {
         let job = Job::new(self.now, deadline, volume);
         // Validate via a throwaway instance.
         Instance::new(self.m, vec![job]).map_err(SessionError::BadJob)?;
         self.jobs.push(job);
         self.remaining.push(volume);
+        if let Err(e) = self.replan() {
+            // Unwind so the failed arrival leaves no trace (the replan
+            // itself touched no state or metrics on its error path).
+            self.jobs.pop();
+            self.remaining.pop();
+            return Err(e);
+        }
         if let Some(metrics) = &self.metrics {
             metrics.on_arrival();
         }
-        self.replan()?;
         Ok(self.jobs.len() - 1)
     }
 
@@ -145,7 +213,7 @@ impl OaSession {
             });
         }
         if let Some(plan) = &self.plan {
-            let window = plan.result.schedule.restrict(self.now, t);
+            let window = plan.schedule.restrict(self.now, t);
             for seg in &window.segments {
                 let orig = plan.job_map[seg.job];
                 self.remaining[orig] -= seg.work();
@@ -161,7 +229,7 @@ impl OaSession {
     pub fn current_speeds(&self) -> Vec<f64> {
         match &self.plan {
             Some(plan) => (0..self.m)
-                .map(|p| plan.result.schedule.speed_at(p, self.now))
+                .map(|p| plan.schedule.speed_at(p, self.now))
                 .collect(),
             None => vec![0.0; self.m],
         }
@@ -171,7 +239,7 @@ impl OaSession {
     pub fn planned_speed(&self, job: JobId) -> Option<f64> {
         let plan = self.plan.as_ref()?;
         let sub = plan.job_map.iter().position(|&o| o == job)?;
-        plan.result.speed_of(sub)
+        plan.speeds.get(sub).copied().flatten()
     }
 
     /// Remaining volume of a session job.
@@ -180,13 +248,16 @@ impl OaSession {
     }
 
     /// The committed (already executed) history: everything strictly before
-    /// [`now`](OaSession::now). Append-only across the session's lifetime.
+    /// [`now`](OaSession::now). Append-only across the session's lifetime,
+    /// except that [`compact_history`](OaSession::compact_history) may drop
+    /// segments from the front (before the compaction watermark).
     pub fn executed(&self) -> &Schedule<f64> {
         &self.executed
     }
 
     /// Runs the session to completion (the latest deadline) and returns the
-    /// full executed schedule.
+    /// full executed schedule (from the compaction watermark on, if
+    /// [`compact_history`](OaSession::compact_history) has run).
     pub fn finish(mut self) -> Result<Schedule<f64>, SessionError> {
         let horizon = self
             .jobs
@@ -209,19 +280,131 @@ impl OaSession {
                 sub_jobs.push(Job::new(self.now, job.deadline, self.remaining[k]));
             }
         }
-        self.replans += 1;
-        if sub_jobs.is_empty() {
-            self.plan = None;
+        // Counters move only after the solve succeeds, so an error leaves
+        // the session (and its metrics) untouched.
+        let new_plan = if sub_jobs.is_empty() {
+            None
         } else {
             let sub = Instance::new(self.m, sub_jobs).map_err(SessionError::Planning)?;
-            let result = optimal_schedule(&sub).map_err(SessionError::Planning)?;
-            self.plan = Some(PlanView { job_map, result });
-        }
+            let options = OfflineOptions {
+                engine: self.engine,
+                ..OfflineOptions::default()
+            };
+            let result = optimal_schedule_with(&sub, &options).map_err(SessionError::Planning)?;
+            self.flow_computations += result.flow_computations;
+            let speeds = (0..job_map.len()).map(|k| result.speed_of(k)).collect();
+            Some(PlanSnapshot {
+                job_map,
+                schedule: result.schedule,
+                speeds,
+            })
+        };
+        self.plan = new_plan;
+        self.replans += 1;
         if let (Some(metrics), Some(started)) = (&self.metrics, started) {
             metrics.on_replan(started.elapsed().as_secs_f64());
         }
         self.publish_metrics();
         Ok(())
+    }
+
+    /// Drops executed history strictly before `watermark` (clamped to
+    /// `now`), bounding session memory for long-running services. Returns
+    /// the number of segments dropped; their count and total work stay
+    /// available through [`compacted_segments`](OaSession::compacted_segments)
+    /// / [`compacted_work`](OaSession::compacted_work), and the effective
+    /// watermark through
+    /// [`compaction_watermark`](OaSession::compaction_watermark) — all three
+    /// are carried by checkpoints.
+    ///
+    /// Only segments ending at or before the watermark are dropped, so
+    /// [`executed`](OaSession::executed) always holds the exact history of
+    /// `[watermark, now)` plus any straddling segments in full. Compaction
+    /// never changes scheduling decisions — plans read jobs and remaining
+    /// volumes, never the history.
+    pub fn compact_history(&mut self, watermark: f64) -> usize {
+        let effective = watermark
+            .min(self.now)
+            .max(self.compaction_watermark.unwrap_or(f64::MIN));
+        let before = self.executed.segments.len();
+        let mut dropped_work = 0.0;
+        self.executed.segments.retain(|seg| {
+            if seg.end <= effective {
+                dropped_work += seg.work();
+                false
+            } else {
+                true
+            }
+        });
+        let dropped = before - self.executed.segments.len();
+        self.compacted_segments += dropped;
+        self.compacted_work += dropped_work;
+        self.compaction_watermark = Some(effective);
+        dropped
+    }
+
+    /// Everything executed strictly before this time has been compacted
+    /// away (`None`: never compacted, the history is complete).
+    pub fn compaction_watermark(&self) -> Option<f64> {
+        self.compaction_watermark
+    }
+
+    /// Segments dropped by compaction over the session's lifetime.
+    pub fn compacted_segments(&self) -> usize {
+        self.compacted_segments
+    }
+
+    /// Work (volume units) carried by the compacted segments.
+    pub fn compacted_work(&self) -> f64 {
+        self.compacted_work
+    }
+
+    /// Freezes the full session state into a serializable, versioned
+    /// [`OaCheckpoint`]. See [`crate::checkpoint`] for the format rules and
+    /// the bit-identity contract; metrics handles are *not* part of the
+    /// state — re-attach with
+    /// [`attach_metrics`](OaSession::attach_metrics) after
+    /// [`restore`](OaSession::restore).
+    pub fn checkpoint(&self) -> OaCheckpoint {
+        OaCheckpoint {
+            version: CHECKPOINT_VERSION,
+            engine: OaCheckpoint::name_of(self.engine).to_string(),
+            m: self.m,
+            now: self.now,
+            jobs: self.jobs.clone(),
+            remaining: self.remaining.clone(),
+            executed: self.executed.clone(),
+            plan: self.plan.clone(),
+            replans: self.replans,
+            flow_computations: self.flow_computations,
+            compaction_watermark: self.compaction_watermark,
+            compacted_segments: self.compacted_segments,
+            compacted_work: self.compacted_work,
+        }
+    }
+
+    /// Resumes a session from a checkpoint, bit-identically: driving the
+    /// restored session replays exactly what the original would have
+    /// executed, and its counters ([`replans`](OaSession::replans),
+    /// [`flow_computations`](OaSession::flow_computations)) continue from
+    /// the checkpointed values.
+    pub fn restore(checkpoint: OaCheckpoint) -> Result<OaSession, SessionError> {
+        let engine = checkpoint.validate().map_err(SessionError::Checkpoint)?;
+        Ok(OaSession {
+            m: checkpoint.m,
+            now: checkpoint.now,
+            jobs: checkpoint.jobs,
+            remaining: checkpoint.remaining,
+            executed: checkpoint.executed,
+            plan: checkpoint.plan,
+            engine,
+            replans: checkpoint.replans,
+            flow_computations: checkpoint.flow_computations,
+            compaction_watermark: checkpoint.compaction_watermark,
+            compacted_segments: checkpoint.compacted_segments,
+            compacted_work: checkpoint.compacted_work,
+            metrics: None,
+        })
     }
 }
 
@@ -370,6 +553,138 @@ mod tests {
             session.finish().unwrap()
         };
         assert_eq!(drive(false).segments, drive(true).segments);
+    }
+
+    #[test]
+    fn failed_arrivals_are_metrics_neutral() {
+        use mpss_obs::{MetricsHub, SnapshotValue};
+        let hub = MetricsHub::new();
+        let mut session = OaSession::new(1, 0.0);
+        session.attach_metrics(crate::SessionMetrics::register(&hub, "oa", 1));
+        session.arrive(4.0, 2.0).unwrap();
+        session.advance_to(1.0).unwrap();
+        let replans_before = session.replans();
+        let flows_before = session.flow_computations();
+
+        // deadline == now: empty window, rejected before any state moves.
+        assert!(matches!(
+            session.arrive(1.0, 1.0),
+            Err(SessionError::BadJob(_))
+        ));
+        assert!(matches!(
+            session.arrive(5.0, -3.0),
+            Err(SessionError::BadJob(_))
+        ));
+
+        assert_eq!(session.replans(), replans_before);
+        assert_eq!(session.flow_computations(), flows_before);
+        let value = |name: &str| {
+            hub.snapshot()
+                .into_iter()
+                .find(|row| row.name == name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .value
+        };
+        match value("mpss_session_arrivals_total") {
+            SnapshotValue::Counter(n) => assert_eq!(n, 1, "failed arrivals must not count"),
+            other => panic!("arrivals: {other:?}"),
+        }
+        match value("mpss_session_replans_total") {
+            SnapshotValue::Counter(n) => assert_eq!(n, replans_before as u64),
+            other => panic!("replans: {other:?}"),
+        }
+        // The session still schedules correctly afterwards.
+        session.arrive(3.0, 1.0).unwrap();
+        assert_eq!(session.replans(), replans_before + 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let drive_prefix = |session: &mut OaSession| {
+            session.arrive(4.0, 3.0).unwrap();
+            session.arrive(2.0, 2.0).unwrap();
+            session.advance_to(1.0).unwrap();
+        };
+        let drive_suffix = |mut session: OaSession| {
+            session.arrive(3.0, 2.0).unwrap();
+            session.advance_to(2.5).unwrap();
+            (
+                session.replans(),
+                session.flow_computations(),
+                session.finish().unwrap(),
+            )
+        };
+
+        let mut uninterrupted = OaSession::new(2, 0.0);
+        drive_prefix(&mut uninterrupted);
+        let expected = drive_suffix(uninterrupted);
+
+        let mut killed = OaSession::new(2, 0.0);
+        drive_prefix(&mut killed);
+        let frozen = killed.checkpoint().to_json().render();
+        drop(killed);
+        let thawed =
+            OaCheckpoint::from_json(&mpss_obs::json::Json::parse(&frozen).unwrap()).unwrap();
+        let restored = OaSession::restore(thawed).unwrap();
+        let actual = drive_suffix(restored);
+
+        assert_eq!(expected.0, actual.0, "replan counters diverged");
+        assert_eq!(expected.1, actual.1, "flow-computation counters diverged");
+        assert_eq!(
+            expected.2.segments, actual.2.segments,
+            "executed schedules diverged"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let mut session = OaSession::new(1, 0.0);
+        session.arrive(2.0, 1.0).unwrap();
+        let mut cp = session.checkpoint();
+        cp.version += 1;
+        assert!(matches!(
+            OaSession::restore(cp),
+            Err(SessionError::Checkpoint(_))
+        ));
+        let mut cp = session.checkpoint();
+        cp.engine = "abacus".into();
+        assert!(OaSession::restore(cp).is_err());
+    }
+
+    #[test]
+    fn compaction_drops_old_history_and_keeps_the_tally() {
+        let mut session = OaSession::new(1, 0.0);
+        session.arrive(2.0, 2.0).unwrap();
+        session.advance_to(2.0).unwrap();
+        session.arrive(4.0, 1.0).unwrap();
+        session.advance_to(3.0).unwrap();
+        let full_work = session.executed().total_work();
+        let dropped = session.compact_history(2.0);
+        assert!(dropped > 0);
+        assert_eq!(session.compaction_watermark(), Some(2.0));
+        assert_eq!(session.compacted_segments(), dropped);
+        let kept_work = session.executed().total_work();
+        assert!(
+            (session.compacted_work() + kept_work - full_work).abs() < 1e-9,
+            "work must be conserved across compaction"
+        );
+        // The suffix history is untouched and the watermark never moves back.
+        assert!(session.executed().segments.iter().all(|s| s.end > 2.0));
+        session.compact_history(1.0);
+        assert_eq!(session.compaction_watermark(), Some(2.0));
+        // Checkpoints carry the compaction bookkeeping.
+        let cp = session.checkpoint();
+        assert_eq!(cp.compaction_watermark, Some(2.0));
+        assert_eq!(cp.compacted_segments, dropped);
+    }
+
+    #[test]
+    fn engine_choice_survives_checkpoints() {
+        use mpss_offline::FlowEngine;
+        let mut session = OaSession::with_engine(1, 0.0, FlowEngine::PushRelabel);
+        session.arrive(2.0, 1.0).unwrap();
+        let restored = OaSession::restore(session.checkpoint()).unwrap();
+        assert_eq!(restored.engine(), FlowEngine::PushRelabel);
     }
 
     #[test]

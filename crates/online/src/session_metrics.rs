@@ -34,47 +34,62 @@ impl SessionMetrics {
     /// with the same `algo` label share series, which is what you want
     /// when restarting a session against a long-lived hub.
     pub fn register(hub: &MetricsHub, algo: &str, m: usize) -> SessionMetrics {
-        let algo_labels: [(&str, &str); 1] = [("algo", algo)];
+        Self::with_labels(hub, &[("algo", algo)], m)
+    }
+
+    /// [`register`](SessionMetrics::register) with an additional `tenant`
+    /// label, for services multiplexing many sessions over one hub (the
+    /// `mpss-serve` daemon registers one bundle per tenant). Same family
+    /// names, one extra label dimension, so dashboards aggregate across
+    /// tenants with a plain `sum by (algo)`.
+    pub fn register_tenant(hub: &MetricsHub, algo: &str, tenant: &str, m: usize) -> SessionMetrics {
+        Self::with_labels(hub, &[("algo", algo), ("tenant", tenant)], m)
+    }
+
+    fn with_labels(hub: &MetricsHub, labels: &[(&str, &str)], m: usize) -> SessionMetrics {
+        let algo_labels = labels;
         SessionMetrics {
             arrivals: hub.counter(
                 "mpss_session_arrivals_total",
                 "jobs announced to the session",
-                &algo_labels,
+                algo_labels,
             ),
             replans: hub.counter(
                 "mpss_session_replans_total",
                 "plan recomputations (OA replans on every arrival)",
-                &algo_labels,
+                algo_labels,
             ),
             active_jobs: hub.gauge(
                 "mpss_session_active_jobs",
                 "jobs with remaining volume at the current clock",
-                &algo_labels,
+                algo_labels,
             ),
             queued_volume: hub.gauge(
                 "mpss_session_queued_volume",
                 "total unfinished volume at the current clock",
-                &algo_labels,
+                algo_labels,
             ),
             clock: hub.gauge(
                 "mpss_session_clock",
                 "the session clock (model time, not wall time)",
-                &algo_labels,
+                algo_labels,
             ),
             speeds: (0..m)
                 .map(|p| {
                     let proc = p.to_string();
+                    let mut proc_labels: Vec<(&str, &str)> = labels.to_vec();
+                    proc_labels.push(("proc", &proc));
                     hub.gauge(
                         "mpss_session_speed",
                         "current speed of one processor",
-                        &[("algo", algo), ("proc", &proc)],
+                        &proc_labels,
                     )
                 })
                 .collect(),
             replan_seconds: hub.histogram(
                 "mpss_session_replan_seconds",
                 "wall-clock latency of one replan",
-                &algo_labels,
+                algo_labels,
             ),
         }
     }

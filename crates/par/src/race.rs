@@ -32,6 +32,23 @@ pub enum RaceWinner {
 ///
 /// One contender runs on the calling thread, so a race costs a single
 /// spawned (scoped) thread.
+///
+/// ```
+/// use mpss_par::{race2, RaceWinner};
+/// use std::sync::atomic::Ordering;
+///
+/// // A sprinter against a poller that yields until it is cancelled.
+/// let (_winner, value) = race2(
+///     |_cancel| Some(42),
+///     |cancel| {
+///         while !cancel.load(Ordering::Relaxed) {
+///             std::thread::yield_now();
+///         }
+///         None // cancelled — allowed to give up
+///     },
+/// );
+/// assert_eq!(value, 42);
+/// ```
 pub fn race2<O, A, B>(first: A, second: B) -> (RaceWinner, O)
 where
     O: Send,

@@ -1,0 +1,997 @@
+//! The multi-tenant daemon: request dispatch, checkpointing, compaction.
+//!
+//! A [`Daemon`] owns a map of named tenants, each an independent
+//! [`OaSession`] or [`AvrSession`], plus one shared [`MetricsHub`] (every
+//! tenant publishes `{algo, tenant}`-labeled session series into it) and an
+//! `mpss-par` [`ThreadPool`] that broadcast `advance` requests fan out
+//! over. The daemon itself is synchronous and single-writer: requests are
+//! handled strictly in arrival order, which is what makes the
+//! checkpoint/restore story exact — there is never a half-applied request
+//! to freeze.
+//!
+//! # Checkpoints
+//!
+//! [`Request::Checkpoint`] writes one `<tenant>.checkpoint.json` per tenant
+//! (atomically: temp file + rename) wrapping the session's versioned
+//! checkpoint from [`mpss_online::checkpoint`] in a
+//! `{"format": "mpss-serve/checkpoint", …}` envelope.
+//! [`Request::Restore`] re-opens tenants from those files bit-identically:
+//! a daemon killed between two requests and restored from its last
+//! checkpoint replays the remaining requests to exactly the schedules and
+//! counters the uninterrupted daemon would have produced.
+//!
+//! # Compaction
+//!
+//! With [`DaemonConfig::compact_window`] set, every advance to time `t`
+//! compacts each advanced tenant's executed history up to `t - window`,
+//! bounding daemon memory on long streams. The compaction watermark and
+//! dropped-work tallies ride along in checkpoints, so bounded memory and
+//! exact restore compose.
+
+use crate::protocol::{engine_name, Algo, ErrorKind, Request, Response};
+use mpss_obs::json::Json;
+use mpss_obs::MetricsHub;
+use mpss_online::{
+    AvrCheckpoint, AvrSession, OaCheckpoint, OaSession, SessionError, SessionMetrics,
+};
+use mpss_par::ThreadPool;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+/// The checkpoint-file envelope's `format` marker.
+pub const CHECKPOINT_FORMAT: &str = "mpss-serve/checkpoint";
+/// The checkpoint-file envelope version. Rejected on mismatch; the inner
+/// session state carries its own [`mpss_online::CHECKPOINT_VERSION`].
+pub const CHECKPOINT_FILE_VERSION: u64 = 1;
+
+/// Daemon construction knobs.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonConfig {
+    /// Sliding history window: after advancing to `t`, executed history
+    /// before `t - window` is compacted away. `None`: keep everything.
+    pub compact_window: Option<f64>,
+    /// Worker threads for broadcast advances (`None`: the `MPSS_THREADS` /
+    /// hardware default of [`ThreadPool::with_threads`]).
+    pub threads: Option<usize>,
+}
+
+/// One tenant's live session.
+enum Session {
+    Oa(OaSession),
+    Avr(AvrSession),
+}
+
+impl Session {
+    fn algo(&self) -> Algo {
+        match self {
+            Session::Oa(_) => Algo::Oa,
+            Session::Avr(_) => Algo::Avr,
+        }
+    }
+
+    fn now(&self) -> f64 {
+        match self {
+            Session::Oa(s) => s.now(),
+            Session::Avr(s) => s.now(),
+        }
+    }
+
+    fn job_count(&self) -> usize {
+        match self {
+            Session::Oa(s) => s.job_count(),
+            Session::Avr(s) => s.job_count(),
+        }
+    }
+
+    fn arrive(&mut self, deadline: f64, volume: f64) -> Result<usize, (ErrorKind, String)> {
+        match self {
+            Session::Oa(s) => s.arrive(deadline, volume).map_err(session_error),
+            Session::Avr(s) => s
+                .arrive(deadline, volume)
+                .map_err(|e| (ErrorKind::BadJob, format!("bad job: {e}"))),
+        }
+    }
+
+    /// Advance plus windowed compaction. The caller has already checked
+    /// `to >= now`, so errors here are defensive.
+    fn advance_to(&mut self, to: f64, compact_window: Option<f64>) -> Result<(), String> {
+        match self {
+            Session::Oa(s) => s.advance_to(to).map_err(|e| e.to_string())?,
+            Session::Avr(s) => s.advance_to(to).map_err(|e| e.to_string())?,
+        }
+        if let Some(window) = compact_window {
+            let watermark = to - window;
+            match self {
+                Session::Oa(s) => s.compact_history(watermark),
+                Session::Avr(s) => s.compact_history(watermark),
+            };
+        }
+        Ok(())
+    }
+
+    fn attach_metrics(&mut self, hub: &MetricsHub, tenant: &str) {
+        let (algo, m) = (self.algo().as_str(), self.m());
+        let metrics = SessionMetrics::register_tenant(hub, algo, tenant, m);
+        match self {
+            Session::Oa(s) => s.attach_metrics(metrics),
+            Session::Avr(s) => s.attach_metrics(metrics),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match self {
+            Session::Oa(s) => s.m(),
+            Session::Avr(s) => s.m(),
+        }
+    }
+
+    fn state_json(&self) -> Json {
+        match self {
+            Session::Oa(s) => s.checkpoint().to_json(),
+            Session::Avr(s) => s.checkpoint().to_json(),
+        }
+    }
+
+    fn snapshot_json(&self, tenant: &str) -> Json {
+        let mut doc = Json::object();
+        doc.push("tenant", Json::from(tenant));
+        doc.push("algo", Json::from(self.algo().as_str()));
+        doc.push("m", Json::UInt(self.m() as u64));
+        doc.push("now", Json::Num(self.now()));
+        doc.push("jobs", Json::UInt(self.job_count() as u64));
+        match self {
+            Session::Oa(s) => {
+                doc.push("replans", Json::UInt(s.replans() as u64));
+                doc.push(
+                    "flow_computations",
+                    Json::UInt(s.flow_computations() as u64),
+                );
+                doc.push("engine", Json::from(engine_name(s.engine())));
+                doc.push(
+                    "executed_segments",
+                    Json::UInt(s.executed().segments.len() as u64),
+                );
+                doc.push(
+                    "compacted_segments",
+                    Json::UInt(s.compacted_segments() as u64),
+                );
+                doc.push("compacted_work", Json::Num(s.compacted_work()));
+                doc.push(
+                    "compaction_watermark",
+                    s.compaction_watermark().map_or(Json::Null, Json::Num),
+                );
+            }
+            Session::Avr(s) => {
+                doc.push(
+                    "executed_segments",
+                    Json::UInt(s.executed().segments.len() as u64),
+                );
+                doc.push(
+                    "compacted_segments",
+                    Json::UInt(s.compacted_segments() as u64),
+                );
+                doc.push("compacted_work", Json::Num(s.compacted_work()));
+                doc.push(
+                    "compaction_watermark",
+                    s.compaction_watermark().map_or(Json::Null, Json::Num),
+                );
+            }
+        }
+        doc
+    }
+
+    fn plan_json(&self, tenant: &str) -> Json {
+        let mut doc = Json::object();
+        doc.push("tenant", Json::from(tenant));
+        doc.push("algo", Json::from(self.algo().as_str()));
+        doc.push("now", Json::Num(self.now()));
+        let speeds = match self {
+            Session::Oa(s) => s.current_speeds(),
+            Session::Avr(s) => s.current_speeds(),
+        };
+        doc.push(
+            "speeds",
+            Json::Arr(speeds.into_iter().map(Json::Num).collect()),
+        );
+        let jobs = (0..self.job_count())
+            .map(|k| {
+                let mut job = Json::object();
+                job.push("id", Json::UInt(k as u64));
+                match self {
+                    Session::Oa(s) => {
+                        job.push(
+                            "remaining",
+                            s.remaining_volume(k).map_or(Json::Null, Json::Num),
+                        );
+                        job.push("speed", s.planned_speed(k).map_or(Json::Null, Json::Num));
+                    }
+                    Session::Avr(_) => {
+                        job.push("remaining", Json::Null);
+                        job.push("speed", Json::Null);
+                    }
+                }
+                job
+            })
+            .collect();
+        doc.push("jobs", Json::Arr(jobs));
+        doc
+    }
+}
+
+fn session_error(e: SessionError) -> (ErrorKind, String) {
+    let kind = match &e {
+        SessionError::TimeWentBackwards { .. } => ErrorKind::TimeWentBackwards,
+        SessionError::LateArrival { .. } | SessionError::BadJob(_) => ErrorKind::BadJob,
+        SessionError::Planning(_) => ErrorKind::Planning,
+        SessionError::Checkpoint(_) => ErrorKind::BadCheckpoint,
+    };
+    (kind, e.to_string())
+}
+
+/// The daemon: a map of tenants plus the shared hub and pool. See the
+/// module docs for the execution model.
+pub struct Daemon {
+    tenants: BTreeMap<String, Session>,
+    hub: MetricsHub,
+    pool: ThreadPool,
+    config: DaemonConfig,
+}
+
+impl Daemon {
+    /// A daemon with no tenants.
+    pub fn new(config: DaemonConfig) -> Daemon {
+        let pool = ThreadPool::with_threads(config.threads);
+        Daemon {
+            tenants: BTreeMap::new(),
+            hub: MetricsHub::new(),
+            pool,
+            config,
+        }
+    }
+
+    /// The shared metrics hub (expose it with
+    /// [`MetricsServer::bind`](mpss_obs::MetricsServer::bind) for live
+    /// scraping).
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Live tenant count.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Live tenant ids, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// Serves newline-delimited requests from `input`, writing one response
+    /// line per request to `output`, until EOF or a `shutdown` request.
+    /// Returns `true` if a `shutdown` was served (the caller should stop
+    /// re-entering), `false` on EOF.
+    pub fn serve_io(
+        &mut self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<bool> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = self.handle_line(&line);
+            output.write_all(response.render_line().as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Parses and handles one request line; the boolean reports whether it
+    /// was an (acknowledged) shutdown.
+    pub fn handle_line(&mut self, line: &str) -> (Response, bool) {
+        match Request::parse_line(line) {
+            Ok(request) => {
+                let shutdown = matches!(request, Request::Shutdown);
+                (self.handle(&request), shutdown)
+            }
+            Err(message) => (self.fail("parse", ErrorKind::BadRequest, message), false),
+        }
+    }
+
+    /// Handles one request and produces its response.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        let op = request.op();
+        self.hub
+            .counter(
+                "mpss_serve_requests_total",
+                "requests handled, by op",
+                &[("op", op)],
+            )
+            .inc();
+        let response = match request {
+            Request::Open {
+                tenant,
+                algo,
+                m,
+                start,
+                engine,
+            } => self.open(tenant, *algo, *m, *start, *engine),
+            Request::Arrive {
+                tenant,
+                deadline,
+                volume,
+            } => self.arrive(tenant, *deadline, *volume),
+            Request::Advance { tenant, to } => self.advance(tenant.as_deref(), *to),
+            Request::QueryPlan { tenant } => self.query_plan(tenant),
+            Request::Snapshot { tenant } => self.snapshot(tenant.as_deref()),
+            Request::Checkpoint { tenant, dir } => self.checkpoint(tenant.as_deref(), dir),
+            Request::Restore { tenant, dir } => self.restore(tenant.as_deref(), dir),
+            Request::Shutdown => Response::ok(Json::object()),
+        };
+        self.hub
+            .gauge("mpss_serve_tenants", "live tenant sessions", &[])
+            .set(self.tenants.len() as f64);
+        response
+    }
+
+    fn fail(&self, op: &str, kind: ErrorKind, message: impl Into<String>) -> Response {
+        let _ = op;
+        self.hub
+            .counter(
+                "mpss_serve_errors_total",
+                "failed requests, by error kind",
+                &[("kind", kind.as_str())],
+            )
+            .inc();
+        Response::error(kind, message)
+    }
+
+    fn open(
+        &mut self,
+        tenant: &str,
+        algo: Algo,
+        m: usize,
+        start: f64,
+        engine: Option<mpss_offline::FlowEngine>,
+    ) -> Response {
+        if let Err(message) = validate_tenant_id(tenant) {
+            return self.fail("open", ErrorKind::BadRequest, message);
+        }
+        if m == 0 {
+            return self.fail("open", ErrorKind::BadRequest, "`m` must be at least 1");
+        }
+        if !start.is_finite() {
+            return self.fail("open", ErrorKind::BadRequest, "`start` must be finite");
+        }
+        if self.tenants.contains_key(tenant) {
+            return self.fail(
+                "open",
+                ErrorKind::DuplicateTenant,
+                format!("tenant `{tenant}` is already open"),
+            );
+        }
+        let mut session = match algo {
+            Algo::Oa => Session::Oa(OaSession::with_engine(m, start, engine.unwrap_or_default())),
+            Algo::Avr => Session::Avr(AvrSession::new(m, start)),
+        };
+        session.attach_metrics(&self.hub, tenant);
+        self.tenants.insert(tenant.to_string(), session);
+        let mut body = Json::object();
+        body.push("tenant", Json::from(tenant));
+        Response::ok(body)
+    }
+
+    fn arrive(&mut self, tenant: &str, deadline: f64, volume: f64) -> Response {
+        let Some(session) = self.tenants.get_mut(tenant) else {
+            return unknown_tenant(self, tenant);
+        };
+        match session.arrive(deadline, volume) {
+            Ok(job) => {
+                let mut body = Json::object();
+                body.push("tenant", Json::from(tenant));
+                body.push("job", Json::UInt(job as u64));
+                Response::ok(body)
+            }
+            Err((kind, message)) => self.fail("arrive", kind, message),
+        }
+    }
+
+    fn advance(&mut self, tenant: Option<&str>, to: f64) -> Response {
+        if !to.is_finite() {
+            return self.fail("advance", ErrorKind::BadRequest, "`to` must be finite");
+        }
+        let targets: Vec<&String> = match tenant {
+            Some(name) => match self.tenants.get_key_value(name) {
+                Some((key, _)) => vec![key],
+                None => return unknown_tenant(self, name),
+            },
+            None => self.tenants.keys().collect(),
+        };
+        // Atomicity: reject before moving anyone's clock, so a failed
+        // broadcast leaves every tenant exactly where it was.
+        for name in &targets {
+            let now = self.tenants[*name].now();
+            if now > to {
+                return self.fail(
+                    "advance",
+                    ErrorKind::TimeWentBackwards,
+                    format!("tenant `{name}` is already at {now}, cannot go back to {to}"),
+                );
+            }
+        }
+        let advanced = match tenant {
+            Some(name) => {
+                let session = self.tenants.get_mut(name).expect("checked above");
+                if let Err(message) = session.advance_to(to, self.config.compact_window) {
+                    return self.fail("advance", ErrorKind::Planning, message);
+                }
+                1
+            }
+            None => {
+                // Fan every tenant out over the pool; sessions move into the
+                // workers and come back in submission (= sorted-name) order.
+                let window = self.config.compact_window;
+                let entries: Vec<(String, Session)> =
+                    std::mem::take(&mut self.tenants).into_iter().collect();
+                let count = entries.len();
+                let done = self.pool.scope_map(entries, |(name, mut session)| {
+                    let result = session.advance_to(to, window);
+                    (name, session, result)
+                });
+                let mut first_error = None;
+                for (name, session, result) in done {
+                    if let (Err(message), None) = (&result, &first_error) {
+                        first_error = Some(format!("tenant `{name}`: {message}"));
+                    }
+                    self.tenants.insert(name, session);
+                }
+                if let Some(message) = first_error {
+                    return self.fail("advance", ErrorKind::Planning, message);
+                }
+                count
+            }
+        };
+        let mut body = Json::object();
+        body.push("now", Json::Num(to));
+        body.push("advanced", Json::UInt(advanced as u64));
+        Response::ok(body)
+    }
+
+    fn query_plan(&self, tenant: &str) -> Response {
+        match self.tenants.get(tenant) {
+            Some(session) => Response::ok(session.plan_json(tenant)),
+            None => unknown_tenant(self, tenant),
+        }
+    }
+
+    fn snapshot(&self, tenant: Option<&str>) -> Response {
+        let mut rows = Vec::new();
+        match tenant {
+            Some(name) => match self.tenants.get(name) {
+                Some(session) => rows.push(session.snapshot_json(name)),
+                None => return unknown_tenant(self, name),
+            },
+            None => {
+                for (name, session) in &self.tenants {
+                    rows.push(session.snapshot_json(name));
+                }
+            }
+        }
+        let mut body = Json::object();
+        body.push("tenants", Json::Arr(rows));
+        Response::ok(body)
+    }
+
+    fn checkpoint(&mut self, tenant: Option<&str>, dir: &str) -> Response {
+        let started = std::time::Instant::now();
+        let targets: Vec<String> = match tenant {
+            Some(name) => {
+                if !self.tenants.contains_key(name) {
+                    return unknown_tenant(self, name);
+                }
+                vec![name.to_string()]
+            }
+            None => self.tenants.keys().cloned().collect(),
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return self.fail("checkpoint", ErrorKind::Io, format!("creating {dir}: {e}"));
+        }
+        for name in &targets {
+            let session = &self.tenants[name];
+            let mut envelope = Json::object();
+            envelope.push("format", Json::from(CHECKPOINT_FORMAT));
+            envelope.push("version", Json::UInt(CHECKPOINT_FILE_VERSION));
+            envelope.push("tenant", Json::from(name.as_str()));
+            envelope.push("algo", Json::from(session.algo().as_str()));
+            envelope.push("state", session.state_json());
+            if let Err(e) = write_atomically(&checkpoint_path(dir, name), &envelope.render_pretty())
+            {
+                return self.fail("checkpoint", ErrorKind::Io, format!("writing {name}: {e}"));
+            }
+        }
+        self.hub
+            .histogram(
+                "mpss_serve_checkpoint_seconds",
+                "wall-clock latency of one checkpoint request",
+                &[],
+            )
+            .observe(started.elapsed().as_secs_f64());
+        let mut body = Json::object();
+        body.push("dir", Json::from(dir));
+        body.push(
+            "written",
+            Json::Arr(targets.iter().map(|n| Json::from(n.as_str())).collect()),
+        );
+        Response::ok(body)
+    }
+
+    fn restore(&mut self, tenant: Option<&str>, dir: &str) -> Response {
+        let paths: Vec<PathBuf> = match tenant {
+            Some(name) => {
+                if let Err(message) = validate_tenant_id(name) {
+                    return self.fail("restore", ErrorKind::BadRequest, message);
+                }
+                vec![checkpoint_path(dir, name)]
+            }
+            None => match checkpoint_files(dir) {
+                Ok(paths) => paths,
+                Err(e) => {
+                    return self.fail("restore", ErrorKind::Io, format!("reading {dir}: {e}"))
+                }
+            },
+        };
+        // Two passes: parse and validate everything first, then commit, so
+        // a bad file cannot leave a half-restored daemon.
+        let mut restored = Vec::new();
+        for path in &paths {
+            match self.read_checkpoint(path) {
+                Ok((name, session)) => restored.push((name, session)),
+                Err(response) => return response,
+            }
+        }
+        let mut names = Vec::new();
+        for (name, mut session) in restored {
+            session.attach_metrics(&self.hub, &name);
+            names.push(Json::from(name.as_str()));
+            self.tenants.insert(name, session);
+        }
+        let mut body = Json::object();
+        body.push("dir", Json::from(dir));
+        body.push("restored", Json::Arr(names));
+        Response::ok(body)
+    }
+
+    fn read_checkpoint(&self, path: &Path) -> Result<(String, Session), Response> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| self.fail("restore", ErrorKind::Io, format!("{}: {e}", path.display())))?;
+        let doc = Json::parse(&text).map_err(|e| {
+            self.fail(
+                "restore",
+                ErrorKind::BadCheckpoint,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        let bad = |message: String| self.fail("restore", ErrorKind::BadCheckpoint, message);
+        match doc.get("format") {
+            Some(Json::Str(format)) if format == CHECKPOINT_FORMAT => {}
+            other => return Err(bad(format!("not a {CHECKPOINT_FORMAT} file: {other:?}"))),
+        }
+        match doc.get("version") {
+            Some(Json::UInt(v)) if *v == CHECKPOINT_FILE_VERSION => {}
+            other => {
+                return Err(bad(format!(
+                    "unsupported envelope version {other:?} (this build reads {CHECKPOINT_FILE_VERSION})"
+                )))
+            }
+        }
+        let name = match doc.get("tenant") {
+            Some(Json::Str(name)) => name.clone(),
+            other => return Err(bad(format!("bad `tenant`: {other:?}"))),
+        };
+        validate_tenant_id(&name).map_err(bad)?;
+        if self.tenants.contains_key(&name) {
+            return Err(self.fail(
+                "restore",
+                ErrorKind::DuplicateTenant,
+                format!("tenant `{name}` is already open"),
+            ));
+        }
+        let algo = match doc.get("algo") {
+            Some(Json::Str(algo)) => {
+                Algo::parse(algo).ok_or_else(|| bad(format!("unknown algo `{algo}`")))?
+            }
+            other => return Err(bad(format!("bad `algo`: {other:?}"))),
+        };
+        let state = doc
+            .get("state")
+            .ok_or_else(|| bad("missing `state`".into()))?;
+        let session = match algo {
+            Algo::Oa => {
+                let cp = OaCheckpoint::from_json(state).map_err(|e| bad(e.to_string()))?;
+                Session::Oa(OaSession::restore(cp).map_err(|e| bad(e.to_string()))?)
+            }
+            Algo::Avr => {
+                let cp = AvrCheckpoint::from_json(state).map_err(|e| bad(e.to_string()))?;
+                Session::Avr(AvrSession::restore(cp).map_err(|e| bad(e.to_string()))?)
+            }
+        };
+        Ok((name, session))
+    }
+}
+
+fn unknown_tenant(daemon: &Daemon, name: &str) -> Response {
+    daemon.fail(
+        "any",
+        ErrorKind::UnknownTenant,
+        format!("no tenant `{name}`"),
+    )
+}
+
+/// Tenant ids double as file names, so the charset is locked down.
+pub fn validate_tenant_id(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("tenant id must be 1..=64 characters".into());
+    }
+    if name.starts_with('.') {
+        return Err("tenant id may not start with `.`".into());
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!(
+            "tenant id contains `{c}` (allowed: [A-Za-z0-9._-])"
+        ));
+    }
+    Ok(())
+}
+
+fn checkpoint_path(dir: &str, tenant: &str) -> PathBuf {
+    Path::new(dir).join(format!("{tenant}.checkpoint.json"))
+}
+
+fn checkpoint_files(dir: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".checkpoint.json"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Temp-file-plus-rename, so a kill mid-write never leaves a torn
+/// checkpoint where a complete one used to be.
+fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small helper so tests can read counters out of snapshot rows without
+    // pattern-matching boilerplate.
+    trait JsonExt {
+        fn as_u64_ref(&self) -> Option<u64>;
+    }
+
+    impl JsonExt for Json {
+        fn as_u64_ref(&self) -> Option<u64> {
+            match self {
+                Json::UInt(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    fn ok(response: Response) -> Response {
+        assert!(response.is_ok(), "{}", response.render_line());
+        response
+    }
+
+    fn tmp_dir(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("mpss-serve-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn open_arrive_advance_query_round_trip() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Oa,
+            m: 2,
+            start: 0.0,
+            engine: None,
+        }));
+        let r = ok(daemon.handle(&Request::Arrive {
+            tenant: "a".into(),
+            deadline: 4.0,
+            volume: 3.0,
+        }));
+        assert_eq!(r.get("job"), Some(&Json::UInt(0)));
+        ok(daemon.handle(&Request::Advance {
+            tenant: Some("a".into()),
+            to: 1.0,
+        }));
+        let plan = ok(daemon.handle(&Request::QueryPlan { tenant: "a".into() }));
+        assert_eq!(plan.get("now"), Some(&Json::Num(1.0)));
+        let speeds = plan.get("speeds").and_then(|s| match s {
+            Json::Arr(v) => Some(v.len()),
+            _ => None,
+        });
+        assert_eq!(speeds, Some(2));
+    }
+
+    #[test]
+    fn errors_carry_stable_kinds() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        let r = daemon.handle(&Request::Arrive {
+            tenant: "ghost".into(),
+            deadline: 1.0,
+            volume: 1.0,
+        });
+        assert_eq!(r.error_kind(), Some("unknown-tenant"));
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Avr,
+            m: 1,
+            start: 5.0,
+            engine: None,
+        }));
+        let r = daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Oa,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        });
+        assert_eq!(r.error_kind(), Some("duplicate-tenant"));
+        let r = daemon.handle(&Request::Advance {
+            tenant: Some("a".into()),
+            to: 4.0,
+        });
+        assert_eq!(r.error_kind(), Some("time-went-backwards"));
+        let r = daemon.handle(&Request::Arrive {
+            tenant: "a".into(),
+            deadline: 5.0, // empty window at now=5
+            volume: 1.0,
+        });
+        assert_eq!(r.error_kind(), Some("bad-job"));
+        let r = daemon.handle(&Request::Open {
+            tenant: "bad/name".into(),
+            algo: Algo::Oa,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        });
+        assert_eq!(r.error_kind(), Some("bad-request"));
+    }
+
+    #[test]
+    fn broadcast_advance_is_atomic_on_clock_skew() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        for (name, start) in [("early", 0.0), ("late", 5.0)] {
+            ok(daemon.handle(&Request::Open {
+                tenant: name.into(),
+                algo: Algo::Avr,
+                m: 1,
+                start,
+                engine: None,
+            }));
+        }
+        // 1.0 is behind `late`'s clock: nobody may move.
+        let r = daemon.handle(&Request::Advance {
+            tenant: None,
+            to: 1.0,
+        });
+        assert_eq!(r.error_kind(), Some("time-went-backwards"));
+        let snap = ok(daemon.handle(&Request::Snapshot {
+            tenant: Some("early".into()),
+        }));
+        let Some(Json::Arr(rows)) = snap.get("tenants") else {
+            panic!("no tenants")
+        };
+        assert_eq!(rows[0].get("now"), Some(&Json::Num(0.0)));
+        // A legal broadcast moves everyone.
+        let r = ok(daemon.handle(&Request::Advance {
+            tenant: None,
+            to: 6.0,
+        }));
+        assert_eq!(r.get("advanced"), Some(&Json::UInt(2)));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        ok(daemon.handle(&Request::Open {
+            tenant: "oa-1".into(),
+            algo: Algo::Oa,
+            m: 2,
+            start: 0.0,
+            engine: None,
+        }));
+        ok(daemon.handle(&Request::Arrive {
+            tenant: "oa-1".into(),
+            deadline: 4.0,
+            volume: 3.0,
+        }));
+        ok(daemon.handle(&Request::Advance {
+            tenant: None,
+            to: 1.0,
+        }));
+        ok(daemon.handle(&Request::Checkpoint {
+            tenant: None,
+            dir: dir.clone(),
+        }));
+
+        let mut fresh = Daemon::new(DaemonConfig::default());
+        let r = ok(fresh.handle(&Request::Restore {
+            tenant: None,
+            dir: dir.clone(),
+        }));
+        assert_eq!(
+            r.get("restored"),
+            Some(&Json::Arr(vec![Json::from("oa-1")]))
+        );
+        // Restoring again is a duplicate.
+        let r = fresh.handle(&Request::Restore {
+            tenant: None,
+            dir: dir.clone(),
+        });
+        assert_eq!(r.error_kind(), Some("duplicate-tenant"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_do_not_half_restore() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        ok(daemon.handle(&Request::Open {
+            tenant: "good".into(),
+            algo: Algo::Avr,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        ok(daemon.handle(&Request::Checkpoint {
+            tenant: None,
+            dir: dir.clone(),
+        }));
+        std::fs::write(
+            Path::new(&dir).join("evil.checkpoint.json"),
+            r#"{"format":"mpss-serve/checkpoint","version":1,"tenant":"evil","algo":"oa","state":{"version":99}}"#,
+        )
+        .unwrap();
+        let mut fresh = Daemon::new(DaemonConfig::default());
+        let r = fresh.handle(&Request::Restore {
+            tenant: None,
+            dir: dir.clone(),
+        });
+        assert_eq!(r.error_kind(), Some("bad-checkpoint"));
+        assert_eq!(fresh.tenant_count(), 0, "all-or-nothing restore");
+        // Restoring just the good tenant works.
+        ok(fresh.handle(&Request::Restore {
+            tenant: Some("good".into()),
+            dir: dir.clone(),
+        }));
+        assert_eq!(fresh.tenant_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_window_bounds_history() {
+        let mut daemon = Daemon::new(DaemonConfig {
+            compact_window: Some(1.0),
+            threads: Some(1),
+        });
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Avr,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        for step in 1..=20 {
+            let t = step as f64;
+            ok(daemon.handle(&Request::Arrive {
+                tenant: "a".into(),
+                deadline: t + 0.5,
+                volume: 0.5,
+            }));
+            ok(daemon.handle(&Request::Advance {
+                tenant: None,
+                to: t,
+            }));
+        }
+        let snap = ok(daemon.handle(&Request::Snapshot {
+            tenant: Some("a".into()),
+        }));
+        let Some(Json::Arr(rows)) = snap.get("tenants") else {
+            panic!("no tenants")
+        };
+        let compacted = rows[0].get("compacted_segments").and_then(Json::as_u64_ref);
+        assert!(
+            compacted.unwrap_or(0) > 0,
+            "history must have been compacted"
+        );
+        let watermark = rows[0].get("compaction_watermark");
+        assert_eq!(watermark, Some(&Json::Num(19.0)));
+    }
+
+    #[test]
+    fn tenant_ids_are_locked_down() {
+        assert!(validate_tenant_id("ok-id_1.x").is_ok());
+        for bad in ["", "..", ".hidden", "a/b", "a b", "é", &"x".repeat(65)] {
+            assert!(validate_tenant_id(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_io_speaks_ndjson_and_shuts_down() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        let input = concat!(
+            r#"{"op":"open","tenant":"a","algo":"oa","m":1}"#,
+            "\n",
+            "\n", // blank lines are skipped
+            "this is not json\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+            r#"{"op":"snapshot"}"#,
+            "\n", // never reached
+        );
+        let mut output = Vec::new();
+        let shutdown = daemon.serve_io(input.as_bytes(), &mut output).unwrap();
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains(r#""ok":true"#));
+        assert!(lines[1].contains("bad-request"));
+        assert!(lines[2].contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn hub_families_are_in_the_manifest() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Oa,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        daemon.handle(&Request::Arrive {
+            tenant: "ghost".into(),
+            deadline: 1.0,
+            volume: 1.0,
+        });
+        ok(daemon.handle(&Request::Checkpoint {
+            tenant: None,
+            dir: tmp_dir("manifest"),
+        }));
+        for row in daemon.hub().snapshot() {
+            assert!(
+                mpss_obs::names::known_metric(&row.name),
+                "{} missing from mpss_obs::names::METRICS",
+                row.name
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Newline-delimited JSON over `std::net::TcpListener`.
+//!
+//! Same spirit as the hand-rolled `/metrics` endpoint in
+//! `mpss_obs::serve`: the build environment is offline, and the protocol
+//! needs almost nothing from a networking stack — accept a connection,
+//! loop lines through [`Daemon::serve_io`], close, accept the next.
+//!
+//! The daemon is intentionally **single-writer**: one connection is served
+//! at a time and it holds the daemon exclusively, which is what keeps
+//! request ordering (and therefore checkpoint bit-identity) trivial to
+//! reason about. A read timeout bounds how long an idle or wedged client
+//! can hold that exclusivity; on timeout the connection is dropped and the
+//! accept loop moves on with all tenant state intact.
+
+use crate::daemon::Daemon;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How long one client may sit idle before its connection is recycled.
+pub const CLIENT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Serves connections from `listener` one at a time until a client sends a
+/// `shutdown` request. Tenant state survives client disconnects and
+/// timeouts; only `shutdown` (or a listener-level error) ends the loop.
+pub fn serve_tcp(listener: &TcpListener, daemon: &mut Daemon) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        match serve_connection(stream, daemon) {
+            Ok(true) => return Ok(()),
+            // Client went away (EOF) or wedged (timeout): keep serving.
+            Ok(false) | Err(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+fn serve_connection(stream: TcpStream, daemon: &mut Daemon) -> std::io::Result<bool> {
+    stream.set_read_timeout(Some(CLIENT_IDLE_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_IDLE_TIMEOUT))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    daemon.serve_io(reader, stream)
+}
+
+/// A line-oriented protocol client, for tests and scripting: connect once,
+/// then [`send`](Client::send) request lines and get response lines back.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_read_timeout(Some(CLIENT_IDLE_TIMEOUT))?;
+        writer.set_write_timeout(Some(CLIENT_IDLE_TIMEOUT))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and reads the matching response line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.trim_end().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::DaemonConfig;
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let mut daemon = Daemon::new(DaemonConfig::default());
+            serve_tcp(&listener, &mut daemon).expect("serve");
+            daemon.tenant_count()
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        let opened = client
+            .send(r#"{"op":"open","tenant":"t0","algo":"oa","m":2}"#)
+            .expect("open");
+        assert!(opened.contains(r#""ok":true"#), "{opened}");
+        let arrived = client
+            .send(r#"{"op":"arrive","tenant":"t0","deadline":3,"volume":2}"#)
+            .expect("arrive");
+        assert!(arrived.contains(r#""job":0"#), "{arrived}");
+        drop(client);
+
+        // A second connection sees the same tenants: state outlives clients.
+        let mut client = Client::connect(addr).expect("reconnect");
+        let snap = client.send(r#"{"op":"snapshot"}"#).expect("snapshot");
+        assert!(snap.contains(r#""tenant":"t0""#), "{snap}");
+        let bye = client.send(r#"{"op":"shutdown"}"#).expect("shutdown");
+        assert!(bye.contains(r#""ok":true"#), "{bye}");
+
+        assert_eq!(server.join().expect("join"), 1);
+    }
+}

@@ -11,6 +11,7 @@
 //! mpss-cli report-diff --bench BENCH_TRAJECTORY.json [--name snapshot] [--max-regress 5]
 //! mpss-cli trace-check run.trace.json
 //! mpss-cli watch trace.json [--algo oa|avr] [--loops N] [--listen 127.0.0.1:9184] [--hold-ms MS]
+//! mpss-cli serve [--listen 127.0.0.1:9200] [--metrics 127.0.0.1:9184] [--compact-window W] [--threads N]
 //! mpss-cli scrape 127.0.0.1:9184 [--out metrics.txt]
 //! ```
 //!
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         Some("report-diff") => cmd_report_diff(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("scrape") => cmd_scrape(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -104,6 +106,7 @@ fn print_usage() {
          \u{20}  mpss-cli report-diff --bench <BENCH_TRAJECTORY.json> [--name SNAPSHOT] [--max-regress PCT] [--gate-wall]\n\
          \u{20}  mpss-cli trace-check <run.trace.json>\n\
          \u{20}  mpss-cli watch <trace.json> [--algo oa|avr] [--alpha A] [--loops N] [--pace-ms MS] [--interval-ms MS] [--listen HOST:PORT] [--hold-ms MS] [--metrics-out <file>]\n\
+         \u{20}  mpss-cli serve [--listen HOST:PORT] [--metrics HOST:PORT] [--compact-window W] [--threads N]\n\
          \u{20}  mpss-cli scrape <HOST:PORT> [--out <file>]\n\n\
          families: uniform bursty laminar agreeable tight-load avr-adversarial poisson heavy-tail periodic"
     );
@@ -769,6 +772,58 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         use std::io::Write as _;
         std::io::stdout().flush().ok();
         std::thread::sleep(std::time::Duration::from_millis(hold));
+    }
+    Ok(())
+}
+
+/// `serve`: the multi-tenant scheduling daemon. Speaks the newline-delimited
+/// JSON protocol of PROTOCOL.md on stdin/stdout by default, or on a TCP
+/// socket with `--listen`; `--metrics` additionally exposes the shared hub
+/// as Prometheus text exposition.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let a = parse(args, &[]);
+    let compact_window = match a.flag("compact-window") {
+        Some(w) => {
+            let w: f64 = w.parse().map_err(|_| "bad --compact-window")?;
+            if !(w.is_finite() && w >= 0.0) {
+                return Err("--compact-window must be a finite non-negative number".into());
+            }
+            Some(w)
+        }
+        None => None,
+    };
+    let threads = match a.flag("threads") {
+        Some(t) => Some(t.parse::<usize>().map_err(|_| "bad --threads")?),
+        None => None,
+    };
+    let mut daemon = Daemon::new(DaemonConfig {
+        compact_window,
+        threads,
+    });
+    let _metrics_server = match a.flag("metrics") {
+        Some(addr) => {
+            let server = MetricsServer::bind(addr, daemon.hub())
+                .map_err(|e| format!("binding metrics on {addr}: {e}"))?;
+            eprintln!("serving /metrics on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    match a.flag("listen") {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("serving mpss protocol on {local} (newline-delimited JSON; see PROTOCOL.md)");
+            serve_tcp(&listener, &mut daemon).map_err(|e| format!("serving: {e}"))?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            daemon
+                .serve_io(stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serving stdio: {e}"))?;
+        }
     }
     Ok(())
 }

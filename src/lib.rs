@@ -50,6 +50,7 @@ pub use mpss_obs as obs;
 pub use mpss_offline as offline;
 pub use mpss_online as online;
 pub use mpss_par as par;
+pub use mpss_serve as serve;
 pub use mpss_sim as sim;
 pub use mpss_workloads as workloads;
 
@@ -83,10 +84,11 @@ pub mod prelude {
         audit_oa_potential, avr_proof_terms, avr_schedule, avr_schedule_observed,
         avr_schedule_parallel, avr_schedule_parallel_observed, bkp_schedule, competitive_report,
         competitive_report_observed, oa_schedule, oa_schedule_observed, oa_schedule_observed_with,
-        oa_schedule_with_options, record_energy_trajectory, AvrSession, OaOptions, OaSession,
-        SessionMetrics,
+        oa_schedule_with_options, record_energy_trajectory, AvrCheckpoint, AvrSession,
+        OaCheckpoint, OaOptions, OaSession, SessionError, SessionMetrics,
     };
     pub use mpss_par::ThreadPool;
+    pub use mpss_serve::{serve_tcp, Daemon, DaemonConfig};
     pub use mpss_workloads::{instance_stats, Family, WorkloadSpec};
 
     pub use crate::batch::{solve_many, solve_many_observed, BatchOutput};
