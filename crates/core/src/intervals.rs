@@ -5,15 +5,44 @@
 //! `I_j = [τ_j, τ_{j+1})`. A job is *active* in `I_j` iff
 //! `I_j ⊆ [r_k, d_k)`. Because interval endpoints are copies of job
 //! coordinates, activity tests are exact comparisons even in `f64`.
+//!
+//! Two additions serve the incremental replan path:
+//!
+//! * every partition carries a private two-level *breakpoint directory*
+//!   (one entry per `DIR_FANOUT = 64` times) so point queries touch a coarse
+//!   directory plus one cache-resident block instead of binary-searching
+//!   the full `times` array;
+//! * [`EventPartition`] maintains a refcounted breakpoint multiset under
+//!   single-job insert/remove, splicing one release/deadline pair in
+//!   O(changed entries) instead of re-running `from_instance`.
 
 use crate::{Instance, JobId};
 use mpss_numeric::FlowNum;
 
+/// Breakpoints per directory block. 64 `f64`s are 512 bytes — a handful of
+/// cache lines — so the inner search stays resident once the directory has
+/// picked the block.
+const DIR_FANOUT: usize = 64;
+
 /// The event-time partition of an instance's scheduling horizon.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Intervals<T> {
     /// Sorted distinct event times `τ_1 < … < τ_{|𝓘|}`.
+    ///
+    /// Mutating this field directly leaves the internal lookup directory
+    /// stale; construct partitions through [`Intervals::from_times`],
+    /// [`Intervals::from_sorted_times`], or [`Intervals::from_instance`].
     pub times: Vec<T>,
+    /// Coarse directory: `dir[b] == times[b * DIR_FANOUT]`.
+    dir: Vec<T>,
+}
+
+/// Equality is defined by the partition points alone; the directory is a
+/// derived cache.
+impl<T: PartialEq> PartialEq for Intervals<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.times == other.times
+    }
 }
 
 impl<T: FlowNum> Intervals<T> {
@@ -32,7 +61,18 @@ impl<T: FlowNum> Intervals<T> {
     pub fn from_times(mut times: Vec<T>) -> Intervals<T> {
         times.sort_by(|a, b| a.partial_cmp(b).expect("event times must be comparable"));
         times.dedup_by(|a, b| a == b);
-        Intervals { times }
+        Intervals::from_sorted_times(times)
+    }
+
+    /// Builds the partition from times that are already sorted and distinct
+    /// (as maintained by an [`EventPartition`]), skipping the sort.
+    pub fn from_sorted_times(times: Vec<T>) -> Intervals<T> {
+        debug_assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_times requires strictly increasing times"
+        );
+        let dir = times.iter().step_by(DIR_FANOUT).cloned().collect();
+        Intervals { times, dir }
     }
 
     /// Number of intervals (`|𝓘| − 1`; zero for degenerate inputs).
@@ -75,6 +115,20 @@ impl<T: FlowNum> Intervals<T> {
         job.active_in(s, e)
     }
 
+    /// The contiguous range of interval indices `lo..hi` in which `job` is
+    /// active: activity `I_j ⊆ [r, d)` is equivalent to
+    /// `τ_j ≥ r ∧ τ_{j+1} ≤ d`, and both conditions are monotone in `j` on a
+    /// sorted partition, so the active set is exactly one index range. The
+    /// range may be empty (`lo == hi`). Agrees with [`Self::job_active`] for
+    /// every job, breakpoint-aligned or not (proptested).
+    pub fn range_of(&self, job: &crate::Job<T>) -> (usize, usize) {
+        let n = self.len();
+        let lo = self.times.partition_point(|v| *v < job.release).min(n);
+        let below = self.times.partition_point(|v| !(job.deadline < *v));
+        let hi = below.saturating_sub(1).min(n).max(lo);
+        (lo, hi)
+    }
+
     /// For each interval, the ids of active jobs — the adjacency structure
     /// of the paper's Fig. 1 network.
     pub fn active_sets(&self, instance: &Instance<T>) -> Vec<Vec<JobId>> {
@@ -86,24 +140,140 @@ impl<T: FlowNum> Intervals<T> {
             .collect()
     }
 
+    /// Largest index `i` with `times[i] ≤ t`, via the two-level directory.
+    /// Caller guarantees `times[0] ≤ t` (so the result exists).
+    #[inline]
+    fn locate(&self, t: T) -> usize {
+        let block = self.dir.partition_point(|v| !(t < *v));
+        debug_assert!(block >= 1, "locate() requires times[0] <= t");
+        let start = (block - 1) * DIR_FANOUT;
+        let end = (start + DIR_FANOUT).min(self.times.len());
+        let within = self.times[start..end].partition_point(|v| !(t < *v));
+        start + within - 1
+    }
+
     /// Index of the interval containing time `t`, if any
     /// (`τ_j ≤ t < τ_{j+1}`).
     pub fn interval_of(&self, t: T) -> Option<usize> {
         if self.times.is_empty() || t < self.times[0] || !(t < *self.times.last().unwrap()) {
             return None;
         }
-        // Binary search on the partition points.
-        let mut lo = 0usize;
-        let mut hi = self.len() - 1;
-        while lo < hi {
-            let mid = (lo + hi).div_ceil(2);
-            if !(t < self.times[mid]) {
-                lo = mid;
-            } else {
-                hi = mid - 1;
-            }
+        // `t < last` rules out the final breakpoint, so locate() lands on a
+        // genuine interval index.
+        Some(self.locate(t))
+    }
+}
+
+/// A refcounted, incrementally-maintained breakpoint set.
+///
+/// `from_instance` re-derives the partition from scratch — an
+/// O(n log n) sort per replan. Online sessions instead keep one
+/// `EventPartition` alive across replans and splice each arriving or
+/// expiring job's event times in and out individually: a binary search plus
+/// a `memmove` of the tail, O(changed entries) of derivation work, with the
+/// refcounts making duplicate event times (two jobs sharing a deadline)
+/// exact rather than tolerance-based.
+///
+/// The partition maintained this way is *definitionally* equal to
+/// `Intervals::from_times` over the surviving jobs' event times — the
+/// proptests in this module drive random interleavings of insert/remove
+/// against the rebuild oracle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EventPartition<T> {
+    times: Vec<T>,
+    counts: Vec<u32>,
+}
+
+impl<T: FlowNum> EventPartition<T> {
+    /// An empty partition.
+    pub fn new() -> Self {
+        EventPartition {
+            times: Vec::new(),
+            counts: Vec::new(),
         }
-        Some(lo)
+    }
+
+    /// The sorted distinct event times currently held.
+    #[inline]
+    pub fn times(&self) -> &[T] {
+        &self.times
+    }
+
+    /// Number of distinct event times.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` iff no event times are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Position of `t` among the distinct times, if present.
+    pub fn position_of(&self, t: &T) -> Option<usize> {
+        let pos = self.times.partition_point(|v| *v < *t);
+        (pos < self.times.len() && self.times[pos] == *t).then_some(pos)
+    }
+
+    /// Refcount of the distinct time at `pos`.
+    #[inline]
+    pub fn count_at(&self, pos: usize) -> u32 {
+        self.counts[pos]
+    }
+
+    /// Adds one occurrence of `t`. Returns `(position, spliced)` where
+    /// `spliced` is `true` iff the time was new and a structural splice
+    /// happened (refcount bumps are `false`).
+    pub fn insert(&mut self, t: T) -> (usize, bool) {
+        let pos = self.times.partition_point(|v| *v < t);
+        if pos < self.times.len() && self.times[pos] == t {
+            self.counts[pos] += 1;
+            (pos, false)
+        } else {
+            self.times.insert(pos, t);
+            self.counts.insert(pos, 1);
+            (pos, true)
+        }
+    }
+
+    /// Removes one occurrence of `t`. Returns `Some((position, spliced))`
+    /// with `spliced == true` iff the refcount hit zero and the time was
+    /// spliced out; `None` if `t` was not present (the caller's bookkeeping
+    /// has diverged and it should fall back to a full rebuild).
+    pub fn remove(&mut self, t: &T) -> Option<(usize, bool)> {
+        let pos = self.position_of(t)?;
+        if self.counts[pos] > 1 {
+            self.counts[pos] -= 1;
+            Some((pos, false))
+        } else {
+            self.times.remove(pos);
+            self.counts.remove(pos);
+            Some((pos, true))
+        }
+    }
+
+    /// Adds both event times of one job window.
+    pub fn insert_window(&mut self, release: T, deadline: T) -> usize {
+        let mut spliced = 0;
+        spliced += usize::from(self.insert(release).1);
+        spliced += usize::from(self.insert(deadline).1);
+        spliced
+    }
+
+    /// Removes both event times of one job window; `None` if either was
+    /// absent (state diverged — rebuild).
+    pub fn remove_window(&mut self, release: &T, deadline: &T) -> Option<usize> {
+        let a = self.remove(release)?;
+        let b = self.remove(deadline)?;
+        Some(usize::from(a.1) + usize::from(b.1))
+    }
+
+    /// Materializes the current distinct times as an [`Intervals`]
+    /// partition (with its lookup directory).
+    pub fn to_intervals(&self) -> Intervals<T> {
+        Intervals::from_sorted_times(self.times.clone())
     }
 }
 
@@ -161,6 +331,72 @@ mod tests {
         assert_eq!(iv.interval_of(7.9), Some(4));
         assert_eq!(iv.interval_of(8.0), None);
         assert_eq!(iv.interval_of(-0.1), None);
+    }
+
+    #[test]
+    fn interval_of_crosses_directory_blocks() {
+        // More breakpoints than one directory block, hitting every boundary.
+        let times: Vec<f64> = (0..=(3 * DIR_FANOUT as u32 + 7)).map(f64::from).collect();
+        let iv = Intervals::from_times(times);
+        for j in 0..iv.len() {
+            let (s, e) = iv.bounds(j);
+            assert_eq!(iv.interval_of(s), Some(j));
+            assert_eq!(iv.interval_of(0.5 * (s + e)), Some(j));
+        }
+        assert_eq!(iv.interval_of(*iv.times.last().unwrap()), None);
+    }
+
+    #[test]
+    fn range_of_matches_job_active() {
+        let ins = sample();
+        let iv = Intervals::from_instance(&ins);
+        for job in &ins.jobs {
+            let (lo, hi) = iv.range_of(job);
+            for j in 0..iv.len() {
+                assert_eq!(iv.job_active(job, j), (lo..hi).contains(&j));
+            }
+        }
+        // Non-breakpoint-aligned and out-of-horizon windows still agree.
+        for probe in [
+            job(0.5, 3.5, 1.0),
+            job(-2.0, -1.0, 1.0),
+            job(9.0, 10.0, 1.0),
+            job(0.0, 0.5, 1.0),
+        ] {
+            let (lo, hi) = iv.range_of(&probe);
+            for j in 0..iv.len() {
+                assert_eq!(
+                    iv.job_active(&probe, j),
+                    (lo..hi).contains(&j),
+                    "{probe:?} {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_partition_refcounts_shared_times() {
+        let mut ep: EventPartition<f64> = EventPartition::new();
+        assert_eq!(ep.insert_window(0.0, 4.0), 2);
+        assert_eq!(ep.insert_window(1.0, 4.0), 1); // 4.0 refcounted, not spliced
+        assert_eq!(ep.times(), &[0.0, 1.0, 4.0]);
+        assert_eq!(ep.count_at(2), 2);
+        assert_eq!(ep.remove_window(&0.0, &4.0), Some(1)); // 4.0 survives
+        assert_eq!(ep.times(), &[1.0, 4.0]);
+        assert_eq!(ep.remove_window(&1.0, &4.0), Some(2));
+        assert!(ep.is_empty());
+        // Removing an absent time reports divergence instead of panicking.
+        assert_eq!(ep.remove(&7.0), None);
+    }
+
+    #[test]
+    fn event_partition_matches_from_instance() {
+        let ins = sample();
+        let mut ep = EventPartition::new();
+        for j in &ins.jobs {
+            ep.insert_window(j.release, j.deadline);
+        }
+        assert_eq!(ep.to_intervals(), Intervals::from_instance(&ins));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod validate;
 
 pub use error::ModelError;
 pub use instance::Instance;
-pub use intervals::Intervals;
+pub use intervals::{EventPartition, Intervals};
 pub use job::{Job, JobId};
 pub use power::PowerFunction;
 pub use schedule::{Schedule, Segment};

@@ -3,7 +3,7 @@
 
 use crate::job::job;
 use crate::validate::validate_schedule;
-use crate::{Instance, Intervals, Schedule, Segment};
+use crate::{EventPartition, Instance, Intervals, Schedule, Segment};
 use proptest::prelude::*;
 
 /// Strategy: a random (possibly infeasible) schedule on `m` processors.
@@ -26,7 +26,7 @@ fn arb_schedule(m: usize) -> impl Strategy<Value = Schedule<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     /// normalize() preserves every observable quantity.
     #[test]
@@ -90,6 +90,77 @@ proptest! {
         for j in 0..iv.len() {
             let (s, e) = iv.bounds(j);
             prop_assert_eq!(iv.interval_of(0.5 * (s + e)), Some(j));
+        }
+    }
+
+    /// Incremental partition maintenance is exact: any interleaving of
+    /// single-job insert/remove splices on an [`EventPartition`] yields the
+    /// same partition as rebuilding `from_instance` over the surviving jobs,
+    /// including refcounted duplicate event times.
+    #[test]
+    fn event_partition_equals_rebuild(
+        raw in proptest::collection::vec((0u32..12, 1u32..8, 1u32..5), 1..10),
+        kills in proptest::collection::vec(0u32..2, 10..11),
+    ) {
+        let jobs: Vec<_> = raw
+            .iter()
+            .map(|&(r, d, w)| job(r as f64, (r + d) as f64, w as f64))
+            .collect();
+        let mut ep = EventPartition::new();
+        let mut alive = vec![false; jobs.len()];
+        // Insert everything, then remove a random subset, checking the
+        // rebuild oracle after every structural change.
+        for (k, j) in jobs.iter().enumerate() {
+            ep.insert_window(j.release, j.deadline);
+            alive[k] = true;
+        }
+        for (k, kill) in kills.iter().enumerate().take(jobs.len()) {
+            if *kill == 1 {
+                let j = &jobs[k];
+                prop_assert!(ep.remove_window(&j.release, &j.deadline).is_some());
+                alive[k] = false;
+            }
+            let survivors: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| alive[i])
+                .map(|(_, j)| *j)
+                .collect();
+            let mut expect: Vec<f64> = survivors
+                .iter()
+                .flat_map(|j| [j.release, j.deadline])
+                .collect();
+            expect.sort_by(f64::total_cmp);
+            expect.dedup();
+            prop_assert_eq!(ep.times(), &expect[..]);
+            prop_assert_eq!(ep.to_intervals(), Intervals::from_times(expect));
+        }
+    }
+
+    /// `range_of` agrees with the per-interval `job_active` predicate for
+    /// arbitrary probe windows, breakpoint-aligned or not.
+    #[test]
+    fn range_of_agrees_with_job_active(
+        raw in proptest::collection::vec((0u32..30, 1u32..10, 1u32..5), 1..8),
+        probes in proptest::collection::vec((0u32..40, 1u32..10), 1..8),
+    ) {
+        let jobs: Vec<_> = raw
+            .iter()
+            .map(|&(r, d, w)| job(r as f64, (r + d) as f64, w as f64))
+            .collect();
+        let ins = Instance::new(2, jobs).unwrap();
+        let iv = Intervals::from_instance(&ins);
+        let windows = ins
+            .jobs
+            .iter()
+            .cloned()
+            .chain(probes.iter().map(|&(r, d)| job(r as f64 + 0.5, r as f64 + 0.5 + d as f64, 1.0)));
+        for probe in windows {
+            let (lo, hi) = iv.range_of(&probe);
+            prop_assert!(lo <= hi && hi <= iv.len());
+            for j in 0..iv.len() {
+                prop_assert_eq!(iv.job_active(&probe, j), (lo..hi).contains(&j));
+            }
         }
     }
 

@@ -215,6 +215,26 @@ impl<T: FlowNum> FlowNetwork<T> {
         (from, to)
     }
 
+    /// Rewrites the capacity of a flow-free forward edge in place.
+    ///
+    /// Unlike [`warm::set_capacity`](crate::warm::set_capacity) this never
+    /// needs to drain displaced flow — the caller guarantees the edge
+    /// carries none (e.g. a freshly patched network whose flow will be
+    /// seeded afterwards) — so it is a pure array store: no CSR rebuild, no
+    /// residual walk, O(1) per arc pair.
+    ///
+    /// [`warm::set_capacity`]: crate::warm::set_capacity
+    #[inline]
+    pub fn retune_capacity(&mut self, e: EdgeId, cap: T) {
+        debug_assert!(!(cap < T::zero()), "negative capacity");
+        debug_assert!(
+            !self.flow(e).is_strictly_positive(),
+            "retune_capacity on an edge carrying flow; use warm::set_capacity"
+        );
+        self.caps[(e.0 / 2) as usize] = cap;
+        self.res[e.0 as usize] = cap - self.flow(e);
+    }
+
     /// Resets all flows to zero, keeping the topology and capacities.
     pub fn reset_flows(&mut self) {
         for (k, cap) in self.caps.iter().enumerate() {
@@ -392,6 +412,21 @@ mod tests {
         net.finish();
         assert_eq!(net.arcs(1), &[1, 2]);
         assert_eq!(net.arcs(v), &[3]);
+    }
+
+    #[test]
+    fn retune_capacity_is_in_place_and_keeps_csr_sealed() {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 2.0);
+        net.finish();
+        net.retune_capacity(e, 5.0);
+        assert!(net.csr_ready(), "capacity patch must not dirty the CSR");
+        assert_eq!(net.capacity(e), 5.0);
+        assert_eq!(net.residual(e), 5.0);
+        assert_eq!(net.flow(e), 0.0);
+        // A solve over the retuned network sees the new bottleneck.
+        assert_eq!(crate::max_flow_dinic(&mut net, 0, 2), 2.0);
     }
 
     #[test]

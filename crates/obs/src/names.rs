@@ -96,6 +96,18 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "repair rounds served from the warm model",
     ),
     (
+        "offline.incremental.patched_arcs",
+        "network arcs patched with arrivals/expiries instead of probed",
+    ),
+    (
+        "offline.incremental.rebuilt",
+        "planner syncs that fell back to a full re-derivation",
+    ),
+    (
+        "offline.incremental.reused_intervals",
+        "partition breakpoints carried over unchanged across a sync",
+    ),
+    (
         "offline.jobs_removed",
         "jobs fixed at peak speed by the repair loop",
     ),
@@ -183,6 +195,10 @@ pub const METRICS: &[(&str, &str)] = &[
     (
         "mpss_serve_errors_total",
         "counter: daemon requests that failed, by error kind",
+    ),
+    (
+        "mpss_serve_replan_patched_arcs",
+        "gauge: cumulative arcs patched by a tenant's incremental replans",
     ),
     (
         "mpss_serve_requests_total",

@@ -111,6 +111,89 @@ impl<T: FlowNum> FlowModel<T> {
         }
     }
 
+    /// [`FlowModel::build`] driven by precomputed contiguous active ranges
+    /// instead of per-interval activity probes.
+    ///
+    /// `ranges[job_id]` is the interval-index range in which `job_id` is
+    /// active (see [`Intervals::range_of`]); an incremental planner
+    /// maintains those ranges across replans, so deriving the network costs
+    /// O(Σ range lengths) — the arcs that exist — with **zero** predicate
+    /// scans over inactive (job, interval) pairs, instead of the
+    /// O(|candidate| · |intervals|) sweep of the scratch build.
+    ///
+    /// The result is element-identical to [`FlowModel::build`]: same vertex
+    /// layout, same arc insertion order, expression-identical capacities —
+    /// so engines find bit-identical flows on either. The unit tests and
+    /// the incremental differential harness hold this equality.
+    pub fn build_from_ranges(
+        instance: &Instance<T>,
+        intervals: &Intervals<T>,
+        candidate: &[JobId],
+        m_j: &[usize],
+        speed: T,
+        ranges: &[(usize, usize)],
+    ) -> FlowModel<T> {
+        debug_assert_eq!(m_j.len(), intervals.len());
+        let intervals_used: Vec<usize> = (0..intervals.len()).filter(|&j| m_j[j] > 0).collect();
+        let n = candidate.len();
+        let num_nodes = 2 + n + intervals_used.len();
+        let mut net: FlowNetwork<T> =
+            FlowNetwork::with_capacity(num_nodes, n + intervals_used.len() + n * 4);
+        let source = 0;
+        let sink = num_nodes - 1;
+        let interval_vertex = |x: usize| 1 + n + x;
+
+        // Interval index → used-vertex position, so the range walk can emit
+        // arcs against the same compacted vertex ids as the scratch build.
+        const UNUSED: u32 = u32::MAX;
+        let mut used_pos = vec![UNUSED; intervals.len()];
+        for (x, &j) in intervals_used.iter().enumerate() {
+            used_pos[j] = x as u32;
+        }
+
+        let mut source_edges = Vec::with_capacity(n);
+        let mut job_edges: Vec<Vec<(usize, EdgeId)>> = Vec::with_capacity(n);
+        let mut target = T::zero();
+
+        for (k, &job_id) in candidate.iter().enumerate() {
+            let job = &instance.jobs[job_id];
+            source_edges.push(net.add_edge(source, 1 + k, job.volume / speed));
+            let (lo, hi) = ranges[job_id];
+            let mut edges = Vec::new();
+            for (j, &pos) in used_pos.iter().enumerate().take(hi).skip(lo) {
+                if pos == UNUSED {
+                    continue;
+                }
+                debug_assert!(intervals.job_active(job, j), "stale range for job {job_id}");
+                edges.push((
+                    j,
+                    net.add_edge(1 + k, interval_vertex(pos as usize), intervals.length(j)),
+                ));
+            }
+            job_edges.push(edges);
+        }
+        let mut sink_edges = Vec::with_capacity(intervals_used.len());
+        for (x, &j) in intervals_used.iter().enumerate() {
+            let cap = T::from_usize(m_j[j]) * intervals.length(j);
+            target += cap;
+            sink_edges.push(net.add_edge(interval_vertex(x), sink, cap));
+        }
+        net.finish();
+
+        FlowModel {
+            net,
+            source,
+            sink,
+            jobs: candidate.to_vec(),
+            intervals_used,
+            job_edges,
+            source_edges,
+            sink_edges,
+            target,
+            alive: vec![true; n],
+        }
+    }
+
     /// Position of interval `j` among the used intervals, if reserved.
     pub fn interval_pos(&self, j: usize) -> Option<usize> {
         self.intervals_used.binary_search(&j).ok()
@@ -335,6 +418,42 @@ mod tests {
         assert_eq!(fm.intervals_used, vec![1]);
         // Job 0 active in both intervals but only interval 1 has a vertex.
         assert_eq!(fm.job_edges[0].len(), 1);
+    }
+
+    #[test]
+    fn build_from_ranges_is_element_identical_to_build() {
+        // Overlapping windows, shared deadlines, and a zero-reservation
+        // interval, over a partial candidate set.
+        let ins = Instance::new(
+            2,
+            vec![
+                job(0.0, 4.0, 2.0),
+                job(1.0, 3.0, 4.0),
+                job(2.0, 8.0, 1.0),
+                job(1.0, 8.0, 3.0),
+            ],
+        )
+        .unwrap();
+        let iv = Intervals::from_instance(&ins);
+        let ranges: Vec<(usize, usize)> = ins.jobs.iter().map(|j| iv.range_of(j)).collect();
+        for (candidate, m_j) in [
+            (vec![0, 1, 2, 3], vec![2, 2, 1, 1, 2]),
+            (vec![0, 2], vec![1, 0, 1, 1, 0]),
+            (vec![3], vec![0, 1, 1, 1, 1]),
+        ] {
+            let a = FlowModel::build(&ins, &iv, &candidate, &m_j, 1.5);
+            let b = FlowModel::build_from_ranges(&ins, &iv, &candidate, &m_j, 1.5, &ranges);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.intervals_used, b.intervals_used);
+            assert_eq!(a.job_edges, b.job_edges);
+            assert_eq!(a.source_edges, b.source_edges);
+            assert_eq!(a.sink_edges, b.sink_edges);
+            assert_eq!(a.target.to_bits(), b.target.to_bits());
+            assert_eq!(a.net.num_nodes(), b.net.num_nodes());
+            let edges_a: Vec<_> = a.net.iter_edges().collect();
+            let edges_b: Vec<_> = b.net.iter_edges().collect();
+            assert_eq!(edges_a, edges_b, "arc arena must match element-wise");
+        }
     }
 
     #[test]

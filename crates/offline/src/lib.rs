@@ -58,6 +58,7 @@ pub mod canonical;
 pub mod certificate;
 pub mod discrete;
 pub mod flow_model;
+pub mod incremental;
 pub mod lower_bounds;
 pub mod lp_baseline;
 pub mod non_migratory;
@@ -66,9 +67,11 @@ pub mod sleep;
 pub mod speed_bound;
 pub mod yds;
 
+pub use incremental::{IncrementalPlanner, IncrementalStats, PreparedInstance};
 pub use optimal::{
-    optimal_schedule, optimal_schedule_observed, optimal_schedule_seeded, optimal_schedule_with,
-    FlowEngine, OfflineOptions, OptimalResult, PhaseInfo, SeedPlan,
+    optimal_schedule, optimal_schedule_observed, optimal_schedule_prepared,
+    optimal_schedule_seeded, optimal_schedule_with, FlowEngine, OfflineOptions, OptimalResult,
+    PhaseInfo, SeedPlan,
 };
 pub use yds::yds_schedule;
 

@@ -26,6 +26,7 @@
 //! power function simultaneously; `P(s)` never enters the computation.
 
 use crate::flow_model::FlowModel;
+use crate::incremental::{scratch_partition_ops, PreparedInstance};
 use mpss_core::{Instance, Intervals, JobId, ModelError, Schedule, Segment};
 use mpss_maxflow::{
     residual_reachable_tol, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, WarmStartable,
@@ -155,6 +156,15 @@ pub struct OptimalResult<T: FlowNum> {
     pub intervals: Intervals<T>,
     /// Total number of max-flow computations performed.
     pub flow_computations: usize,
+    /// Machine-independent count of *instance-derivation* operations this
+    /// solve performed: event-partition construction, per-(job, interval)
+    /// activity probes in the Lemma 3 reservation loop, and network-build
+    /// scans. Engine-side work (augmentations, pushes) is accounted
+    /// separately by [`EngineStats`](mpss_maxflow::EngineStats). This is
+    /// the cost the prepared/incremental path attacks: with a
+    /// [`PreparedInstance`] it grows as O(rounds · (n + |𝓘|)) instead of
+    /// O(rounds · n · |𝓘|).
+    pub work_ops: usize,
     /// Per-round trace (empty unless requested).
     pub trace: Vec<RoundTrace>,
 }
@@ -250,13 +260,60 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: TrackedCollector>(
     seed: Option<&SeedPlan<T>>,
     obs: &mut C,
 ) -> Result<OptimalResult<T>, ModelError> {
+    optimal_schedule_prepared(instance, opts, seed, None, obs)
+}
+
+/// [`optimal_schedule_seeded`] consuming a [`PreparedInstance`] maintained
+/// incrementally across replans (see [`crate::incremental`]).
+///
+/// With `prepared = None` this *is* the legacy scratch pipeline — the
+/// partition is re-sorted and every (job, interval) activity pair probed —
+/// preserved as the differential test oracle. With `prepared = Some(p)`
+/// (whose `intervals`/`ranges` must be exactly what
+/// [`PreparedInstance::derive`] returns for `instance` — the planner
+/// guarantees this, and debug builds assert it) the solve consumes the
+/// maintained partition and contiguous active ranges instead: the Lemma 3
+/// reservation loop counts actives by difference array in O(n + |𝓘|) per
+/// round, and cold networks are built by `FlowModel::build_from_ranges`
+/// with zero inactive probes. Both paths produce element-identical networks
+/// and therefore bit-identical results; they differ only in
+/// [`OptimalResult::work_ops`] and in the
+/// `offline.incremental.reused_intervals` counter the prepared path emits.
+pub fn optimal_schedule_prepared<T: FlowNum, C: TrackedCollector>(
+    instance: &Instance<T>,
+    opts: &OfflineOptions,
+    seed: Option<&SeedPlan<T>>,
+    prepared: Option<&PreparedInstance<T>>,
+    obs: &mut C,
+) -> Result<OptimalResult<T>, ModelError> {
     obs.span_start("offline.optimal_schedule");
     // Each race contender records onto its own track for the whole solve
     // (one fork per solve, not per probe); adopted at every exit point.
     let mut race_tracks = opts
         .race_engines
         .then(|| (obs.fork("race.dinic"), obs.fork("race.pr")));
-    let intervals = Intervals::from_instance(instance);
+    let (intervals, mut work_ops) = match prepared {
+        Some(p) => {
+            debug_assert_eq!(
+                p.intervals,
+                Intervals::from_instance(instance),
+                "prepared partition diverged from the instance"
+            );
+            debug_assert!(
+                instance
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, j)| p.ranges[k] == p.intervals.range_of(j)),
+                "prepared ranges diverged from the instance"
+            );
+            (p.intervals.clone(), p.derivation_ops)
+        }
+        None => (
+            Intervals::from_instance(instance),
+            scratch_partition_ops(instance.n()),
+        ),
+    };
     let nj = intervals.len();
     let mut used = vec![0usize; nj];
     let mut remaining: Vec<JobId> = (0..instance.n()).collect();
@@ -281,16 +338,38 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: TrackedCollector>(
             obs.count("offline.repair_rounds", 1);
             // Lemma 3 reservation.
             let mut m_j = vec![0usize; nj];
-            for (j, mj) in m_j.iter_mut().enumerate() {
-                let avail = instance.m - used[j];
-                if avail == 0 {
-                    continue;
+            if let Some(p) = prepared {
+                // Count actives per interval with a difference array over
+                // the candidates' contiguous ranges: O(|cur| + |𝓘|) and
+                // integer-exact, so `m_j` matches the probe sweep below.
+                let mut diff = vec![0isize; nj + 1];
+                for &k in &cur {
+                    let (lo, hi) = p.ranges[k];
+                    diff[lo] += 1;
+                    diff[hi] -= 1;
                 }
-                let n_active = cur
-                    .iter()
-                    .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
-                    .count();
-                *mj = n_active.min(avail);
+                let mut n_active = 0isize;
+                for (j, mj) in m_j.iter_mut().enumerate() {
+                    n_active += diff[j];
+                    let avail = instance.m - used[j];
+                    if avail > 0 {
+                        *mj = (n_active as usize).min(avail);
+                    }
+                }
+                work_ops += cur.len() + nj;
+            } else {
+                for (j, mj) in m_j.iter_mut().enumerate() {
+                    let avail = instance.m - used[j];
+                    if avail == 0 {
+                        continue;
+                    }
+                    let n_active = cur
+                        .iter()
+                        .filter(|&&k| intervals.job_active(&instance.jobs[k], j))
+                        .count();
+                    *mj = n_active.min(avail);
+                    work_ops += cur.len();
+                }
             }
             // Conjectured uniform speed s = W / P.
             let mut w_total = T::zero();
@@ -348,7 +427,22 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: TrackedCollector>(
                 };
                 fm = prev;
             } else {
-                fm = FlowModel::build(instance, &intervals, &cur, &m_j, speed);
+                if let Some(p) = prepared {
+                    fm = FlowModel::build_from_ranges(
+                        instance, &intervals, &cur, &m_j, speed, &p.ranges,
+                    );
+                    // Derivation cost: the arcs that exist, not the probes.
+                    work_ops += cur
+                        .iter()
+                        .map(|&k| p.ranges[k].1 - p.ranges[k].0)
+                        .sum::<usize>()
+                        + nj;
+                } else {
+                    fm = FlowModel::build(instance, &intervals, &cur, &m_j, speed);
+                    // The scratch build probed every (candidate, used
+                    // interval) pair for activity.
+                    work_ops += cur.len() * fm.intervals_used.len();
+                }
                 if opts.warm_start {
                     let mut seeded = T::zero();
                     if let Some(sp) = seed {
@@ -533,6 +627,7 @@ pub fn optimal_schedule_seeded<T: FlowNum, C: TrackedCollector>(
         phases,
         intervals,
         flow_computations,
+        work_ops,
         trace,
     })
 }

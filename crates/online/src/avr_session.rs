@@ -34,6 +34,13 @@ pub struct AvrSession {
     compacted_segments: usize,
     compacted_work: f64,
     metrics: Option<SessionMetrics>,
+    /// Memoized batch plan — [`avr_schedule`] is a pure function of the
+    /// job list, so the plan is recomputed only when an arrival invalidates
+    /// it; pure clock advances (the `mpss-serve` broadcast-tick hot path)
+    /// just slice it. Not checkpointed: restore recomputes on the next
+    /// advance, bit-identically.
+    plan: Option<Schedule<f64>>,
+    plans_computed: usize,
 }
 
 impl AvrSession {
@@ -49,6 +56,8 @@ impl AvrSession {
             compacted_segments: 0,
             compacted_work: 0.0,
             metrics: None,
+            plan: None,
+            plans_computed: 0,
         }
     }
 
@@ -95,6 +104,8 @@ impl AvrSession {
         let job = Job::new(self.now, deadline, volume);
         Instance::new(self.m, vec![job])?;
         self.jobs.push(job);
+        // The arrival changes the Fig. 3 decision: drop the memoized plan.
+        self.plan = None;
         if let Some(metrics) = &self.metrics {
             metrics.on_arrival();
             metrics.on_replan(0.0);
@@ -135,12 +146,20 @@ impl AvrSession {
     /// Advances the clock to `t`, committing AVR's execution over
     /// `[now, t)`. Because AVR is memoryless, this simply evaluates the
     /// full AVR schedule of the jobs seen so far restricted to the window —
-    /// identical to what instant-by-instant simulation would produce.
+    /// identical to what instant-by-instant simulation would produce. The
+    /// evaluation is memoized per job list: only the first advance after an
+    /// arrival recomputes the plan
+    /// (see [`plans_computed`](AvrSession::plans_computed)); further
+    /// advances slice the cached schedule in O(committed segments).
     pub fn advance_to(&mut self, t: f64) -> Result<(), ModelError> {
         assert!(t >= self.now, "clock cannot move backwards");
         if !self.jobs.is_empty() {
-            let instance = Instance::new(self.m, self.jobs.clone())?;
-            let full = avr_schedule(&instance);
+            if self.plan.is_none() {
+                let instance = Instance::new(self.m, self.jobs.clone())?;
+                self.plan = Some(avr_schedule(&instance));
+                self.plans_computed += 1;
+            }
+            let full = self.plan.as_ref().expect("plan memoized above");
             for seg in full.restrict(self.now, t).segments {
                 self.executed.push(Segment { ..seg });
             }
@@ -148,6 +167,13 @@ impl AvrSession {
         self.now = t;
         self.publish_metrics();
         Ok(())
+    }
+
+    /// How many times the session actually evaluated the AVR plan — at most
+    /// once per arrival, however many clock advances were driven. (A
+    /// restored session recomputes once on its first advance.)
+    pub fn plans_computed(&self) -> usize {
+        self.plans_computed
     }
 
     /// Committed history so far (from the compaction watermark on, once
@@ -231,6 +257,8 @@ impl AvrSession {
             compacted_segments: checkpoint.compacted_segments,
             compacted_work: checkpoint.compacted_work,
             metrics: None,
+            plan: None,
+            plans_computed: 0,
         })
     }
 
@@ -360,6 +388,30 @@ mod tests {
         let restored = AvrSession::restore(thawed).unwrap();
         let actual = drive_suffix(restored);
         assert_eq!(expected.segments, actual.segments);
+    }
+
+    #[test]
+    fn advances_between_arrivals_reuse_the_memoized_plan() {
+        // Many fine-grained ticks (the serve broadcast pattern) between two
+        // arrivals: the plan is evaluated once per arrival, and the
+        // committed schedule equals the coarse-tick session's exactly.
+        let mut fine = AvrSession::new(2, 0.0);
+        fine.arrive(4.0, 4.0).unwrap();
+        for k in 1..=10 {
+            fine.advance_to(0.1 * k as f64).unwrap();
+        }
+        fine.arrive(3.0, 2.0).unwrap();
+        for k in 11..=20 {
+            fine.advance_to(0.1 * k as f64).unwrap();
+        }
+        assert_eq!(fine.plans_computed(), 2);
+
+        let mut coarse = AvrSession::new(2, 0.0);
+        coarse.arrive(4.0, 4.0).unwrap();
+        coarse.advance_to(1.0).unwrap();
+        coarse.arrive(3.0, 2.0).unwrap();
+        let expected = coarse.finish().unwrap();
+        assert_eq!(fine.finish().unwrap().segments, expected.segments);
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub fn bkp_schedule(instance: &Instance<f64>, steps_per_interval: usize) -> BkpO
                 let pick = (0..instance.n())
                     .filter(|&k| {
                         instance.jobs[k].release <= cursor + 1e-12
-                            && remaining[k] > 1e-9 * instance.jobs[k].volume.max(1.0)
+                            && crate::eps::job_is_live(remaining[k], instance.jobs[k].volume)
                     })
                     .min_by(|&x, &y| {
                         instance.jobs[x]

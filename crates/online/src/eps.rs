@@ -1,0 +1,53 @@
+//! The crate-wide liveness tolerance for remaining job volume.
+//!
+//! Online drivers track per-job remaining volume with floating-point
+//! subtraction, so a job executed to completion may be left with a residual
+//! on the order of the rounding error of the sums that produced it. Every
+//! component that asks "is this job still live?" must therefore use the
+//! *same* tolerance, or two components can disagree about the live set —
+//! e.g. a session replanning for a job its metrics already report finished.
+//! This module is that single definition; the former per-call-site copies
+//! of the constant (`OaSession`, the potential-function audit, BKP's EDF
+//! picker) all route through it.
+//!
+//! The tolerance is **relative** to the job's original volume — a job of
+//! volume `1e6` accumulates proportionally larger float error than a job of
+//! volume `1.0` — with an absolute floor of `1e-9` so that sub-unit volumes
+//! (where the relative bound would underflow the achievable float noise)
+//! still get a workable margin.
+
+/// The remaining-volume tolerance for a job of the given original volume:
+/// `1e-9 · max(volume, 1)`.
+#[inline]
+pub fn live_volume_eps(volume: f64) -> f64 {
+    1e-9 * volume.max(1.0)
+}
+
+/// Whether a job with `remaining` volume left (of `volume` originally) still
+/// counts as live: `remaining > live_volume_eps(volume)`. Exactly *at* the
+/// tolerance counts as finished.
+#[inline]
+pub fn job_is_live(remaining: f64, volume: f64) -> bool {
+    remaining > live_volume_eps(volume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_is_exclusive_and_scales_with_volume() {
+        // Exactly at the tolerance: finished. A hair above: live.
+        assert!(!job_is_live(1e-9, 1.0));
+        assert!(job_is_live(1.1e-9, 1.0));
+        // Large volumes widen the band proportionally.
+        assert!(!job_is_live(1e-3, 1e6));
+        assert!(job_is_live(1.1e-3, 1e6));
+        // Tiny volumes keep the absolute 1e-9 floor rather than shrinking
+        // the band below float noise.
+        assert_eq!(live_volume_eps(1e-6), 1e-9);
+        assert!(!job_is_live(0.9e-9, 1e-6));
+        // Fully unexecuted jobs are trivially live.
+        assert!(job_is_live(1.0, 1.0));
+    }
+}

@@ -62,6 +62,7 @@ pub mod avr_session;
 pub mod bkp;
 pub mod checkpoint;
 pub mod driver;
+pub mod eps;
 pub mod oa;
 pub mod potential;
 pub mod session;
@@ -80,6 +81,7 @@ pub use checkpoint::{
 pub use driver::{
     competitive_report, competitive_report_observed, record_energy_trajectory, RatioReport,
 };
+pub use eps::{job_is_live, live_volume_eps};
 pub use oa::{
     oa_schedule, oa_schedule_observed, oa_schedule_observed_with, oa_schedule_with_options,
     oa_schedule_with_plans, OaOptions,

@@ -96,8 +96,8 @@ pub fn potential_at(
     let rem_opt: Vec<f64> = (0..n)
         .map(|k| (instance.jobs[k].volume - work_done(opt, k, t)).max(0.0))
         .collect();
-    let live = |k: usize| rem_oa[k] > 1e-9 * instance.jobs[k].volume.max(1.0);
-    let opt_live = |k: usize| rem_opt[k] > 1e-9 * instance.jobs[k].volume.max(1.0);
+    let live = |k: usize| crate::eps::job_is_live(rem_oa[k], instance.jobs[k].volume);
+    let opt_live = |k: usize| crate::eps::job_is_live(rem_opt[k], instance.jobs[k].volume);
 
     let mut phi = 0.0;
     // First sum: OA's current ladder.

@@ -12,7 +12,9 @@
 use crate::checkpoint::{CheckpointError, OaCheckpoint, PlanSnapshot, CHECKPOINT_VERSION};
 use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
-use mpss_offline::optimal::{optimal_schedule_with, FlowEngine, OfflineOptions};
+use mpss_obs::NoopCollector;
+use mpss_offline::optimal::{optimal_schedule_prepared, FlowEngine, OfflineOptions, SeedPlan};
+use mpss_offline::{IncrementalPlanner, IncrementalStats};
 
 /// A live OA(m) scheduling session.
 ///
@@ -53,6 +55,21 @@ pub struct OaSession {
     compacted_segments: usize,
     compacted_work: f64,
     metrics: Option<SessionMetrics>,
+    /// Incremental derivation planner (lazily primed). Deliberately *not*
+    /// checkpointed: `sync` is a pure function of the live set, so a
+    /// restored session's first replan rebuilds it and every later replan
+    /// is bit-identical to the uninterrupted session's.
+    planner: Option<IncrementalPlanner<f64>>,
+    /// Whether replans maintain the partition incrementally (default) or
+    /// re-derive it from scratch (the original pipeline, kept as an oracle
+    /// for the differential tests and benchmarks).
+    incremental: bool,
+    /// Cumulative per-sync accounting of the incremental planner.
+    incremental_stats: IncrementalStats,
+    /// Machine-independent derivation work across all replans
+    /// ([`OptimalResult::work_ops`](mpss_offline::OptimalResult::work_ops)
+    /// summed) — the currency the incremental-vs-scratch benchmarks compare.
+    replan_work: u64,
 }
 
 /// Errors from driving a session.
@@ -121,6 +138,10 @@ impl OaSession {
             compacted_segments: 0,
             compacted_work: 0.0,
             metrics: None,
+            planner: None,
+            incremental: true,
+            incremental_stats: IncrementalStats::default(),
+            replan_work: 0,
         }
     }
 
@@ -138,7 +159,7 @@ impl OaSession {
             let mut active = 0usize;
             let mut queued = 0.0;
             for (k, job) in self.jobs.iter().enumerate() {
-                if self.remaining[k] > 1e-9 * job.volume.max(1.0) {
+                if crate::eps::job_is_live(self.remaining[k], job.volume) {
                     active += 1;
                     queued += self.remaining[k];
                 }
@@ -175,6 +196,34 @@ impl OaSession {
     /// The max-flow engine this session replans with.
     pub fn engine(&self) -> FlowEngine {
         self.engine
+    }
+
+    /// Switches incremental partition maintenance on or off (on by
+    /// default). Purely a work knob: either way the replans are
+    /// bit-identical — scratch mode exists as the oracle the differential
+    /// tests and the `exp_incremental_replan` benchmark compare against.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.planner = None;
+        }
+    }
+
+    /// Whether replans maintain the partition incrementally.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Cumulative incremental-planner accounting across all replans
+    /// (all-zero while [`incremental`](OaSession::incremental) is off).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.incremental_stats
+    }
+
+    /// Machine-independent derivation work spent by all replans so far
+    /// (summed [`work_ops`](mpss_offline::OptimalResult::work_ops)).
+    pub fn replan_work(&self) -> u64 {
+        self.replan_work
     }
 
     /// Announces a job arriving *now* (its release must equal or precede
@@ -270,12 +319,37 @@ impl OaSession {
         Ok(schedule)
     }
 
+    /// Surviving jobs' future execution spans under the current plan,
+    /// re-indexed to the new sub-instance's job ids. A warm-start hint
+    /// only: seeded solves are bit-identical to cold ones (the seed is
+    /// clipped to capacities and re-augmented to maximality).
+    fn span_seed(&self, job_map: &[JobId]) -> Option<SeedPlan<f64>> {
+        let plan = self.plan.as_ref()?;
+        // One pass over the old plan's segments: map each segment's job back
+        // to its position in the *new* sub-instance (if still live) instead
+        // of rescanning the segment list per job.
+        let mut new_pos = vec![usize::MAX; self.jobs.len()];
+        for (i, &orig) in job_map.iter().enumerate() {
+            new_pos[orig] = i;
+        }
+        let mut spans: Vec<Vec<(f64, f64)>> = vec![Vec::new(); job_map.len()];
+        let mut any = false;
+        for seg in &plan.schedule.segments {
+            let i = new_pos[plan.job_map[seg.job]];
+            if i != usize::MAX && seg.end > self.now {
+                spans[i].push((seg.start.max(self.now), seg.end));
+                any = true;
+            }
+        }
+        any.then_some(SeedPlan { spans })
+    }
+
     fn replan(&mut self) -> Result<(), SessionError> {
         let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let mut job_map = Vec::new();
         let mut sub_jobs = Vec::new();
         for (k, job) in self.jobs.iter().enumerate() {
-            if self.remaining[k] > 1e-9 * job.volume.max(1.0) {
+            if crate::eps::job_is_live(self.remaining[k], job.volume) {
                 job_map.push(k);
                 sub_jobs.push(Job::new(self.now, job.deadline, self.remaining[k]));
             }
@@ -285,13 +359,39 @@ impl OaSession {
         let new_plan = if sub_jobs.is_empty() {
             None
         } else {
+            // Validate before the planner sync so a rejected sub-instance
+            // leaves the incremental state untouched.
             let sub = Instance::new(self.m, sub_jobs).map_err(SessionError::Planning)?;
             let options = OfflineOptions {
                 engine: self.engine,
                 ..OfflineOptions::default()
             };
-            let result = optimal_schedule_with(&sub, &options).map_err(SessionError::Planning)?;
+            let seed = self.span_seed(&job_map);
+            // `job_map` ascends, so (session id, deadline) is a valid
+            // planner live set; sub-instance job `i` is `job_map[i]`.
+            let sync = if self.incremental {
+                let live: Vec<(usize, f64)> = job_map
+                    .iter()
+                    .map(|&k| (k, self.jobs[k].deadline))
+                    .collect();
+                let planner = self.planner.get_or_insert_with(IncrementalPlanner::new);
+                Some(planner.sync(self.now, &live))
+            } else {
+                None
+            };
+            let result = optimal_schedule_prepared(
+                &sub,
+                &options,
+                seed.as_ref(),
+                sync.as_ref().map(|(prepared, _)| prepared),
+                &mut NoopCollector,
+            )
+            .map_err(SessionError::Planning)?;
             self.flow_computations += result.flow_computations;
+            self.replan_work += result.work_ops as u64;
+            if let Some((_, stats)) = sync {
+                self.incremental_stats.absorb(stats);
+            }
             let speeds = (0..job_map.len()).map(|k| result.speed_of(k)).collect();
             Some(PlanSnapshot {
                 job_map,
@@ -404,6 +504,10 @@ impl OaSession {
             compacted_segments: checkpoint.compacted_segments,
             compacted_work: checkpoint.compacted_work,
             metrics: None,
+            planner: None,
+            incremental: true,
+            incremental_stats: IncrementalStats::default(),
+            replan_work: 0,
         })
     }
 }
@@ -685,6 +789,66 @@ mod tests {
         session.arrive(2.0, 1.0).unwrap();
         let restored = OaSession::restore(session.checkpoint()).unwrap();
         assert_eq!(restored.engine(), FlowEngine::PushRelabel);
+    }
+
+    #[test]
+    fn incremental_replans_match_scratch_bit_for_bit() {
+        // A long arrival stream with a growing live set: the incremental
+        // session must execute the exact same schedule as the scratch
+        // oracle, for strictly less derivation work.
+        let drive = |incremental: bool| {
+            let mut s = OaSession::new(2, 0.0);
+            s.set_incremental(incremental);
+            for k in 0..16u32 {
+                s.advance_to(k as f64).unwrap();
+                s.arrive(40.0 + k as f64, 2.0).unwrap();
+            }
+            // Drain a few completions into the mix.
+            s.advance_to(30.0).unwrap();
+            s.arrive(45.0, 1.0).unwrap();
+            (
+                s.replans(),
+                s.flow_computations(),
+                s.replan_work(),
+                s.incremental_stats(),
+                s.finish().unwrap(),
+            )
+        };
+        let (inc_replans, inc_flows, inc_work, inc_stats, inc_sched) = drive(true);
+        let (scr_replans, scr_flows, scr_work, scr_stats, scr_sched) = drive(false);
+        assert_eq!(inc_sched.segments, scr_sched.segments, "plans diverged");
+        assert_eq!(inc_replans, scr_replans);
+        assert_eq!(inc_flows, scr_flows);
+        assert_eq!(scr_stats, mpss_offline::IncrementalStats::default());
+        assert_eq!(inc_stats.rebuilt, 1, "only the first sync rebuilds");
+        assert!(inc_stats.patched_arcs > 0);
+        assert!(inc_stats.reused_intervals > 0);
+        assert!(
+            inc_work < scr_work,
+            "incremental derivation {inc_work} ops must undercut scratch {scr_work}"
+        );
+    }
+
+    #[test]
+    fn failed_arrival_leaves_the_planner_consistent() {
+        // An arrival rejected by validation must not desync the planner:
+        // the next good arrival still plans identically to scratch.
+        let mut inc = OaSession::new(1, 0.0);
+        inc.arrive(4.0, 2.0).unwrap();
+        inc.advance_to(1.0).unwrap();
+        assert!(inc.arrive(1.0, 1.0).is_err()); // deadline == now
+        inc.arrive(3.0, 1.0).unwrap();
+
+        let mut scratch = OaSession::new(1, 0.0);
+        scratch.set_incremental(false);
+        scratch.arrive(4.0, 2.0).unwrap();
+        scratch.advance_to(1.0).unwrap();
+        scratch.arrive(3.0, 1.0).unwrap();
+
+        assert_eq!(
+            inc.finish().unwrap().segments,
+            scratch.finish().unwrap().segments
+        );
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct DaemonConfig {
 }
 
 /// One tenant's live session.
+// Sessions live once per tenant in the map and are only moved on
+// open/restore, so the OA variant's inline size buys locality, not waste.
+#[allow(clippy::large_enum_variant)]
 enum Session {
     Oa(OaSession),
     Avr(AvrSession),
@@ -393,6 +396,18 @@ impl Daemon {
         };
         match session.arrive(deadline, volume) {
             Ok(job) => {
+                // Soak runs watch this grow with the per-arrival delta, not
+                // with the tenant's live-job count (the incremental-replan
+                // contract; AVR tenants have no replan network to patch).
+                if let Session::Oa(s) = session {
+                    self.hub
+                        .gauge(
+                            "mpss_serve_replan_patched_arcs",
+                            "cumulative network arcs patched by incremental replans",
+                            &[("tenant", tenant)],
+                        )
+                        .set(s.incremental_stats().patched_arcs as f64);
+                }
                 let mut body = Json::object();
                 body.push("tenant", Json::from(tenant));
                 body.push("job", Json::UInt(job as u64));
@@ -968,6 +983,44 @@ mod tests {
     }
 
     #[test]
+    fn arrivals_publish_the_per_tenant_patched_arcs_gauge() {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        for (name, algo) in [("oa-cell", Algo::Oa), ("avr-cell", Algo::Avr)] {
+            ok(daemon.handle(&Request::Open {
+                tenant: name.into(),
+                algo,
+                m: 2,
+                start: 0.0,
+                engine: None,
+            }));
+            ok(daemon.handle(&Request::Arrive {
+                tenant: name.into(),
+                deadline: 4.0,
+                volume: 2.0,
+            }));
+        }
+        let rows: Vec<_> = daemon
+            .hub()
+            .snapshot()
+            .into_iter()
+            .filter(|row| row.name == "mpss_serve_replan_patched_arcs")
+            .collect();
+        // Only the OA tenant replans, so only it patches arcs.
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert!(
+            rows[0]
+                .labels
+                .iter()
+                .any(|(k, v)| k == "tenant" && v == "oa-cell"),
+            "{rows:?}"
+        );
+        match rows[0].value {
+            mpss_obs::SnapshotValue::Gauge(v) => assert!(v > 0.0, "no arcs patched: {v}"),
+            ref other => panic!("gauge expected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn hub_families_are_in_the_manifest() {
         let mut daemon = Daemon::new(DaemonConfig::default());
         ok(daemon.handle(&Request::Open {
@@ -976,6 +1029,12 @@ mod tests {
             m: 1,
             start: 0.0,
             engine: None,
+        }));
+        // A successful arrive publishes the per-tenant replan gauge too.
+        ok(daemon.handle(&Request::Arrive {
+            tenant: "a".into(),
+            deadline: 2.0,
+            volume: 1.0,
         }));
         daemon.handle(&Request::Arrive {
             tenant: "ghost".into(),

@@ -4,17 +4,41 @@ use crate::timeline::Timeline;
 use mpss_core::{PowerFunction, Schedule};
 use mpss_numeric::KahanSum;
 
+/// Breakpoints per directory block of a [`SpeedProfile`]'s lookup index.
+/// One block of 64 `f64`s is 512 bytes, so after the coarse directory pick
+/// the inner search stays within a few cache lines even on
+/// million-breakpoint profiles.
+const DIR_FANOUT: usize = 64;
+
 /// A piecewise-constant profile: at `times[i] ≤ t < times[i+1]` the value is
 /// `values[i]` (`values.len() == times.len() − 1`).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SpeedProfile {
     /// Breakpoints, ascending.
     pub times: Vec<f64>,
     /// Per-piece values.
     pub values: Vec<f64>,
+    /// Coarse directory: `dir[b] == times[b * DIR_FANOUT]`.
+    dir: Vec<f64>,
+}
+
+/// Equality is the piecewise data; the directory is a derived cache.
+impl PartialEq for SpeedProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.times == other.times && self.values == other.values
+    }
 }
 
 impl SpeedProfile {
+    /// Builds a profile from ascending breakpoints and per-piece values
+    /// (`values.len() == times.len().saturating_sub(1)`), constructing the
+    /// two-level lookup directory.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> SpeedProfile {
+        debug_assert_eq!(values.len(), times.len().saturating_sub(1));
+        let dir = times.iter().step_by(DIR_FANOUT).copied().collect();
+        SpeedProfile { times, values, dir }
+    }
+
     /// Value at time `t`: 0 strictly outside `[times[0], times.last()]`, the
     /// piece value inside, and — so that the profile is well-defined on its
     /// whole closed support — the *last* piece's value at the final
@@ -35,11 +59,14 @@ impl SpeedProfile {
         // total_cmp distinguishes -0.0 < 0.0; normalize so a -0.0 query
         // cannot land "before" a 0.0 breakpoint it is numerically equal to.
         let t = if t == 0.0 { 0.0 } else { t };
-        let idx = match self.times.binary_search_by(|x| x.total_cmp(&t)) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        self.values.get(idx).copied().unwrap_or(0.0)
+        // Two-level lookup: the coarse directory picks the block holding the
+        // last breakpoint ≤ t, the inner search resolves within the block.
+        let block = self.dir.partition_point(|x| x.total_cmp(&t).is_le());
+        debug_assert!(block >= 1);
+        let start = (block - 1) * DIR_FANOUT;
+        let end = (start + DIR_FANOUT).min(self.times.len());
+        let within = self.times[start..end].partition_point(|x| x.total_cmp(&t).is_le());
+        self.values.get(start + within - 1).copied().unwrap_or(0.0)
     }
 
     /// Integral of the profile (`Σ value · piece length`).
@@ -69,10 +96,7 @@ fn breakpoints(schedule: &Schedule<f64>) -> Vec<f64> {
 pub fn speed_profile(schedule: &Schedule<f64>) -> SpeedProfile {
     let times = breakpoints(schedule);
     if times.len() < 2 {
-        return SpeedProfile {
-            times: vec![],
-            values: vec![],
-        };
+        return SpeedProfile::new(vec![], vec![]);
     }
     let values = times
         .windows(2)
@@ -86,7 +110,7 @@ pub fn speed_profile(schedule: &Schedule<f64>) -> SpeedProfile {
                 .sum()
         })
         .collect();
-    SpeedProfile { times, values }
+    SpeedProfile::new(times, values)
 }
 
 /// The cumulative energy time-series of a schedule under `p`, sampled at
@@ -174,12 +198,39 @@ mod tests {
         // Negative zero equals zero (the first breakpoint).
         assert_eq!(p.at(-0.0), p.at(0.0));
         // An empty profile is zero everywhere, NaN included.
-        let empty = SpeedProfile {
-            times: vec![],
-            values: vec![],
-        };
+        let empty = SpeedProfile::new(vec![], vec![]);
         assert_eq!(empty.at(0.0), 0.0);
         assert_eq!(empty.at(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn at_agrees_with_linear_reference_across_blocks() {
+        // More breakpoints than one directory block; queries on, between,
+        // and off every breakpoint must match a naive linear scan.
+        let n = 3 * super::DIR_FANOUT + 11;
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let values: Vec<f64> = (0..n - 1).map(|i| (i % 7) as f64).collect();
+        let p = SpeedProfile::new(times.clone(), values.clone());
+        let reference = |t: f64| -> f64 {
+            if t < times[0] || t > *times.last().unwrap() {
+                return 0.0;
+            }
+            if t == *times.last().unwrap() {
+                return *values.last().unwrap();
+            }
+            let mut idx = 0;
+            for (i, w) in times.windows(2).enumerate() {
+                if w[0] <= t && t < w[1] {
+                    idx = i;
+                }
+            }
+            values[idx]
+        };
+        for &bp in times.iter().take(n) {
+            for q in [bp, bp + 0.1, bp - 0.1, bp + 0.25] {
+                assert_eq!(p.at(q), reference(q), "query {q}");
+            }
+        }
     }
 
     #[test]

@@ -314,6 +314,202 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prepared-vs-scratch differential block.
+//
+// `optimal_schedule_prepared` with a `PreparedInstance` skips the scratch
+// partition sort, the per-round activity probes, and the per-build activity
+// scans in favour of precomputed contiguous event ranges. By construction it
+// must be a pure work optimisation: on *exact rational* arithmetic — where
+// "close" cannot hide a divergence — the prepared path must reproduce the
+// scratch solver's phases, segments and energy exactly, under both engines,
+// on general (non-staircase) instances.
+// ---------------------------------------------------------------------------
+
+use mpss::numeric::rational::rat;
+use mpss::numeric::Rational;
+use mpss::obs::NoopCollector;
+use mpss::offline::{optimal_schedule_prepared, IncrementalPlanner, PreparedInstance};
+
+/// Deterministic general rational instance: releases, deadlines and volumes
+/// on a half-integer grid driven by a tiny LCG (exactness is the point, not
+/// distribution quality).
+fn rational_instance(seed: u64) -> Instance<Rational> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = move |modulus: i64| -> i128 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64).rem_euclid(modulus) as i128
+    };
+    let n = 2 + (next(6) as usize);
+    let m = 1 + (next(3) as usize);
+    let jobs = (0..n)
+        .map(|_| {
+            let r = rat(next(12), 2);
+            let d = r + rat(1 + next(10), 2);
+            job(r, d, rat(1 + next(9), 3))
+        })
+        .collect();
+    Instance::new(m, jobs).unwrap()
+}
+
+/// Prepared ≡ scratch on exact rationals, both engines: identical phases
+/// (speeds, memberships, reservations, rounds), identical segments, and
+/// identical exact energy.
+#[test]
+fn prepared_path_matches_scratch_exactly_on_rationals() {
+    use mpss::model::energy::schedule_energy_exact;
+
+    for seed in 0..48u64 {
+        let ins = rational_instance(seed);
+        let prepared = PreparedInstance::derive(&ins);
+        for engine in [FlowEngine::Dinic, FlowEngine::PushRelabel] {
+            let opts = OfflineOptions {
+                engine,
+                ..Default::default()
+            };
+            let scratch = mpss::offline::optimal_schedule_with(&ins, &opts).unwrap();
+            let fast =
+                optimal_schedule_prepared(&ins, &opts, None, Some(&prepared), &mut NoopCollector)
+                    .unwrap();
+            let ctx = format!("seed {seed} engine {engine:?}");
+            assert_eq!(
+                fast.phases.len(),
+                scratch.phases.len(),
+                "{ctx}: phase count"
+            );
+            for (i, (pa, pb)) in fast.phases.iter().zip(&scratch.phases).enumerate() {
+                assert_eq!(pa.speed, pb.speed, "{ctx}: phase {i} speed");
+                assert_eq!(pa.jobs, pb.jobs, "{ctx}: phase {i} jobs");
+                assert_eq!(pa.procs, pb.procs, "{ctx}: phase {i} procs");
+                assert_eq!(pa.rounds, pb.rounds, "{ctx}: phase {i} rounds");
+            }
+            assert_eq!(
+                fast.flow_computations, scratch.flow_computations,
+                "{ctx}: flow computations"
+            );
+            assert_eq!(
+                fast.schedule.segments, scratch.schedule.segments,
+                "{ctx}: segments"
+            );
+            assert_eq!(
+                schedule_energy_exact(&fast.schedule, 2),
+                schedule_energy_exact(&scratch.schedule, 2),
+                "{ctx}: exact energy"
+            );
+        }
+    }
+}
+
+/// The planner's spliced partitions feed the same prepared path: syncing a
+/// live set must be indistinguishable from deriving the staircase instance
+/// from scratch — on exact rationals, where a mispatched breakpoint cannot
+/// round away.
+#[test]
+fn planner_sync_equals_scratch_derivation_on_rationals() {
+    let mut planner: IncrementalPlanner<Rational> = IncrementalPlanner::new();
+    // An evolving live set: arrivals and removals over a shared deadline grid.
+    let steps: Vec<(i128, Vec<(usize, i128)>)> = vec![
+        (0, vec![(0, 4), (1, 8)]),
+        (1, vec![(0, 4), (1, 8), (2, 6)]),
+        (2, vec![(1, 8), (2, 6), (3, 12)]),
+        (4, vec![(1, 8), (3, 12)]),
+        (5, vec![(1, 8), (3, 12), (4, 9), (5, 9)]),
+    ];
+    for (now, live) in steps {
+        let now = rat(now, 1);
+        let live: Vec<(usize, Rational)> = live.into_iter().map(|(k, d)| (k, rat(d, 1))).collect();
+        let (synced, _) = planner.sync(now, &live);
+        let jobs = live
+            .iter()
+            .map(|&(_, d)| job(now, d, rat(1, 1)))
+            .collect::<Vec<_>>();
+        let ins = Instance::new(2, jobs).unwrap();
+        let scratch = PreparedInstance::derive(&ins);
+        assert_eq!(synced.intervals, scratch.intervals, "now {now}: partition");
+        assert_eq!(synced.ranges, scratch.ranges, "now {now}: ranges");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-scratch session differential block.
+//
+// `OaSession` keeps its `IncrementalPlanner` across replans by default; the
+// from-scratch path (`set_incremental(false)`) is the retained oracle. On
+// random arrival/advance streams — under both engines — the two must agree
+// on every observable: executed segments bit-for-bit, replan and max-flow
+// counts, and the serialized checkpoint (the planner is deliberately not
+// checkpointed, so the frozen states must be indistinguishable too).
+// ---------------------------------------------------------------------------
+
+use mpss::online::OaSession;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn incremental_and_scratch_sessions_agree_bit_for_bit(
+        seed in 0u64..1_000_000, n_events in 3usize..28, m in 1usize..5
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One pre-rolled stream, replayed into every session.
+        let mut now = 0.0f64;
+        let mut stream: Vec<(f64, Option<(f64, f64)>)> = Vec::new();
+        for _ in 0..n_events {
+            if rng.gen_bool(0.35) {
+                now += rng.gen_range(0.1..3.0);
+            }
+            let arrival = rng.gen_bool(0.75).then(|| {
+                let span: f64 = rng.gen_range(0.3..9.0);
+                let volume: f64 = rng.gen_range(0.2..6.0);
+                (now + span, volume)
+            });
+            stream.push((now, arrival));
+        }
+
+        for engine in [FlowEngine::Dinic, FlowEngine::PushRelabel] {
+            let run = |incremental: bool| {
+                let mut s = OaSession::with_engine(m, 0.0, engine);
+                s.set_incremental(incremental);
+                for &(t, arrival) in &stream {
+                    s.advance_to(t).unwrap();
+                    if let Some((deadline, volume)) = arrival {
+                        s.arrive(deadline, volume).unwrap();
+                    }
+                }
+                s
+            };
+            let incr = run(true);
+            let scratch = run(false);
+            let ctx = format!("seed {seed} engine {engine:?}");
+
+            prop_assert_eq!(incr.replans(), scratch.replans(), "{}: replans", ctx);
+            prop_assert_eq!(
+                incr.flow_computations(), scratch.flow_computations(),
+                "{}: flow computations", ctx
+            );
+            prop_assert_eq!(
+                incr.checkpoint().to_json().render(),
+                scratch.checkpoint().to_json().render(),
+                "{}: checkpoints diverged", ctx
+            );
+            let a = incr.finish().unwrap();
+            let b = scratch.finish().unwrap();
+            prop_assert_eq!(a.segments.len(), b.segments.len(), "{}: segment count", ctx);
+            for (sa, sb) in a.segments.iter().zip(&b.segments) {
+                prop_assert_eq!(sa.proc, sb.proc, "{}: proc", ctx);
+                prop_assert_eq!(sa.job, sb.job, "{}: job", ctx);
+                prop_assert_eq!(sa.start.to_bits(), sb.start.to_bits(), "{}: start", ctx);
+                prop_assert_eq!(sa.end.to_bits(), sb.end.to_bits(), "{}: end", ctx);
+                prop_assert_eq!(sa.speed.to_bits(), sb.speed.to_bits(), "{}: speed", ctx);
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
