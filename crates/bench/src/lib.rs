@@ -160,6 +160,22 @@ pub fn record_bench_snapshot(
     record_bench_snapshot_at(path, name, &bench_git_rev(), wall_ms, counters)
 }
 
+/// [`record_bench_snapshot`] plus noise-tolerant *stats*: wall-clock-shaped
+/// values (overhead percentages, latencies) that are worth tracking across
+/// commits but too machine-dependent to gate. Stats land under the entry's
+/// `histograms` key as `{stat: {"mean": value}}`, which `report-diff`
+/// reports as histogram shifts without gating them — counters gate, stats
+/// inform.
+pub fn record_bench_snapshot_with_stats(
+    path: &Path,
+    name: &str,
+    wall_ms: f64,
+    counters: &[(&str, u64)],
+    stats: &[(&str, f64)],
+) -> std::io::Result<()> {
+    record_bench_snapshot_full(path, name, &bench_git_rev(), wall_ms, counters, stats)
+}
+
 /// [`record_bench_snapshot`] with an explicit revision stamp. Entries are
 /// keyed by `(name, git_rev)`: rerunning a snapshot at the same revision
 /// replaces that entry in place (reruns are idempotent), while a new
@@ -172,6 +188,20 @@ pub fn record_bench_snapshot_at(
     git_rev: &str,
     wall_ms: f64,
     counters: &[(&str, u64)],
+) -> std::io::Result<()> {
+    record_bench_snapshot_full(path, name, git_rev, wall_ms, counters, &[])
+}
+
+/// The full recorder behind the `record_bench_snapshot*` family: explicit
+/// revision stamp, gated counters, and ungated stats (see
+/// [`record_bench_snapshot_with_stats`]).
+pub fn record_bench_snapshot_full(
+    path: &Path,
+    name: &str,
+    git_rev: &str,
+    wall_ms: f64,
+    counters: &[(&str, u64)],
+    stats: &[(&str, f64)],
 ) -> std::io::Result<()> {
     let mut entries: Vec<Json> = match std::fs::read_to_string(path) {
         Ok(text) => match Json::parse(&text) {
@@ -195,6 +225,15 @@ pub fn record_bench_snapshot_at(
         cs.push(key, Json::UInt(*value));
     }
     entry.push("counters", cs);
+    if !stats.is_empty() {
+        let mut hs = Json::object();
+        for (key, value) in stats {
+            let mut summary = Json::object();
+            summary.push("mean", Json::Num(*value));
+            hs.push(key, summary);
+        }
+        entry.push("histograms", hs);
+    }
     entries.push(entry);
     std::fs::write(path, Json::Arr(entries).render_pretty())
 }

@@ -6,8 +6,11 @@
 //! tree (wall time). [`diff_reports`] compares two of them key by key and
 //! classifies each counter increase against a regression threshold:
 //! counters measure *work*, so "candidate did more work than baseline by
-//! more than X%" is the gate CI trips on. Wall time and histogram quantiles
-//! shift with machine load, so they are reported but gate only on request
+//! more than X%" is the gate CI trips on. A counter the baseline report
+//! never carried is *new instrumentation*, reported but not gated (see
+//! [`CounterDelta::in_baseline`]); a counter recorded as 0 that grew gates
+//! at any threshold. Wall time and histogram quantiles shift with machine
+//! load, so they are reported but gate only on request
 //! ([`DiffOptions::gate_wall`]).
 
 use crate::json::Json;
@@ -36,6 +39,11 @@ pub struct CounterDelta {
     pub a: u64,
     /// Candidate value (0 if absent).
     pub b: u64,
+    /// Whether the baseline report carried the key at all. A counter the
+    /// baseline *recorded as 0* that grew is an infinite regression; a
+    /// counter the baseline *never knew about* (new instrumentation) has
+    /// no baseline to regress from, so it is reported but never gated.
+    pub in_baseline: bool,
 }
 
 impl CounterDelta {
@@ -92,10 +100,12 @@ impl ReportDiff {
         let mut out = String::new();
         for c in &self.counters {
             let pct = c.pct();
-            let pct = if pct.is_finite() {
+            let pct = if !c.in_baseline {
+                "new".to_string()
+            } else if pct.is_finite() {
                 format!("{pct:+.1}%")
             } else {
-                "new".to_string()
+                "from 0".to_string()
             };
             out.push_str(&format!(
                 "counter   {} : {} -> {} ({pct})\n",
@@ -198,13 +208,14 @@ pub fn diff_reports(a: &Json, b: &Json, opts: &DiffOptions) -> ReportDiff {
             name: key.clone(),
             a: ca.get(key).copied().unwrap_or(0),
             b: cb.get(key).copied().unwrap_or(0),
+            in_baseline: ca.contains_key(key.as_str()),
         };
         if delta.a == delta.b {
             diff.counters_unchanged += 1;
             continue;
         }
         if let Some(max) = opts.max_regress_pct {
-            if gated(key) && delta.b > delta.a && delta.pct() > max {
+            if delta.in_baseline && gated(key) && delta.b > delta.a && delta.pct() > max {
                 diff.regressions.push(format!(
                     "counter {} grew {} -> {} (limit {max}%)",
                     delta.name, delta.a, delta.b
@@ -470,8 +481,8 @@ mod tests {
     }
 
     #[test]
-    fn counters_appearing_from_zero_regress_at_any_threshold() {
-        let a = report(&[], None);
+    fn counters_growing_from_explicit_zero_regress_at_any_threshold() {
+        let a = report(&[("offline.phases", 0)], None);
         let b = report(&[("offline.phases", 1)], None);
         let diff = diff_reports(
             &a,
@@ -483,6 +494,27 @@ mod tests {
         );
         assert!(diff.is_regression());
         assert_eq!(diff.counters[0].pct(), f64::INFINITY);
+        assert!(diff.counters[0].in_baseline);
+    }
+
+    #[test]
+    fn counters_absent_from_the_baseline_report_but_never_gate() {
+        // New instrumentation: the baseline predates the counter entirely,
+        // so there is nothing to regress from. The delta is still reported.
+        let a = report(&[], None);
+        let b = report(&[("flight.events", 7)], None);
+        let diff = diff_reports(
+            &a,
+            &b,
+            &DiffOptions {
+                max_regress_pct: Some(0.0),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!diff.is_regression());
+        assert_eq!(diff.counters.len(), 1);
+        assert!(!diff.counters[0].in_baseline);
+        assert!(diff.render_text().contains("(new)"));
     }
 
     #[test]

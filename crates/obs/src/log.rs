@@ -1,0 +1,398 @@
+//! A zero-dependency leveled structured logger emitting NDJSON records.
+//!
+//! The daemon needs a black-box log that costs nothing when quiet and never
+//! blocks the replan path: each record is one JSON object per line with a
+//! monotonic timestamp (nanoseconds since the logger's epoch — wall clocks
+//! can step backwards, replan latencies cannot), a level, a target, a
+//! message, and structured key-value fields.
+//!
+//! Records flow to [`LogSink`]s. Two are built in:
+//!
+//! * [`StderrSink`] — renders each record to standard error, for operators
+//!   tailing the daemon;
+//! * [`RingSink`] — a bounded in-memory ring sharing the flight-recorder
+//!   discipline: fixed capacity, oldest-out eviction, and a `dropped_total`
+//!   counter so the bound is observable. Postmortem bundles embed its
+//!   contents.
+//!
+//! A [`Logger`] is cheap to clone (sinks live behind `Arc<Mutex<..>>`) and
+//! records below its level short-circuit before any allocation.
+//!
+//! ```
+//! use mpss_obs::json::Json;
+//! use mpss_obs::log::{Level, Logger, RingSink};
+//!
+//! let ring = RingSink::new(8);
+//! let log = Logger::new(Level::Info).with_sink(ring.clone());
+//! log.info("daemon", "tenant opened", &[("tenant", Json::from("acme"))]);
+//! log.debug("daemon", "suppressed", &[]); // below Info: free
+//! let lines = ring.lines();
+//! assert_eq!(lines.len(), 1);
+//! assert!(lines[0].contains("\"tenant\":\"acme\""));
+//! ```
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Log severity, ordered: `Trace < Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained flow tracing.
+    Trace,
+    /// Diagnostic detail useful when chasing a specific bug.
+    Debug,
+    /// Normal operational events (tenant opened, checkpoint written).
+    Info,
+    /// Something surprising that the daemon recovered from.
+    Warn,
+    /// A request or subsystem failed.
+    Error,
+}
+
+impl Level {
+    /// All levels, ascending.
+    pub const ALL: [Level; 5] = [
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// The wire/flag spelling: `"trace"`, `"debug"`, `"info"`, `"warn"`,
+    /// `"error"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a flag spelling back into a level.
+    pub fn parse(text: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| l.as_str() == text)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured log record: what happened, when (monotonic), how bad, and
+/// the structured context it happened in.
+#[derive(Clone, Debug)]
+pub struct LogRecord {
+    /// Nanoseconds since the emitting [`Logger`]'s epoch (monotonic).
+    pub ts_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// The subsystem that emitted the record, e.g. `"serve.daemon"`.
+    pub target: String,
+    /// Human-readable event description.
+    pub message: String,
+    /// Structured context, preserved in field order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl LogRecord {
+    /// The record as a JSON object: `ts_ns`, `level`, `target`, `msg`, then
+    /// the fields inline (fields never shadow the four envelope keys — the
+    /// logger prefixes a colliding field with `field.`).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("ts_ns", Json::from(self.ts_ns));
+        obj.push("level", Json::from(self.level.as_str()));
+        obj.push("target", Json::from(self.target.as_str()));
+        obj.push("msg", Json::from(self.message.as_str()));
+        for (key, value) in &self.fields {
+            if matches!(key.as_str(), "ts_ns" | "level" | "target" | "msg") {
+                obj.push(&format!("field.{key}"), value.clone());
+            } else {
+                obj.push(key, value.clone());
+            }
+        }
+        obj
+    }
+
+    /// The record as one NDJSON line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Where rendered records go. Sinks receive every record at or above the
+/// logger's level; filtering finer than that is the sink's business.
+pub trait LogSink: Send {
+    /// Consumes one record.
+    fn write(&mut self, record: &LogRecord);
+}
+
+/// Renders each record as an NDJSON line on standard error.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn write(&mut self, record: &LogRecord) {
+        // A dead stderr must not take the daemon down with it.
+        let _ = writeln!(std::io::stderr().lock(), "{}", record.render_line());
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    lines: std::collections::VecDeque<String>,
+    dropped_total: u64,
+}
+
+/// A bounded ring of rendered NDJSON lines. Cloning shares the buffer, so
+/// one handle can sit in the logger while another drains into a postmortem
+/// bundle.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    ring: Arc<Mutex<Ring>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` lines (clamped to at least 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            ring: Arc::new(Mutex::new(Ring {
+                capacity: capacity.max(1),
+                lines: std::collections::VecDeque::new(),
+                dropped_total: 0,
+            })),
+        }
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.ring.lock().unwrap().lines.iter().cloned().collect()
+    }
+
+    /// Lines evicted to stay within capacity, ever.
+    pub fn dropped_total(&self) -> u64 {
+        self.ring.lock().unwrap().dropped_total
+    }
+
+    /// Currently retained line count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().lines.len()
+    }
+
+    /// `true` when no lines are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LogSink for RingSink {
+    fn write(&mut self, record: &LogRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.lines.len() == ring.capacity {
+            ring.lines.pop_front();
+            ring.dropped_total += 1;
+        }
+        let line = record.render_line();
+        ring.lines.push_back(line);
+    }
+}
+
+struct Inner {
+    sinks: Vec<Box<dyn LogSink>>,
+}
+
+/// The leveled front end: owns the monotonic epoch and the sink fan-out.
+///
+/// Cloning is cheap and clones share sinks, the epoch, and the record
+/// counter — the daemon hands one logger to every subsystem.
+#[derive(Clone)]
+pub struct Logger {
+    level: Level,
+    epoch: Instant,
+    /// Kept outside the sink mutex so idle-path polling (the daemon reads
+    /// it after every request) is a plain atomic load.
+    records_total: Arc<AtomicU64>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Logger {
+    /// A logger with no sinks: records at or above `level` are counted but
+    /// go nowhere until a sink is attached.
+    pub fn new(level: Level) -> Logger {
+        Logger {
+            level,
+            epoch: Instant::now(),
+            records_total: Arc::new(AtomicU64::new(0)),
+            inner: Arc::new(Mutex::new(Inner { sinks: Vec::new() })),
+        }
+    }
+
+    /// Attaches a sink; builder-style.
+    pub fn with_sink<S: LogSink + 'static>(self, sink: S) -> Logger {
+        self.inner.lock().unwrap().sinks.push(Box::new(sink));
+        self
+    }
+
+    /// The minimum level this logger emits.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// `true` if a record at `level` would be emitted.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.level
+    }
+
+    /// Records emitted (not level-suppressed), ever.
+    pub fn records_total(&self) -> u64 {
+        self.records_total.load(Ordering::Relaxed)
+    }
+
+    /// Emits one record. Below-level calls return before allocating.
+    pub fn log(&self, level: Level, target: &str, message: &str, fields: &[(&str, Json)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let record = LogRecord {
+            ts_ns: self.epoch.elapsed().as_nanos() as u64,
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.records_total.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        for sink in &mut inner.sinks {
+            sink.write(&record);
+        }
+    }
+
+    /// [`log`](Logger::log) at [`Level::Trace`].
+    pub fn trace(&self, target: &str, message: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Trace, target, message, fields);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Debug`].
+    pub fn debug(&self, target: &str, message: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Debug, target, message, fields);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Info`].
+    pub fn info(&self, target: &str, message: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Info, target, message, fields);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Warn`].
+    pub fn warn(&self, target: &str, message: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Warn, target, message, fields);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Error`].
+    pub fn error(&self, target: &str, message: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Error, target, message, fields);
+    }
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_parse_and_render() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        for level in Level::ALL {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn below_level_records_are_suppressed() {
+        let ring = RingSink::new(4);
+        let log = Logger::new(Level::Warn).with_sink(ring.clone());
+        log.info("t", "quiet", &[]);
+        log.warn("t", "loud", &[]);
+        assert_eq!(log.records_total(), 1);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn records_render_as_parseable_ndjson_with_fields() {
+        let ring = RingSink::new(4);
+        let log = Logger::new(Level::Trace).with_sink(ring.clone());
+        log.error(
+            "serve.daemon",
+            "replan failed",
+            &[("tenant", Json::from("t0")), ("jobs", Json::from(3u64))],
+        );
+        let lines = ring.lines();
+        let parsed = Json::parse(&lines[0]).expect("ndjson line parses");
+        assert_eq!(parsed.get("level"), Some(&Json::from("error")));
+        assert_eq!(parsed.get("target"), Some(&Json::from("serve.daemon")));
+        assert_eq!(parsed.get("msg"), Some(&Json::from("replan failed")));
+        assert_eq!(parsed.get("tenant"), Some(&Json::from("t0")));
+        assert_eq!(parsed.get("jobs"), Some(&Json::from(3u64)));
+        assert!(parsed.get("ts_ns").is_some());
+    }
+
+    #[test]
+    fn envelope_keys_never_collide_with_fields() {
+        let record = LogRecord {
+            ts_ns: 7,
+            level: Level::Info,
+            target: "t".into(),
+            message: "m".into(),
+            fields: vec![("level".into(), Json::from("spoofed"))],
+        };
+        let json = record.to_json();
+        assert_eq!(json.get("level"), Some(&Json::from("info")));
+        assert_eq!(json.get("field.level"), Some(&Json::from("spoofed")));
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts_drops() {
+        let ring = RingSink::new(2);
+        let log = Logger::new(Level::Trace).with_sink(ring.clone());
+        for i in 0..5 {
+            log.info("t", &format!("m{i}"), &[]);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped_total(), 3);
+        let lines = ring.lines();
+        assert!(lines[0].contains("m3") && lines[1].contains("m4"));
+    }
+
+    #[test]
+    fn clones_share_sinks_and_counters() {
+        let ring = RingSink::new(4);
+        let log = Logger::new(Level::Info).with_sink(ring.clone());
+        let clone = log.clone();
+        clone.info("t", "via clone", &[]);
+        assert_eq!(log.records_total(), 1);
+        assert_eq!(ring.len(), 1);
+    }
+}

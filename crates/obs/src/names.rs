@@ -47,6 +47,10 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "ablation: augmenting paths, warm-started",
     ),
     (
+        "flight.overhead_pct",
+        "always-on recorder overhead as hundredths of a percent of soak wall time",
+    ),
+    (
         "maxflow.dinic.augmenting_paths",
         "Dinic augmenting paths found",
     ),
@@ -133,6 +137,15 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "serve.checkpoint_ms",
         "milliseconds the soak harness spent in checkpoint requests",
     ),
+    (
+        "serve.flight.dropped",
+        "flight-recorder events evicted across all daemon recorders",
+    ),
+    (
+        "serve.flight.events",
+        "flight-recorder events recorded across all daemon recorders",
+    ),
+    ("serve.postmortems", "postmortem bundles the daemon wrote"),
     ("serve.tenants", "tenant sessions the soak harness opened"),
 ];
 
@@ -195,6 +208,22 @@ pub const METRICS: &[(&str, &str)] = &[
     (
         "mpss_serve_errors_total",
         "counter: daemon requests that failed, by error kind",
+    ),
+    (
+        "mpss_serve_flight_dropped_total",
+        "counter: flight-recorder events evicted, by tenant",
+    ),
+    (
+        "mpss_serve_flight_events",
+        "gauge: flight-recorder ring occupancy, by tenant",
+    ),
+    (
+        "mpss_serve_log_records_total",
+        "counter: structured log records the daemon emitted",
+    ),
+    (
+        "mpss_serve_postmortem_total",
+        "counter: postmortem bundles written, by trigger reason",
     ),
     (
         "mpss_serve_replan_patched_arcs",

@@ -8,6 +8,7 @@
 
 use crate::avr::avr_schedule;
 use crate::checkpoint::{AvrCheckpoint, CheckpointError, CHECKPOINT_VERSION};
+use crate::session::ReplanSummary;
 use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
 
@@ -41,6 +42,11 @@ pub struct AvrSession {
     /// advance, bit-identically.
     plan: Option<Schedule<f64>>,
     plans_computed: usize,
+    /// The most recent plan evaluation's cost summary (see
+    /// [`ReplanSummary`]); AVR has no flow network, so only latency,
+    /// work (profile segments peeled, the closest analogue), and the live
+    /// count are meaningful. Not checkpointed.
+    last_replan: Option<ReplanSummary>,
 }
 
 impl AvrSession {
@@ -58,6 +64,7 @@ impl AvrSession {
             metrics: None,
             plan: None,
             plans_computed: 0,
+            last_replan: None,
         }
     }
 
@@ -155,8 +162,20 @@ impl AvrSession {
         assert!(t >= self.now, "clock cannot move backwards");
         if !self.jobs.is_empty() {
             if self.plan.is_none() {
+                let started = std::time::Instant::now();
                 let instance = Instance::new(self.m, self.jobs.clone())?;
-                self.plan = Some(avr_schedule(&instance));
+                let plan = avr_schedule(&instance);
+                self.last_replan = Some(ReplanSummary {
+                    latency_s: started.elapsed().as_secs_f64(),
+                    work_ops: plan.segments.len() as u64,
+                    live_jobs: self
+                        .jobs
+                        .iter()
+                        .filter(|j| j.release <= self.now && self.now < j.deadline)
+                        .count(),
+                    ..ReplanSummary::default()
+                });
+                self.plan = Some(plan);
                 self.plans_computed += 1;
             }
             let full = self.plan.as_ref().expect("plan memoized above");
@@ -174,6 +193,20 @@ impl AvrSession {
     /// restored session recomputes once on its first advance.)
     pub fn plans_computed(&self) -> usize {
         self.plans_computed
+    }
+
+    /// The most recent plan evaluation's cost summary (`None` until the
+    /// first post-arrival advance computes a plan). Process-level state:
+    /// checkpoints do not carry it.
+    pub fn last_replan(&self) -> Option<ReplanSummary> {
+        self.last_replan
+    }
+
+    /// Takes the most recent plan evaluation's summary, leaving `None` —
+    /// the daemon drains this into the flight recorder exactly once per
+    /// evaluation.
+    pub fn take_last_replan(&mut self) -> Option<ReplanSummary> {
+        self.last_replan.take()
     }
 
     /// Committed history so far (from the compaction watermark on, once
@@ -259,6 +292,7 @@ impl AvrSession {
             metrics: None,
             plan: None,
             plans_computed: 0,
+            last_replan: None,
         })
     }
 

@@ -87,5 +87,5 @@ pub use oa::{
     oa_schedule_with_plans, OaOptions,
 };
 pub use potential::{audit_oa_potential, PotentialAudit};
-pub use session::{OaSession, SessionError};
+pub use session::{OaSession, ReplanSummary, SessionError};
 pub use session_metrics::SessionMetrics;

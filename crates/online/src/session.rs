@@ -12,9 +12,31 @@
 use crate::checkpoint::{CheckpointError, OaCheckpoint, PlanSnapshot, CHECKPOINT_VERSION};
 use crate::session_metrics::SessionMetrics;
 use mpss_core::{Instance, Job, JobId, ModelError, Schedule, Segment};
-use mpss_obs::NoopCollector;
+use mpss_obs::{NoopCollector, TrackedCollector};
 use mpss_offline::optimal::{optimal_schedule_prepared, FlowEngine, OfflineOptions, SeedPlan};
 use mpss_offline::{IncrementalPlanner, IncrementalStats};
+
+/// What one replan cost: the flight-recorder's view of a single planning
+/// event, as opposed to the session-lifetime aggregates
+/// ([`OaSession::replan_work`], [`OaSession::flow_computations`]). Not part
+/// of checkpoints — like metrics handles, it describes the process, not the
+/// schedule state.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplanSummary {
+    /// Wall-clock latency of the replan, seconds.
+    pub latency_s: f64,
+    /// Machine-independent derivation work this replan charged
+    /// ([`work_ops`](mpss_offline::OptimalResult::work_ops); for AVR, the
+    /// number of profile segments peeled, the closest work analogue).
+    pub work_ops: u64,
+    /// Network arcs patched incrementally by this replan (0 for scratch
+    /// solves and for AVR, which has no flow network).
+    pub patched_arcs: u64,
+    /// Max-flow computations this replan ran (0 for AVR).
+    pub flow_computations: u64,
+    /// Jobs with remaining work when the replan ran.
+    pub live_jobs: usize,
+}
 
 /// A live OA(m) scheduling session.
 ///
@@ -70,6 +92,8 @@ pub struct OaSession {
     /// ([`OptimalResult::work_ops`](mpss_offline::OptimalResult::work_ops)
     /// summed) — the currency the incremental-vs-scratch benchmarks compare.
     replan_work: u64,
+    /// The most recent replan's cost summary (see [`ReplanSummary`]).
+    last_replan: Option<ReplanSummary>,
 }
 
 /// Errors from driving a session.
@@ -142,6 +166,7 @@ impl OaSession {
             incremental: true,
             incremental_stats: IncrementalStats::default(),
             replan_work: 0,
+            last_replan: None,
         }
     }
 
@@ -234,12 +259,28 @@ impl OaSession {
     /// planning failure) leaves the session — job list, replan counter,
     /// and every attached metric — exactly as it was.
     pub fn arrive(&mut self, deadline: f64, volume: f64) -> Result<JobId, SessionError> {
+        self.arrive_observed(deadline, volume, &mut NoopCollector)
+    }
+
+    /// [`arrive`](OaSession::arrive) with the replan's solver events
+    /// streamed into `obs` — e.g. a
+    /// [`TraceCollector`](mpss_obs::TraceCollector) armed per-replan for
+    /// slow-replan exemplar capture. The whole replan runs inside an
+    /// `oa.replan` span; the collector changes nothing about the schedule
+    /// (observed and unobserved arrivals are bit-identical).
+    pub fn arrive_observed<C: TrackedCollector>(
+        &mut self,
+        deadline: f64,
+        volume: f64,
+        obs: &mut C,
+    ) -> Result<JobId, SessionError> {
         let job = Job::new(self.now, deadline, volume);
         // Validate via a throwaway instance.
         Instance::new(self.m, vec![job]).map_err(SessionError::BadJob)?;
         self.jobs.push(job);
         self.remaining.push(volume);
-        if let Err(e) = self.replan() {
+        obs.instant("oa.arrival");
+        if let Err(e) = self.replan(obs) {
             // Unwind so the failed arrival leaves no trace (the replan
             // itself touched no state or metrics on its error path).
             self.jobs.pop();
@@ -250,6 +291,19 @@ impl OaSession {
             metrics.on_arrival();
         }
         Ok(self.jobs.len() - 1)
+    }
+
+    /// The most recent replan's cost summary (`None` before the first
+    /// replan). Like metrics, this is process-level state: checkpoints do
+    /// not carry it.
+    pub fn last_replan(&self) -> Option<ReplanSummary> {
+        self.last_replan
+    }
+
+    /// Takes the most recent replan's summary, leaving `None` — the daemon
+    /// drains this into the flight recorder exactly once per replan.
+    pub fn take_last_replan(&mut self) -> Option<ReplanSummary> {
+        self.last_replan.take()
     }
 
     /// Advances the clock to `t`, executing the current plan over
@@ -344,8 +398,17 @@ impl OaSession {
         any.then_some(SeedPlan { spans })
     }
 
-    fn replan(&mut self) -> Result<(), SessionError> {
-        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+    fn replan<C: TrackedCollector>(&mut self, obs: &mut C) -> Result<(), SessionError> {
+        obs.span_start("oa.replan");
+        let out = self.replan_body(obs);
+        obs.span_end("oa.replan");
+        out
+    }
+
+    fn replan_body<C: TrackedCollector>(&mut self, obs: &mut C) -> Result<(), SessionError> {
+        // Always timed: the flight recorder wants every replan's latency,
+        // and one monotonic-clock read is noise next to a solve.
+        let started = std::time::Instant::now();
         let mut job_map = Vec::new();
         let mut sub_jobs = Vec::new();
         for (k, job) in self.jobs.iter().enumerate() {
@@ -354,6 +417,11 @@ impl OaSession {
                 sub_jobs.push(Job::new(self.now, job.deadline, self.remaining[k]));
             }
         }
+        let live_jobs = job_map.len();
+        let mut summary = ReplanSummary {
+            live_jobs,
+            ..ReplanSummary::default()
+        };
         // Counters move only after the solve succeeds, so an error leaves
         // the session (and its metrics) untouched.
         let new_plan = if sub_jobs.is_empty() {
@@ -384,12 +452,15 @@ impl OaSession {
                 &options,
                 seed.as_ref(),
                 sync.as_ref().map(|(prepared, _)| prepared),
-                &mut NoopCollector,
+                obs,
             )
             .map_err(SessionError::Planning)?;
             self.flow_computations += result.flow_computations;
             self.replan_work += result.work_ops as u64;
+            summary.work_ops = result.work_ops as u64;
+            summary.flow_computations = result.flow_computations as u64;
             if let Some((_, stats)) = sync {
+                summary.patched_arcs = stats.patched_arcs;
                 self.incremental_stats.absorb(stats);
             }
             let speeds = (0..job_map.len()).map(|k| result.speed_of(k)).collect();
@@ -401,8 +472,10 @@ impl OaSession {
         };
         self.plan = new_plan;
         self.replans += 1;
-        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
-            metrics.on_replan(started.elapsed().as_secs_f64());
+        summary.latency_s = started.elapsed().as_secs_f64();
+        self.last_replan = Some(summary);
+        if let Some(metrics) = &self.metrics {
+            metrics.on_replan(summary.latency_s);
         }
         self.publish_metrics();
         Ok(())
@@ -508,6 +581,7 @@ impl OaSession {
             incremental: true,
             incremental_stats: IncrementalStats::default(),
             replan_work: 0,
+            last_replan: None,
         })
     }
 }

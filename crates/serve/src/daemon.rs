@@ -27,12 +27,29 @@
 //! bounding daemon memory on long streams. The compaction watermark and
 //! dropped-work tallies ride along in checkpoints, so bounded memory and
 //! exact restore compose.
+//!
+//! # Black box
+//!
+//! The daemon carries an always-on observability layer: a structured
+//! [`Logger`] (NDJSON, ring-buffered so the recent tail is always
+//! recoverable), one bounded [`FlightRecorder`] per tenant plus one for the
+//! daemon itself, and — when [`DaemonConfig::postmortem_dir`] is set —
+//! automatic [postmortem bundles](crate::postmortem) on serious errors,
+//! caught panics, and replans slower than
+//! [`DaemonConfig::slow_replan_ms`]. All of the recording happens *after*
+//! the response is computed, on the daemon thread, and its cumulative cost
+//! is tracked in [`Daemon::obs_overhead_ns`] so the <1% soak-overhead
+//! budget is itself observable.
 
+use crate::postmortem::{self, BundleContents, BundleReason};
 use crate::protocol::{engine_name, Algo, ErrorKind, Request, Response};
 use mpss_obs::json::Json;
-use mpss_obs::MetricsHub;
+use mpss_obs::{
+    Counter, FlightEventKind, FlightRecorder, Gauge, Level, Logger, MetricsHub, RingSink,
+    StderrSink, TraceCollector,
+};
 use mpss_online::{
-    AvrCheckpoint, AvrSession, OaCheckpoint, OaSession, SessionError, SessionMetrics,
+    AvrCheckpoint, AvrSession, OaCheckpoint, OaSession, ReplanSummary, SessionError, SessionMetrics,
 };
 use mpss_par::ThreadPool;
 use std::collections::BTreeMap;
@@ -45,8 +62,13 @@ pub const CHECKPOINT_FORMAT: &str = "mpss-serve/checkpoint";
 /// session state carries its own [`mpss_online::CHECKPOINT_VERSION`].
 pub const CHECKPOINT_FILE_VERSION: u64 = 1;
 
+/// Automatic (error / panic / slow-replan) bundles stop after this many per
+/// daemon lifetime, so a persistently failing tenant cannot fill the disk.
+/// Operator `debug-dump` requests are never capped.
+pub const MAX_AUTO_BUNDLES: u64 = 32;
+
 /// Daemon construction knobs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DaemonConfig {
     /// Sliding history window: after advancing to `t`, executed history
     /// before `t - window` is compacted away. `None`: keep everything.
@@ -54,6 +76,39 @@ pub struct DaemonConfig {
     /// Worker threads for broadcast advances (`None`: the `MPSS_THREADS` /
     /// hardware default of [`ThreadPool::with_threads`]).
     pub threads: Option<usize>,
+    /// Threshold for the daemon's structured logger. Records below it cost
+    /// one branch.
+    pub log_level: Level,
+    /// Mirror log records to stderr (the CLI daemon turns this on; tests
+    /// and benchmarks keep logs in the in-memory ring only).
+    pub log_stderr: bool,
+    /// Capacity of each flight-recorder ring (per tenant, plus one for the
+    /// daemon itself). Clamped to at least 1.
+    pub flight_capacity: usize,
+    /// Where postmortem bundles are written. `None` disables automatic
+    /// bundles; the `debug-dump` op then requires an explicit `dir`.
+    pub postmortem_dir: Option<PathBuf>,
+    /// A replan slower than this many milliseconds dumps a `slow-replan`
+    /// bundle carrying the replan's Chrome trace. Needs `postmortem_dir`.
+    pub slow_replan_ms: Option<f64>,
+    /// Chaos injection for tests: panic while handling this op, exercising
+    /// the scoped panic hook and the `panic` bundle path.
+    pub panic_on_op: Option<String>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            compact_window: None,
+            threads: None,
+            log_level: Level::Info,
+            log_stderr: false,
+            flight_capacity: 64,
+            postmortem_dir: None,
+            slow_replan_ms: None,
+            panic_on_op: None,
+        }
+    }
 }
 
 /// One tenant's live session.
@@ -111,6 +166,23 @@ impl Session {
             };
         }
         Ok(())
+    }
+
+    /// The last replan's summary, consumed. `None` if nothing replanned
+    /// since the previous take.
+    fn take_last_replan(&mut self) -> Option<ReplanSummary> {
+        match self {
+            Session::Oa(s) => s.take_last_replan(),
+            Session::Avr(s) => s.take_last_replan(),
+        }
+    }
+
+    /// Engine label for flight-recorder replan events.
+    fn engine_label(&self) -> &'static str {
+        match self {
+            Session::Oa(s) => engine_name(s.engine()),
+            Session::Avr(_) => "avr",
+        }
     }
 
     fn attach_metrics(&mut self, hub: &MetricsHub, tenant: &str) {
@@ -232,23 +304,111 @@ fn session_error(e: SessionError) -> (ErrorKind, String) {
     (kind, e.to_string())
 }
 
+/// One tenant's flight recorder plus the high-water mark of evictions
+/// already published to the `mpss_serve_flight_dropped_total` counter
+/// (counters are monotonic, so only the delta may be added). The metric
+/// handles are registered once at open/restore and cached here — publishing
+/// on the request hot path must be atomic stores, not registry lookups.
+struct TenantFlight {
+    recorder: FlightRecorder,
+    dropped_published: u64,
+    len_published: usize,
+    events_gauge: Gauge,
+    dropped_counter: Counter,
+}
+
+impl TenantFlight {
+    fn new(capacity: usize, hub: &MetricsHub, tenant: &str) -> TenantFlight {
+        TenantFlight {
+            recorder: FlightRecorder::new(capacity),
+            dropped_published: 0,
+            len_published: usize::MAX,
+            events_gauge: hub.gauge(
+                "mpss_serve_flight_events",
+                "flight-recorder ring occupancy, by tenant",
+                &[("tenant", tenant)],
+            ),
+            dropped_counter: hub.counter(
+                "mpss_serve_flight_dropped_total",
+                "flight-recorder events evicted, by tenant",
+                &[("tenant", tenant)],
+            ),
+        }
+    }
+
+    /// Publishes the flight gauges: ring occupancy, and the eviction delta
+    /// past the published high-water mark (the counter is monotonic). Both
+    /// stores are skipped when nothing changed — once the ring is full its
+    /// occupancy is pinned at capacity, so the steady state touches only
+    /// the eviction counter.
+    fn publish(&mut self) {
+        let len = self.recorder.len();
+        if len != self.len_published {
+            self.events_gauge.set(len as f64);
+            self.len_published = len;
+        }
+        let dropped = self.recorder.dropped_total();
+        if dropped > self.dropped_published {
+            self.dropped_counter.add(dropped - self.dropped_published);
+            self.dropped_published = dropped;
+        }
+    }
+}
+
+/// One live tenant: the scheduling session and its flight recorder, kept in
+/// the same map entry so the per-request hot path reaches both with a
+/// single lookup (the session is already cache-hot from handling the op).
+struct Tenant {
+    session: Session,
+    flight: TenantFlight,
+}
+
 /// The daemon: a map of tenants plus the shared hub and pool. See the
 /// module docs for the execution model.
 pub struct Daemon {
-    tenants: BTreeMap<String, Session>,
+    tenants: BTreeMap<String, Tenant>,
     hub: MetricsHub,
     pool: ThreadPool,
     config: DaemonConfig,
+    logger: Logger,
+    log_ring: RingSink,
+    log_published: u64,
+    flight_daemon: FlightRecorder,
+    /// Chrome trace armed around the most recent replan, kept only until
+    /// the slow-replan check ran.
+    pending_trace: Option<TraceCollector>,
+    postmortem_seq: u64,
+    postmortems_written: u64,
+    obs_ns: u64,
+    /// Reused buffer for per-request replan drains (cleared after every
+    /// request; keeping the capacity avoids a fresh allocation per arrive).
+    replans_scratch: Vec<(String, ReplanSummary)>,
 }
 
 impl Daemon {
     /// A daemon with no tenants.
     pub fn new(config: DaemonConfig) -> Daemon {
         let pool = ThreadPool::with_threads(config.threads);
+        let log_ring = RingSink::new(256);
+        let mirror = log_ring.clone();
+        let mut logger = Logger::new(config.log_level).with_sink(mirror);
+        if config.log_stderr {
+            logger = logger.with_sink(StderrSink);
+        }
+        let flight_daemon = FlightRecorder::new(config.flight_capacity);
         Daemon {
             tenants: BTreeMap::new(),
             hub: MetricsHub::new(),
             pool,
+            logger,
+            log_ring,
+            log_published: 0,
+            flight_daemon,
+            pending_trace: None,
+            postmortem_seq: 0,
+            postmortems_written: 0,
+            obs_ns: 0,
+            replans_scratch: Vec::new(),
             config,
         }
     }
@@ -260,6 +420,12 @@ impl Daemon {
         &self.hub
     }
 
+    /// The daemon's structured logger (share it to log around the daemon,
+    /// e.g. from the CLI accept loop).
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
     /// Live tenant count.
     pub fn tenant_count(&self) -> usize {
         self.tenants.len()
@@ -268,6 +434,31 @@ impl Daemon {
     /// Live tenant ids, sorted.
     pub fn tenant_names(&self) -> Vec<String> {
         self.tenants.keys().cloned().collect()
+    }
+
+    /// Cumulative nanoseconds spent in the always-on observability tail
+    /// (flight recording, gauges, log-counter publishing) across all
+    /// requests. The soak harness divides this by wall time to gate the
+    /// <1% recorder-overhead budget.
+    pub fn obs_overhead_ns(&self) -> u64 {
+        self.obs_ns
+    }
+
+    /// `(recorded, dropped)` flight events summed over the daemon ring and
+    /// every tenant ring.
+    pub fn flight_totals(&self) -> (u64, u64) {
+        let mut recorded = self.flight_daemon.recorded_total();
+        let mut dropped = self.flight_daemon.dropped_total();
+        for t in self.tenants.values() {
+            recorded += t.flight.recorder.recorded_total();
+            dropped += t.flight.recorder.dropped_total();
+        }
+        (recorded, dropped)
+    }
+
+    /// Postmortem bundles written by this daemon, all trigger reasons.
+    pub fn postmortems_written(&self) -> u64 {
+        self.postmortems_written
     }
 
     /// Serves newline-delimited requests from `input`, writing one response
@@ -296,12 +487,20 @@ impl Daemon {
     }
 
     /// Parses and handles one request line; the boolean reports whether it
-    /// was an (acknowledged) shutdown.
+    /// was an (acknowledged) shutdown. A panic inside the handler is caught
+    /// by a scoped hook and turned into an `internal` error response (plus
+    /// a `panic` postmortem bundle when bundles are configured), so one bad
+    /// request cannot take the whole daemon down.
     pub fn handle_line(&mut self, line: &str) -> (Response, bool) {
         match Request::parse_line(line) {
             Ok(request) => {
                 let shutdown = matches!(request, Request::Shutdown);
-                (self.handle(&request), shutdown)
+                let response =
+                    match catch_panics(std::panic::AssertUnwindSafe(|| self.handle(&request))) {
+                        Ok(response) => response,
+                        Err(panic_message) => self.panicked(&request, panic_message),
+                    };
+                (response, shutdown)
             }
             Err(message) => (self.fail("parse", ErrorKind::BadRequest, message), false),
         }
@@ -310,6 +509,9 @@ impl Daemon {
     /// Handles one request and produces its response.
     pub fn handle(&mut self, request: &Request) -> Response {
         let op = request.op();
+        if self.config.panic_on_op.as_deref() == Some(op) {
+            panic!("injected panic on `{op}` (DaemonConfig::panic_on_op)");
+        }
         self.hub
             .counter(
                 "mpss_serve_requests_total",
@@ -335,12 +537,326 @@ impl Daemon {
             Request::Snapshot { tenant } => self.snapshot(tenant.as_deref()),
             Request::Checkpoint { tenant, dir } => self.checkpoint(tenant.as_deref(), dir),
             Request::Restore { tenant, dir } => self.restore(tenant.as_deref(), dir),
+            Request::DebugDump { tenant, dir } => self.debug_dump(tenant, dir.as_deref()),
             Request::Shutdown => Response::ok(Json::object()),
         };
+        // The always-on black box records *after* the response is computed:
+        // flight events, per-tenant gauges, log-counter deltas. Its cost is
+        // accumulated so the overhead budget is itself observable.
+        let obs_started = std::time::Instant::now();
+        let mut replans = self.observe_request(request, &response);
+        self.obs_ns += obs_started.elapsed().as_nanos() as u64;
+        // Bundle triggers run outside the obs window: dumping is incident
+        // I/O, not steady-state recording.
+        self.maybe_bundle(request, &response, &replans);
+        replans.clear();
+        self.replans_scratch = replans;
         self.hub
             .gauge("mpss_serve_tenants", "live tenant sessions", &[])
             .set(self.tenants.len() as f64);
         response
+    }
+
+    /// The observability tail of [`handle`](Daemon::handle): records the
+    /// request (and error) into the flight rings, drains replan summaries
+    /// into replan events, and publishes the flight gauges and log-record
+    /// counter. Returns the drained replans for the bundle triggers.
+    fn observe_request(
+        &mut self,
+        request: &Request,
+        response: &Response,
+    ) -> Vec<(String, ReplanSummary)> {
+        let op = request.op();
+        let tenant = request_tenant(request);
+        let error_kind = response.error_kind().map(static_error_kind);
+        let event = FlightEventKind::request(op, response.is_ok(), error_kind);
+        // The daemon-wide ring keeps daemon-scope context: broadcast and
+        // lifecycle ops, plus every failure. Routine tenant traffic lives in
+        // that tenant's own ring — duplicating it here would only churn the
+        // shared ring and the request hot path.
+        if tenant.is_none() || error_kind.is_some() {
+            self.flight_daemon.record(event.clone());
+        }
+        let mut error_event = None;
+        if let Some(kind) = error_kind {
+            let message = error_message(response);
+            let event = FlightEventKind::error(kind, &message);
+            self.flight_daemon.record(event.clone());
+            self.logger.warn(
+                "serve.request",
+                "request failed",
+                &[
+                    ("op", Json::from(op)),
+                    ("kind", Json::from(kind)),
+                    ("message", Json::from(message)),
+                ],
+            );
+            error_event = Some(event);
+        }
+        // Replans completed by this request: the addressed tenant, or — for
+        // a broadcast advance, which already did O(tenants) work — everyone.
+        // Only OA sessions run a planning engine; an AVR arrival is an O(1)
+        // speed recompute, not a replan, and records no replan event.
+        let mut replans = std::mem::take(&mut self.replans_scratch);
+        match (tenant, request) {
+            (None, Request::Advance { .. }) => {
+                for (name, t) in &mut self.tenants {
+                    if !matches!(t.session, Session::Oa(_)) {
+                        continue;
+                    }
+                    let engine = t.session.engine_label();
+                    let Some(summary) = t.session.take_last_replan() else {
+                        continue;
+                    };
+                    t.flight.recorder.record(replan_event(&summary, engine));
+                    t.flight.publish();
+                    replans.push((name.clone(), summary));
+                }
+            }
+            (Some(name), _) => {
+                // The per-request hot path: one map lookup reaches both the
+                // session (replan drain) and the adjacent flight ring.
+                if let Some(t) = self.tenants.get_mut(name) {
+                    t.flight.recorder.record(event);
+                    if let Some(event) = error_event {
+                        t.flight.recorder.record(event);
+                    }
+                    if let Session::Oa(_) = t.session {
+                        if let Some(summary) = t.session.take_last_replan() {
+                            let engine = t.session.engine_label();
+                            t.flight.recorder.record(replan_event(&summary, engine));
+                            replans.push((name.to_string(), summary));
+                        }
+                    }
+                    t.flight.publish();
+                }
+            }
+            _ => {}
+        }
+        let emitted = self.logger.records_total();
+        if emitted > self.log_published {
+            self.hub
+                .counter(
+                    "mpss_serve_log_records_total",
+                    "structured log records the daemon emitted",
+                    &[],
+                )
+                .add(emitted - self.log_published);
+            self.log_published = emitted;
+        }
+        replans
+    }
+
+    /// Bundle triggers: a slow replan (keeping the armed Chrome trace) or a
+    /// serious protocol error. Runs after the response; failures to write a
+    /// bundle are logged, never escalated into the response.
+    fn maybe_bundle(
+        &mut self,
+        request: &Request,
+        response: &Response,
+        replans: &[(String, ReplanSummary)],
+    ) {
+        if let Some(threshold_ms) = self.config.slow_replan_ms {
+            for (name, summary) in replans {
+                if summary.latency_s * 1_000.0 >= threshold_ms {
+                    let name = name.clone();
+                    self.bundle(
+                        &name,
+                        BundleReason::SlowReplan,
+                        request.op(),
+                        None,
+                        Some(*summary),
+                        None,
+                    );
+                    break; // one exemplar per request is plenty
+                }
+            }
+        }
+        // The trace is only kept by a tripped threshold; otherwise arming
+        // it was speculative and it dies here.
+        self.pending_trace = None;
+        if let Some(kind) = response.error_kind() {
+            if matches!(kind, "planning" | "bad-checkpoint" | "internal") {
+                if let Some(name) = request_tenant(request) {
+                    if self.tenants.contains_key(name) {
+                        let (kind, name) = (kind.to_string(), name.to_string());
+                        let message = error_message(response);
+                        self.bundle(
+                            &name,
+                            BundleReason::ProtocolError,
+                            request.op(),
+                            Some((kind, message)),
+                            None,
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The caught-panic path: an `internal` error response, flight error
+    /// events, and a `panic` bundle for the addressed tenant.
+    fn panicked(&mut self, request: &Request, panic_message: String) -> Response {
+        let op = request.op();
+        self.logger.error(
+            "serve.panic",
+            "request handler panicked",
+            &[
+                ("op", Json::from(op)),
+                ("panic", Json::from(panic_message.as_str())),
+            ],
+        );
+        let response = self.fail(
+            op,
+            ErrorKind::Internal,
+            format!("panic while handling `{op}`: {panic_message}"),
+        );
+        let event = FlightEventKind::error("internal", &panic_message);
+        if let Some(name) = request_tenant(request) {
+            if let Some(t) = self.tenants.get_mut(name) {
+                t.flight.recorder.record(event.clone());
+            }
+        }
+        self.flight_daemon.record(event);
+        if let Some(name) = request_tenant(request).map(str::to_string) {
+            if self.tenants.contains_key(&name) {
+                self.bundle(
+                    &name,
+                    BundleReason::Panic,
+                    op,
+                    Some(("internal".to_string(), panic_message)),
+                    None,
+                    None,
+                );
+            }
+        }
+        response
+    }
+
+    /// Writes one postmortem bundle for `tenant`. Automatic reasons go to
+    /// the configured dir and respect [`MAX_AUTO_BUNDLES`]; `debug-dump`
+    /// passes `dir_override` and is never capped. Returns the bundle path,
+    /// or `None` when bundling is off / capped / the tenant vanished;
+    /// write errors are logged (and surfaced only via the `debug-dump`
+    /// response, which re-checks the returned path).
+    fn bundle(
+        &mut self,
+        tenant: &str,
+        reason: BundleReason,
+        op: &str,
+        error: Option<(String, String)>,
+        replan: Option<ReplanSummary>,
+        dir_override: Option<&Path>,
+    ) -> Option<PathBuf> {
+        let dir = match dir_override {
+            Some(dir) => dir.to_path_buf(),
+            None => self.config.postmortem_dir.clone()?,
+        };
+        if reason != BundleReason::DebugDump && self.postmortems_written >= MAX_AUTO_BUNDLES {
+            return None;
+        }
+        let t = self.tenants.get(tenant)?;
+        let trace = self
+            .pending_trace
+            .take()
+            .filter(|_| reason == BundleReason::SlowReplan);
+        let name = format!("{tenant}-{}-{:04}", reason.as_str(), self.postmortem_seq);
+        self.postmortem_seq += 1;
+        let mut flight = Json::object();
+        flight.push("tenant", t.flight.recorder.dump_json());
+        flight.push("daemon", self.flight_daemon.dump_json());
+        let contents = BundleContents {
+            tenant: tenant.to_string(),
+            reason,
+            op: op.to_string(),
+            error,
+            replan: replan.as_ref().map(replan_json),
+            plan: t.session.plan_json(tenant),
+            checkpoint: checkpoint_envelope(tenant, &t.session).render_pretty(),
+            flight,
+            log_lines: self.log_ring.lines(),
+            metrics: self.hub.render(),
+            trace: trace.map(|t| t.chrome_trace()),
+        };
+        match postmortem::write_bundle(&dir, &name, &contents) {
+            Ok(path) => {
+                self.postmortems_written += 1;
+                self.hub
+                    .counter(
+                        "mpss_serve_postmortem_total",
+                        "postmortem bundles written, by trigger reason",
+                        &[("reason", reason.as_str())],
+                    )
+                    .inc();
+                self.logger.warn(
+                    "serve.postmortem",
+                    "wrote postmortem bundle",
+                    &[
+                        ("tenant", Json::from(tenant)),
+                        ("reason", Json::from(reason.as_str())),
+                        ("bundle", Json::from(path.display().to_string())),
+                    ],
+                );
+                Some(path)
+            }
+            Err(e) => {
+                self.logger.error(
+                    "serve.postmortem",
+                    "failed to write postmortem bundle",
+                    &[
+                        ("tenant", Json::from(tenant)),
+                        ("reason", Json::from(reason.as_str())),
+                        ("error", Json::from(e.to_string())),
+                    ],
+                );
+                None
+            }
+        }
+    }
+
+    /// The `debug-dump` op: freeze one tenant's black box on demand. Pure
+    /// read of the tenant's state — a dump must never perturb any session.
+    fn debug_dump(&mut self, tenant: &str, dir: Option<&str>) -> Response {
+        if !self.tenants.contains_key(tenant) {
+            return unknown_tenant(self, tenant);
+        }
+        let dir = match dir
+            .map(PathBuf::from)
+            .or_else(|| self.config.postmortem_dir.clone())
+        {
+            Some(dir) => dir,
+            None => {
+                return self.fail(
+                    "debug-dump",
+                    ErrorKind::BadRequest,
+                    "no `dir` given and the daemon has no --postmortem-dir",
+                )
+            }
+        };
+        match self.bundle(
+            tenant,
+            BundleReason::DebugDump,
+            "debug-dump",
+            None,
+            None,
+            Some(&dir),
+        ) {
+            Some(path) => {
+                let mut body = Json::object();
+                body.push("tenant", Json::from(tenant));
+                body.push("bundle", Json::from(path.display().to_string()));
+                Response::ok(body)
+            }
+            None => self.fail(
+                "debug-dump",
+                ErrorKind::Io,
+                format!(
+                    "could not write a bundle for `{tenant}` under {}",
+                    dir.display()
+                ),
+            ),
+        }
     }
 
     fn fail(&self, op: &str, kind: ErrorKind, message: impl Into<String>) -> Response {
@@ -384,22 +900,57 @@ impl Daemon {
             Algo::Avr => Session::Avr(AvrSession::new(m, start)),
         };
         session.attach_metrics(&self.hub, tenant);
-        self.tenants.insert(tenant.to_string(), session);
+        let flight = TenantFlight::new(self.config.flight_capacity, &self.hub, tenant);
+        self.tenants
+            .insert(tenant.to_string(), Tenant { session, flight });
+        self.logger.info(
+            "serve.open",
+            "opened tenant",
+            &[
+                ("tenant", Json::from(tenant)),
+                ("algo", Json::from(algo.as_str())),
+                ("m", Json::UInt(m as u64)),
+            ],
+        );
         let mut body = Json::object();
         body.push("tenant", Json::from(tenant));
         Response::ok(body)
     }
 
     fn arrive(&mut self, tenant: &str, deadline: f64, volume: f64) -> Response {
-        let Some(session) = self.tenants.get_mut(tenant) else {
+        let Some(t) = self.tenants.get_mut(tenant) else {
             return unknown_tenant(self, tenant);
         };
-        match session.arrive(deadline, volume) {
+        let session = &mut t.session;
+        // Slow-replan exemplar capture: with a threshold and a bundle dir
+        // configured, every OA replan runs under an armed Chrome trace that
+        // is kept only if the threshold trips.
+        let arm = self.config.slow_replan_ms.is_some()
+            && self.config.postmortem_dir.is_some()
+            && matches!(session, Session::Oa(_));
+        let outcome = if arm {
+            let mut trace = TraceCollector::new("replan");
+            let result = match session {
+                Session::Oa(s) => s
+                    .arrive_observed(deadline, volume, &mut trace)
+                    .map_err(session_error),
+                Session::Avr(_) => unreachable!("arm requires an OA session"),
+            };
+            self.pending_trace = Some(trace);
+            result
+        } else {
+            session.arrive(deadline, volume)
+        };
+        match outcome {
             Ok(job) => {
                 // Soak runs watch this grow with the per-arrival delta, not
                 // with the tenant's live-job count (the incremental-replan
                 // contract; AVR tenants have no replan network to patch).
-                if let Session::Oa(s) = session {
+                if let Some(Tenant {
+                    session: Session::Oa(s),
+                    ..
+                }) = self.tenants.get(tenant)
+                {
                     self.hub
                         .gauge(
                             "mpss_serve_replan_patched_arcs",
@@ -431,7 +982,7 @@ impl Daemon {
         // Atomicity: reject before moving anyone's clock, so a failed
         // broadcast leaves every tenant exactly where it was.
         for name in &targets {
-            let now = self.tenants[*name].now();
+            let now = self.tenants[*name].session.now();
             if now > to {
                 return self.fail(
                     "advance",
@@ -442,8 +993,8 @@ impl Daemon {
         }
         let advanced = match tenant {
             Some(name) => {
-                let session = self.tenants.get_mut(name).expect("checked above");
-                if let Err(message) = session.advance_to(to, self.config.compact_window) {
+                let t = self.tenants.get_mut(name).expect("checked above");
+                if let Err(message) = t.session.advance_to(to, self.config.compact_window) {
                     return self.fail("advance", ErrorKind::Planning, message);
                 }
                 1
@@ -452,19 +1003,19 @@ impl Daemon {
                 // Fan every tenant out over the pool; sessions move into the
                 // workers and come back in submission (= sorted-name) order.
                 let window = self.config.compact_window;
-                let entries: Vec<(String, Session)> =
+                let entries: Vec<(String, Tenant)> =
                     std::mem::take(&mut self.tenants).into_iter().collect();
                 let count = entries.len();
-                let done = self.pool.scope_map(entries, |(name, mut session)| {
-                    let result = session.advance_to(to, window);
-                    (name, session, result)
+                let done = self.pool.scope_map(entries, |(name, mut t)| {
+                    let result = t.session.advance_to(to, window);
+                    (name, t, result)
                 });
                 let mut first_error = None;
-                for (name, session, result) in done {
+                for (name, t, result) in done {
                     if let (Err(message), None) = (&result, &first_error) {
                         first_error = Some(format!("tenant `{name}`: {message}"));
                     }
-                    self.tenants.insert(name, session);
+                    self.tenants.insert(name, t);
                 }
                 if let Some(message) = first_error {
                     return self.fail("advance", ErrorKind::Planning, message);
@@ -480,7 +1031,7 @@ impl Daemon {
 
     fn query_plan(&self, tenant: &str) -> Response {
         match self.tenants.get(tenant) {
-            Some(session) => Response::ok(session.plan_json(tenant)),
+            Some(t) => Response::ok(t.session.plan_json(tenant)),
             None => unknown_tenant(self, tenant),
         }
     }
@@ -489,12 +1040,12 @@ impl Daemon {
         let mut rows = Vec::new();
         match tenant {
             Some(name) => match self.tenants.get(name) {
-                Some(session) => rows.push(session.snapshot_json(name)),
+                Some(t) => rows.push(t.session.snapshot_json(name)),
                 None => return unknown_tenant(self, name),
             },
             None => {
-                for (name, session) in &self.tenants {
-                    rows.push(session.snapshot_json(name));
+                for (name, t) in &self.tenants {
+                    rows.push(t.session.snapshot_json(name));
                 }
             }
         }
@@ -518,13 +1069,7 @@ impl Daemon {
             return self.fail("checkpoint", ErrorKind::Io, format!("creating {dir}: {e}"));
         }
         for name in &targets {
-            let session = &self.tenants[name];
-            let mut envelope = Json::object();
-            envelope.push("format", Json::from(CHECKPOINT_FORMAT));
-            envelope.push("version", Json::UInt(CHECKPOINT_FILE_VERSION));
-            envelope.push("tenant", Json::from(name.as_str()));
-            envelope.push("algo", Json::from(session.algo().as_str()));
-            envelope.push("state", session.state_json());
+            let envelope = checkpoint_envelope(name, &self.tenants[name].session);
             if let Err(e) = write_atomically(&checkpoint_path(dir, name), &envelope.render_pretty())
             {
                 return self.fail("checkpoint", ErrorKind::Io, format!("writing {name}: {e}"));
@@ -574,7 +1119,16 @@ impl Daemon {
         for (name, mut session) in restored {
             session.attach_metrics(&self.hub, &name);
             names.push(Json::from(name.as_str()));
-            self.tenants.insert(name, session);
+            let flight = TenantFlight::new(self.config.flight_capacity, &self.hub, &name);
+            self.logger.info(
+                "serve.restore",
+                "restored tenant",
+                &[
+                    ("tenant", Json::from(name.as_str())),
+                    ("algo", Json::from(session.algo().as_str())),
+                ],
+            );
+            self.tenants.insert(name, Tenant { session, flight });
         }
         let mut body = Json::object();
         body.push("dir", Json::from(dir));
@@ -646,6 +1200,120 @@ fn unknown_tenant(daemon: &Daemon, name: &str) -> Response {
         ErrorKind::UnknownTenant,
         format!("no tenant `{name}`"),
     )
+}
+
+/// The tenant a request addresses, if any (broadcast ops return `None`).
+fn request_tenant(request: &Request) -> Option<&str> {
+    match request {
+        Request::Open { tenant, .. }
+        | Request::Arrive { tenant, .. }
+        | Request::QueryPlan { tenant }
+        | Request::DebugDump { tenant, .. } => Some(tenant),
+        Request::Advance { tenant, .. }
+        | Request::Snapshot { tenant }
+        | Request::Checkpoint { tenant, .. }
+        | Request::Restore { tenant, .. } => tenant.as_deref(),
+        Request::Shutdown => None,
+    }
+}
+
+/// Interns a response's error kind back to its `&'static` wire spelling —
+/// the kind vocabulary is closed ([`ErrorKind::ALL`]), so flight events can
+/// carry it without allocating.
+fn static_error_kind(kind: &str) -> &'static str {
+    ErrorKind::ALL
+        .iter()
+        .map(|k| k.as_str())
+        .find(|s| *s == kind)
+        .unwrap_or("internal")
+}
+
+/// A replan summary as a flight-recorder event.
+fn replan_event(summary: &ReplanSummary, engine: &'static str) -> FlightEventKind {
+    FlightEventKind::replan(
+        summary.latency_s * 1_000.0,
+        summary.work_ops,
+        summary.patched_arcs,
+        engine,
+    )
+}
+
+/// The error message of a failed response (empty for successes).
+fn error_message(response: &Response) -> String {
+    match response
+        .to_json()
+        .get("error")
+        .and_then(|e| e.get("message"))
+    {
+        Some(Json::Str(message)) => message.clone(),
+        _ => String::new(),
+    }
+}
+
+/// A replan summary as manifest JSON.
+fn replan_json(summary: &ReplanSummary) -> Json {
+    let mut doc = Json::object();
+    doc.push("latency_ms", Json::Num(summary.latency_s * 1_000.0));
+    doc.push("work_ops", Json::UInt(summary.work_ops));
+    doc.push("patched_arcs", Json::UInt(summary.patched_arcs));
+    doc.push("flow_computations", Json::UInt(summary.flow_computations));
+    doc.push("live_jobs", Json::UInt(summary.live_jobs as u64));
+    doc
+}
+
+/// One tenant's checkpoint-file envelope (shared by `checkpoint` requests
+/// and postmortem bundles, so a bundle doubles as a restorable checkpoint
+/// directory).
+fn checkpoint_envelope(name: &str, session: &Session) -> Json {
+    let mut envelope = Json::object();
+    envelope.push("format", Json::from(CHECKPOINT_FORMAT));
+    envelope.push("version", Json::UInt(CHECKPOINT_FILE_VERSION));
+    envelope.push("tenant", Json::from(name));
+    envelope.push("algo", Json::from(session.algo().as_str()));
+    envelope.push("state", session.state_json());
+    envelope
+}
+
+/// Runs `f` under a scoped panic hook: a panic on this thread inside the
+/// call is captured (message + location) instead of printed, and returned
+/// as `Err`. Panics anywhere else still reach the previous hook.
+fn catch_panics<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    use std::cell::{Cell, RefCell};
+    use std::sync::Once;
+
+    static INSTALL: Once = Once::new();
+    thread_local! {
+        static ACTIVE: Cell<bool> = const { Cell::new(false) };
+        static CAPTURED: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !ACTIVE.with(Cell::get) {
+                previous(info);
+                return;
+            }
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let message = match info.location() {
+                Some(location) => format!("{message} ({location})"),
+                None => message,
+            };
+            CAPTURED.with(|c| *c.borrow_mut() = Some(message));
+        }));
+    });
+    ACTIVE.with(|a| a.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    ACTIVE.with(|a| a.set(false));
+    result.map_err(|_| {
+        CAPTURED
+            .with(|c| c.borrow_mut().take())
+            .unwrap_or_else(|| "panic".to_string())
+    })
 }
 
 /// Tenant ids double as file names, so the charset is locked down.
@@ -916,6 +1584,7 @@ mod tests {
         let mut daemon = Daemon::new(DaemonConfig {
             compact_window: Some(1.0),
             threads: Some(1),
+            ..DaemonConfig::default()
         });
         ok(daemon.handle(&Request::Open {
             tenant: "a".into(),
@@ -1022,7 +1691,12 @@ mod tests {
 
     #[test]
     fn hub_families_are_in_the_manifest() {
-        let mut daemon = Daemon::new(DaemonConfig::default());
+        let dir = tmp_dir("manifest-pm");
+        let mut daemon = Daemon::new(DaemonConfig {
+            postmortem_dir: Some(PathBuf::from(&dir)),
+            slow_replan_ms: Some(0.0),
+            ..DaemonConfig::default()
+        });
         ok(daemon.handle(&Request::Open {
             tenant: "a".into(),
             algo: Algo::Oa,
@@ -1030,7 +1704,9 @@ mod tests {
             start: 0.0,
             engine: None,
         }));
-        // A successful arrive publishes the per-tenant replan gauge too.
+        // A successful arrive publishes the per-tenant replan gauge too —
+        // and with a 0ms slow threshold it also writes a postmortem bundle,
+        // exercising the postmortem counter family.
         ok(daemon.handle(&Request::Arrive {
             tenant: "a".into(),
             deadline: 2.0,
@@ -1052,5 +1728,240 @@ mod tests {
                 row.name
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn debug_dump_writes_a_bundle_that_restores_bit_identically() {
+        let dir = tmp_dir("debug-dump");
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        ok(daemon.handle(&Request::Open {
+            tenant: "acme".into(),
+            algo: Algo::Oa,
+            m: 2,
+            start: 0.0,
+            engine: None,
+        }));
+        for (deadline, volume) in [(4.0, 3.0), (6.0, 2.0)] {
+            ok(daemon.handle(&Request::Arrive {
+                tenant: "acme".into(),
+                deadline,
+                volume,
+            }));
+        }
+        ok(daemon.handle(&Request::Advance {
+            tenant: None,
+            to: 1.0,
+        }));
+        // No postmortem dir configured: an explicit `dir` is required…
+        let r = daemon.handle(&Request::DebugDump {
+            tenant: "acme".into(),
+            dir: None,
+        });
+        assert_eq!(r.error_kind(), Some("bad-request"));
+        // …and with one, a bundle lands.
+        let r = ok(daemon.handle(&Request::DebugDump {
+            tenant: "acme".into(),
+            dir: Some(dir.clone()),
+        }));
+        let Some(Json::Str(bundle)) = r.get("bundle") else {
+            panic!("no bundle path: {}", r.render_line());
+        };
+        let bundles = crate::postmortem::find_bundles(Path::new(&dir)).unwrap();
+        assert_eq!(bundles, vec![PathBuf::from(bundle)]);
+        let manifest = crate::postmortem::read_manifest(&bundles[0]).unwrap();
+        assert_eq!(manifest.get("reason"), Some(&Json::from("debug-dump")));
+        // The bundle doubles as a checkpoint dir: restore from it and the
+        // tenant's plan comes back bit-identical to the manifest's copy.
+        let mut fresh = Daemon::new(DaemonConfig::default());
+        ok(fresh.handle(&Request::Restore {
+            tenant: Some("acme".into()),
+            dir: bundle.clone(),
+        }));
+        let replayed = fresh.tenants["acme"].session.plan_json("acme");
+        assert_eq!(
+            replayed.render(),
+            manifest.get("plan").unwrap().render(),
+            "restored plan must match the manifest's plan byte for byte"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panics_are_caught_bundled_and_survivable() {
+        let dir = tmp_dir("panic");
+        let mut daemon = Daemon::new(DaemonConfig {
+            postmortem_dir: Some(PathBuf::from(&dir)),
+            panic_on_op: Some("query-plan".into()),
+            ..DaemonConfig::default()
+        });
+        ok(daemon.handle(&Request::Open {
+            tenant: "sick".into(),
+            algo: Algo::Avr,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        let (r, shutdown) = daemon.handle_line(r#"{"op":"query-plan","tenant":"sick"}"#);
+        assert!(!shutdown);
+        assert_eq!(r.error_kind(), Some("internal"));
+        assert!(error_message(&r).contains("injected panic"), "{r:?}");
+        // The daemon is still alive and serving.
+        ok(daemon.handle(&Request::Snapshot { tenant: None }));
+        // The incident left a panic bundle behind.
+        let bundles = crate::postmortem::find_bundles(Path::new(&dir)).unwrap();
+        assert_eq!(bundles.len(), 1, "{bundles:?}");
+        let manifest = crate::postmortem::read_manifest(&bundles[0]).unwrap();
+        assert_eq!(manifest.get("reason"), Some(&Json::from("panic")));
+        assert_eq!(manifest.get("tenant"), Some(&Json::from("sick")));
+        assert_eq!(daemon.postmortems_written(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_replans_capture_an_exemplar_trace() {
+        let dir = tmp_dir("slow-replan");
+        let mut daemon = Daemon::new(DaemonConfig {
+            postmortem_dir: Some(PathBuf::from(&dir)),
+            slow_replan_ms: Some(0.0), // every replan is "slow"
+            ..DaemonConfig::default()
+        });
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Oa,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        ok(daemon.handle(&Request::Arrive {
+            tenant: "a".into(),
+            deadline: 2.0,
+            volume: 1.0,
+        }));
+        let bundles = crate::postmortem::find_bundles(Path::new(&dir)).unwrap();
+        assert_eq!(bundles.len(), 1, "{bundles:?}");
+        let manifest = crate::postmortem::read_manifest(&bundles[0]).unwrap();
+        assert_eq!(manifest.get("reason"), Some(&Json::from("slow-replan")));
+        let replan = manifest.get("replan").expect("replan summary in manifest");
+        assert!(matches!(replan.get("work_ops"), Some(Json::UInt(n)) if *n > 0));
+        // The armed Chrome trace of the offending replan rode along.
+        let trace = std::fs::read_to_string(bundles[0].join("replan.trace.json")).unwrap();
+        mpss_obs::validate_chrome_trace(&trace).expect("bundle trace must be a valid Chrome trace");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_failing_tenants_dump_is_metrics_neutral_for_others() {
+        let dir = tmp_dir("neutral");
+        let mut daemon = Daemon::new(DaemonConfig {
+            postmortem_dir: Some(PathBuf::from(&dir)),
+            ..DaemonConfig::default()
+        });
+        for name in ["healthy", "sick"] {
+            ok(daemon.handle(&Request::Open {
+                tenant: name.into(),
+                algo: Algo::Oa,
+                m: 2,
+                start: 0.0,
+                engine: None,
+            }));
+            ok(daemon.handle(&Request::Arrive {
+                tenant: name.into(),
+                deadline: 4.0,
+                volume: 2.0,
+            }));
+        }
+        let healthy_rows = |daemon: &Daemon| -> Vec<String> {
+            daemon
+                .hub()
+                .snapshot()
+                .into_iter()
+                .filter(|row| {
+                    row.labels
+                        .iter()
+                        .any(|(k, v)| k == "tenant" && v == "healthy")
+                })
+                .map(|row| format!("{} {:?} {:?}", row.name, row.labels, row.value))
+                .collect()
+        };
+        let before_plan = ok(daemon.handle(&Request::QueryPlan {
+            tenant: "healthy".into(),
+        }))
+        .to_json()
+        .render();
+        // Captured *after* the query above: between this capture and the
+        // re-capture below, only sick-addressed requests run.
+        let before_rows = healthy_rows(&daemon);
+        // The sick tenant fails (late arrival) and is debug-dumped.
+        let r = daemon.handle(&Request::Arrive {
+            tenant: "sick".into(),
+            deadline: -1.0,
+            volume: 1.0,
+        });
+        assert!(!r.is_ok());
+        ok(daemon.handle(&Request::DebugDump {
+            tenant: "sick".into(),
+            dir: None,
+        }));
+        // The healthy tenant's metric rows and plan are untouched.
+        assert_eq!(
+            before_rows,
+            healthy_rows(&daemon),
+            "healthy tenant's metrics perturbed by neighbor's failure/dump"
+        );
+        let after_plan = ok(daemon.handle(&Request::QueryPlan {
+            tenant: "healthy".into(),
+        }))
+        .to_json()
+        .render();
+        assert_eq!(before_plan, after_plan, "plan perturbed by neighbor's dump");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_rings_stay_bounded_and_observable() {
+        let mut daemon = Daemon::new(DaemonConfig {
+            flight_capacity: 4,
+            ..DaemonConfig::default()
+        });
+        ok(daemon.handle(&Request::Open {
+            tenant: "a".into(),
+            algo: Algo::Avr,
+            m: 1,
+            start: 0.0,
+            engine: None,
+        }));
+        for step in 1..=20 {
+            ok(daemon.handle(&Request::Arrive {
+                tenant: "a".into(),
+                deadline: step as f64 + 1.0,
+                volume: 0.1,
+            }));
+        }
+        let (recorded, dropped) = daemon.flight_totals();
+        assert!(recorded >= 21, "{recorded}");
+        assert!(dropped > 0, "a 4-slot ring must have evicted: {dropped}");
+        let rows: Vec<_> = daemon
+            .hub()
+            .snapshot()
+            .into_iter()
+            .filter(|row| row.name.starts_with("mpss_serve_flight_"))
+            .collect();
+        assert!(
+            rows.iter()
+                .any(|row| row.name == "mpss_serve_flight_events"),
+            "{rows:?}"
+        );
+        let dropped_row = rows
+            .iter()
+            .find(|row| row.name == "mpss_serve_flight_dropped_total")
+            .expect("dropped counter published");
+        match dropped_row.value {
+            mpss_obs::SnapshotValue::Counter(n) => {
+                assert_eq!(n, daemon.tenants["a"].flight.recorder.dropped_total())
+            }
+            ref other => panic!("counter expected: {other:?}"),
+        }
+        assert!(daemon.obs_overhead_ns() > 0);
     }
 }

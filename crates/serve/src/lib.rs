@@ -27,7 +27,11 @@
 //! 3. **Observability.** Every tenant publishes `{algo, tenant}`-labeled
 //!    session metrics into one shared [`MetricsHub`](mpss_obs::MetricsHub),
 //!    plus daemon-level request/error/latency families, scrapeable live
-//!    via `mpss_obs::MetricsServer`.
+//!    via `mpss_obs::MetricsServer`. On top of that sits an always-on
+//!    black box — structured NDJSON logging, per-tenant flight recorders,
+//!    and atomic [postmortem bundles](postmortem) on errors, panics, and
+//!    slow replans — cheap enough to leave on in production (<1% of soak
+//!    wall time, gated in CI).
 //!
 //! # Example
 //!
@@ -57,10 +61,16 @@
 
 pub mod daemon;
 pub mod net;
+pub mod postmortem;
 pub mod protocol;
 
 pub use daemon::{
     validate_tenant_id, Daemon, DaemonConfig, CHECKPOINT_FILE_VERSION, CHECKPOINT_FORMAT,
+    MAX_AUTO_BUNDLES,
 };
 pub use net::{serve_tcp, Client};
+pub use postmortem::{
+    find_bundles, read_manifest, write_bundle, BundleContents, BundleReason, BUNDLE_FORMAT,
+    BUNDLE_VERSION,
+};
 pub use protocol::{Algo, ErrorKind, Request, Response};

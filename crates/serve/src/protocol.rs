@@ -105,6 +105,15 @@ pub enum Request {
         /// Directory holding `<tenant>.checkpoint.json` files.
         dir: String,
     },
+    /// Dumps a postmortem bundle (checkpoint + flight recorder + metrics
+    /// snapshot) for one tenant, on operator demand rather than on failure.
+    DebugDump {
+        /// Target tenant.
+        tenant: String,
+        /// Directory to write the bundle into (`None`: the daemon's
+        /// configured `--postmortem-dir`).
+        dir: Option<String>,
+    },
     /// Acknowledges and stops the daemon loop.
     Shutdown,
 }
@@ -120,6 +129,7 @@ impl Request {
             Request::Snapshot { .. } => "snapshot",
             Request::Checkpoint { .. } => "checkpoint",
             Request::Restore { .. } => "restore",
+            Request::DebugDump { .. } => "debug-dump",
             Request::Shutdown => "shutdown",
         }
     }
@@ -135,6 +145,7 @@ impl Request {
         "snapshot",
         "checkpoint",
         "restore",
+        "debug-dump",
         "shutdown",
     ];
 
@@ -192,6 +203,10 @@ impl Request {
                 tenant: opt_str(doc, "tenant")?,
                 dir: req_str(doc, "dir")?,
             }),
+            "debug-dump" => Ok(Request::DebugDump {
+                tenant: req_str(doc, "tenant")?,
+                dir: opt_str(doc, "dir")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -246,6 +261,12 @@ impl Request {
                 }
                 doc.push("dir", Json::from(dir.as_str()));
             }
+            Request::DebugDump { tenant, dir } => {
+                doc.push("tenant", Json::from(tenant.as_str()));
+                if let Some(dir) = dir {
+                    doc.push("dir", Json::from(dir.as_str()));
+                }
+            }
             Request::Shutdown => {}
         }
         doc
@@ -273,6 +294,10 @@ pub enum ErrorKind {
     BadCheckpoint,
     /// The underlying filesystem said no.
     Io,
+    /// The daemon itself failed — a request handler panicked and was caught
+    /// by the scoped panic hook. The tenant's state may be inconsistent; a
+    /// postmortem bundle is written when a bundle directory is configured.
+    Internal,
 }
 
 impl ErrorKind {
@@ -287,6 +312,7 @@ impl ErrorKind {
             ErrorKind::Planning => "planning",
             ErrorKind::BadCheckpoint => "bad-checkpoint",
             ErrorKind::Io => "io",
+            ErrorKind::Internal => "internal",
         }
     }
 
@@ -300,6 +326,7 @@ impl ErrorKind {
         ErrorKind::Planning,
         ErrorKind::BadCheckpoint,
         ErrorKind::Io,
+        ErrorKind::Internal,
     ];
 }
 
@@ -474,6 +501,14 @@ mod tests {
             Request::Restore {
                 tenant: None,
                 dir: "/tmp/ckpt".into(),
+            },
+            Request::DebugDump {
+                tenant: "t-1".into(),
+                dir: Some("/tmp/pm".into()),
+            },
+            Request::DebugDump {
+                tenant: "t-1".into(),
+                dir: None,
             },
             Request::Shutdown,
         ];

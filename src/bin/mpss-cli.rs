@@ -12,7 +12,9 @@
 //! mpss-cli trace-check run.trace.json
 //! mpss-cli watch trace.json [--algo oa|avr] [--loops N] [--listen 127.0.0.1:9184] [--hold-ms MS]
 //! mpss-cli serve [--listen 127.0.0.1:9200] [--metrics 127.0.0.1:9184] [--compact-window W] [--threads N]
+//!                [--log-level info] [--flight-capacity N] [--postmortem-dir DIR] [--slow-replan-ms MS]
 //! mpss-cli scrape 127.0.0.1:9184 [--out metrics.txt]
+//! mpss-cli postmortem bundle-dir/ [--baseline metrics.prom]
 //! ```
 //!
 //! `--report <path>` attaches a [`RecordingCollector`] to the run and writes
@@ -47,6 +49,13 @@
 //! endpoint, validates it with the workspace parser, and checks every
 //! `mpss_`-prefixed family against the `mpss_obs::names` manifest.
 //!
+//! `postmortem` opens a bundle directory written by the `serve` daemon's
+//! black box (see [`mpss_serve::postmortem`]): it renders the incident
+//! manifest and the tenant's flight-recorder timeline, optionally diffs the
+//! bundled metrics snapshot against a `--baseline` exposition, and replays
+//! the embedded checkpoint through a fresh session to prove the tenant's
+//! plan is reproduced bit-identically.
+//!
 //! Parallelism: `--threads N` sizes the worker pool explicitly; without it
 //! the `MPSS_THREADS` environment variable, then the machine's available
 //! parallelism, decide. The effective count is recorded in every `--report`
@@ -76,6 +85,7 @@ fn main() -> ExitCode {
         Some("watch") => cmd_watch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("scrape") => cmd_scrape(&args[1..]),
+        Some("postmortem") => cmd_postmortem(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -106,8 +116,9 @@ fn print_usage() {
          \u{20}  mpss-cli report-diff --bench <BENCH_TRAJECTORY.json> [--name SNAPSHOT] [--max-regress PCT] [--gate-wall]\n\
          \u{20}  mpss-cli trace-check <run.trace.json>\n\
          \u{20}  mpss-cli watch <trace.json> [--algo oa|avr] [--alpha A] [--loops N] [--pace-ms MS] [--interval-ms MS] [--listen HOST:PORT] [--hold-ms MS] [--metrics-out <file>]\n\
-         \u{20}  mpss-cli serve [--listen HOST:PORT] [--metrics HOST:PORT] [--compact-window W] [--threads N]\n\
-         \u{20}  mpss-cli scrape <HOST:PORT> [--out <file>]\n\n\
+         \u{20}  mpss-cli serve [--listen HOST:PORT] [--metrics HOST:PORT] [--compact-window W] [--threads N] [--log-level L] [--flight-capacity N] [--postmortem-dir DIR] [--slow-replan-ms MS]\n\
+         \u{20}  mpss-cli scrape <HOST:PORT> [--out <file>]\n\
+         \u{20}  mpss-cli postmortem <bundle-dir> [--baseline <metrics.prom>]\n\n\
          families: uniform bursty laminar agreeable tight-load avr-adversarial poisson heavy-tail periodic"
     );
 }
@@ -796,9 +807,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(t) => Some(t.parse::<usize>().map_err(|_| "bad --threads")?),
         None => None,
     };
+    let log_level = match a.flag("log-level") {
+        Some(l) => mpss::obs::Level::parse(l)
+            .ok_or_else(|| format!("bad --log-level `{l}` (trace|debug|info|warn|error)"))?,
+        None => mpss::obs::Level::Info,
+    };
+    let flight_capacity = match a.flag("flight-capacity") {
+        Some(n) => n.parse::<usize>().map_err(|_| "bad --flight-capacity")?,
+        None => DaemonConfig::default().flight_capacity,
+    };
+    let slow_replan_ms = match a.flag("slow-replan-ms") {
+        Some(ms) => {
+            let ms: f64 = ms.parse().map_err(|_| "bad --slow-replan-ms")?;
+            if !(ms.is_finite() && ms >= 0.0) {
+                return Err("--slow-replan-ms must be a finite non-negative number".into());
+            }
+            Some(ms)
+        }
+        None => None,
+    };
+    let postmortem_dir = a.flag("postmortem-dir").map(std::path::PathBuf::from);
+    if slow_replan_ms.is_some() && postmortem_dir.is_none() {
+        return Err("--slow-replan-ms needs --postmortem-dir (nowhere to put the bundle)".into());
+    }
     let mut daemon = Daemon::new(DaemonConfig {
         compact_window,
         threads,
+        log_level,
+        log_stderr: true,
+        flight_capacity,
+        postmortem_dir,
+        slow_replan_ms,
+        ..DaemonConfig::default()
     });
     let _metrics_server = match a.flag("metrics") {
         Some(addr) => {
@@ -856,6 +896,180 @@ fn cmd_scrape(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Opens a postmortem bundle: incident summary, flight timeline, optional
+/// counter diff against a baseline exposition, and a bit-identical replay
+/// of the embedded checkpoint.
+fn cmd_postmortem(args: &[String]) -> Result<(), String> {
+    use mpss::obs::json::Json;
+    use mpss::serve::protocol::Request;
+
+    let a = parse(args, &[]);
+    let bundle = Path::new(a.positional.first().ok_or("bundle directory required")?);
+    let manifest = mpss::serve::postmortem::read_manifest(bundle)?;
+    let text = |key: &str| -> String {
+        match manifest.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(other) => other.render(),
+            None => "-".into(),
+        }
+    };
+    let tenant = match manifest.get("tenant") {
+        Some(Json::Str(t)) => t.clone(),
+        _ => unreachable!("read_manifest validated `tenant`"),
+    };
+    println!("postmortem bundle {}", bundle.display());
+    println!("  tenant: {tenant}");
+    println!("  reason: {}  (op: {})", text("reason"), text("op"));
+    if let Some(Json::Obj(_)) = manifest.get("error") {
+        let error = manifest.get("error").unwrap();
+        let field = |k: &str| match error.get(k) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "-".into(),
+        };
+        println!("  error:  [{}] {}", field("kind"), field("message"));
+    }
+    if let Some(replan @ Json::Obj(_)) = manifest.get("replan") {
+        println!("  replan: {}", replan.render());
+    }
+
+    // Flight-recorder timeline: the tenant's ring, then the daemon's.
+    let flight_text = std::fs::read_to_string(bundle.join("flight.json"))
+        .map_err(|e| format!("reading flight.json: {e}"))?;
+    let flight = Json::parse(&flight_text).map_err(|e| format!("parsing flight.json: {e}"))?;
+    for scope in ["tenant", "daemon"] {
+        let Some(ring @ Json::Obj(_)) = flight.get(scope) else {
+            continue;
+        };
+        let (dropped, recorded) = (
+            ring.get("dropped_total").map_or("?".into(), Json::render),
+            ring.get("recorded_total").map_or("?".into(), Json::render),
+        );
+        println!(
+            "\n{scope} flight recorder ({recorded} recorded, {dropped} dropped before the window):"
+        );
+        let Some(Json::Arr(events)) = ring.get("events") else {
+            continue;
+        };
+        for event in events {
+            let seq = event.get("seq").map_or("?".into(), Json::render);
+            let ms = match event.get("ts_ns") {
+                Some(Json::UInt(ns)) => format!("{:10.3}ms", *ns as f64 / 1e6),
+                _ => "         ?".into(),
+            };
+            let class = match event.get("kind") {
+                Some(Json::Str(c)) => c.clone(),
+                _ => "?".into(),
+            };
+            let detail = match class.as_str() {
+                "request" => format!(
+                    "op={} ok={}{}",
+                    event.get("op").map_or("?".into(), Json::render),
+                    event.get("ok").map_or("?".into(), Json::render),
+                    match event.get("error_kind") {
+                        Some(Json::Str(kind)) => format!(" error={kind}"),
+                        _ => String::new(),
+                    }
+                ),
+                "replan" => format!(
+                    "latency_ms={} work_ops={} patched_arcs={} engine={}",
+                    event.get("latency_ms").map_or("?".into(), Json::render),
+                    event.get("work_ops").map_or("?".into(), Json::render),
+                    event.get("patched_arcs").map_or("?".into(), Json::render),
+                    event.get("engine").map_or("?".into(), Json::render),
+                ),
+                "error" => format!(
+                    "kind={} message={}",
+                    event.get("error_kind").map_or("?".into(), Json::render),
+                    event.get("message").map_or("?".into(), Json::render),
+                ),
+                _ => event.render(),
+            };
+            println!("  #{seq:<5} {ms}  {class:<7} {detail}");
+        }
+    }
+
+    // Counter diff against a baseline exposition, when given.
+    if let Some(baseline_path) = a.flag("baseline") {
+        let read_counters = |path: &Path| -> Result<Vec<(String, f64)>, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let expo = parse_exposition(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let mut totals: Vec<(String, f64)> = Vec::new();
+            for family in &expo.families {
+                if family.kind != "counter" {
+                    continue;
+                }
+                for sample in &family.samples {
+                    let labels = sample
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let series = if labels.is_empty() {
+                        family.name.clone()
+                    } else {
+                        format!("{}{{{labels}}}", family.name)
+                    };
+                    totals.push((series, sample.value));
+                }
+            }
+            totals.sort_by(|x, y| x.0.cmp(&y.0));
+            Ok(totals)
+        };
+        let bundled = read_counters(&bundle.join("metrics.prom"))?;
+        let base = read_counters(Path::new(baseline_path))?;
+        println!("\ncounter diff vs {baseline_path} (bundle - baseline):");
+        let mut moved = 0;
+        for (series, value) in &bundled {
+            let before = base
+                .iter()
+                .find(|(name, _)| name == series)
+                .map_or(0.0, |(_, v)| *v);
+            if (value - before).abs() > 0.0 {
+                println!("  {series:<56} {before:>12} -> {value}");
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            println!("  (no counter moved)");
+        }
+    }
+
+    // Replay: restore the bundled checkpoint through a fresh session and
+    // reproduce the tenant's plan bit-identically.
+    let expected = manifest
+        .get("plan")
+        .ok_or("manifest has no `plan` to replay against")?
+        .render();
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let restore = daemon.handle(&Request::Restore {
+        tenant: Some(tenant.clone()),
+        dir: bundle.display().to_string(),
+    });
+    if !restore.is_ok() {
+        return Err(format!(
+            "replaying the bundled checkpoint failed: {}",
+            restore.render_line()
+        ));
+    }
+    let replayed = daemon.handle(&Request::QueryPlan {
+        tenant: tenant.clone(),
+    });
+    let Json::Obj(pairs) = replayed.to_json().clone() else {
+        return Err("query-plan reply was not an object".into());
+    };
+    let got = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "ok").collect()).render();
+    if got == expected {
+        println!("\nreplay: restored `{tenant}` from the bundle — plan reproduced bit-identically");
+        Ok(())
+    } else {
+        Err(format!(
+            "replay mismatch for `{tenant}`:\n  expected {expected}\n  got      {got}"
+        ))
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {

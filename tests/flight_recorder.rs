@@ -1,0 +1,126 @@
+//! Property tests of the flight recorder's accounting contract under
+//! random interleavings of `record`, `dump_json`, and `compact_before_seq`
+//! (the three operations the daemon performs on a ring), plus the ring's
+//! capacity invariants:
+//!
+//! * the ring never retains more than `capacity` events;
+//! * retained events are strictly increasing in `seq` and monotone in
+//!   `ts_ns`;
+//! * `recorded_total == len + dropped_total` at every step — every event
+//!   ever recorded is either retained or accounted as dropped, exactly
+//!   once, whether it left by capacity eviction or by compaction.
+
+use mpss::obs::json::Json;
+use mpss::obs::{FlightEventKind, FlightRecorder};
+use proptest::prelude::*;
+
+/// One step of the daemon's usage pattern, generated randomly.
+#[derive(Clone, Debug)]
+enum Op {
+    Record(u8),
+    /// Compact behind `seq_bound = recorded_total * fraction/255` — spans
+    /// "compact nothing" through "compact past the end".
+    Compact(u8),
+    Dump,
+}
+
+/// Records outweigh compactions and dumps 5:1:1, mirroring the daemon
+/// (every request records; bundles are rare).
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..7, 0u8..=255u8).prop_map(|(sel, payload)| match sel {
+        0..=4 => Op::Record(payload),
+        5 => Op::Compact(payload),
+        _ => Op::Dump,
+    })
+}
+
+fn event(variant: u8) -> FlightEventKind {
+    match variant % 3 {
+        0 => FlightEventKind::request("arrive", !variant.is_multiple_of(5), None),
+        // The +0.125 keeps the latency non-integral, so the JSON dump
+        // round-trips as a float rather than collapsing to an integer.
+        1 => FlightEventKind::replan(
+            f64::from(variant) * 0.25 + 0.125,
+            u64::from(variant),
+            7,
+            "dinic",
+        ),
+        _ => FlightEventKind::error("planning", "injected"),
+    }
+}
+
+/// The invariants every interleaving must preserve, checked after each op.
+fn check(flight: &FlightRecorder) {
+    assert!(
+        flight.len() <= flight.capacity(),
+        "ring holds {} events over capacity {}",
+        flight.len(),
+        flight.capacity()
+    );
+    assert_eq!(
+        flight.recorded_total(),
+        flight.len() as u64 + flight.dropped_total(),
+        "recorded_total must equal len + dropped_total"
+    );
+    let events: Vec<_> = flight.events().collect();
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seq must strictly increase");
+        assert!(pair[0].ts_ns <= pair[1].ts_ns, "ts_ns must be monotone");
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_interleavings_preserve_the_accounting(
+        capacity in 1usize..40,
+        ops in proptest::collection::vec(op(), 1..200),
+    ) {
+        let mut flight = FlightRecorder::new(capacity);
+        let mut recorded = 0u64;
+        for step in &ops {
+            match step {
+                Op::Record(variant) => {
+                    let seq = flight.record(event(*variant));
+                    prop_assert_eq!(seq, recorded, "seqs are dense and never reused");
+                    recorded += 1;
+                }
+                Op::Compact(fraction) => {
+                    let bound = recorded * u64::from(*fraction) / 255;
+                    let dropped_before = flight.dropped_total();
+                    let surviving = flight.events().filter(|e| e.seq >= bound).count();
+                    flight.compact_before_seq(bound);
+                    prop_assert_eq!(flight.len(), surviving);
+                    prop_assert!(flight.dropped_total() >= dropped_before);
+                }
+                Op::Dump => {
+                    let dump = flight.dump_json();
+                    let Some(Json::Arr(events)) = dump.get("events") else {
+                        panic!("dump has no events array");
+                    };
+                    prop_assert_eq!(events.len(), flight.len());
+                    prop_assert_eq!(dump.get("recorded_total"), Some(&Json::UInt(recorded)));
+                    // The dump round-trips through the JSON parser.
+                    prop_assert_eq!(&Json::parse(&dump.render()).unwrap(), &dump);
+                }
+            }
+            check(&flight);
+            prop_assert_eq!(flight.recorded_total(), recorded);
+        }
+    }
+
+    /// Exactness of `dropped_total`: with only records, drops are exactly
+    /// the overflow past capacity — no event is ever double-counted.
+    #[test]
+    fn dropped_total_is_exact_under_pure_recording(
+        capacity in 1usize..20,
+        n in 0usize..100,
+    ) {
+        let mut flight = FlightRecorder::new(capacity);
+        for i in 0..n {
+            flight.record(event(i as u8));
+        }
+        prop_assert_eq!(flight.len(), n.min(capacity));
+        prop_assert_eq!(flight.dropped_total(), n.saturating_sub(capacity) as u64);
+        prop_assert_eq!(flight.recorded_total(), n as u64);
+    }
+}

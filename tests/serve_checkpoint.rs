@@ -250,6 +250,7 @@ fn daemon_restart_every_few_requests_is_invisible() {
     let config = DaemonConfig {
         compact_window: Some(2.0),
         threads: Some(2),
+        ..DaemonConfig::default()
     };
     let mut straight = Daemon::new(config.clone());
     let mut battered = Daemon::new(config.clone());
